@@ -1,0 +1,279 @@
+//! Comparator architecture models.
+//!
+//! The paper compares three *architectures* (Table 1: kernel-level,
+//! user-level, semi-user-level) and four *protocols* (Table 2: BCL, GM,
+//! AM-II, BIP). We model each comparator as an [`ArchModel`]: a set of
+//! host/NIC cost parameters plus the structural properties (traps,
+//! interrupts, copies, NIC access location) that define the architecture.
+//! All run over the *same* simulated Myrinet, so measured differences are
+//! exactly the architectural deltas the paper argues about.
+
+use suca_os::OsCostModel;
+use suca_sim::SimDuration;
+
+/// Where the NIC is touched on the critical path (Table 1, third row).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NicAccess {
+    /// Only kernel code touches the NIC (kernel-level and semi-user-level).
+    Kernel,
+    /// User code touches the NIC directly via mapped registers.
+    User,
+}
+
+/// NIC-resident address-translation cache (user-level protocols). The NIC
+/// has little SRAM, so the cache is small; misses stall the send while the
+/// NIC fetches the translation from the host — the paper's "usage of large
+/// memory" argument against user-level designs.
+#[derive(Clone, Copy, Debug)]
+pub struct NicTlbModel {
+    /// Cached translations (VMMC-2/U-Net kept a few hundred).
+    pub entries: usize,
+    /// Stall per miss (NIC↔host round trip + table walk by firmware).
+    pub miss_cost: SimDuration,
+}
+
+/// One comparator architecture/protocol.
+#[derive(Clone, Debug)]
+pub struct ArchModel {
+    /// Display name.
+    pub name: &'static str,
+    /// Kernel traps on the send critical path.
+    pub send_traps: u32,
+    /// Kernel traps on the receive critical path.
+    pub recv_traps: u32,
+    /// Interrupts on the receive critical path.
+    pub recv_interrupts: u32,
+    /// Who touches the NIC.
+    pub nic_access: NicAccess,
+    /// Host CPU cost to issue a send, excluding per-byte copies.
+    pub host_send_fixed: SimDuration,
+    /// Host-side copies on the send path (user↔kernel staging), count.
+    pub send_copies: u32,
+    /// Host-side copies on the receive path before data is usable, count.
+    pub recv_copies: u32,
+    /// Bandwidth of one host-side copy.
+    pub copy_bytes_per_sec: u64,
+    /// NIC fixed cost per message (protocol state, header build).
+    pub nic_send_fixed: SimDuration,
+    /// NIC per-fragment send cost; with wire time this sets peak bandwidth.
+    pub nic_per_frag: SimDuration,
+    /// NIC per-fragment receive cost.
+    pub nic_recv_frag: SimDuration,
+    /// Receiver host cost to observe a completed message (poll or wakeup).
+    pub recv_fixed: SimDuration,
+    /// Whether the NIC runs a reliability protocol (acks/retransmit).
+    /// Without it (BIP), faults lose data.
+    pub reliable: bool,
+    /// NIC address-translation cache, for user-level protocols.
+    pub nic_tlb: Option<NicTlbModel>,
+    /// Requires `mmap` of device memory (user-level protocols cannot exist
+    /// on AIX — the paper's portability argument).
+    pub needs_device_mmap: bool,
+}
+
+impl ArchModel {
+    /// Kernel-level networking (TCP/UDP-like): traps on both sides, a copy
+    /// on each side, an interrupt plus context switch on receive.
+    pub fn kernel_level(os: &OsCostModel) -> ArchModel {
+        ArchModel {
+            name: "kernel-level (TCP-like)",
+            send_traps: 1,
+            recv_traps: 1,
+            recv_interrupts: 1,
+            nic_access: NicAccess::Kernel,
+            // trap + socket/protocol processing (checksums, headers).
+            host_send_fixed: os.trap_roundtrip() + SimDuration::from_us_f64(14.0),
+            send_copies: 1,
+            recv_copies: 1,
+            copy_bytes_per_sec: os.copy_bytes_per_sec,
+            nic_send_fixed: SimDuration::from_us_f64(4.0),
+            nic_per_frag: SimDuration::from_us_f64(3.0),
+            nic_recv_frag: SimDuration::from_us_f64(2.5),
+            // interrupt + handler + context switch to the blocked reader +
+            // recv syscall return.
+            recv_fixed: os.interrupt_entry
+                + os.interrupt_service
+                + os.context_switch
+                + os.trap_roundtrip(),
+            reliable: true,
+            nic_tlb: None,
+            needs_device_mmap: false,
+        }
+    }
+
+    /// Generic user-level messaging (the paper's comparison point): BCL
+    /// minus the kernel — same library, PIO and NIC firmware costs, no trap,
+    /// translations cached on the NIC.
+    pub fn user_level() -> ArchModel {
+        ArchModel {
+            name: "user-level (generic)",
+            send_traps: 0,
+            recv_traps: 0,
+            recv_interrupts: 0,
+            nic_access: NicAccess::User,
+            // lib compose 0.47 + descriptor PIO 2.40 (same 10 words, written
+            // from user space through the mapped doorbell page).
+            host_send_fixed: SimDuration::from_us_f64(0.47 + 2.40),
+            send_copies: 0,
+            recv_copies: 0,
+            copy_bytes_per_sec: 350_000_000,
+            // Same firmware work as BCL plus the NIC-side TLB lookup the
+            // kernel no longer does for it.
+            nic_send_fixed: SimDuration::from_us_f64(6.60),
+            nic_per_frag: SimDuration::from_us_f64(1.60),
+            nic_recv_frag: SimDuration::from_us_f64(1.45),
+            recv_fixed: SimDuration::from_us_f64(1.01),
+            reliable: true,
+            nic_tlb: Some(NicTlbModel {
+                entries: 256,
+                miss_cost: SimDuration::from_us_f64(16.0),
+            }),
+            needs_device_mmap: true,
+        }
+    }
+
+    /// GM (Myricom's message system). Paper Table 2: 11–21 µs latency on a
+    /// wide variety of hosts, > 140 MB/s, no SMP support, reliable.
+    pub fn gm() -> ArchModel {
+        ArchModel {
+            name: "GM",
+            host_send_fixed: SimDuration::from_us_f64(2.2),
+            nic_send_fixed: SimDuration::from_us_f64(7.6),
+            nic_per_frag: SimDuration::from_us_f64(1.35),
+            nic_recv_frag: SimDuration::from_us_f64(1.6),
+            recv_fixed: SimDuration::from_us_f64(1.3),
+            ..Self::user_level()
+        }
+        .named("GM")
+    }
+
+    /// AM-II (Active Messages II): RPC-style handlers with an extra
+    /// receive-side copy out of a bounce buffer — which is why the paper
+    /// declines to compare its bandwidth ("AM-II needs an extra memory copy
+    /// when transfer a message while BCL doesn't").
+    pub fn am2() -> ArchModel {
+        ArchModel {
+            name: "AM-II",
+            host_send_fixed: SimDuration::from_us_f64(3.0),
+            nic_send_fixed: SimDuration::from_us_f64(8.5),
+            nic_per_frag: SimDuration::from_us_f64(2.2),
+            nic_recv_frag: SimDuration::from_us_f64(1.9),
+            recv_fixed: SimDuration::from_us_f64(2.4),
+            recv_copies: 1,
+            // Bounce-buffer drain rate: handler dispatch + copy. This is
+            // what holds AM-style bulk bandwidth far below the wire.
+            copy_bytes_per_sec: 95_000_000,
+            ..Self::user_level()
+        }
+        .named("AM-II")
+    }
+
+    /// BIP (Basic Interface for Parallelism): "a very low latency. But it
+    /// doesn't provide the functionality of flow control and error
+    /// correction. Its bandwidth is lower than that of BCL."
+    pub fn bip() -> ArchModel {
+        ArchModel {
+            name: "BIP",
+            host_send_fixed: SimDuration::from_us_f64(1.4),
+            nic_send_fixed: SimDuration::from_us_f64(2.6), // no reliability setup
+            nic_per_frag: SimDuration::from_us_f64(4.4),   // but worse pipelining
+            nic_recv_frag: SimDuration::from_us_f64(1.2),
+            recv_fixed: SimDuration::from_us_f64(0.9),
+            reliable: false,
+            ..Self::user_level()
+        }
+        .named("BIP")
+    }
+
+    fn named(mut self, name: &'static str) -> Self {
+        self.name = name;
+        self
+    }
+
+    /// Host-side copy time for `len` bytes, times `copies`.
+    pub fn copy_time(&self, len: u64, copies: u32) -> SimDuration {
+        if len == 0 || copies == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::for_bytes(len, self.copy_bytes_per_sec) * u64::from(copies)
+    }
+}
+
+/// A row of the paper's Table 1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table1Row {
+    /// Architecture name.
+    pub architecture: String,
+    /// Traps on the full one-way critical path.
+    pub os_traps: u32,
+    /// Interrupts on the full one-way critical path.
+    pub interrupts: u32,
+    /// Where the NIC is accessed from.
+    pub nic_access: &'static str,
+}
+
+/// Produce Table 1 rows: kernel-level, user-level, and semi-user-level
+/// (BCL — 1 trap on send, none on receive, kernel-only NIC access).
+pub fn table1(os: &OsCostModel) -> Vec<Table1Row> {
+    let k = ArchModel::kernel_level(os);
+    let u = ArchModel::user_level();
+    vec![
+        Table1Row {
+            architecture: k.name.to_string(),
+            os_traps: k.send_traps + k.recv_traps,
+            interrupts: k.recv_interrupts,
+            nic_access: "kernel",
+        },
+        Table1Row {
+            architecture: u.name.to_string(),
+            os_traps: 0,
+            interrupts: 0,
+            nic_access: "user",
+        },
+        Table1Row {
+            architecture: "semi-user-level (BCL)".to_string(),
+            os_traps: 1,
+            interrupts: 0,
+            nic_access: "kernel",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_structure() {
+        let rows = table1(&OsCostModel::aix_power3());
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].os_traps, 2);
+        assert_eq!(rows[0].interrupts, 1);
+        assert_eq!(rows[1].os_traps, 0);
+        assert_eq!(rows[2].os_traps, 1);
+        assert_eq!(rows[2].interrupts, 0);
+        assert_eq!(rows[2].nic_access, "kernel");
+    }
+
+    #[test]
+    fn user_level_needs_mmap_kernel_level_does_not() {
+        assert!(ArchModel::user_level().needs_device_mmap);
+        assert!(ArchModel::gm().needs_device_mmap);
+        assert!(!ArchModel::kernel_level(&OsCostModel::aix_power3()).needs_device_mmap);
+    }
+
+    #[test]
+    fn bip_is_unreliable_and_cheap() {
+        let b = ArchModel::bip();
+        assert!(!b.reliable);
+        assert!(b.nic_send_fixed < ArchModel::user_level().nic_send_fixed);
+    }
+
+    #[test]
+    fn copy_time_scales() {
+        let k = ArchModel::kernel_level(&OsCostModel::aix_power3());
+        assert_eq!(k.copy_time(0, 1), SimDuration::ZERO);
+        assert_eq!(k.copy_time(1000, 0), SimDuration::ZERO);
+        assert_eq!(k.copy_time(1000, 2), k.copy_time(1000, 1) * 2);
+    }
+}

@@ -1,0 +1,201 @@
+//! Micro-benchmarks for the comparator protocols (feeds Table 2).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use suca_myrinet::{Myrinet, MyrinetConfig};
+use suca_os::OsPersonality;
+use suca_sim::{RunOutcome, Sim};
+
+use crate::arch::ArchModel;
+use crate::engine::BaselineNet;
+
+/// Mean one-way latency (µs) of `arch` for `size`-byte messages between two
+/// nodes of a standard DAWNING Myrinet.
+pub fn arch_one_way_us(arch: ArchModel, size: usize, warmup: u32, iters: u32) -> f64 {
+    let sim = Sim::new(0xBA5E);
+    let fabric = Myrinet::build(&sim, 2, MyrinetConfig::dawning3000());
+    // Run comparators on a mmap-capable OS so user-level protocols exist.
+    let net = BaselineNet::build(&sim, fabric, arch, OsPersonality::LINUX).expect("buildable");
+    let a = net.endpoint(0);
+    let b = net.endpoint(1);
+    let total = warmup + iters;
+    let send_t = Arc::new(Mutex::new(Vec::new()));
+    let recv_t = Arc::new(Mutex::new(Vec::new()));
+
+    let st = send_t.clone();
+    sim.spawn("tx", move |ctx| {
+        let payload = vec![0xEEu8; size];
+        for _ in 0..total {
+            st.lock().push(ctx.now().as_us());
+            a.send(ctx, 1, &payload, 1);
+            let _ = a.recv(ctx); // pacing reply
+        }
+    });
+    let rt = recv_t.clone();
+    sim.spawn("rx", move |ctx| {
+        for _ in 0..total {
+            let (_, data) = b.recv(ctx);
+            rt.lock().push(ctx.now().as_us());
+            assert_eq!(data.len(), size);
+            b.send(ctx, 0, b"", 2);
+        }
+    });
+    assert_eq!(sim.run(), RunOutcome::Completed);
+    let st = send_t.lock();
+    let rt = recv_t.lock();
+    let mut sum = 0.0;
+    for i in warmup as usize..total as usize {
+        sum += rt[i] - st[i];
+    }
+    sum / iters as f64
+}
+
+/// Sustained bandwidth (MB/s) of `arch` streaming `count` messages of
+/// `size` bytes.
+pub fn arch_bandwidth_mbps(arch: ArchModel, size: usize, count: u32) -> f64 {
+    let sim = Sim::new(0xBA5E);
+    let fabric = Myrinet::build(&sim, 2, MyrinetConfig::dawning3000());
+    let net = BaselineNet::build(&sim, fabric, arch, OsPersonality::LINUX).expect("buildable");
+    let a = net.endpoint(0);
+    let b = net.endpoint(1);
+    let t0 = Arc::new(Mutex::new(0.0));
+    let t1 = Arc::new(Mutex::new(0.0));
+
+    let t0c = t0.clone();
+    sim.spawn("tx", move |ctx| {
+        let payload = vec![0xEEu8; size];
+        *t0c.lock() = ctx.now().as_us();
+        for _ in 0..count {
+            a.send(ctx, 1, &payload, 1);
+        }
+    });
+    let t1c = t1.clone();
+    sim.spawn("rx", move |ctx| {
+        for _ in 0..count {
+            let _ = b.recv(ctx);
+        }
+        *t1c.lock() = ctx.now().as_us();
+    });
+    assert_eq!(sim.run(), RunOutcome::Completed);
+    let (start, end) = (*t0.lock(), *t1.lock());
+    (size as f64 * count as f64) / (end - start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suca_os::OsCostModel;
+
+    #[test]
+    fn user_level_latency_is_bcl_minus_the_kernel() {
+        // Paper: semi-user-level adds ~4.17 us (≈22 %) to the user-level
+        // one-way latency. BCL measures 18.3; user-level must come out
+        // close to 18.3 - 4.17 = 14.1.
+        let lat = arch_one_way_us(ArchModel::user_level(), 0, 2, 8);
+        assert!(
+            (lat - 14.1).abs() < 0.8,
+            "user-level 0-len one-way {lat} us; expected ~14.1"
+        );
+    }
+
+    #[test]
+    fn kernel_level_is_much_slower() {
+        let lat = arch_one_way_us(ArchModel::kernel_level(&OsCostModel::aix_power3()), 0, 2, 8);
+        assert!(
+            lat > 40.0,
+            "kernel-level 0-len one-way {lat} us; should be tens of us"
+        );
+    }
+
+    #[test]
+    fn bip_has_lowest_latency_but_lower_bandwidth_than_user_level() {
+        let bip_lat = arch_one_way_us(ArchModel::bip(), 0, 2, 8);
+        let ul_lat = arch_one_way_us(ArchModel::user_level(), 0, 2, 8);
+        assert!(bip_lat < ul_lat, "BIP {bip_lat} !< user-level {ul_lat}");
+        let bip_bw = arch_bandwidth_mbps(ArchModel::bip(), 128 * 1024, 12);
+        let ul_bw = arch_bandwidth_mbps(ArchModel::user_level(), 128 * 1024, 12);
+        assert!(bip_bw < ul_bw, "BIP bw {bip_bw} !< user-level bw {ul_bw}");
+    }
+
+    #[test]
+    fn am2_extra_copy_hurts_bandwidth() {
+        let am2 = arch_bandwidth_mbps(ArchModel::am2(), 128 * 1024, 12);
+        let gm = arch_bandwidth_mbps(ArchModel::gm(), 128 * 1024, 12);
+        assert!(am2 < gm * 0.8, "AM-II {am2} not clearly below GM {gm}");
+    }
+
+    #[test]
+    fn gm_matches_its_published_range() {
+        let lat = arch_one_way_us(ArchModel::gm(), 0, 2, 8);
+        assert!(
+            (11.0..=21.0).contains(&lat),
+            "GM latency {lat} outside the paper's 11–21 us"
+        );
+        let bw = arch_bandwidth_mbps(ArchModel::gm(), 128 * 1024, 12);
+        assert!(bw > 140.0, "GM bandwidth {bw} not over 140 MB/s");
+    }
+
+    #[test]
+    fn user_level_cannot_exist_on_aix() {
+        let sim = Sim::new(1);
+        let fabric = Myrinet::build(&sim, 2, MyrinetConfig::dawning3000());
+        let err = match BaselineNet::build(&sim, fabric, ArchModel::user_level(), OsPersonality::AIX)
+        {
+            Err(e) => e,
+            Ok(_) => panic!("user-level protocol must be unbuildable on AIX"),
+        };
+        assert_eq!(err.os, "AIX");
+        // The kernel-level protocol is fine on AIX.
+        let sim2 = Sim::new(1);
+        let fabric2 = Myrinet::build(&sim2, 2, MyrinetConfig::dawning3000());
+        assert!(BaselineNet::build(
+            &sim2,
+            fabric2,
+            ArchModel::kernel_level(&OsCostModel::aix_power3()),
+            OsPersonality::AIX
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn reliable_archs_survive_faults_bip_loses_data() {
+        let run = |arch: ArchModel| -> u32 {
+            let sim = Sim::new(7);
+            let mut cfg = MyrinetConfig::dawning3000();
+            cfg.fault = suca_myrinet::FaultPlan {
+                drop_prob: 0.05,
+                corrupt_prob: 0.05,
+            };
+            let fabric = Myrinet::build(&sim, 2, cfg);
+            let net = BaselineNet::build(&sim, fabric, arch, OsPersonality::LINUX).unwrap();
+            let a = net.endpoint(0);
+            let b = net.endpoint(1);
+            sim.spawn("tx", move |ctx| {
+                for i in 0..30u32 {
+                    a.send(ctx, 1, &i.to_le_bytes(), 1);
+                }
+            });
+            let got = Arc::new(Mutex::new(0u32));
+            let g2 = got.clone();
+            sim.spawn("rx", move |ctx| {
+                // Poll for a bounded interval, then report what arrived.
+                for _ in 0..30 {
+                    ctx.sleep(suca_sim::SimDuration::from_ms(1));
+                    while b.try_recv(ctx).is_some() {
+                        *g2.lock() += 1;
+                    }
+                }
+            });
+            sim.run_until(suca_sim::SimTime::from_ns(60_000_000));
+            let n = *got.lock();
+            n
+        };
+        assert_eq!(run(ArchModel::user_level()), 30, "reliable arch lost data");
+        assert!(
+            run(ArchModel::bip()) < 30,
+            "BIP should lose messages under faults (no error correction)"
+        );
+    }
+}

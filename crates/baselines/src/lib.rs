@@ -1,0 +1,18 @@
+//! # suca-baselines — comparator communication architectures
+//!
+//! Kernel-level (TCP-like), user-level (generic / GM / AM-II / BIP) protocol
+//! models running over the same simulated Myrinet as BCL, so Table 1
+//! (architecture structure) and Table 2 (protocol performance) compare
+//! exactly the deltas the paper argues about. Includes the user-level NIC
+//! address-translation cache whose thrashing under large working sets is
+//! the paper's scalability argument.
+
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod engine;
+pub mod harness;
+
+pub use arch::{table1, ArchModel, NicAccess, NicTlbModel, Table1Row};
+pub use engine::{BaselineNet, Endpoint, MmapUnsupported};
+pub use harness::{arch_bandwidth_mbps, arch_one_way_us};

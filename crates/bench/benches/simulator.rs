@@ -1,0 +1,92 @@
+//! Criterion benchmarks of the simulator itself: these measure real
+//! wall-clock cost of running the reproduction (events/second, full
+//! protocol exchanges), not simulated time — useful for keeping the
+//! simulator fast enough that the paper sweeps stay interactive.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use suca_cluster::{measure_one_way, ClusterSpec};
+use suca_sim::{Sim, SimDuration};
+
+fn bench_engine_events(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("dispatch_10k_events", |b| {
+        b.iter_batched(
+            || {
+                let sim = Sim::new(1);
+                for i in 0..10_000u64 {
+                    sim.schedule_in(SimDuration::from_ns(i), |_| {});
+                }
+                sim
+            },
+            |sim| sim.run(),
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("actor_pingpong_1k_switches", |b| {
+        b.iter_batched(
+            || {
+                let sim = Sim::new(1);
+                for who in 0..2 {
+                    sim.spawn(format!("a{who}"), |ctx| {
+                        for _ in 0..500 {
+                            ctx.sleep(SimDuration::from_ns(10));
+                        }
+                    });
+                }
+                sim
+            },
+            |sim| sim.run(),
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_bcl_exchange(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bcl");
+    g.sample_size(10);
+    g.bench_function("one_way_0B_full_stack", |b| {
+        b.iter(|| measure_one_way(ClusterSpec::dawning3000(2), 0, 1, 0, 0, 1));
+    });
+    g.bench_function("one_way_64KB_full_stack", |b| {
+        b.iter(|| measure_one_way(ClusterSpec::dawning3000(2), 0, 1, 65536, 0, 1));
+    });
+    g.bench_function("build_70_node_cluster", |b| {
+        b.iter(|| ClusterSpec::dawning3000(70).build());
+    });
+    g.finish();
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    use bytes::Bytes;
+    use suca_bcl::wire::{WireHeader, WireKind};
+    use suca_bcl::{ChannelId, PortId};
+
+    let header = WireHeader {
+        kind: WireKind::Data,
+        channel: ChannelId::normal(3),
+        src_port: PortId(1),
+        dst_port: PortId(2),
+        msg_id: 77,
+        seq: 12,
+        offset: 4096,
+        total_len: 65536,
+        frag_len: 4064,
+    };
+    let payload = vec![0xABu8; 4064];
+    let encoded: Bytes = header.encode(&payload);
+    let mut g = c.benchmark_group("wire");
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("encode_4k_fragment", |b| {
+        b.iter(|| header.encode(&payload));
+    });
+    g.bench_function("decode_4k_fragment", |b| {
+        b.iter(|| WireHeader::decode(&encoded).expect("valid"));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_events, bench_bcl_exchange, bench_wire_codec);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 8 — inter-node one-way latency vs message size.
+//!
+//! The paper plots BCL point-to-point latency on DAWNING-3000; its minimum
+//! (0-length) is 18.3 µs. We print the same series; the shape — flat floor
+//! for small (system-channel) messages, then linear growth at the wire rate
+//! for large (normal-channel) messages — is what the figure shows.
+
+use suca_cluster::{measure_one_way, ClusterSpec};
+
+fn main() {
+    println!("-- Fig. 8: inter-node one-way latency vs message size (BCL)\n");
+    println!("{:>10}  {:>12}", "bytes", "latency (us)");
+    let sizes = [
+        0u64, 4, 16, 64, 256, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072,
+    ];
+    let mut zero = 0.0;
+    for &s in &sizes {
+        let r = measure_one_way(ClusterSpec::dawning3000(2), 0, 1, s, 2, 6);
+        if s == 0 {
+            zero = r.one_way_us;
+        }
+        println!("{s:>10}  {:>12.2}", r.one_way_us);
+    }
+    println!("\npaper anchor: minimal latency 18.3 us between nodes; measured {zero:.2} us");
+}

@@ -1,0 +1,33 @@
+//! §5 scalar overhead claims, each measured directly.
+
+use suca_bench::measure::measured_host_overheads;
+use suca_bench::report::{render, Row};
+use suca_cluster::{measure_bandwidth, measure_one_way, ClusterSpec};
+
+fn main() {
+    let (send_oh, send_done, recv_poll) = measured_host_overheads();
+    let cfg = suca_bcl::BclConfig::dawning3000();
+    let bcl = measure_one_way(ClusterSpec::dawning3000(2), 0, 1, 0, 3, 10).one_way_us;
+    let ul = suca_baselines::arch_one_way_us(suca_baselines::ArchModel::user_level(), 0, 3, 10);
+    let bw =
+        measure_bandwidth(ClusterSpec::dawning3000(2), 0, 1, 128 * 1024, 24, 8).mb_per_sec;
+    let t128k = 131072.0 / bw;
+
+    let rows = vec![
+        Row::new("send overhead (0B, host CPU)", 7.04, send_oh, "us"),
+        Row::new("send completion poll", 0.82, send_done, "us"),
+        Row::new("receive overhead (poll, no trap)", 1.01, recv_poll, "us"),
+        Row::new("PIO write one word", 0.24, cfg.pci.pio_write(1).as_us(), "us"),
+        Row::new("PIO read one word", 0.98, cfg.pci.pio_read(1).as_us(), "us"),
+        Row::new("semi-user extra vs user-level", 4.17, bcl - ul, "us"),
+        Row::new("  as % of one-way latency", 22.0, (bcl - ul) / bcl * 100.0, "%"),
+        Row::new("one-way latency inter-node (0B)", 18.3, bcl, "us"),
+        Row::new(
+            "extra at 128KB as % of transfer",
+            0.4,
+            cfg.kernel_extra().as_us() / t128k * 100.0,
+            "%",
+        ),
+    ];
+    print!("{}", render("§5 scalar overheads", &rows));
+}

@@ -1,0 +1,32 @@
+//! Run every table/figure harness and print the full reproduction report.
+//! `cargo run -p suca-bench --release --bin repro_all`
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1_architectures",
+        "fig5_tx_timeline",
+        "fig6_rx_timeline",
+        "fig7_oneway_timeline",
+        "fig8_latency",
+        "fig9_bandwidth",
+        "table2_protocols",
+        "table3_mpi_pvm",
+        "overheads",
+        "ablations",
+        "congestion",
+    ];
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir");
+    for bin in bins {
+        println!("\n================================================================");
+        println!("### {bin}");
+        println!("================================================================");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+    println!("\nAll paper tables and figures reproduced. See EXPERIMENTS.md for the recorded comparison.");
+}

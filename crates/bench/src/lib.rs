@@ -1,0 +1,12 @@
+//! # suca-bench — paper-reproduction harnesses
+//!
+//! Measurement functions plus one binary per table/figure of the paper
+//! (see `src/bin/`). Criterion benches on the simulator itself live in
+//! `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod measure;
+pub mod report;
+
+pub use measure::{layer_bandwidth_mbps, layer_one_way_us, Layer};

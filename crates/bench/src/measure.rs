@@ -1,0 +1,234 @@
+//! Measurement functions for the MPI and PVM layers (Table 3) and shared
+//! sweep utilities. BCL-level and baseline-protocol measurements live in
+//! `suca-cluster::harness` and `suca-baselines::harness` respectively.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use suca_cluster::ClusterSpec;
+use suca_eadi::Universe;
+use suca_mpi::{Comm, MpiConfig};
+use suca_pvm::{PvmConfig, PvmTask};
+use suca_sim::RunOutcome;
+
+/// Which upper layer to measure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Layer {
+    /// MPI over BCL.
+    Mpi,
+    /// PVM over BCL.
+    Pvm,
+}
+
+/// Mean one-way latency (µs) at the given layer. `intra` puts both ranks on
+/// node 0; otherwise they sit on nodes 0 and 1.
+pub fn layer_one_way_us(layer: Layer, intra: bool, size: usize, warmup: u32, iters: u32) -> f64 {
+    let spec = ClusterSpec::dawning3000(2);
+    let cluster = spec.build();
+    let sim = cluster.sim.clone();
+    let uni = Universe::new(&sim, 2);
+    let total = warmup + iters;
+    let send_t: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
+    let recv_t: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
+    let dst_node = if intra { 0 } else { 1 };
+
+    for rank in 0..2u32 {
+        let uni = uni.clone();
+        let send_t = send_t.clone();
+        let recv_t = recv_t.clone();
+        let node = if rank == 0 { 0 } else { dst_node };
+        cluster.spawn_process(node, format!("lat{rank}"), move |ctx, env| match layer {
+            Layer::Mpi => {
+                let comm = Comm::init(ctx, &env.node.bcl, &env.proc, uni, rank, MpiConfig::dawning3000());
+                let payload = vec![0x44u8; size];
+                if rank == 0 {
+                    for _ in 0..total {
+                        send_t.lock().push(ctx.now().as_us());
+                        comm.send(ctx, 1, 1, &payload);
+                        let _ = comm.recv(ctx, 1, 2); // pacing reply
+                    }
+                } else {
+                    for _ in 0..total {
+                        let m = comm.recv(ctx, 0, 1);
+                        recv_t.lock().push(ctx.now().as_us());
+                        assert_eq!(m.data.len(), size);
+                        comm.send(ctx, 0, 2, b"");
+                    }
+                }
+            }
+            Layer::Pvm => {
+                let task =
+                    PvmTask::enroll(ctx, &env.node.bcl, &env.proc, uni, rank, PvmConfig::dawning3000());
+                let payload = vec![0x44u8; size];
+                if rank == 0 {
+                    for _ in 0..total {
+                        send_t.lock().push(ctx.now().as_us());
+                        task.initsend().pack_bytes(&payload);
+                        task.send(ctx, 1, 1);
+                        let _ = task.recv(ctx, 1, 2);
+                    }
+                } else {
+                    for _ in 0..total {
+                        let mut m = task.recv(ctx, 0, 1);
+                        recv_t.lock().push(ctx.now().as_us());
+                        assert_eq!(m.buf.unpack_bytes().unwrap().len(), size);
+                        task.initsend().pack_bytes(b"");
+                        task.send(ctx, 0, 2);
+                    }
+                }
+            }
+        });
+    }
+    assert_eq!(sim.run(), RunOutcome::Completed, "latency job hung");
+    let st = send_t.lock();
+    let rt = recv_t.lock();
+    assert_eq!(st.len() as u32, total);
+    assert_eq!(rt.len() as u32, total);
+    (warmup as usize..total as usize)
+        .map(|i| rt[i] - st[i])
+        .sum::<f64>()
+        / iters as f64
+}
+
+/// Sustained bandwidth (MB/s) at the given layer streaming `count` messages
+/// of `size` bytes.
+pub fn layer_bandwidth_mbps(layer: Layer, intra: bool, size: usize, count: u32) -> f64 {
+    let spec = ClusterSpec::dawning3000(2);
+    let cluster = spec.build();
+    let sim = cluster.sim.clone();
+    let uni = Universe::new(&sim, 2);
+    let t0 = Arc::new(Mutex::new(0.0f64));
+    let t1 = Arc::new(Mutex::new(0.0f64));
+    let dst_node = if intra { 0 } else { 1 };
+
+    for rank in 0..2u32 {
+        let uni = uni.clone();
+        let t0 = t0.clone();
+        let t1 = t1.clone();
+        let node = if rank == 0 { 0 } else { dst_node };
+        cluster.spawn_process(node, format!("bw{rank}"), move |ctx, env| match layer {
+            Layer::Mpi => {
+                let comm = Comm::init(ctx, &env.node.bcl, &env.proc, uni, rank, MpiConfig::dawning3000());
+                let payload = vec![0x55u8; size];
+                if rank == 0 {
+                    // Warmup message starts the clock at its completion.
+                    comm.send(ctx, 1, 1, &payload);
+                    *t0.lock() = ctx.now().as_us();
+                    for _ in 1..count {
+                        comm.send(ctx, 1, 1, &payload);
+                    }
+                } else {
+                    let _ = comm.recv(ctx, 0, 1);
+                    for _ in 1..count {
+                        let _ = comm.recv(ctx, 0, 1);
+                    }
+                    *t1.lock() = ctx.now().as_us();
+                }
+            }
+            Layer::Pvm => {
+                let task =
+                    PvmTask::enroll(ctx, &env.node.bcl, &env.proc, uni, rank, PvmConfig::dawning3000());
+                let payload = vec![0x55u8; size];
+                if rank == 0 {
+                    task.initsend().pack_bytes(&payload);
+                    task.send(ctx, 1, 1);
+                    *t0.lock() = ctx.now().as_us();
+                    for _ in 1..count {
+                        task.initsend().pack_bytes(&payload);
+                        task.send(ctx, 1, 1);
+                    }
+                } else {
+                    for _ in 0..count {
+                        let _ = task.recv(ctx, 0, 1);
+                    }
+                    *t1.lock() = ctx.now().as_us();
+                }
+            }
+        });
+    }
+    assert_eq!(sim.run(), RunOutcome::Completed, "bandwidth job hung");
+    let (start, end) = (*t0.lock(), *t1.lock());
+    assert!(end > start);
+    (size as f64 * (count - 1) as f64) / (end - start)
+}
+
+/// Run one traced 0-length BCL message between nodes 0 → 1 and return the
+/// recorded stage spans (setup traffic excluded). Powers Figs. 5–7.
+pub fn traced_zero_len_spans() -> Vec<suca_sim::Span> {
+    use suca_bcl::ChannelId;
+    use suca_cluster::SimBarrier;
+
+    let cluster = ClusterSpec::dawning3000(2).build();
+    let sim = cluster.sim.clone();
+    let barrier = SimBarrier::new(&sim, 2);
+    let addr_b: Arc<Mutex<Option<suca_bcl::ProcAddr>>> = Arc::new(Mutex::new(None));
+
+    let b2 = barrier.clone();
+    let ab = addr_b.clone();
+    cluster.spawn_process(1, "rx", move |ctx, env| {
+        let port = env.open_port(ctx);
+        *ab.lock() = Some(port.addr());
+        b2.wait(ctx);
+        let _ = port.wait_recv(ctx);
+        ctx.sim().set_tracing(false);
+    });
+    let b3 = barrier.clone();
+    cluster.spawn_process(0, "tx", move |ctx, env| {
+        let port = env.open_port(ctx);
+        b3.wait(ctx);
+        // Only trace the message itself, not port setup.
+        ctx.sim().set_tracing(true);
+        let dst = addr_b.lock().expect("rx ready");
+        let buf = port.alloc_buffer(1).expect("buf");
+        port.send(ctx, dst, ChannelId::SYSTEM, buf, 0).expect("send");
+    });
+    assert_eq!(sim.run(), RunOutcome::Completed);
+    sim.take_spans()
+}
+
+/// Host-side scalar overheads measured directly (the §5 numbers):
+/// `(send_overhead_us, send_complete_us, recv_poll_us)`.
+pub fn measured_host_overheads() -> (f64, f64, f64) {
+    use suca_bcl::ChannelId;
+    use suca_cluster::SimBarrier;
+
+    let cluster = ClusterSpec::dawning3000(2).build();
+    let sim = cluster.sim.clone();
+    let barrier = SimBarrier::new(&sim, 2);
+    let addr_b: Arc<Mutex<Option<suca_bcl::ProcAddr>>> = Arc::new(Mutex::new(None));
+    let out = Arc::new(Mutex::new((0.0f64, 0.0f64, 0.0f64)));
+
+    let b2 = barrier.clone();
+    let ab = addr_b.clone();
+    let out_rx = out.clone();
+    cluster.spawn_process(1, "rx", move |ctx, env| {
+        let port = env.open_port(ctx);
+        *ab.lock() = Some(port.addr());
+        b2.wait(ctx);
+        // Let the event arrive, then measure pure poll cost.
+        ctx.sleep(suca_sim::SimDuration::from_us(100));
+        let t0 = ctx.now().as_us();
+        let _ = port.poll_recv(ctx).expect("event queued");
+        out_rx.lock().2 = ctx.now().as_us() - t0;
+    });
+    let b3 = barrier.clone();
+    let out_tx = out.clone();
+    cluster.spawn_process(0, "tx", move |ctx, env| {
+        let port = env.open_port(ctx);
+        b3.wait(ctx);
+        let dst = addr_b.lock().expect("rx ready");
+        let buf = port.alloc_buffer(1).expect("buf");
+        let t0 = ctx.now().as_us();
+        port.send(ctx, dst, ChannelId::SYSTEM, buf, 0).expect("send");
+        out_tx.lock().0 = ctx.now().as_us() - t0;
+        // Wait for the completion event to be present, then time the poll.
+        ctx.sleep(suca_sim::SimDuration::from_us(100));
+        let t1 = ctx.now().as_us();
+        let _ = port.poll_send(ctx).expect("send event queued");
+        out_tx.lock().1 = ctx.now().as_us() - t1;
+    });
+    assert_eq!(sim.run(), RunOutcome::Completed);
+    let g = out.lock();
+    (g.0, g.1, g.2)
+}

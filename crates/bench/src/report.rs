@@ -1,0 +1,58 @@
+//! Paper-vs-measured report formatting shared by the harness binaries.
+
+/// One comparison row.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Metric name.
+    pub what: String,
+    /// Value the paper reports (None when the paper gives no number).
+    pub paper: Option<f64>,
+    /// Our measured value.
+    pub measured: f64,
+    /// Unit label.
+    pub unit: &'static str,
+}
+
+impl Row {
+    /// Build a row.
+    pub fn new(what: impl Into<String>, paper: impl Into<Option<f64>>, measured: f64, unit: &'static str) -> Row {
+        Row {
+            what: what.into(),
+            paper: paper.into(),
+            measured,
+            unit,
+        }
+    }
+}
+
+/// Render rows as an aligned table with relative deviation.
+pub fn render(title: &str, rows: &[Row]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title}");
+    let w = rows.iter().map(|r| r.what.len()).max().unwrap_or(10) + 2;
+    let _ = writeln!(
+        out,
+        "{:<w$} {:>10} {:>10} {:>8}  unit",
+        "metric", "paper", "measured", "delta"
+    );
+    for r in rows {
+        match r.paper {
+            Some(p) if p != 0.0 => {
+                let delta = (r.measured - p) / p * 100.0;
+                let _ = writeln!(
+                    out,
+                    "{:<w$} {:>10.2} {:>10.2} {:>+7.1}%  {}",
+                    r.what, p, r.measured, delta, r.unit
+                );
+            }
+            Some(p) => {
+                let _ = writeln!(out, "{:<w$} {:>10.2} {:>10.2} {:>8}  {}", r.what, p, r.measured, "-", r.unit);
+            }
+            None => {
+                let _ = writeln!(out, "{:<w$} {:>10} {:>10.2} {:>8}  {}", r.what, "-", r.measured, "-", r.unit);
+            }
+        }
+    }
+    out
+}

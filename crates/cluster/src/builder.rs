@@ -1,0 +1,179 @@
+//! Cluster construction.
+
+use std::sync::Arc;
+
+use suca_bcl::BclConfig;
+use suca_mesh::{Mesh, MeshConfig};
+use suca_myrinet::{Fabric, Myrinet, MyrinetConfig};
+use suca_os::{NodeId, OsCostModel, OsPersonality};
+use suca_sim::{ActorCtx, ActorId, Sim};
+
+use crate::node::{ClusterNode, ProcessEnv};
+
+/// Which system-area network to build.
+#[derive(Clone, Debug)]
+pub enum SanKind {
+    /// Myrinet (the default on DAWNING-3000).
+    Myrinet(MyrinetConfig),
+    /// The custom nwrc 2-D mesh.
+    Mesh(MeshConfig),
+}
+
+/// Everything needed to stand up a cluster.
+///
+/// ```
+/// use suca_cluster::ClusterSpec;
+/// use suca_sim::RunOutcome;
+///
+/// let cluster = ClusterSpec::dawning3000(2).build();
+/// cluster.spawn_process(0, "hello", |ctx, env| {
+///     let port = env.open_port(ctx); // one kernel trap
+///     assert_eq!(port.addr().node.0, 0);
+/// });
+/// assert_eq!(cluster.sim.run(), RunOutcome::Completed);
+/// ```
+#[derive(Clone)]
+pub struct ClusterSpec {
+    /// Number of nodes.
+    pub nodes: u32,
+    /// Network choice.
+    pub san: SanKind,
+    /// Host OS flavor.
+    pub personality: OsPersonality,
+    /// Kernel cost model.
+    pub os_costs: OsCostModel,
+    /// BCL configuration.
+    pub bcl: BclConfig,
+    /// Physical memory per node.
+    pub mem_bytes: u64,
+    /// CPUs per node.
+    pub cpus: u32,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl ClusterSpec {
+    /// The DAWNING-3000 configuration: AIX on 4-way Power3 SMPs over
+    /// Myrinet, with the paper-calibrated cost models.
+    pub fn dawning3000(nodes: u32) -> ClusterSpec {
+        ClusterSpec {
+            nodes,
+            san: SanKind::Myrinet(MyrinetConfig::dawning3000()),
+            personality: OsPersonality::AIX,
+            os_costs: OsCostModel::aix_power3(),
+            bcl: BclConfig::dawning3000(),
+            mem_bytes: 64 << 20, // plenty for the experiments; real nodes had GBs
+            cpus: 4,
+            seed: 0xDA3000,
+        }
+    }
+
+    /// Same machine, nwrc 2-D mesh SAN.
+    pub fn dawning3000_mesh(nodes: u32) -> ClusterSpec {
+        ClusterSpec {
+            san: SanKind::Mesh(MeshConfig::dawning3000()),
+            ..Self::dawning3000(nodes)
+        }
+    }
+
+    /// Override the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the SAN.
+    pub fn with_san(mut self, san: SanKind) -> Self {
+        self.san = san;
+        self
+    }
+
+    /// Override the BCL config (for ablations).
+    pub fn with_bcl(mut self, bcl: BclConfig) -> Self {
+        self.bcl = bcl;
+        self
+    }
+
+    /// Build the cluster.
+    pub fn build(self) -> Cluster {
+        let sim = Sim::new(self.seed);
+        let fabric: Arc<dyn Fabric> = match &self.san {
+            SanKind::Myrinet(cfg) => Myrinet::build(&sim, self.nodes, cfg.clone()),
+            SanKind::Mesh(cfg) => Mesh::build_square(&sim, self.nodes, cfg.clone()),
+        };
+        let nodes = (0..self.nodes)
+            .map(|i| {
+                ClusterNode::new(
+                    &sim,
+                    NodeId(i),
+                    fabric.clone(),
+                    self.nodes,
+                    self.mem_bytes,
+                    self.cpus,
+                    self.personality,
+                    self.os_costs.clone(),
+                    self.bcl.clone(),
+                )
+            })
+            .collect();
+        Cluster { sim, nodes, fabric }
+    }
+}
+
+/// A running cluster.
+pub struct Cluster {
+    /// The simulation.
+    pub sim: Sim,
+    /// All nodes, indexed by node id.
+    pub nodes: Vec<Arc<ClusterNode>>,
+    /// The SAN.
+    pub fabric: Arc<dyn Fabric>,
+}
+
+impl Cluster {
+    /// Spawn an application process on `node` as a simulation actor. The
+    /// body receives the actor context and a [`ProcessEnv`].
+    pub fn spawn_process(
+        &self,
+        node: u32,
+        name: impl Into<String>,
+        body: impl FnOnce(&mut ActorCtx, ProcessEnv) + Send + 'static,
+    ) -> ActorId {
+        let n = self.nodes[node as usize].clone();
+        let proc = n.create_process();
+        self.sim.spawn(name, move |ctx| {
+            body(
+                ctx,
+                ProcessEnv {
+                    node: n,
+                    proc,
+                },
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suca_sim::RunOutcome;
+
+    #[test]
+    fn builds_both_sans() {
+        for spec in [ClusterSpec::dawning3000(4), ClusterSpec::dawning3000_mesh(4)] {
+            let c = spec.build();
+            assert_eq!(c.nodes.len(), 4);
+            assert_eq!(c.fabric.num_nodes(), 4);
+        }
+    }
+
+    #[test]
+    fn spawned_processes_run() {
+        let c = ClusterSpec::dawning3000(2).build();
+        c.spawn_process(0, "hello", |ctx, env| {
+            assert_eq!(env.node.os.node_id.0, 0);
+            let _port = env.open_port(ctx);
+        });
+        assert_eq!(c.sim.run(), RunOutcome::Completed);
+    }
+}

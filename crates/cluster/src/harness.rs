@@ -1,0 +1,283 @@
+//! Measurement harnesses.
+//!
+//! These functions run the same micro-benchmarks the paper runs on
+//! DAWNING-3000 — one-way latency and bandwidth sweeps, inter- and
+//! intra-node — each on a freshly built, deterministic cluster. Because the
+//! simulation clock is global, one-way latency is measured directly (no
+//! RTT/2 approximation).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use suca_bcl::{BclError, ChannelId};
+use suca_sim::{ActorCtx, RunOutcome, Signal, Sim};
+
+use crate::builder::{Cluster, ClusterSpec};
+
+/// A reusable rendezvous barrier for test/benchmark actors. Crossing it
+/// costs no virtual time; it only sequences setup phases.
+#[derive(Clone)]
+pub struct SimBarrier {
+    n: u32,
+    state: Arc<Mutex<(u32, u64)>>, // (arrived, generation)
+    signal: Signal,
+}
+
+impl SimBarrier {
+    /// Barrier for `n` participants.
+    pub fn new(sim: &Sim, n: u32) -> Self {
+        assert!(n > 0);
+        SimBarrier {
+            n,
+            state: Arc::new(Mutex::new((0, 0))),
+            signal: Signal::new(sim),
+        }
+    }
+
+    /// Block until all `n` participants have arrived.
+    pub fn wait(&self, ctx: &mut ActorCtx) {
+        let gen = {
+            let mut st = self.state.lock();
+            let gen = st.1;
+            st.0 += 1;
+            if st.0 == self.n {
+                st.0 = 0;
+                st.1 += 1;
+                self.signal.notify();
+                return;
+            }
+            gen
+        };
+        let state = self.state.clone();
+        self.signal.wait_until(ctx, || state.lock().1 != gen);
+    }
+}
+
+/// Outcome of a latency measurement.
+#[derive(Clone, Debug)]
+pub struct LatencyResult {
+    /// Message size in bytes.
+    pub size: u64,
+    /// Mean one-way latency over the measured iterations, µs.
+    pub one_way_us: f64,
+}
+
+/// Measure mean one-way latency between two BCL processes.
+///
+/// * `src == dst` measures the intra-node shared-memory path.
+/// * Sizes up to the system-buffer size use the system channel (as the
+///   paper prescribes for small messages); larger sizes use a normal
+///   channel re-posted each iteration.
+pub fn measure_one_way(
+    spec: ClusterSpec,
+    src: u32,
+    dst: u32,
+    size: u64,
+    warmup: u32,
+    iters: u32,
+) -> LatencyResult {
+    let system_max = spec.bcl.system_pool.buffer_bytes;
+    let cluster = spec.build();
+    let sim = cluster.sim.clone();
+    let barrier = SimBarrier::new(&sim, 2);
+    let addr_of_b: Arc<Mutex<Option<suca_bcl::ProcAddr>>> = Arc::new(Mutex::new(None));
+    let send_times = Arc::new(Mutex::new(Vec::new()));
+    let recv_times = Arc::new(Mutex::new(Vec::new()));
+    let total = warmup + iters;
+    let use_system = size <= system_max;
+    let channel = if use_system {
+        ChannelId::SYSTEM
+    } else {
+        ChannelId::normal(0)
+    };
+
+    // Receiver.
+    {
+        let barrier = barrier.clone();
+        let addr_of_b = addr_of_b.clone();
+        let recv_times = recv_times.clone();
+        cluster.spawn_process(dst, "latency-recv", move |ctx, env| {
+            let port = env.open_port(ctx);
+            *addr_of_b.lock() = Some(port.addr());
+            let buf = if use_system {
+                None
+            } else {
+                Some(port.post_recv(ctx, 0, size).expect("post"))
+            };
+            barrier.wait(ctx);
+            for _ in 0..total {
+                let ev = port.wait_recv(ctx);
+                recv_times.lock().push(ctx.now().as_us());
+                let data = port.recv_bytes(ctx, &ev).expect("recv data");
+                assert_eq!(data.len() as u64, size, "payload length corrupted");
+                if let Some(addr) = buf {
+                    port.post_recv_at(ctx, 0, addr, size).expect("re-post");
+                }
+                // Pace the sender.
+                port.send_bytes(ctx, ev.src, ChannelId::SYSTEM, b"")
+                    .expect("reply token");
+            }
+        });
+    }
+
+    // Sender.
+    {
+        let barrier = barrier.clone();
+        let send_times = send_times.clone();
+        cluster.spawn_process(src, "latency-send", move |ctx, env| {
+            let port = env.open_port(ctx);
+            let buf = port.alloc_buffer(size.max(1)).expect("alloc");
+            port.write_buffer(buf, &vec![0xA5u8; size as usize]).expect("fill");
+            barrier.wait(ctx);
+            let dst_addr = addr_of_b.lock().expect("receiver opened first");
+            for _ in 0..total {
+                send_times.lock().push(ctx.now().as_us());
+                port.send(ctx, dst_addr, channel, buf, size).expect("send");
+                // Wait for the pacing reply before the next iteration
+                // (consuming it returns its system-pool buffer).
+                loop {
+                    let ev = port.wait_recv(ctx);
+                    let _ = port.recv_bytes(ctx, &ev).expect("consume reply");
+                    if ev.len == 0 {
+                        break;
+                    }
+                }
+                // Drain send-completion events.
+                while port.poll_send(ctx).is_some() {}
+            }
+        });
+    }
+
+    assert_eq!(sim.run(), RunOutcome::Completed, "latency harness stuck");
+    let st = send_times.lock();
+    let rt = recv_times.lock();
+    assert_eq!(st.len() as u32, total);
+    assert_eq!(rt.len() as u32, total);
+    let mut sum = 0.0;
+    for i in warmup as usize..total as usize {
+        sum += rt[i] - st[i];
+    }
+    LatencyResult {
+        size,
+        one_way_us: sum / iters as f64,
+    }
+}
+
+/// Outcome of a bandwidth measurement.
+#[derive(Clone, Debug)]
+pub struct BandwidthResult {
+    /// Message size in bytes.
+    pub size: u64,
+    /// Sustained bandwidth in MB/s (decimal megabytes, as the paper uses).
+    pub mb_per_sec: f64,
+}
+
+/// Measure sustained bandwidth with a stream of `count` messages of `size`
+/// bytes over normal channels (`window` channels posted round-robin).
+/// `src == dst` measures the intra-node path.
+pub fn measure_bandwidth(
+    spec: ClusterSpec,
+    src: u32,
+    dst: u32,
+    size: u64,
+    count: u32,
+    window: u16,
+) -> BandwidthResult {
+    assert!(size > 0 && count > 0 && window > 0);
+    let cluster = spec.build();
+    let sim = cluster.sim.clone();
+    let barrier = SimBarrier::new(&sim, 2);
+    let addr_of_b: Arc<Mutex<Option<suca_bcl::ProcAddr>>> = Arc::new(Mutex::new(None));
+    let t0 = Arc::new(Mutex::new(0.0f64));
+    let t1 = Arc::new(Mutex::new(0.0f64));
+    let intra = src == dst;
+
+    {
+        let barrier = barrier.clone();
+        let addr_of_b = addr_of_b.clone();
+        let t1 = t1.clone();
+        cluster.spawn_process(dst, "bw-recv", move |ctx, env| {
+            let port = env.open_port(ctx);
+            *addr_of_b.lock() = Some(port.addr());
+            let mut bufs = Vec::new();
+            for c in 0..window {
+                bufs.push(port.post_recv(ctx, c, size).expect("post"));
+            }
+            barrier.wait(ctx);
+            for i in 0..count {
+                let ev = port.wait_recv(ctx);
+                // Re-post the channel for the next lap (skip on final laps).
+                let chan = ev.channel.index;
+                if !intra && i + u32::from(window) < count {
+                    port.post_recv_at(ctx, chan, bufs[chan as usize], size)
+                        .expect("re-post");
+                }
+            }
+            *t1.lock() = ctx.now().as_us();
+        });
+    }
+
+    {
+        let barrier = barrier.clone();
+        let t0 = t0.clone();
+        cluster.spawn_process(src, "bw-send", move |ctx, env| {
+            let port = env.open_port(ctx);
+            let buf = port.alloc_buffer(size).expect("alloc");
+            port.write_buffer(buf, &vec![0x5Au8; size as usize]).expect("fill");
+            barrier.wait(ctx);
+            let dst_addr = addr_of_b.lock().expect("receiver first");
+            // Warm the pin-down table so the stream measures steady state.
+            // (One throwaway message, subtracted by starting the clock after
+            // its completion event.)
+            port.send(ctx, dst_addr, ChannelId::normal(0), buf, size)
+                .expect("warmup send");
+            let _ = port.wait_send(ctx);
+            *t0.lock() = ctx.now().as_us();
+            let channel_of = |i: u32| ChannelId::normal((i % u32::from(window)) as u16);
+            for i in 1..count {
+                loop {
+                    match port.send(ctx, dst_addr, channel_of(i), buf, size) {
+                        Ok(_) => break,
+                        Err(BclError::RingFull) => {
+                            let _ = port.wait_send(ctx);
+                        }
+                        Err(e) => panic!("send failed: {e}"),
+                    }
+                }
+                while port.poll_send(ctx).is_some() {}
+            }
+        });
+    }
+
+    assert_eq!(sim.run(), RunOutcome::Completed, "bandwidth harness stuck");
+    let start = *t0.lock();
+    let end = *t1.lock();
+    assert!(end > start, "no time elapsed");
+    // count-1 timed messages (the warmup message started the clock).
+    let bytes = size as f64 * (count - 1) as f64;
+    BandwidthResult {
+        size,
+        mb_per_sec: bytes / (end - start),
+    }
+}
+
+/// Convenience: the half-bandwidth point n₁/₂ — the message size at which
+/// bandwidth reaches half its peak (paper: "the half-bandwidth is reached
+/// with less than 4 KB message"). Returned as the first size in `sizes`
+/// whose measured bandwidth is ≥ half of `peak`.
+pub fn half_bandwidth_point(
+    spec: &ClusterSpec,
+    sizes: &[u64],
+    peak: f64,
+    count: u32,
+) -> Option<u64> {
+    sizes.iter().copied().find(|&s| {
+        measure_bandwidth(spec.clone(), 0, 1, s, count, 8).mb_per_sec >= peak / 2.0
+    })
+}
+
+/// Build a default 2-node cluster and return it (tests use this a lot).
+pub fn two_nodes() -> Cluster {
+    ClusterSpec::dawning3000(2).build()
+}

@@ -1,0 +1,66 @@
+//! One cluster node: SMP host + OS + NIC firmware + BCL stack.
+
+use std::sync::Arc;
+
+use suca_bcl::{BclConfig, BclNode, Mcp};
+use suca_mem::PhysMemory;
+use suca_myrinet::{Fabric, FabricNodeId};
+use suca_os::{CpuSet, NodeId, NodeOs, OsCostModel, OsPersonality, OsProcess};
+use suca_sim::{ActorCtx, Sim};
+
+/// A fully assembled node.
+pub struct ClusterNode {
+    /// The node's OS instance.
+    pub os: Arc<NodeOs>,
+    /// The node's BCL stack (kernel module, MCP, intra-node hub).
+    pub bcl: Arc<BclNode>,
+    /// The node's SMP CPUs (4-way on DAWNING-3000).
+    pub cpus: CpuSet,
+}
+
+impl ClusterNode {
+    /// Assemble a node attached to `fabric` at position `id`.
+    #[allow(clippy::too_many_arguments)] // one knob per hardware subsystem
+    pub fn new(
+        sim: &Sim,
+        id: NodeId,
+        fabric: Arc<dyn Fabric>,
+        num_nodes: u32,
+        mem_bytes: u64,
+        n_cpus: u32,
+        personality: OsPersonality,
+        os_costs: OsCostModel,
+        bcl_cfg: BclConfig,
+    ) -> Arc<ClusterNode> {
+        let mem = PhysMemory::new(mem_bytes);
+        let os = NodeOs::new(sim, id, mem.clone(), personality, os_costs);
+        let mcp = Mcp::new(sim, id, FabricNodeId(id.0), fabric, mem, bcl_cfg.clone());
+        let bcl = BclNode::new(sim, os.clone(), mcp, num_nodes, bcl_cfg);
+        Arc::new(ClusterNode {
+            os,
+            bcl,
+            cpus: CpuSet::new(sim, n_cpus),
+        })
+    }
+
+    /// Fork a user process on this node.
+    pub fn create_process(&self) -> OsProcess {
+        self.os.create_process()
+    }
+}
+
+/// Environment handed to a spawned application process.
+pub struct ProcessEnv {
+    /// The node this process runs on.
+    pub node: Arc<ClusterNode>,
+    /// The OS process (PID + address space).
+    pub proc: OsProcess,
+}
+
+impl ProcessEnv {
+    /// Open this process's BCL port (convenience).
+    pub fn open_port(&self, ctx: &mut ActorCtx) -> suca_bcl::BclPort {
+        suca_bcl::BclPort::open(ctx, &self.node.bcl, &self.proc)
+            .expect("port open failed in application process")
+    }
+}

@@ -1,0 +1,441 @@
+//! The BCL user-level library.
+//!
+//! "BCL library provides a set of APIs. Applications linked with BCL library
+//! can use these APIs to communicate with each other. In fact these APIs are
+//! only the covers of some ioctl() syscall subcommands provided by BCL
+//! kernel module." (§4.1.1)
+//!
+//! [`BclPort`] is that library: each method charges the user-space costs,
+//! traps into the kernel module for anything that touches the NIC, and polls
+//! completion queues in user space without any trap — the semi-user-level
+//! receive path. Intra-node destinations short-circuit to the shared-memory
+//! hub, never entering the kernel on the data path.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use suca_mem::VirtAddr;
+use suca_os::{NodeOs, OsProcess};
+use suca_sim::{ActorCtx, Sim};
+
+use crate::config::BclConfig;
+use crate::error::BclError;
+use crate::intranode::IntraHub;
+use crate::kmod::BclKmod;
+use crate::mcp::Mcp;
+use crate::port::{
+    ChannelId, ChannelKind, PortId, ProcAddr, RecvDataLoc, RecvEvent, SendEvent,
+};
+use crate::queues::UserQueues;
+
+/// Everything BCL needs on one node: OS, kernel module, NIC firmware and
+/// the intra-node hub. Built once per node (by `suca-cluster` or directly).
+pub struct BclNode {
+    sim: Sim,
+    /// The node's OS.
+    pub os: Arc<NodeOs>,
+    /// The BCL kernel module.
+    pub kmod: Arc<BclKmod>,
+    /// The NIC firmware.
+    pub mcp: Mcp,
+    /// The intra-node shared-memory hub.
+    pub intra: Arc<IntraHub>,
+    cfg: BclConfig,
+}
+
+impl BclNode {
+    /// Assemble the BCL stack on a node whose NIC firmware is `mcp`.
+    pub fn new(sim: &Sim, os: Arc<NodeOs>, mcp: Mcp, num_nodes: u32, cfg: BclConfig) -> Arc<BclNode> {
+        let kmod = BclKmod::new(os.clone(), mcp.clone(), num_nodes, cfg.clone());
+        let intra = IntraHub::new(sim, os.node_id, os.memory().clone(), cfg.intra.clone());
+        Arc::new(BclNode {
+            sim: sim.clone(),
+            os,
+            kmod,
+            mcp,
+            intra,
+            cfg,
+        })
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &BclConfig {
+        &self.cfg
+    }
+
+    /// The simulation handle.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+}
+
+/// An open BCL port — the application-facing handle.
+pub struct BclPort {
+    node: Arc<BclNode>,
+    proc: OsProcess,
+    id: PortId,
+    queues: Arc<UserQueues>,
+    pool_user: Vec<VirtAddr>,
+    /// User-side record of posted normal channels: channel → (addr, len).
+    posted: Mutex<HashMap<u16, (VirtAddr, u64)>>,
+    /// User-side record of bound open channels.
+    bound: Mutex<HashMap<u16, (VirtAddr, u64)>>,
+    /// Normal channels whose posting was consumed by the intra-node path
+    /// (the NIC never saw the consumption; re-posts must replace).
+    intra_consumed: Mutex<std::collections::HashSet<u16>>,
+    intra_msg: Mutex<u32>,
+}
+
+impl BclPort {
+    /// Open the process's (single) port: allocate completion queues and the
+    /// system-channel buffer pool in user space, then trap into the kernel
+    /// to register everything on the NIC.
+    pub fn open(
+        ctx: &mut ActorCtx,
+        node: &Arc<BclNode>,
+        proc: &OsProcess,
+    ) -> Result<BclPort, BclError> {
+        let cfg = node.config().clone();
+        ctx.sleep(cfg.lib_compose);
+        let queues = Arc::new(UserQueues::new(&node.sim));
+        // Allocate the pool buffers in the caller's space.
+        let mut pool_user = Vec::with_capacity(cfg.system_pool.buffers as usize);
+        for _ in 0..cfg.system_pool.buffers {
+            pool_user.push(proc.space.alloc(cfg.system_pool.buffer_bytes)?);
+        }
+        let os = node.os.clone();
+        let kmod = node.kmod.clone();
+        let q2 = queues.clone();
+        let id = os.trap(ctx, |ctx| kmod.ioctl_open_port(ctx, proc, q2, &pool_user))?;
+        node.intra.register_port(id, queues.clone());
+        Ok(BclPort {
+            node: node.clone(),
+            proc: proc.clone(),
+            id,
+            queues,
+            pool_user,
+            posted: Mutex::new(HashMap::new()),
+            bound: Mutex::new(HashMap::new()),
+            intra_consumed: Mutex::new(std::collections::HashSet::new()),
+            intra_msg: Mutex::new(1), // odd ids: intra-node
+        })
+    }
+
+    /// This port's cluster-wide address.
+    pub fn addr(&self) -> ProcAddr {
+        ProcAddr {
+            node: self.node.os.node_id,
+            port: self.id,
+        }
+    }
+
+    /// The owning process.
+    pub fn process(&self) -> &OsProcess {
+        &self.proc
+    }
+
+    /// Allocate a message buffer in this process's space (convenience).
+    pub fn alloc_buffer(&self, len: u64) -> Result<VirtAddr, BclError> {
+        Ok(self.proc.space.alloc(len.max(1))?)
+    }
+
+    /// Fill a user buffer (models the application producing data; free).
+    pub fn write_buffer(&self, addr: VirtAddr, data: &[u8]) -> Result<(), BclError> {
+        Ok(self.proc.space.write(addr, data)?)
+    }
+
+    /// Read a user buffer back.
+    pub fn read_buffer(&self, addr: VirtAddr, len: u64) -> Result<Vec<u8>, BclError> {
+        Ok(self.proc.space.read_vec(addr, len)?)
+    }
+
+    /// Post a receive buffer of `len` bytes on normal channel `chan`;
+    /// allocates the buffer and returns its address. One kernel trap.
+    pub fn post_recv(
+        &self,
+        ctx: &mut ActorCtx,
+        chan: u16,
+        len: u64,
+    ) -> Result<VirtAddr, BclError> {
+        let addr = self.alloc_buffer(len)?;
+        self.post_recv_at(ctx, chan, addr, len)?;
+        Ok(addr)
+    }
+
+    /// Post an existing buffer on normal channel `chan`. One kernel trap.
+    pub fn post_recv_at(
+        &self,
+        ctx: &mut ActorCtx,
+        chan: u16,
+        addr: VirtAddr,
+        len: u64,
+    ) -> Result<(), BclError> {
+        ctx.sleep(self.node.cfg.lib_compose);
+        let replace = self.intra_consumed.lock().remove(&chan);
+        let kmod = self.node.kmod.clone();
+        let proc = self.proc.clone();
+        let id = self.id;
+        self.node
+            .os
+            .trap(ctx, |ctx| kmod.ioctl_post_recv(ctx, &proc, id, chan, addr, len, replace))?;
+        self.posted.lock().insert(chan, (addr, len));
+        Ok(())
+    }
+
+    /// Send `len` bytes starting at `addr` to `dst` on `channel`.
+    /// Returns the message id; completion arrives as a [`SendEvent`].
+    ///
+    /// Inter-node: one kernel trap (the defining cost of the architecture).
+    /// Intra-node: no trap — the shared-memory path.
+    pub fn send(
+        &self,
+        ctx: &mut ActorCtx,
+        dst: ProcAddr,
+        channel: ChannelId,
+        addr: VirtAddr,
+        len: u64,
+    ) -> Result<u32, BclError> {
+        if dst.node == self.node.os.node_id {
+            return self.send_intra(ctx, dst, channel, addr, len);
+        }
+        let start = ctx.now();
+        ctx.sim().trace_span(
+            format!("n{}/tx", self.node.os.node_id.0),
+            "library: compose send request",
+            start,
+            start + self.node.cfg.lib_compose,
+        );
+        ctx.sleep(self.node.cfg.lib_compose);
+        let kmod = self.node.kmod.clone();
+        let proc = self.proc.clone();
+        let id = self.id;
+        self.node
+            .os
+            .trap(ctx, |ctx| kmod.ioctl_send(ctx, &proc, id, dst, channel, addr, len))
+    }
+
+    /// Convenience: allocate a buffer, fill it with `data`, and send it.
+    pub fn send_bytes(
+        &self,
+        ctx: &mut ActorCtx,
+        dst: ProcAddr,
+        channel: ChannelId,
+        data: &[u8],
+    ) -> Result<u32, BclError> {
+        let addr = self.alloc_buffer(data.len() as u64)?;
+        self.write_buffer(addr, data)?;
+        self.send(ctx, dst, channel, addr, data.len() as u64)
+    }
+
+    fn send_intra(
+        &self,
+        ctx: &mut ActorCtx,
+        dst: ProcAddr,
+        channel: ChannelId,
+        addr: VirtAddr,
+        len: u64,
+    ) -> Result<u32, BclError> {
+        // Library-side checks only — no kernel on this path, and a bad
+        // pointer can only hurt the sender itself (it reads its own space).
+        if len > self.node.cfg.limits.max_message_bytes {
+            return Err(BclError::MessageTooLong {
+                len,
+                max: self.node.cfg.limits.max_message_bytes,
+            });
+        }
+        let data = if len > 0 {
+            self.proc.space.read_vec(addr, len)?
+        } else {
+            Vec::new()
+        };
+        let msg_id = {
+            let mut c = self.intra_msg.lock();
+            let id = *c;
+            *c = c.wrapping_add(2);
+            id
+        };
+        if !self
+            .node
+            .intra
+            .send(ctx, self.id, dst.port, channel, msg_id, &data)
+        {
+            return Err(BclError::BadPort(dst.port));
+        }
+        Ok(msg_id)
+    }
+
+    /// Non-blocking poll of the receive completion queue (no trap). Charges
+    /// the paper's 1.01 µs only when an event is consumed.
+    pub fn poll_recv(&self, ctx: &mut ActorCtx) -> Option<RecvEvent> {
+        let ev = self.queues.pop_recv()?;
+        ctx.sleep(self.node.cfg.poll_recv);
+        Some(ev)
+    }
+
+    /// Block until a receive event arrives or `timeout` elapses.
+    pub fn wait_recv_timeout(
+        &self,
+        ctx: &mut ActorCtx,
+        timeout: suca_sim::SimDuration,
+    ) -> Option<RecvEvent> {
+        let deadline = ctx.now() + timeout;
+        loop {
+            if let Some(ev) = self.poll_recv(ctx) {
+                return Some(ev);
+            }
+            if ctx.now() >= deadline {
+                return None;
+            }
+            self.queues
+                .recv_signal
+                .wait_timeout(ctx, deadline.since(ctx.now()));
+        }
+    }
+
+    /// Block until a receive event arrives (polling semantics, no trap).
+    pub fn wait_recv(&self, ctx: &mut ActorCtx) -> RecvEvent {
+        let ev = self.queues.wait_recv(ctx);
+        let start = ctx.now();
+        ctx.sim().trace_span(
+            format!("n{}/rx", self.node.os.node_id.0),
+            "library: poll completion queue (user space, no trap)",
+            start,
+            start + self.node.cfg.poll_recv,
+        );
+        ctx.sleep(self.node.cfg.poll_recv);
+        ev
+    }
+
+    /// Non-blocking poll of the send completion queue (0.82 µs on success).
+    pub fn poll_send(&self, ctx: &mut ActorCtx) -> Option<SendEvent> {
+        let ev = self.queues.pop_send()?;
+        ctx.sleep(self.node.cfg.poll_send);
+        Some(ev)
+    }
+
+    /// Block until at least one event (send or receive) is queued, without
+    /// consuming it. The EADI progress engine pumps on this.
+    pub fn wait_event(&self, ctx: &mut ActorCtx) {
+        self.queues.wait_any(ctx);
+    }
+
+    /// Block until a send event arrives.
+    pub fn wait_send(&self, ctx: &mut ActorCtx) -> SendEvent {
+        let ev = self.queues.wait_send(ctx);
+        ctx.sleep(self.node.cfg.poll_send);
+        ev
+    }
+
+    /// Fetch the payload of a receive event and recycle its buffer.
+    pub fn recv_bytes(&self, ctx: &mut ActorCtx, ev: &RecvEvent) -> Result<Vec<u8>, BclError> {
+        match &ev.data {
+            RecvDataLoc::SystemBuffer(idx) => {
+                let addr = self.pool_user[*idx as usize];
+                let data = self.proc.space.read_vec(addr, ev.len)?;
+                // Return the buffer to the pool ("After the receiver gets
+                // the message, the buffer will be returned").
+                self.release_system_buffer(*idx);
+                Ok(data)
+            }
+            RecvDataLoc::Posted => {
+                let (addr, _len) = self
+                    .posted
+                    .lock()
+                    .remove(&ev.channel.index)
+                    .ok_or(BclError::BadChannel(ev.channel))?;
+                Ok(self.proc.space.read_vec(addr, ev.len)?)
+            }
+            RecvDataLoc::Inline(v) => {
+                // Intra-node delivery; the pipelined copy-out time is part
+                // of the delivery lag. If this was a normal channel with a
+                // posted buffer, land the bytes there too.
+                let _ = &ctx;
+                if ev.channel.kind == ChannelKind::Normal {
+                    if let Some((addr, _)) = self.posted.lock().remove(&ev.channel.index) {
+                        self.proc.space.write(addr, v)?;
+                        self.intra_consumed.lock().insert(ev.channel.index);
+                    }
+                }
+                Ok(v.clone())
+            }
+        }
+    }
+
+    /// Give a consumed system-pool buffer back (done automatically by
+    /// [`BclPort::recv_bytes`]; exposed for zero-copy consumers).
+    pub fn release_system_buffer(&self, idx: u32) {
+        self.node.mcp.release_pool_buffer(self.id, idx);
+    }
+
+    /// Bind a fresh buffer of `len` bytes to open channel `chan` and return
+    /// its address. One kernel trap.
+    pub fn bind_open(&self, ctx: &mut ActorCtx, chan: u16, len: u64) -> Result<VirtAddr, BclError> {
+        let addr = self.alloc_buffer(len)?;
+        ctx.sleep(self.node.cfg.lib_compose);
+        let kmod = self.node.kmod.clone();
+        let proc = self.proc.clone();
+        let id = self.id;
+        self.node
+            .os
+            .trap(ctx, |ctx| kmod.ioctl_bind_open(ctx, &proc, id, chan, addr, len))?;
+        self.bound.lock().insert(chan, (addr, len));
+        Ok(addr)
+    }
+
+    /// One-sided write of `len` bytes at `addr` into `dst`'s open channel
+    /// `chan` at `offset`. Completion arrives as a [`SendEvent`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn rma_write(
+        &self,
+        ctx: &mut ActorCtx,
+        dst: ProcAddr,
+        chan: u16,
+        offset: u64,
+        addr: VirtAddr,
+        len: u64,
+    ) -> Result<u32, BclError> {
+        ctx.sleep(self.node.cfg.lib_compose);
+        let kmod = self.node.kmod.clone();
+        let proc = self.proc.clone();
+        let id = self.id;
+        self.node.os.trap(ctx, |ctx| {
+            kmod.ioctl_rma_write(ctx, &proc, id, dst, chan, offset, addr, len)
+        })
+    }
+
+    /// One-sided read of `len` bytes from `dst`'s open channel `chan` at
+    /// `offset` into local buffer `into`. Completion (data landed) arrives
+    /// as a [`SendEvent`] carrying the returned message id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rma_read(
+        &self,
+        ctx: &mut ActorCtx,
+        dst: ProcAddr,
+        chan: u16,
+        offset: u64,
+        into: VirtAddr,
+        len: u64,
+    ) -> Result<u32, BclError> {
+        ctx.sleep(self.node.cfg.lib_compose);
+        let kmod = self.node.kmod.clone();
+        let proc = self.proc.clone();
+        let id = self.id;
+        self.node.os.trap(ctx, |ctx| {
+            kmod.ioctl_rma_read(ctx, &proc, id, dst, chan, offset, into, len)
+        })
+    }
+
+    /// Close the port. One kernel trap.
+    pub fn close(self, ctx: &mut ActorCtx) -> Result<(), BclError> {
+        ctx.sleep(self.node.cfg.lib_compose);
+        self.node.intra.unregister_port(self.id);
+        let kmod = self.node.kmod.clone();
+        let proc = self.proc.clone();
+        let id = self.id;
+        self.node
+            .os
+            .trap(ctx, |ctx| kmod.ioctl_close_port(ctx, &proc, id))
+    }
+}

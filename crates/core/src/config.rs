@@ -1,0 +1,298 @@
+//! BCL cost model and protocol tunables.
+//!
+//! Every constant is calibrated against a sentence of the paper (quoted in
+//! the doc comment of each field group). The headline identities the default
+//! configuration reproduces:
+//!
+//! * host send overhead = `lib_compose + trap_enter + copyin_dispatch +
+//!   security_check + pin_lookup_hit + descriptor PIO + trap_exit`
+//!   = **7.04 µs** for a 0-byte message (paper §5, Fig. 5);
+//! * the kernel-resident part of that
+//!   (`trap_enter + copyin_dispatch + security + pin_hit + trap_exit`)
+//!   = **4.17 µs**, the paper's "extra overhead required in semi-user level
+//!   communication protocol", ≈ 22 % of the 18.3 µs one-way latency;
+//! * receive overhead (user-space poll, no kernel) = **1.01 µs**;
+//! * send-completion poll = **0.82 µs**;
+//! * steady-state per-fragment cost + wire time ⇒ **146 MB/s** peak
+//!   inter-node bandwidth (91 % of the 160 MB/s link).
+
+use suca_os::OsCostModel;
+use suca_pci::PciModel;
+use suca_sim::SimDuration;
+
+/// MCP (NIC firmware) costs on the 33 MHz LANai.
+#[derive(Clone, Debug)]
+pub struct McpCosts {
+    /// Fixed cost to start one message send: fetch the descriptor from NIC
+    /// memory, set up reliable-protocol state, build the wire header.
+    /// Paper: stage 4 ("transfer message from NIC to network") is about one
+    /// third of the 18.3 µs total, most of it the reliable protocol.
+    pub send_fixed: SimDuration,
+    /// Per-fragment send processing in steady state (header stamp, window
+    /// bookkeeping, DMA kick). Together with the 4 KB wire time this sets
+    /// the 146 MB/s bandwidth plateau.
+    pub send_per_frag: SimDuration,
+    /// Per-fragment receive processing (CRC check, demux, window update).
+    pub recv_per_frag: SimDuration,
+    /// Processing an incoming ACK.
+    pub ack_process: SimDuration,
+    /// Building + injecting an ACK packet.
+    pub ack_send: SimDuration,
+    /// Size of the completion-event record DMA'd into the user-space event
+    /// queue.
+    pub event_bytes: u64,
+}
+
+/// Link-level reliability (go-back-N) tunables.
+#[derive(Clone, Debug)]
+pub struct ReliabilityConfig {
+    /// Sender window per destination NIC, in packets.
+    pub window: u32,
+    /// Retransmission timeout.
+    pub retransmit_timeout: SimDuration,
+    /// Delay before retrying a message rejected by the receiver (normal
+    /// channel not posted / system pool full).
+    pub reject_retry_delay: SimDuration,
+    /// Retries before a rejected message completes with an error event.
+    pub max_message_retries: u32,
+}
+
+/// System-channel buffer pool (small-message FIFO, paper §2.2).
+#[derive(Clone, Debug)]
+pub struct SystemPoolConfig {
+    /// Number of buffers in each process's pool.
+    pub buffers: u32,
+    /// Size of each buffer; also the largest system-channel message.
+    pub buffer_bytes: u64,
+}
+
+/// Intra-node shared-memory path tunables (paper §4.2).
+#[derive(Clone, Debug)]
+pub struct IntraNodeConfig {
+    /// Sender-side fixed overhead per message (queue entry, sequence number).
+    pub send_overhead: SimDuration,
+    /// Flag write + wakeup handoff between the two processes (the receive
+    /// side's event-poll cost is `poll_recv`, shared with the inter-node
+    /// path).
+    pub handoff: SimDuration,
+    /// Pipelining chunk size for large messages.
+    pub chunk_bytes: u64,
+    /// Ring depth (buffers per direction per process pair).
+    pub ring_depth: u32,
+    /// One memcpy of the pipelined pair, expressed as bandwidth. The two
+    /// copies overlap on different CPUs, so end-to-end bandwidth equals one
+    /// copy's rate minus per-chunk overheads ⇒ ~391 MB/s (paper Table 2,
+    /// "with the affect of cache").
+    pub copy_bytes_per_sec: u64,
+    /// Fixed cost per chunk copy (loop setup, flag update).
+    pub per_chunk_overhead: SimDuration,
+}
+
+/// Resource limits (port table sizes etc.).
+#[derive(Clone, Debug)]
+pub struct BclLimits {
+    /// Send-request ring entries per port.
+    pub send_ring: usize,
+    /// Normal channels per port.
+    pub normal_channels: u16,
+    /// Open (RMA) channels per port.
+    pub open_channels: u16,
+    /// Largest message accepted by `bcl_send`.
+    pub max_message_bytes: u64,
+    /// Ports per node.
+    pub max_ports: u16,
+}
+
+/// The full BCL configuration for one cluster.
+///
+/// The default calibration carries the paper's measured identities:
+///
+/// ```
+/// let cfg = suca_bcl::BclConfig::dawning3000();
+/// assert!((cfg.host_send_overhead_zero_len().as_us() - 7.04).abs() < 0.01);
+/// assert!((cfg.kernel_extra().as_us() - 4.17).abs() < 0.01);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BclConfig {
+    /// User-library cost to compose a send request before trapping.
+    pub lib_compose: SimDuration,
+    /// Kernel ioctl dispatch + copy-in of the request block.
+    pub copyin_dispatch: SimDuration,
+    /// Descriptor size written to the NIC by PIO: fixed words plus
+    /// `words_per_segment` per scatter/gather entry (phys addr + len).
+    pub descriptor_base_words: u64,
+    /// Words per scatter/gather segment in the descriptor.
+    pub words_per_segment: u64,
+    /// Doorbell write (one word).
+    pub doorbell_words: u64,
+    /// User-space cost to poll/consume one receive completion event
+    /// (paper: 1.01 µs, "no trapping ... makes the receiving operation much
+    /// faster").
+    pub poll_recv: SimDuration,
+    /// User-space cost to poll/consume one send completion event
+    /// (paper: 0.82 µs "to complete the sending operation").
+    pub poll_send: SimDuration,
+    /// NIC firmware costs.
+    pub mcp: McpCosts,
+    /// Reliability tunables.
+    pub reliability: ReliabilityConfig,
+    /// System-channel pool shape.
+    pub system_pool: SystemPoolConfig,
+    /// Intra-node path tunables.
+    pub intra: IntraNodeConfig,
+    /// Table sizes.
+    pub limits: BclLimits,
+    /// Host OS cost model.
+    pub os: OsCostModel,
+    /// PCI bus cost model.
+    pub pci: PciModel,
+    /// Kernel pin-down table capacity, in pages. Host-memory resident, so
+    /// generously sized (the paper's scalability argument vs NIC caches).
+    pub pin_table_pages: usize,
+    /// NIC SRAM capacity in bytes.
+    pub nic_sram_bytes: u64,
+}
+
+impl BclConfig {
+    /// The DAWNING-3000 calibration (see module docs for the identities).
+    pub fn dawning3000() -> Self {
+        let os = OsCostModel::aix_power3();
+        let pci = PciModel::dawning3000();
+        BclConfig {
+            lib_compose: SimDuration::from_us_f64(0.47),
+            copyin_dispatch: SimDuration::from_us_f64(0.85),
+            descriptor_base_words: 9,
+            words_per_segment: 2,
+            doorbell_words: 1,
+            poll_recv: SimDuration::from_us_f64(1.01),
+            poll_send: SimDuration::from_us_f64(0.82),
+            mcp: McpCosts {
+                send_fixed: SimDuration::from_us_f64(6.60),
+                send_per_frag: SimDuration::from_us_f64(1.60),
+                recv_per_frag: SimDuration::from_us_f64(1.45),
+                ack_process: SimDuration::from_us_f64(0.30),
+                ack_send: SimDuration::from_us_f64(0.35),
+                event_bytes: 16,
+            },
+            reliability: ReliabilityConfig {
+                window: 32,
+                retransmit_timeout: SimDuration::from_us(300),
+                reject_retry_delay: SimDuration::from_us(50),
+                max_message_retries: 200,
+            },
+            system_pool: SystemPoolConfig {
+                buffers: 64,
+                buffer_bytes: 4096,
+            },
+            intra: IntraNodeConfig {
+                send_overhead: SimDuration::from_us_f64(1.30),
+                handoff: SimDuration::from_us_f64(0.39),
+                chunk_bytes: 4096,
+                ring_depth: 8,
+                copy_bytes_per_sec: 417_000_000,
+                per_chunk_overhead: SimDuration::from_us_f64(0.55),
+            },
+            limits: BclLimits {
+                send_ring: 64,
+                normal_channels: 64,
+                open_channels: 16,
+                max_message_bytes: 16 << 20,
+                max_ports: 256,
+            },
+            os,
+            pci,
+            pin_table_pages: 65_536, // 256 MB of pinnable pages in host RAM
+            nic_sram_bytes: 2 << 20, // 2 MB LANai SRAM
+        }
+    }
+
+    /// PIO cost of one send descriptor with `segments` scatter/gather
+    /// entries, doorbell included.
+    pub fn descriptor_pio(&self, segments: u64) -> SimDuration {
+        self.pci.pio_write(
+            self.descriptor_base_words + self.words_per_segment * segments + self.doorbell_words,
+        )
+    }
+
+    /// The kernel-resident share of the send path for a pin-hit, zero-
+    /// segment send — the paper's 4.17 µs "extra overhead" of semi-user-
+    /// level vs user-level (PIO excluded: both architectures pay it).
+    pub fn kernel_extra(&self) -> SimDuration {
+        self.os.trap_enter
+            + self.copyin_dispatch
+            + self.os.security_check
+            + self.os.pin_lookup_hit
+            + self.os.trap_exit
+    }
+
+    /// Host CPU send overhead for a 0-byte message (paper: 7.04 µs).
+    pub fn host_send_overhead_zero_len(&self) -> SimDuration {
+        self.lib_compose + self.kernel_extra() + self.descriptor_pio(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_identity_send_overhead_7_04us() {
+        let c = BclConfig::dawning3000();
+        let got = c.host_send_overhead_zero_len().as_us();
+        assert!(
+            (got - 7.04).abs() < 0.01,
+            "0-len host send overhead = {got} us, paper says 7.04"
+        );
+    }
+
+    #[test]
+    fn paper_identity_kernel_extra_4_17us() {
+        let c = BclConfig::dawning3000();
+        let got = c.kernel_extra().as_us();
+        assert!(
+            (got - 4.17).abs() < 0.01,
+            "kernel extra = {got} us, paper says 4.17"
+        );
+    }
+
+    #[test]
+    fn paper_identity_receive_poll_1_01us() {
+        let c = BclConfig::dawning3000();
+        assert!((c.poll_recv.as_us() - 1.01).abs() < 1e-9);
+        assert!((c.poll_send.as_us() - 0.82).abs() < 1e-9);
+    }
+
+    #[test]
+    fn descriptor_pio_grows_with_segments() {
+        let c = BclConfig::dawning3000();
+        let d0 = c.descriptor_pio(0);
+        let d4 = c.descriptor_pio(4);
+        assert_eq!(
+            (d4 - d0).as_ns(),
+            c.words_per_segment * 4 * c.pci.pio_write_word.as_ns()
+        );
+        // 0-segment descriptor: 10 words at 0.24 us = 2.40 us.
+        assert_eq!(d0.as_ns(), 2400);
+    }
+
+    #[test]
+    fn steady_state_bandwidth_is_about_146_mbps() {
+        // The LANai send loop processes a fragment (send_per_frag), injects
+        // it, and waits for the wire before the next one. With the fragment
+        // capacity of 4096 − 32 header = 4064 data bytes per packet, that
+        // period must give ~146 MB/s (paper Fig. 9 / Table 2: 91 % of the
+        // 160 MB/s link).
+        let c = BclConfig::dawning3000();
+        let frag = 4096 - crate::wire::HEADER_BYTES as u64;
+        let wire = SimDuration::for_bytes(
+            frag + crate::wire::HEADER_BYTES as u64 + suca_myrinet::FRAMING_BYTES,
+            160_000_000,
+        );
+        let period = c.mcp.send_per_frag + wire;
+        let bw = frag as f64 / period.as_secs_f64() / 1e6;
+        assert!(
+            (bw - 146.0).abs() < 4.0,
+            "steady-state bandwidth {bw:.1} MB/s; paper says 146"
+        );
+    }
+}

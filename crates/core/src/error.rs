@@ -1,0 +1,109 @@
+//! BCL error types.
+//!
+//! Every rejection the kernel module can produce is a distinct variant —
+//! the security tests assert on them — and user-library misuse is separated
+//! from kernel rejections so callers can tell which layer refused.
+
+use suca_mem::MemError;
+use suca_os::{NodeId, Pid};
+
+use crate::port::{ChannelId, PortId};
+
+/// Errors surfaced by the BCL user library / kernel module.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BclError {
+    /// Caller's PID is not a live process on this node (kernel check).
+    DeadProcess(Pid),
+    /// Caller does not own the port it is operating on (kernel check).
+    NotPortOwner {
+        /// Port being accessed.
+        port: PortId,
+        /// PID that tried.
+        pid: Pid,
+    },
+    /// The process already created its one allowed port (paper §2.2:
+    /// "Each process can create only one port").
+    PortAlreadyOpen(Pid),
+    /// No port slots left on this node.
+    PortTableFull,
+    /// Unknown destination node.
+    BadNode(NodeId),
+    /// Destination port id out of range.
+    BadPort(PortId),
+    /// Channel id out of range for its kind.
+    BadChannel(ChannelId),
+    /// The buffer range is not mapped in the caller's address space
+    /// (kernel check — the classic forged-pointer attack).
+    BadBuffer {
+        /// Start address of the offending range.
+        addr: u64,
+        /// Length of the offending range.
+        len: u64,
+    },
+    /// Message longer than the configured maximum.
+    MessageTooLong {
+        /// Requested length.
+        len: u64,
+        /// Configured maximum.
+        max: u64,
+    },
+    /// Message longer than a system-channel buffer.
+    TooBigForSystemChannel {
+        /// Requested length.
+        len: u64,
+        /// System buffer size.
+        max: u64,
+    },
+    /// Send-request ring is full (back-pressure; retry after completions).
+    RingFull,
+    /// A normal channel was posted twice without being consumed.
+    ChannelBusy(ChannelId),
+    /// RMA access outside the bound open-channel buffer.
+    RmaOutOfRange {
+        /// Requested end offset.
+        end: u64,
+        /// Bound buffer length.
+        len: u64,
+    },
+    /// Underlying memory error (propagated from the substrate).
+    Mem(MemError),
+}
+
+impl From<MemError> for BclError {
+    fn from(e: MemError) -> Self {
+        BclError::Mem(e)
+    }
+}
+
+impl core::fmt::Display for BclError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BclError::DeadProcess(p) => write!(f, "pid {p:?} is not a live process"),
+            BclError::NotPortOwner { port, pid } => {
+                write!(f, "pid {pid:?} does not own port {port:?}")
+            }
+            BclError::PortAlreadyOpen(p) => write!(f, "pid {p:?} already has a port"),
+            BclError::PortTableFull => write!(f, "no free port slots"),
+            BclError::BadNode(n) => write!(f, "unknown node {n:?}"),
+            BclError::BadPort(p) => write!(f, "bad port {p:?}"),
+            BclError::BadChannel(c) => write!(f, "bad channel {c:?}"),
+            BclError::BadBuffer { addr, len } => {
+                write!(f, "buffer {addr:#x}+{len} not mapped in caller space")
+            }
+            BclError::MessageTooLong { len, max } => {
+                write!(f, "message of {len} B exceeds max {max} B")
+            }
+            BclError::TooBigForSystemChannel { len, max } => {
+                write!(f, "{len} B does not fit a {max} B system buffer")
+            }
+            BclError::RingFull => write!(f, "send request ring full"),
+            BclError::ChannelBusy(c) => write!(f, "channel {c:?} already posted"),
+            BclError::RmaOutOfRange { end, len } => {
+                write!(f, "RMA access to offset {end} outside bound buffer of {len} B")
+            }
+            BclError::Mem(e) => write!(f, "memory error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BclError {}

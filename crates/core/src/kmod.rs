@@ -1,0 +1,484 @@
+//! The BCL kernel module.
+//!
+//! "BCL kernel module posts operation requests to the request queues on
+//! NIC's local memory … Kernel module also implements some functional
+//! operations, which need to be executed in the kernel environment. Such
+//! operations include the host memory pin/unpin operation and host virtual
+//! memory address to bus memory address conversion." (§4.1.1)
+//!
+//! Every public method here is an ioctl subcommand: it must be called from
+//! inside [`suca_os::NodeOs::trap`] (the API layer does this), runs with
+//! kernel privilege, performs the paper's §4.3 security checks, charges
+//! kernel CPU costs to the calling actor, and finally programs the NIC by
+//! PIO. This file is the "semi" of semi-user-level: it is the only place
+//! where user requests touch the NIC.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use suca_mem::{PhysAddr, PinDownTable, PinLookup, VirtAddr};
+use suca_os::{NodeOs, OsProcess, Pid};
+use suca_myrinet::FabricNodeId;
+use suca_sim::{ActorCtx, SimDuration};
+
+use crate::config::BclConfig;
+use crate::error::BclError;
+use crate::mcp::{JobKind, Mcp, SendJob};
+use crate::port::{ChannelId, ChannelKind, PortId, ProcAddr};
+use crate::queues::{SystemPool, UserQueues};
+
+struct KernelPort {
+    owner: Pid,
+}
+
+struct KmodState {
+    pin: PinDownTable,
+    ports: HashMap<u16, KernelPort>,
+    next_port: u16,
+    next_msg: u32,
+}
+
+/// One node's BCL kernel module.
+pub struct BclKmod {
+    os: Arc<NodeOs>,
+    cfg: BclConfig,
+    mcp: Mcp,
+    num_nodes: u32,
+    state: Mutex<KmodState>,
+}
+
+impl BclKmod {
+    /// Load the module on a node.
+    pub fn new(os: Arc<NodeOs>, mcp: Mcp, num_nodes: u32, cfg: BclConfig) -> Arc<BclKmod> {
+        let pin = PinDownTable::new(cfg.pin_table_pages);
+        Arc::new(BclKmod {
+            os,
+            cfg,
+            mcp,
+            num_nodes,
+            state: Mutex::new(KmodState {
+                pin,
+                ports: HashMap::new(),
+                next_port: 0,
+                next_msg: 2, // even ids: kernel-assigned; odd: intra-node lib
+            }),
+        })
+    }
+
+    /// The NIC firmware handle (for layers that need stats).
+    pub fn mcp(&self) -> &Mcp {
+        &self.mcp
+    }
+
+    /// Pin-down table statistics `(hits, misses, evictions)`.
+    pub fn pin_stats(&self) -> (u64, u64, u64) {
+        self.state.lock().pin.stats()
+    }
+
+    // ---- shared kernel-side checks ----
+
+    fn check_caller(&self, proc: &OsProcess) -> Result<(), BclError> {
+        // "The parameters checked include application process ID …"
+        if !self.os.is_live(proc.pid) {
+            return Err(BclError::DeadProcess(proc.pid));
+        }
+        Ok(())
+    }
+
+    fn check_owner(&self, st: &KmodState, port: PortId, pid: Pid) -> Result<(), BclError> {
+        match st.ports.get(&port.0) {
+            Some(kp) if kp.owner == pid => Ok(()),
+            Some(_) => Err(BclError::NotPortOwner { port, pid }),
+            None => Err(BclError::BadPort(port)),
+        }
+    }
+
+    fn check_buffer(&self, proc: &OsProcess, addr: VirtAddr, len: u64) -> Result<(), BclError> {
+        // "… communication buffer pointer …": the range must be mapped in
+        // the *caller's* space; a forged pointer fails here, in the kernel,
+        // before the NIC ever sees it.
+        if !proc.space.is_mapped(addr, len.max(1)) {
+            return Err(BclError::BadBuffer {
+                addr: addr.0,
+                len,
+            });
+        }
+        Ok(())
+    }
+
+    fn check_dest(&self, dst: ProcAddr) -> Result<(), BclError> {
+        // "… and communication target and so on."
+        if dst.node.0 >= self.num_nodes {
+            return Err(BclError::BadNode(dst.node));
+        }
+        if dst.port.0 >= self.cfg.limits.max_ports {
+            return Err(BclError::BadPort(dst.port));
+        }
+        Ok(())
+    }
+
+    /// Translate + pin a user range; charges hit/miss costs to the actor
+    /// and returns the physical scatter/gather list.
+    fn pin_translate(
+        &self,
+        ctx: &mut ActorCtx,
+        proc: &OsProcess,
+        addr: VirtAddr,
+        len: u64,
+    ) -> Result<Vec<(PhysAddr, u64)>, BclError> {
+        let (hit_cost, miss_cost) = {
+            let mut st = self.state.lock();
+            let results = st.pin.pin_range(&proc.space, addr, len)?;
+            let misses = results
+                .iter()
+                .filter(|(_, l)| *l == PinLookup::Miss)
+                .count() as u64;
+            // Drop the transient pin immediately: the entry stays cached
+            // (evictable, LRU) so repeat sends hit — the whole point of the
+            // pin-down cache. Simulated memory never swaps, so releasing
+            // before DMA completion is safe here; real BCL holds the pin
+            // until the completion event.
+            st.pin.unpin_range(proc.space.asid(), addr, len);
+            (
+                self.os.costs.pin_lookup_hit,
+                self.os.costs.pin_miss_per_page * misses,
+            )
+        };
+        // One table search per request plus the per-page pin cost on misses.
+        let start = ctx.now();
+        ctx.sim().trace_span(
+            format!("n{}/tx", self.os.node_id.0),
+            "kernel: pin-down table lookup + translation",
+            start,
+            start + hit_cost + miss_cost,
+        );
+        ctx.sleep(hit_cost + miss_cost);
+        let segs = proc.space.sg_list(addr, len)?;
+        Ok(segs)
+    }
+
+    /// Charge the PIO cost of writing a send descriptor with `segments`
+    /// scatter/gather entries plus the doorbell.
+    fn charge_descriptor_pio(&self, ctx: &mut ActorCtx, segments: u64) {
+        let start = ctx.now();
+        let d = self.cfg.descriptor_pio(segments);
+        ctx.sim().trace_span(
+            format!("n{}/tx", self.os.node_id.0),
+            "kernel: fill send descriptor (PIO) + doorbell",
+            start,
+            start + d,
+        );
+        ctx.sleep(d);
+    }
+
+    fn charge_checks(&self, ctx: &mut ActorCtx) {
+        let start = ctx.now();
+        let d = self.cfg.copyin_dispatch + self.os.costs.security_check;
+        ctx.sim().trace_span(
+            format!("n{}/tx", self.os.node_id.0),
+            "kernel: ioctl dispatch + security checks",
+            start,
+            start + d,
+        );
+        ctx.sleep(d);
+    }
+
+    // ---- ioctl subcommands (call under NodeOs::trap) ----
+
+    /// Create a port for `proc`. The library pre-allocated the completion
+    /// queues and the system-pool buffers in user space; the kernel pins
+    /// the pool and registers everything on the NIC.
+    pub fn ioctl_open_port(
+        &self,
+        ctx: &mut ActorCtx,
+        proc: &OsProcess,
+        queues: Arc<UserQueues>,
+        pool_buffers: &[VirtAddr],
+    ) -> Result<PortId, BclError> {
+        self.charge_checks(ctx);
+        self.check_caller(proc)?;
+        {
+            let st = self.state.lock();
+            if st.ports.values().any(|kp| kp.owner == proc.pid) {
+                // "Each process can create only one port." (§2.2)
+                return Err(BclError::PortAlreadyOpen(proc.pid));
+            }
+            if st.ports.len() >= self.cfg.limits.max_ports as usize {
+                return Err(BclError::PortTableFull);
+            }
+        }
+        let buf_bytes = self.cfg.system_pool.buffer_bytes;
+        let mut bufs = Vec::with_capacity(pool_buffers.len());
+        for &addr in pool_buffers {
+            self.check_buffer(proc, addr, buf_bytes)?;
+            bufs.push(self.pin_translate(ctx, proc, addr, buf_bytes)?);
+        }
+        let port = {
+            let mut st = self.state.lock();
+            let id = PortId(st.next_port);
+            st.next_port += 1;
+            st.ports.insert(id.0, KernelPort { owner: proc.pid });
+            id
+        };
+        // Port-init request to the NIC: queue bases, pool layout.
+        self.charge_descriptor_pio(ctx, pool_buffers.len() as u64);
+        self.mcp
+            .register_port(port, queues, Arc::new(SystemPool::new(buf_bytes, bufs)));
+        Ok(port)
+    }
+
+    /// Tear down a port and purge its pins.
+    pub fn ioctl_close_port(
+        &self,
+        ctx: &mut ActorCtx,
+        proc: &OsProcess,
+        port: PortId,
+    ) -> Result<(), BclError> {
+        self.charge_checks(ctx);
+        self.check_caller(proc)?;
+        {
+            let mut st = self.state.lock();
+            self.check_owner(&st, port, proc.pid)?;
+            st.ports.remove(&port.0);
+            st.pin.purge_asid(proc.space.asid());
+        }
+        self.charge_descriptor_pio(ctx, 0);
+        self.mcp.unregister_port(port);
+        Ok(())
+    }
+
+    /// Post a receive buffer on a normal channel ("making ready for message
+    /// buffer still need switch into kernel mode", §4.1.1).
+    #[allow(clippy::too_many_arguments)]
+    pub fn ioctl_post_recv(
+        &self,
+        ctx: &mut ActorCtx,
+        proc: &OsProcess,
+        port: PortId,
+        chan: u16,
+        addr: VirtAddr,
+        len: u64,
+        replace: bool,
+    ) -> Result<(), BclError> {
+        self.charge_checks(ctx);
+        self.check_caller(proc)?;
+        {
+            let st = self.state.lock();
+            self.check_owner(&st, port, proc.pid)?;
+        }
+        if chan >= self.cfg.limits.normal_channels {
+            return Err(BclError::BadChannel(ChannelId::normal(chan)));
+        }
+        self.check_buffer(proc, addr, len)?;
+        let segs = self.pin_translate(ctx, proc, addr, len)?;
+        let n_segs = segs.len() as u64;
+        if !self.mcp.post_normal(port, chan, segs, replace) {
+            return Err(BclError::ChannelBusy(ChannelId::normal(chan)));
+        }
+        self.charge_descriptor_pio(ctx, n_segs);
+        Ok(())
+    }
+
+    /// Bind a buffer to an open (RMA) channel.
+    pub fn ioctl_bind_open(
+        &self,
+        ctx: &mut ActorCtx,
+        proc: &OsProcess,
+        port: PortId,
+        chan: u16,
+        addr: VirtAddr,
+        len: u64,
+    ) -> Result<(), BclError> {
+        self.charge_checks(ctx);
+        self.check_caller(proc)?;
+        {
+            let st = self.state.lock();
+            self.check_owner(&st, port, proc.pid)?;
+        }
+        if chan >= self.cfg.limits.open_channels {
+            return Err(BclError::BadChannel(ChannelId::open(chan)));
+        }
+        self.check_buffer(proc, addr, len)?;
+        let segs = self.pin_translate(ctx, proc, addr, len)?;
+        let n_segs = segs.len() as u64;
+        self.mcp.bind_open(port, chan, segs);
+        self.charge_descriptor_pio(ctx, n_segs);
+        Ok(())
+    }
+
+    /// The send ioctl — the single kernel trap on BCL's critical send path.
+    #[allow(clippy::too_many_arguments)] // mirrors the ioctl request block
+    pub fn ioctl_send(
+        &self,
+        ctx: &mut ActorCtx,
+        proc: &OsProcess,
+        port: PortId,
+        dst: ProcAddr,
+        channel: ChannelId,
+        addr: VirtAddr,
+        len: u64,
+    ) -> Result<u32, BclError> {
+        self.charge_checks(ctx);
+        self.check_caller(proc)?;
+        {
+            let st = self.state.lock();
+            self.check_owner(&st, port, proc.pid)?;
+        }
+        self.check_dest(dst)?;
+        match channel.kind {
+            ChannelKind::System => {
+                if len > self.cfg.system_pool.buffer_bytes {
+                    return Err(BclError::TooBigForSystemChannel {
+                        len,
+                        max: self.cfg.system_pool.buffer_bytes,
+                    });
+                }
+            }
+            ChannelKind::Normal => {
+                if channel.index >= self.cfg.limits.normal_channels {
+                    return Err(BclError::BadChannel(channel));
+                }
+            }
+            ChannelKind::Open => return Err(BclError::BadChannel(channel)),
+        }
+        if len > self.cfg.limits.max_message_bytes {
+            return Err(BclError::MessageTooLong {
+                len,
+                max: self.cfg.limits.max_message_bytes,
+            });
+        }
+        if self.mcp.queue_depth() >= self.cfg.limits.send_ring {
+            return Err(BclError::RingFull);
+        }
+        if len > 0 {
+            self.check_buffer(proc, addr, len)?;
+        }
+        let segs = if len > 0 {
+            self.pin_translate(ctx, proc, addr, len)?
+        } else {
+            // The table is consulted even for empty payloads.
+            let start = ctx.now();
+            ctx.sim().trace_span(
+                format!("n{}/tx", self.os.node_id.0),
+                "kernel: pin-down table lookup + translation",
+                start,
+                start + self.os.costs.pin_lookup_hit,
+            );
+            ctx.sleep(self.os.costs.pin_lookup_hit);
+            Vec::new()
+        };
+        let msg_id = self.alloc_msg_id();
+        self.charge_descriptor_pio(ctx, segs.len() as u64);
+        self.mcp.post_send(SendJob {
+            src_port: port,
+            dst_fid: FabricNodeId(dst.node.0),
+            dst_port: dst.port,
+            channel,
+            msg_id,
+            segments: segs,
+            total_len: len,
+            kind: JobKind::Message,
+            retries: 0,
+            notify_sender: true,
+        });
+        Ok(msg_id)
+    }
+
+    /// One-sided write into `dst`'s open channel.
+    #[allow(clippy::too_many_arguments)]
+    pub fn ioctl_rma_write(
+        &self,
+        ctx: &mut ActorCtx,
+        proc: &OsProcess,
+        port: PortId,
+        dst: ProcAddr,
+        chan: u16,
+        offset: u64,
+        addr: VirtAddr,
+        len: u64,
+    ) -> Result<u32, BclError> {
+        self.charge_checks(ctx);
+        self.check_caller(proc)?;
+        {
+            let st = self.state.lock();
+            self.check_owner(&st, port, proc.pid)?;
+        }
+        self.check_dest(dst)?;
+        if chan >= self.cfg.limits.open_channels {
+            return Err(BclError::BadChannel(ChannelId::open(chan)));
+        }
+        self.check_buffer(proc, addr, len)?;
+        let segs = self.pin_translate(ctx, proc, addr, len)?;
+        let msg_id = self.alloc_msg_id();
+        self.charge_descriptor_pio(ctx, segs.len() as u64);
+        self.mcp.post_send(SendJob {
+            src_port: port,
+            dst_fid: FabricNodeId(dst.node.0),
+            dst_port: dst.port,
+            channel: ChannelId::open(chan),
+            msg_id,
+            segments: segs,
+            total_len: len,
+            kind: JobKind::RmaWrite { offset },
+            retries: 0,
+            notify_sender: true,
+        });
+        Ok(msg_id)
+    }
+
+    /// One-sided read from `dst`'s open channel into a local buffer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn ioctl_rma_read(
+        &self,
+        ctx: &mut ActorCtx,
+        proc: &OsProcess,
+        port: PortId,
+        dst: ProcAddr,
+        chan: u16,
+        offset: u64,
+        into: VirtAddr,
+        len: u64,
+    ) -> Result<u32, BclError> {
+        self.charge_checks(ctx);
+        self.check_caller(proc)?;
+        {
+            let st = self.state.lock();
+            self.check_owner(&st, port, proc.pid)?;
+        }
+        self.check_dest(dst)?;
+        if chan >= self.cfg.limits.open_channels {
+            return Err(BclError::BadChannel(ChannelId::open(chan)));
+        }
+        self.check_buffer(proc, into, len)?;
+        let segs = self.pin_translate(ctx, proc, into, len)?;
+        let msg_id = self.alloc_msg_id();
+        self.charge_descriptor_pio(ctx, 1);
+        self.mcp.post_send(SendJob {
+            src_port: port,
+            dst_fid: FabricNodeId(dst.node.0),
+            dst_port: dst.port,
+            channel: ChannelId::open(chan),
+            msg_id,
+            segments: segs,
+            total_len: 0, // the request packet itself carries no payload
+            kind: JobKind::RmaReadReq { offset, len },
+            retries: 0,
+            notify_sender: false,
+        });
+        Ok(msg_id)
+    }
+
+    fn alloc_msg_id(&self) -> u32 {
+        let mut st = self.state.lock();
+        let id = st.next_msg;
+        st.next_msg = st.next_msg.wrapping_add(2);
+        id
+    }
+
+    /// Kernel-visible cost of one trap round trip (for the harnesses).
+    pub fn trap_cost(&self) -> SimDuration {
+        self.os.costs.trap_roundtrip()
+    }
+}

@@ -1,0 +1,1033 @@
+//! MCP — the Message Control Program (NIC firmware).
+//!
+//! The paper's BCL has three layers; this is the bottom one, running on the
+//! NIC's LANai processor. "MCP controls all the inter-node packet transfers.
+//! MCP completes a sending operation by reading send request in the card's
+//! local memory, sending/receiving message with DMA engines and informing
+//! user process the completion." (§4.1.1)
+//!
+//! Responsibilities implemented here, all as deterministic simulation
+//! events:
+//!
+//! * **Send engine** — pops send descriptors posted by the kernel module,
+//!   stages fragments from user memory into SRAM by host-DMA, stamps
+//!   go-back-N sequence numbers, and injects packets. The LANai waits for
+//!   each fragment's wire DMA before processing the next, which (together
+//!   with `send_per_frag`) produces the paper's 146 MB/s plateau.
+//! * **Reliable transmission** — per-destination go-back-N with cumulative
+//!   ACKs and timeout retransmission ("NIC control program need to process
+//!   the reliable protocol and perform re-transmission when timeout").
+//! * **Receive engine** — CRC/sequence checking, demux to ports and
+//!   channels, DMA of payloads straight into user buffers (system pool or
+//!   posted normal buffers), RMA one-sided reads/writes, and DMA of
+//!   completion events into user-space queues (the kernel-free receive
+//!   path that defines the architecture).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use suca_mem::{PhysAddr, PhysMemory};
+use suca_myrinet::{Fabric, FabricNodeId, SramLease, SramPool, FRAMING_BYTES};
+use suca_os::NodeId;
+use suca_pci::DmaEngine;
+use suca_sim::{EventId, Sim, SimDuration};
+
+use crate::config::BclConfig;
+use crate::port::{ChannelId, ChannelKind, PortId, ProcAddr, RecvDataLoc, RecvEvent, SendEvent, SendStatus};
+use crate::queues::{SystemPool, UserQueues};
+use crate::reliable::{GbnReceiver, GbnSender, GbnVerdict};
+use crate::sg::{read_sg, sg_total, write_sg};
+use crate::wire::{WireHeader, WireKind, HEADER_BYTES};
+
+/// What a send descriptor asks the MCP to do.
+#[derive(Clone, Debug)]
+pub enum JobKind {
+    /// Ordinary message to a system or normal channel.
+    Message,
+    /// One-sided write into the destination's open channel at `offset`.
+    RmaWrite {
+        /// Byte offset within the target's bound buffer.
+        offset: u64,
+    },
+    /// One-sided read request: ask the target for `len` bytes at `offset`
+    /// of its open channel; the reply lands in this job's `segments`.
+    RmaReadReq {
+        /// Byte offset within the target's bound buffer.
+        offset: u64,
+        /// Bytes to read.
+        len: u64,
+    },
+    /// Reply stream for a read request (generated NIC-side at the target).
+    RmaReadData,
+}
+
+/// A send descriptor, as written into NIC memory by the kernel module.
+#[derive(Clone, Debug)]
+pub struct SendJob {
+    /// Originating port (for the completion event).
+    pub src_port: PortId,
+    /// Destination NIC.
+    pub dst_fid: FabricNodeId,
+    /// Destination port.
+    pub dst_port: PortId,
+    /// Destination channel.
+    pub channel: ChannelId,
+    /// Message id (assigned by the kernel module, unique per node).
+    pub msg_id: u32,
+    /// Physical segments of the payload in user memory.
+    pub segments: Vec<(PhysAddr, u64)>,
+    /// Payload length.
+    pub total_len: u64,
+    /// Operation.
+    pub kind: JobKind,
+    /// Message-level retries performed so far.
+    pub retries: u32,
+    /// Whether to post a send-completion event when injected.
+    pub notify_sender: bool,
+}
+
+struct ActiveSend {
+    job: SendJob,
+    /// Generation guard: staging callbacks from an aborted send are dropped.
+    gen: u64,
+    /// Staged fragments: (offset, data, SRAM lease held until injection).
+    staged: VecDeque<(u64, Vec<u8>, Option<SramLease>)>,
+    stage_next: u64,
+    staging: bool,
+    injected: u64,
+}
+
+struct Incoming {
+    port: PortId,
+    channel: ChannelId,
+    src_port: PortId,
+    total: u64,
+    received: u64,
+    target: Vec<(PhysAddr, u64)>,
+    loc: RecvDataLoc,
+}
+
+struct PendingRead {
+    port: PortId,
+    segments: Vec<(PhysAddr, u64)>,
+    total: u64,
+    received: u64,
+}
+
+struct NicPort {
+    queues: Arc<UserQueues>,
+    pool: Arc<SystemPool>,
+    normal: HashMap<u16, Vec<(PhysAddr, u64)>>,
+    open: HashMap<u16, Vec<(PhysAddr, u64)>>,
+}
+
+struct McpState {
+    ports: HashMap<u16, NicPort>,
+    send_queue: VecDeque<SendJob>,
+    retx: VecDeque<(FabricNodeId, Bytes)>,
+    active: Option<ActiveSend>,
+    active_gen: u64,
+    sender_busy: bool,
+    gbn_tx: HashMap<u32, GbnSender>,
+    gbn_rx: HashMap<u32, GbnReceiver>,
+    timers: HashMap<u32, EventId>,
+    incoming: HashMap<(u32, u32), Incoming>,
+    rejected: HashSet<(u32, u32)>,
+    pending_reads: HashMap<u32, PendingRead>,
+    completed: HashMap<u32, SendJob>,
+    completed_order: VecDeque<u32>,
+}
+
+pub(crate) struct McpInner {
+    sim: Sim,
+    cfg: BclConfig,
+    node: NodeId,
+    fid: FabricNodeId,
+    fabric: Arc<dyn Fabric>,
+    mem: PhysMemory,
+    host_dma: DmaEngine,
+    sram: SramPool,
+    frag_cap: u64,
+    state: Mutex<McpState>,
+}
+
+/// Handle to one NIC's firmware.
+#[derive(Clone)]
+pub struct Mcp {
+    inner: Arc<McpInner>,
+}
+
+/// How many fragments the staging engine keeps ahead of injection.
+const STAGE_AHEAD: usize = 8;
+/// Completed-job memory for message-level retries.
+const COMPLETED_CAP: usize = 256;
+
+impl Mcp {
+    /// Boot the firmware on the NIC of `node`, attached to `fabric` at
+    /// `fid`. Node ids and fabric ids are identity-mapped by the cluster
+    /// builder.
+    pub fn new(
+        sim: &Sim,
+        node: NodeId,
+        fid: FabricNodeId,
+        fabric: Arc<dyn Fabric>,
+        mem: PhysMemory,
+        cfg: BclConfig,
+    ) -> Mcp {
+        let host_dma = DmaEngine::from_pci(sim, "host", &cfg.pci);
+        let sram = SramPool::new(cfg.nic_sram_bytes);
+        let frag_cap = (fabric.mtu() as u64).saturating_sub(HEADER_BYTES as u64).min(4096);
+        assert!(frag_cap > 0, "MTU too small for the BCL header");
+        assert!(
+            cfg.nic_sram_bytes >= frag_cap,
+            "NIC SRAM must hold at least one fragment or staging deadlocks"
+        );
+        let inner = Arc::new(McpInner {
+            sim: sim.clone(),
+            cfg,
+            node,
+            fid,
+            fabric: fabric.clone(),
+            mem,
+            host_dma,
+            sram,
+            frag_cap,
+            state: Mutex::new(McpState {
+                ports: HashMap::new(),
+                send_queue: VecDeque::new(),
+                retx: VecDeque::new(),
+                active: None,
+                active_gen: 0,
+                sender_busy: false,
+                gbn_tx: HashMap::new(),
+                gbn_rx: HashMap::new(),
+                timers: HashMap::new(),
+                incoming: HashMap::new(),
+                rejected: HashSet::new(),
+                pending_reads: HashMap::new(),
+                completed: HashMap::new(),
+                completed_order: VecDeque::new(),
+            }),
+        });
+        let weak = Arc::downgrade(&inner);
+        fabric.attach(
+            fid,
+            Box::new(move |sim, pkt| {
+                if let Some(inner) = weak.upgrade() {
+                    McpInner::on_packet(&inner, sim, pkt);
+                }
+            }),
+        );
+        Mcp { inner }
+    }
+
+    /// Kernel module: register a port's host-memory structures on the NIC.
+    pub fn register_port(&self, port: PortId, queues: Arc<UserQueues>, pool: Arc<SystemPool>) {
+        let mut st = self.inner.state.lock();
+        let prev = st.ports.insert(
+            port.0,
+            NicPort {
+                queues,
+                pool,
+                normal: HashMap::new(),
+                open: HashMap::new(),
+            },
+        );
+        assert!(prev.is_none(), "port {port:?} registered twice on NIC");
+    }
+
+    /// Kernel module: tear down a port.
+    pub fn unregister_port(&self, port: PortId) {
+        self.inner.state.lock().ports.remove(&port.0);
+    }
+
+    /// Kernel module: post a receive buffer on a normal channel.
+    /// Returns `false` if the channel already holds an unconsumed buffer
+    /// and `replace` is not set. `replace` is used when the library knows
+    /// the previous posting was consumed by the intra-node path (which
+    /// bypasses the NIC entirely).
+    pub fn post_normal(
+        &self,
+        port: PortId,
+        idx: u16,
+        segs: Vec<(PhysAddr, u64)>,
+        replace: bool,
+    ) -> bool {
+        let mut st = self.inner.state.lock();
+        let p = st.ports.get_mut(&port.0).expect("post on unregistered port");
+        if p.normal.contains_key(&idx) && !replace {
+            return false;
+        }
+        p.normal.insert(idx, segs);
+        true
+    }
+
+    /// Kernel module: bind a buffer to an open (RMA) channel.
+    pub fn bind_open(&self, port: PortId, idx: u16, segs: Vec<(PhysAddr, u64)>) {
+        let mut st = self.inner.state.lock();
+        let p = st.ports.get_mut(&port.0).expect("bind on unregistered port");
+        p.open.insert(idx, segs);
+    }
+
+    /// Kernel module: post a send descriptor (the doorbell side effect).
+    pub fn post_send(&self, job: SendJob) {
+        {
+            let mut st = self.inner.state.lock();
+            if let JobKind::RmaReadReq { len, .. } = job.kind {
+                // The reply lands in this job's segments.
+                st.pending_reads.insert(
+                    job.msg_id,
+                    PendingRead {
+                        port: job.src_port,
+                        segments: job.segments.clone(),
+                        total: len,
+                        received: 0,
+                    },
+                );
+            }
+            st.send_queue.push_back(job);
+        }
+        McpInner::kick_sender(&self.inner);
+    }
+
+    /// Fragment payload capacity (bytes of user data per packet).
+    pub fn frag_cap(&self) -> u64 {
+        self.inner.frag_cap
+    }
+
+    /// Send descriptors currently queued (back-pressure for the ring-full
+    /// check in the kernel module).
+    pub fn queue_depth(&self) -> usize {
+        self.inner.state.lock().send_queue.len()
+    }
+
+    /// Library side: return a consumed system-pool buffer. On hardware the
+    /// library updates a free list in host memory that the NIC reads by
+    /// DMA; no kernel involvement either way.
+    pub fn release_pool_buffer(&self, port: PortId, idx: u32) {
+        let st = self.inner.state.lock();
+        if let Some(p) = st.ports.get(&port.0) {
+            p.pool.release(idx);
+        }
+    }
+
+    /// Free system-pool buffers on a port (tests/observability).
+    pub fn pool_free_count(&self, port: PortId) -> usize {
+        let st = self.inner.state.lock();
+        st.ports.get(&port.0).map_or(0, |p| p.pool.free_count())
+    }
+
+    /// SRAM usage observability: `(used, high_water, capacity)` bytes.
+    pub fn sram_stats(&self) -> (u64, u64, u64) {
+        (
+            self.inner.sram.used(),
+            self.inner.sram.high_water(),
+            self.inner.sram.capacity(),
+        )
+    }
+}
+
+impl McpInner {
+    fn wire_time(&self, payload_len: usize) -> SimDuration {
+        SimDuration::for_bytes(
+            payload_len as u64 + FRAMING_BYTES,
+            self.fabric.link_bytes_per_sec(),
+        )
+    }
+
+    fn track(&self, dir: &str) -> String {
+        format!("n{}/{dir}", self.node.0)
+    }
+
+    // ---------------- send engine ----------------
+
+    fn kick_sender(self: &Arc<Self>) {
+        let should = {
+            let mut st = self.state.lock();
+            if st.sender_busy {
+                false
+            } else {
+                st.sender_busy = true;
+                true
+            }
+        };
+        if should {
+            let me = self.clone();
+            self.sim.schedule_in(SimDuration::ZERO, move |_| me.sender_step());
+        }
+    }
+
+    /// One step of the LANai send loop. Invariant: `sender_busy` is true and
+    /// exactly one chain of `sender_step` events exists while it is.
+    fn sender_step(self: &Arc<Self>) {
+        enum Work {
+            Retx(FabricNodeId, Bytes),
+            NewJob,
+            Frag {
+                dst: FabricNodeId,
+                pkt: Bytes,
+                payload_len: usize,
+            },
+            StallStaging,
+            StallWindow,
+            Idle,
+        }
+        let work = {
+            let mut st = self.state.lock();
+            if let Some((dst, pkt)) = st.retx.pop_front() {
+                Work::Retx(dst, pkt)
+            } else if st.active.is_none() {
+                match st.send_queue.pop_front() {
+                    None => {
+                        st.sender_busy = false;
+                        Work::Idle
+                    }
+                    Some(job) => {
+                        st.active_gen += 1;
+                        let gen = st.active_gen;
+                        let mut active = ActiveSend {
+                            job,
+                            gen,
+                            staged: VecDeque::new(),
+                            stage_next: 0,
+                            staging: false,
+                            injected: 0,
+                        };
+                        // Zero-length messages and read requests still send
+                        // one (empty) fragment.
+                        if active.job.total_len == 0 {
+                            active.staged.push_back((0, Vec::new(), None));
+                            active.stage_next = 0;
+                        }
+                        st.active = Some(active);
+                        self.stage_more(&mut st);
+                        Work::NewJob
+                    }
+                }
+            } else {
+                let dst = st.active.as_ref().unwrap().job.dst_fid;
+                let window = self.cfg.reliability.window;
+                let window_open = st
+                    .gbn_tx
+                    .entry(dst.0)
+                    .or_insert_with(|| GbnSender::new(window))
+                    .can_send();
+                if !window_open {
+                    st.sender_busy = false;
+                    Work::StallWindow
+                } else if let Some((off, data, sram_lease)) =
+                    st.active.as_mut().unwrap().staged.pop_front()
+                {
+                    // The fragment leaves SRAM as it is injected.
+                    drop(sram_lease);
+                    let (mut header, job_done) = {
+                        let a = st.active.as_mut().unwrap();
+                        let h = Self::header_for(&a.job, off, &data);
+                        a.injected += data.len() as u64;
+                        (h, a.injected >= a.job.total_len)
+                    };
+                    let pkt = {
+                        let gbn = st.gbn_tx.get_mut(&dst.0).expect("entry created above");
+                        header.seq = gbn.next_seq();
+                        let pkt = header.encode(&data);
+                        gbn.record_sent(header.seq, pkt.clone());
+                        pkt
+                    };
+                    if job_done {
+                        let a = st.active.take().expect("active checked above");
+                        if a.job.notify_sender {
+                            self.post_send_event(&st, &a.job, SendStatus::Ok);
+                        }
+                        self.remember_completed(&mut st, a.job);
+                        // Next job (if any) starts after this fragment's
+                        // wire time, in the same chain.
+                    } else {
+                        self.stage_more(&mut st);
+                    }
+                    self.arm_timer(&mut st, dst);
+                    let payload_len = pkt.len();
+                    Work::Frag {
+                        dst,
+                        pkt,
+                        payload_len,
+                    }
+                } else {
+                    // Nothing staged yet.
+                    let a = st.active.as_ref().expect("active checked above");
+                    if a.staging || a.stage_next < a.job.total_len {
+                        st.sender_busy = false;
+                        Work::StallStaging
+                    } else {
+                        // All bytes staged & injected but job not closed:
+                        // cannot happen (job closes on last fragment).
+                        unreachable!("send engine inconsistent state");
+                    }
+                }
+            }
+        };
+        match work {
+            Work::Idle | Work::StallStaging | Work::StallWindow => {}
+            Work::NewJob => {
+                // Charge the per-message fixed cost (descriptor fetch +
+                // reliable-protocol setup), then continue.
+                let me = self.clone();
+                let start = self.sim.now();
+                let d = self.cfg.mcp.send_fixed;
+                self.sim
+                    .trace_span(self.track("tx"), "mcp: descriptor fetch + reliable setup", start, start + d);
+                self.sim.schedule_in(d, move |_| me.sender_step());
+            }
+            Work::Retx(dst, pkt) => {
+                self.sim.add_count("bcl.retx_packets", 1);
+                let proc = self.cfg.mcp.send_per_frag;
+                let tx = self.wire_time(pkt.len());
+                let me = self.clone();
+                let fabric = self.fabric.clone();
+                let fid = self.fid;
+                self.sim.schedule_in(proc, move |s| {
+                    fabric.inject(s, fid, dst, pkt);
+                });
+                let me2 = me;
+                self.sim.schedule_in(proc + tx, move |_| me2.sender_step());
+            }
+            Work::Frag {
+                dst,
+                pkt,
+                payload_len,
+            } => {
+                let proc = self.cfg.mcp.send_per_frag;
+                let tx = self.wire_time(payload_len);
+                let start = self.sim.now();
+                self.sim
+                    .trace_span(self.track("tx"), "mcp: fragment process", start, start + proc);
+                self.sim
+                    .trace_span(self.track("tx"), "wire: inject + transmit", start + proc, start + proc + tx);
+                let fabric = self.fabric.clone();
+                let fid = self.fid;
+                self.sim.schedule_in(proc, move |s| {
+                    fabric.inject(s, fid, dst, pkt);
+                });
+                let me = self.clone();
+                self.sim.schedule_in(proc + tx, move |_| me.sender_step());
+            }
+        }
+    }
+
+    fn header_for(job: &SendJob, frag_off: u64, data: &[u8]) -> WireHeader {
+        let (kind, offset, total) = match job.kind {
+            JobKind::Message => (WireKind::Data, frag_off, job.total_len),
+            JobKind::RmaWrite { offset } => (WireKind::Data, offset + frag_off, job.total_len),
+            JobKind::RmaReadReq { offset, len } => (WireKind::RmaReadReq, offset, len),
+            JobKind::RmaReadData => (WireKind::RmaReadData, frag_off, job.total_len),
+        };
+        WireHeader {
+            kind,
+            channel: job.channel,
+            src_port: job.src_port,
+            dst_port: job.dst_port,
+            msg_id: job.msg_id,
+            seq: 0, // stamped by the caller
+            offset: offset as u32,
+            total_len: total as u32,
+            frag_len: data.len() as u32,
+        }
+    }
+
+    /// Start/continue staging fragments from user memory into SRAM.
+    /// Must be called with the state lock held.
+    fn stage_more(self: &Arc<Self>, st: &mut McpState) {
+        let Some(a) = st.active.as_mut() else { return };
+        if a.staging || a.staged.len() >= STAGE_AHEAD || a.stage_next >= a.job.total_len {
+            return;
+        }
+        let off = a.stage_next;
+        let len = self.frag_cap.min(a.job.total_len - off);
+        // SRAM back-pressure: if the staging buffers are exhausted, pause;
+        // injection drops a lease per fragment and re-invokes stage_more.
+        let Some(lease) = self.sram.try_alloc(len) else {
+            self.sim.add_count("bcl.sram_stall", 1);
+            return;
+        };
+        a.staging = true;
+        a.stage_next = off + len;
+        let gen = a.gen;
+        let segs = a.job.segments.clone();
+        let me = self.clone();
+        self.host_dma.submit(len, move |_| {
+            let data = read_sg(&me.mem, &segs, off, len).expect("staging DMA faulted");
+            let mut st = me.state.lock();
+            let Some(a) = st.active.as_mut() else { return };
+            if a.gen != gen {
+                return; // send was aborted (rejected) while staging
+            }
+            a.staging = false;
+            a.staged.push_back((off, data, Some(lease)));
+            me.stage_more(&mut st);
+            drop(st);
+            me.kick_sender();
+        });
+    }
+
+    fn remember_completed(&self, st: &mut McpState, job: SendJob) {
+        st.completed_order.push_back(job.msg_id);
+        st.completed.insert(job.msg_id, job);
+        while st.completed_order.len() > COMPLETED_CAP {
+            let old = st.completed_order.pop_front().unwrap();
+            st.completed.remove(&old);
+        }
+    }
+
+    /// DMA a send-completion event into the owner's user-space queue.
+    fn post_send_event(&self, st: &McpState, job: &SendJob, status: SendStatus) {
+        let Some(port) = st.ports.get(&job.src_port.0) else {
+            return; // port closed meanwhile
+        };
+        let queues = port.queues.clone();
+        let msg_id = job.msg_id;
+        self.host_dma.submit(self.cfg.mcp.event_bytes, move |_| {
+            queues.push_send(SendEvent { msg_id, status });
+        });
+    }
+
+    // ---------------- timers / retransmission ----------------
+
+    fn arm_timer(self: &Arc<Self>, st: &mut McpState, dst: FabricNodeId) {
+        if st.timers.contains_key(&dst.0) {
+            return;
+        }
+        let me = self.clone();
+        let id = self
+            .sim
+            .schedule_in(self.cfg.reliability.retransmit_timeout, move |_| {
+                me.on_timeout(dst)
+            });
+        st.timers.insert(dst.0, id);
+    }
+
+    fn on_timeout(self: &Arc<Self>, dst: FabricNodeId) {
+        {
+            let mut st = self.state.lock();
+            st.timers.remove(&dst.0);
+            let Some(gbn) = st.gbn_tx.get(&dst.0) else { return };
+            if gbn.in_flight() == 0 {
+                return;
+            }
+            self.sim.add_count("bcl.timeouts", 1);
+            let packets: Vec<Bytes> = gbn.unacked().cloned().collect();
+            for p in packets {
+                st.retx.push_back((dst, p));
+            }
+            self.arm_timer(&mut st, dst);
+        }
+        self.kick_sender();
+    }
+
+    // ---------------- receive engine ----------------
+
+    fn on_packet(self: &Arc<Self>, sim: &Sim, pkt: suca_myrinet::Packet) {
+        if pkt.corrupted {
+            sim.add_count("bcl.crc_dropped", 1);
+            return; // CRC check fails; go-back-N recovers via timeout
+        }
+        let Some((header, payload)) = WireHeader::decode(&pkt.payload) else {
+            sim.add_count("bcl.malformed", 1);
+            return;
+        };
+        let src = pkt.src;
+        match header.kind {
+            WireKind::Ack => {
+                let me = self.clone();
+                sim.schedule_in(self.cfg.mcp.ack_process, move |_| {
+                    me.on_ack(src, header.seq);
+                });
+            }
+            WireKind::Reject => {
+                let me = self.clone();
+                sim.schedule_in(self.cfg.mcp.ack_process, move |_| {
+                    me.on_reject(header.msg_id, header.offset == 1);
+                });
+            }
+            WireKind::Data | WireKind::RmaReadReq | WireKind::RmaReadData => {
+                let me = self.clone();
+                let proc = self.cfg.mcp.recv_per_frag;
+                let start = sim.now();
+                sim.trace_span(self.track("rx"), "mcp: receive process", start, start + proc);
+                sim.schedule_in(proc, move |_| {
+                    me.on_data(src, header, payload);
+                });
+            }
+        }
+    }
+
+    fn on_ack(self: &Arc<Self>, src: FabricNodeId, cum: u32) {
+        {
+            let mut st = self.state.lock();
+            let Some(gbn) = st.gbn_tx.get_mut(&src.0) else { return };
+            let freed = gbn.on_ack(cum);
+            if freed == 0 {
+                return;
+            }
+            let empty = gbn.in_flight() == 0;
+            if let Some(timer) = st.timers.remove(&src.0) {
+                self.sim.cancel(timer);
+            }
+            if !empty {
+                self.arm_timer(&mut st, src);
+            }
+        }
+        self.kick_sender(); // window may have opened
+    }
+
+    fn on_reject(self: &Arc<Self>, msg_id: u32, fatal: bool) {
+        let decision = {
+            let mut st = self.state.lock();
+            // Find the job: active, queued, or recently completed.
+            let job = if st
+                .active
+                .as_ref()
+                .is_some_and(|a| a.job.msg_id == msg_id)
+            {
+                let a = st.active.take().unwrap();
+                Some(a.job)
+            } else if let Some(pos) = st.send_queue.iter().position(|j| j.msg_id == msg_id) {
+                st.send_queue.remove(pos)
+            } else {
+                st.completed.remove(&msg_id).inspect(|_| {
+                    st.completed_order.retain(|&m| m != msg_id);
+                })
+            };
+            match job {
+                None => None,
+                Some(mut job) => {
+                    job.retries += 1;
+                    if fatal || job.retries > self.cfg.reliability.max_message_retries {
+                        self.sim.add_count("bcl.msg_failed", 1);
+                        if let JobKind::RmaReadReq { .. } = job.kind {
+                            st.pending_reads.remove(&msg_id);
+                        }
+                        self.post_send_event(&st, &job, SendStatus::Rejected);
+                        None
+                    } else {
+                        self.sim.add_count("bcl.msg_retries", 1);
+                        // The first injection already posted an Ok
+                        // completion; retries are silent (only a final
+                        // failure produces another event).
+                        job.notify_sender = false;
+                        Some(job)
+                    }
+                }
+            }
+        };
+        if let Some(job) = decision {
+            let me = self.clone();
+            self.sim
+                .schedule_in(self.cfg.reliability.reject_retry_delay, move |_| {
+                    me.state.lock().send_queue.push_back(job);
+                    me.kick_sender();
+                });
+        } else {
+            self.kick_sender(); // active may have been dropped
+        }
+    }
+
+    fn send_control(self: &Arc<Self>, dst: FabricNodeId, header: WireHeader) {
+        let pkt = header.encode(b"");
+        let fabric = self.fabric.clone();
+        let fid = self.fid;
+        self.sim.schedule_in(self.cfg.mcp.ack_send, move |s| {
+            fabric.inject(s, fid, dst, pkt);
+        });
+    }
+
+    fn ack_header(cum: u32) -> WireHeader {
+        WireHeader {
+            kind: WireKind::Ack,
+            channel: ChannelId::SYSTEM,
+            src_port: PortId(0),
+            dst_port: PortId(0),
+            msg_id: 0,
+            seq: cum,
+            offset: 0,
+            total_len: 0,
+            frag_len: 0,
+        }
+    }
+
+    fn reject_header(msg_id: u32, fatal: bool) -> WireHeader {
+        WireHeader {
+            kind: WireKind::Reject,
+            channel: ChannelId::SYSTEM,
+            src_port: PortId(0),
+            dst_port: PortId(0),
+            msg_id,
+            seq: 0,
+            offset: u32::from(fatal),
+            total_len: 0,
+            frag_len: 0,
+        }
+    }
+
+    fn on_data(self: &Arc<Self>, src: FabricNodeId, header: WireHeader, payload: Bytes) {
+        let cum = {
+            let mut st = self.state.lock();
+            let rx = st.gbn_rx.entry(src.0).or_default();
+            let verdict = rx.on_data(header.seq);
+            let cum = rx.cum_ack();
+            match verdict {
+                GbnVerdict::Accept => {}
+                GbnVerdict::Duplicate | GbnVerdict::OutOfOrder => {
+                    self.sim.add_count("bcl.rx_discarded", 1);
+                    drop(st);
+                    self.send_control(src, Self::ack_header(cum));
+                    return;
+                }
+            }
+            self.accept_data(&mut st, src, header, payload);
+            cum
+        };
+        self.send_control(src, Self::ack_header(cum));
+    }
+
+    /// Handle an accepted, in-order data packet. Lock held.
+    fn accept_data(
+        self: &Arc<Self>,
+        st: &mut McpState,
+        src: FabricNodeId,
+        header: WireHeader,
+        payload: Bytes,
+    ) {
+        match header.kind {
+            WireKind::Data => match header.channel.kind {
+                ChannelKind::System | ChannelKind::Normal => {
+                    self.deliver_message(st, src, header, payload)
+                }
+                ChannelKind::Open => self.rma_write(st, src, header, payload),
+            },
+            WireKind::RmaReadReq => self.rma_read_request(st, src, header),
+            WireKind::RmaReadData => self.rma_read_data(st, src, header, payload),
+            _ => unreachable!("control kinds handled earlier"),
+        }
+    }
+
+    fn deliver_message(
+        self: &Arc<Self>,
+        st: &mut McpState,
+        src: FabricNodeId,
+        header: WireHeader,
+        payload: Bytes,
+    ) {
+        let key = (src.0, header.msg_id);
+        if st.rejected.contains(&key) {
+            if header.offset as u64 + payload.len() as u64 >= header.total_len as u64 {
+                st.rejected.remove(&key); // last fragment seen; forget
+            }
+            return;
+        }
+        if header.offset == 0 {
+            // First fragment: find a destination buffer.
+            let Some(port) = st.ports.get_mut(&header.dst_port.0) else {
+                self.sim.add_count("bcl.rx_no_port", 1);
+                return;
+            };
+            let (target, loc) = match header.channel.kind {
+                ChannelKind::System => match port.pool.claim() {
+                    Some(idx) => (
+                        port.pool.segments(idx).to_vec(),
+                        RecvDataLoc::SystemBuffer(idx),
+                    ),
+                    None => {
+                        // Paper §2.2: "The incoming message will be discarded
+                        // if there is no free buffer in the pool."
+                        self.sim.add_count("bcl.sys_pool_discard", 1);
+                        if header.total_len as u64 > payload.len() as u64 {
+                            st.rejected.insert(key);
+                        }
+                        return;
+                    }
+                },
+                ChannelKind::Normal => match port.normal.remove(&header.channel.index) {
+                    Some(segs) => (segs, RecvDataLoc::Posted),
+                    None => {
+                        // Rendezvous violated: tell the sender to retry.
+                        self.sim.add_count("bcl.rx_not_ready", 1);
+                        if header.total_len as u64 > payload.len() as u64 {
+                            st.rejected.insert(key);
+                        }
+                        self.send_control(src, Self::reject_header(header.msg_id, false));
+                        return;
+                    }
+                },
+                ChannelKind::Open => unreachable!(),
+            };
+            if (header.total_len as u64) > sg_total(&target) {
+                // Message longer than the receive buffer: refuse (fatal).
+                self.sim.add_count("bcl.rx_too_big", 1);
+                if header.total_len as u64 > payload.len() as u64 {
+                    st.rejected.insert(key);
+                }
+                self.send_control(src, Self::reject_header(header.msg_id, true));
+                return;
+            }
+            st.incoming.insert(
+                key,
+                Incoming {
+                    port: header.dst_port,
+                    channel: header.channel,
+                    src_port: header.src_port,
+                    total: header.total_len as u64,
+                    received: 0,
+                    target,
+                    loc,
+                },
+            );
+        }
+        let Some(inc) = st.incoming.get(&key) else {
+            self.sim.add_count("bcl.rx_orphan_frag", 1);
+            return;
+        };
+        // DMA the fragment into its place in the user buffer.
+        let segs = inc.target.clone();
+        let off = header.offset as u64;
+        let me = self.clone();
+        let len = payload.len() as u64;
+        self.host_dma.submit(len, move |_| {
+            write_sg(&me.mem, &segs, off, &payload).expect("recv DMA faulted");
+            let mut st = me.state.lock();
+            let Some(inc) = st.incoming.get_mut(&key) else { return };
+            inc.received += len;
+            if inc.received >= inc.total {
+                let inc = st.incoming.remove(&key).expect("present above");
+                me.post_recv_event(&st, src, header.msg_id, inc);
+            }
+        });
+    }
+
+    /// DMA a receive-completion event into the user queue. Lock held.
+    fn post_recv_event(self: &Arc<Self>, st: &McpState, src: FabricNodeId, msg_id: u32, inc: Incoming) {
+        let Some(port) = st.ports.get(&inc.port.0) else { return };
+        let queues = port.queues.clone();
+        let ev = RecvEvent {
+            src: ProcAddr {
+                node: NodeId(src.0),
+                port: inc.src_port,
+            },
+            channel: inc.channel,
+            len: inc.total,
+            msg_id,
+            data: inc.loc,
+        };
+        let start = self.sim.now();
+        let d = SimDuration::for_bytes(self.cfg.mcp.event_bytes, self.cfg.pci.dma_bytes_per_sec)
+            + self.cfg.pci.dma_setup;
+        self.sim
+            .trace_span(self.track("rx"), "dma: completion event to user queue", start, start + d);
+        self.host_dma.submit(self.cfg.mcp.event_bytes, move |_| {
+            queues.push_recv(ev);
+        });
+    }
+
+    fn rma_write(
+        self: &Arc<Self>,
+        st: &mut McpState,
+        _src: FabricNodeId,
+        header: WireHeader,
+        payload: Bytes,
+    ) {
+        let Some(port) = st.ports.get(&header.dst_port.0) else {
+            self.sim.add_count("bcl.rx_no_port", 1);
+            return;
+        };
+        let Some(segs) = port.open.get(&header.channel.index) else {
+            self.sim.add_count("bcl.rma_bad_channel", 1);
+            return;
+        };
+        let end = header.offset as u64 + payload.len() as u64;
+        if end > sg_total(segs) {
+            // NIC-side bounds check: one-sided writes cannot scribble past
+            // the bound window.
+            self.sim.add_count("bcl.rma_oob", 1);
+            return;
+        }
+        let segs = segs.clone();
+        let me = self.clone();
+        let off = header.offset as u64;
+        self.host_dma.submit(payload.len() as u64, move |_| {
+            write_sg(&me.mem, &segs, off, &payload).expect("RMA write DMA faulted");
+        });
+    }
+
+    fn rma_read_request(self: &Arc<Self>, st: &mut McpState, src: FabricNodeId, header: WireHeader) {
+        let Some(port) = st.ports.get(&header.dst_port.0) else {
+            self.sim.add_count("bcl.rx_no_port", 1);
+            self.send_control(src, Self::reject_header(header.msg_id, true));
+            return;
+        };
+        let Some(segs) = port.open.get(&header.channel.index) else {
+            self.sim.add_count("bcl.rma_bad_channel", 1);
+            self.send_control(src, Self::reject_header(header.msg_id, true));
+            return;
+        };
+        let offset = header.offset as u64;
+        let len = header.total_len as u64;
+        if offset + len > sg_total(segs) {
+            self.sim.add_count("bcl.rma_oob", 1);
+            self.send_control(src, Self::reject_header(header.msg_id, true));
+            return;
+        }
+        let reply_segs = crate::sg::slice_sg(segs, offset, len);
+        st.send_queue.push_back(SendJob {
+            src_port: header.dst_port,
+            dst_fid: src,
+            dst_port: header.src_port,
+            channel: header.channel,
+            msg_id: header.msg_id,
+            segments: reply_segs,
+            total_len: len,
+            kind: JobKind::RmaReadData,
+            retries: 0,
+            notify_sender: false,
+        });
+        // kick_sender needs the lock we currently hold; defer.
+        let me = self.clone();
+        self.sim.schedule_in(SimDuration::ZERO, move |_| me.kick_sender());
+    }
+
+    fn rma_read_data(
+        self: &Arc<Self>,
+        st: &mut McpState,
+        _src: FabricNodeId,
+        header: WireHeader,
+        payload: Bytes,
+    ) {
+        let msg_id = header.msg_id;
+        let Some(pr) = st.pending_reads.get(&msg_id) else {
+            self.sim.add_count("bcl.rx_orphan_read_data", 1);
+            return;
+        };
+        let segs = pr.segments.clone();
+        let off = header.offset as u64;
+        let len = payload.len() as u64;
+        let me = self.clone();
+        self.host_dma.submit(len, move |_| {
+            write_sg(&me.mem, &segs, off, &payload).expect("read-reply DMA faulted");
+            let mut st = me.state.lock();
+            let Some(pr) = st.pending_reads.get_mut(&msg_id) else { return };
+            pr.received += len;
+            if pr.received >= pr.total {
+                let pr = st.pending_reads.remove(&msg_id).unwrap();
+                if let Some(port) = st.ports.get(&pr.port.0) {
+                    let queues = port.queues.clone();
+                    me.host_dma.submit(me.cfg.mcp.event_bytes, move |_| {
+                        queues.push_send(SendEvent {
+                            msg_id,
+                            status: SendStatus::Ok,
+                        });
+                    });
+                }
+            }
+        });
+    }
+}

@@ -1,0 +1,168 @@
+//! Port and channel identifiers, and the completion events user code polls.
+//!
+//! A BCL process owns exactly one **port**; `(node, port)` uniquely names a
+//! process cluster-wide (paper §2.2). Each port has a send-request queue and
+//! per-kind receive channels: the **system** channel (FIFO buffer pool for
+//! small messages), **normal** channels (rendezvous: a posted user buffer),
+//! and **open** channels (RMA windows).
+
+use suca_os::NodeId;
+
+/// Port number on a node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PortId(pub u16);
+
+/// Cluster-wide process address: `(node, port)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProcAddr {
+    /// Node number.
+    pub node: NodeId,
+    /// Port number on that node.
+    pub port: PortId,
+}
+
+/// The three channel kinds of BCL (paper §2.2).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ChannelKind {
+    /// Per-process FIFO buffer pool for small messages.
+    System,
+    /// Rendezvous channel: receiver posts a buffer before the send.
+    Normal,
+    /// RMA window: a bound buffer other processes read/write one-sidedly.
+    Open,
+}
+
+impl ChannelKind {
+    /// Wire encoding.
+    pub fn to_wire(self) -> u8 {
+        match self {
+            ChannelKind::System => 0,
+            ChannelKind::Normal => 1,
+            ChannelKind::Open => 2,
+        }
+    }
+
+    /// Wire decoding.
+    pub fn from_wire(b: u8) -> Option<ChannelKind> {
+        match b {
+            0 => Some(ChannelKind::System),
+            1 => Some(ChannelKind::Normal),
+            2 => Some(ChannelKind::Open),
+            _ => None,
+        }
+    }
+}
+
+/// A channel within a port.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ChannelId {
+    /// Kind of channel.
+    pub kind: ChannelKind,
+    /// Index within the kind (always 0 for the system channel).
+    pub index: u16,
+}
+
+impl ChannelId {
+    /// The (single) system channel.
+    pub const SYSTEM: ChannelId = ChannelId {
+        kind: ChannelKind::System,
+        index: 0,
+    };
+
+    /// Normal channel `i`.
+    pub fn normal(i: u16) -> ChannelId {
+        ChannelId {
+            kind: ChannelKind::Normal,
+            index: i,
+        }
+    }
+
+    /// Open (RMA) channel `i`.
+    pub fn open(i: u16) -> ChannelId {
+        ChannelId {
+            kind: ChannelKind::Open,
+            index: i,
+        }
+    }
+}
+
+/// Where the payload of a received message lives.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecvDataLoc {
+    /// In system-pool buffer `index` (must be freed by consuming the data).
+    SystemBuffer(u32),
+    /// In the user buffer posted on this normal channel.
+    Posted,
+    /// Delivered through the intra-node shared-memory queue; payload
+    /// already copied out into this vector.
+    Inline(Vec<u8>),
+}
+
+/// A receive-completion event, DMA'd by the NIC into the user-space event
+/// queue (or produced locally by the intra-node path).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecvEvent {
+    /// Sender address.
+    pub src: ProcAddr,
+    /// Channel the message arrived on.
+    pub channel: ChannelId,
+    /// Message length in bytes.
+    pub len: u64,
+    /// Sender-assigned message id.
+    pub msg_id: u32,
+    /// Payload location.
+    pub data: RecvDataLoc,
+}
+
+/// Why a send completed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendStatus {
+    /// Message fully handed to the wire (and will be delivered by the
+    /// reliability layer).
+    Ok,
+    /// Receiver rejected it persistently (channel never posted / pool full
+    /// beyond the retry budget).
+    Rejected,
+}
+
+/// A send-completion event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SendEvent {
+    /// Message id assigned at `bcl_send`.
+    pub msg_id: u32,
+    /// Outcome.
+    pub status: SendStatus,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_kind_wire_roundtrip() {
+        for k in [ChannelKind::System, ChannelKind::Normal, ChannelKind::Open] {
+            assert_eq!(ChannelKind::from_wire(k.to_wire()), Some(k));
+        }
+        assert_eq!(ChannelKind::from_wire(9), None);
+    }
+
+    #[test]
+    fn proc_addr_identity() {
+        let a = ProcAddr {
+            node: NodeId(3),
+            port: PortId(7),
+        };
+        let b = ProcAddr {
+            node: NodeId(3),
+            port: PortId(7),
+        };
+        assert_eq!(a, b);
+        assert_ne!(
+            a,
+            ProcAddr {
+                node: NodeId(3),
+                port: PortId(8)
+            }
+        );
+    }
+}

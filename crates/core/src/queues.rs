@@ -1,0 +1,243 @@
+//! Host-memory structures shared between the NIC and the user library.
+//!
+//! The defining trick of the semi-user-level receive path: completion events
+//! are DMA'd by the NIC **into user-space memory**, and the process polls
+//! them there — no trap, no interrupt. Likewise the system-channel buffer
+//! pool's free list lives in host memory where the library returns buffers
+//! and the NIC (via DMA reads) claims them.
+//!
+//! We model the queue *entries* as typed values rather than raw bytes (the
+//! payloads themselves live in simulated memory); the DMA cost of writing an
+//! event is charged by the MCP before an entry appears here.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+use suca_mem::PhysAddr;
+use suca_sim::{ActorCtx, Signal, Sim};
+
+use crate::port::{RecvEvent, SendEvent};
+
+/// Per-port completion queues, resident in the port owner's user memory.
+pub struct UserQueues {
+    recv: Mutex<VecDeque<RecvEvent>>,
+    send: Mutex<VecDeque<SendEvent>>,
+    /// Notified when a receive event is posted.
+    pub recv_signal: Signal,
+    /// Notified when a send event is posted.
+    pub send_signal: Signal,
+    /// Notified when *any* event is posted (progress-engine wakeup).
+    pub any_signal: Signal,
+}
+
+impl UserQueues {
+    /// Create the queues (library side, at port open).
+    pub fn new(sim: &Sim) -> Self {
+        UserQueues {
+            recv: Mutex::new(VecDeque::new()),
+            send: Mutex::new(VecDeque::new()),
+            recv_signal: Signal::new(sim),
+            send_signal: Signal::new(sim),
+            any_signal: Signal::new(sim),
+        }
+    }
+
+    /// NIC side: post a receive event and wake pollers.
+    pub fn push_recv(&self, ev: RecvEvent) {
+        self.recv.lock().push_back(ev);
+        self.recv_signal.notify();
+        self.any_signal.notify();
+    }
+
+    /// NIC side: post a send event and wake pollers.
+    pub fn push_send(&self, ev: SendEvent) {
+        self.send.lock().push_back(ev);
+        self.send_signal.notify();
+        self.any_signal.notify();
+    }
+
+    /// Library side: block until *some* event (send or receive) is queued.
+    /// Progress engines (EADI) use this to pump both queues.
+    pub fn wait_any(&self, ctx: &mut ActorCtx) {
+        loop {
+            if !self.recv.lock().is_empty() || !self.send.lock().is_empty() {
+                return;
+            }
+            self.any_signal.wait(ctx);
+        }
+    }
+
+    /// Library side: non-blocking poll of the receive queue.
+    pub fn pop_recv(&self) -> Option<RecvEvent> {
+        self.recv.lock().pop_front()
+    }
+
+    /// Library side: non-blocking poll of the send queue.
+    pub fn pop_send(&self) -> Option<SendEvent> {
+        self.send.lock().pop_front()
+    }
+
+    /// Library side: block the actor until a receive event is available.
+    pub fn wait_recv(&self, ctx: &mut ActorCtx) -> RecvEvent {
+        loop {
+            if let Some(ev) = self.pop_recv() {
+                return ev;
+            }
+            self.recv_signal.wait(ctx);
+        }
+    }
+
+    /// Library side: block the actor until a send event is available.
+    pub fn wait_send(&self, ctx: &mut ActorCtx) -> SendEvent {
+        loop {
+            if let Some(ev) = self.pop_send() {
+                return ev;
+            }
+            self.send_signal.wait(ctx);
+        }
+    }
+
+    /// Events currently queued (recv, send) — for tests.
+    pub fn depths(&self) -> (usize, usize) {
+        (self.recv.lock().len(), self.send.lock().len())
+    }
+}
+
+/// The system channel's buffer pool (paper §2.2): a FIFO of fixed-size
+/// buffers in the receiver's user space. The NIC takes a free buffer for
+/// each arriving small message; the library returns it after consumption.
+pub struct SystemPool {
+    buf_bytes: u64,
+    /// Physical segments of each buffer (pinned at port open).
+    bufs: Vec<Vec<(PhysAddr, u64)>>,
+    free: Mutex<VecDeque<u32>>,
+}
+
+impl SystemPool {
+    /// Build from the pinned segment lists of the pool's buffers.
+    pub fn new(buf_bytes: u64, bufs: Vec<Vec<(PhysAddr, u64)>>) -> Self {
+        let free = (0..bufs.len() as u32).collect();
+        SystemPool {
+            buf_bytes,
+            bufs,
+            free: Mutex::new(free),
+        }
+    }
+
+    /// Size of each buffer (= largest system-channel message).
+    pub fn buf_bytes(&self) -> u64 {
+        self.buf_bytes
+    }
+
+    /// Number of buffers.
+    pub fn len(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// True if the pool has no buffers at all.
+    pub fn is_empty(&self) -> bool {
+        self.bufs.is_empty()
+    }
+
+    /// NIC side: claim the next free buffer (FIFO). `None` ⇒ the incoming
+    /// message is discarded, as the paper specifies.
+    pub fn claim(&self) -> Option<u32> {
+        self.free.lock().pop_front()
+    }
+
+    /// Library side: return a consumed buffer to the pool.
+    pub fn release(&self, idx: u32) {
+        assert!((idx as usize) < self.bufs.len(), "bogus pool index {idx}");
+        let mut free = self.free.lock();
+        debug_assert!(!free.contains(&idx), "double release of buffer {idx}");
+        free.push_back(idx);
+    }
+
+    /// Physical segments of buffer `idx`.
+    pub fn segments(&self, idx: u32) -> &[(PhysAddr, u64)] {
+        &self.bufs[idx as usize]
+    }
+
+    /// Free buffers right now.
+    pub fn free_count(&self) -> usize {
+        self.free.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::port::{ChannelId, ProcAddr, RecvDataLoc, SendStatus};
+    use suca_os::NodeId;
+    use suca_sim::{RunOutcome, SimDuration};
+    use std::sync::Arc;
+
+    fn ev(n: u32) -> RecvEvent {
+        RecvEvent {
+            src: ProcAddr {
+                node: NodeId(0),
+                port: crate::port::PortId(0),
+            },
+            channel: ChannelId::SYSTEM,
+            len: n as u64,
+            msg_id: n,
+            data: RecvDataLoc::SystemBuffer(0),
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let sim = Sim::new(1);
+        let q = UserQueues::new(&sim);
+        q.push_recv(ev(1));
+        q.push_recv(ev(2));
+        assert_eq!(q.pop_recv().unwrap().msg_id, 1);
+        assert_eq!(q.pop_recv().unwrap().msg_id, 2);
+        assert!(q.pop_recv().is_none());
+    }
+
+    #[test]
+    fn wait_recv_blocks_until_event() {
+        let sim = Sim::new(1);
+        let q = Arc::new(UserQueues::new(&sim));
+        let q2 = q.clone();
+        sim.spawn("rx", move |ctx| {
+            let e = q2.wait_recv(ctx);
+            assert_eq!(e.msg_id, 9);
+            assert_eq!(ctx.now().as_us(), 5.0);
+        });
+        let q3 = q.clone();
+        sim.schedule_in(SimDuration::from_us(5), move |_| q3.push_recv(ev(9)));
+        assert_eq!(sim.run(), RunOutcome::Completed);
+    }
+
+    #[test]
+    fn wait_send_sees_status() {
+        let sim = Sim::new(1);
+        let q = Arc::new(UserQueues::new(&sim));
+        q.push_send(SendEvent {
+            msg_id: 3,
+            status: SendStatus::Ok,
+        });
+        let q2 = q.clone();
+        sim.spawn("tx", move |ctx| {
+            let e = q2.wait_send(ctx);
+            assert_eq!(e.status, SendStatus::Ok);
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+    }
+
+    #[test]
+    fn pool_fifo_claim_release() {
+        let bufs = vec![vec![(PhysAddr(0), 4096)], vec![(PhysAddr(4096), 4096)]];
+        let pool = SystemPool::new(4096, bufs);
+        assert_eq!(pool.free_count(), 2);
+        let a = pool.claim().unwrap();
+        let b = pool.claim().unwrap();
+        assert_eq!((a, b), (0, 1));
+        assert!(pool.claim().is_none(), "pool exhausted");
+        pool.release(b);
+        assert_eq!(pool.claim().unwrap(), 1, "FIFO reuse");
+    }
+}

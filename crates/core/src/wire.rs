@@ -1,0 +1,198 @@
+//! BCL wire format.
+//!
+//! Every packet the MCP injects starts with a fixed 32-byte header followed
+//! by the fragment payload. Headers are serialized to real bytes — the
+//! fabric is given one opaque buffer, exactly as Myrinet sees one packet —
+//! and parsed back on the receiving NIC, so header overhead shows up in wire
+//! timing and corruption genuinely garbles messages.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::port::{ChannelId, ChannelKind, PortId};
+
+/// Serialized header size.
+pub const HEADER_BYTES: usize = 32;
+
+/// Packet type.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WireKind {
+    /// Message fragment.
+    Data,
+    /// Cumulative acknowledgement of link-level sequence numbers.
+    Ack,
+    /// Receiver could not accept the message (channel not posted / pool
+    /// full); sender should retry the whole message.
+    Reject,
+    /// RMA read request (target responds with `RmaReadData` fragments on the
+    /// requester's pending-read stream).
+    RmaReadReq,
+    /// RMA read response fragment; `msg_id` matches the original request.
+    RmaReadData,
+}
+
+impl WireKind {
+    fn to_wire(self) -> u8 {
+        match self {
+            WireKind::Data => 1,
+            WireKind::Ack => 2,
+            WireKind::Reject => 3,
+            WireKind::RmaReadReq => 4,
+            WireKind::RmaReadData => 5,
+        }
+    }
+    fn from_wire(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(WireKind::Data),
+            2 => Some(WireKind::Ack),
+            3 => Some(WireKind::Reject),
+            4 => Some(WireKind::RmaReadReq),
+            5 => Some(WireKind::RmaReadData),
+            _ => None,
+        }
+    }
+}
+
+/// Parsed packet header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WireHeader {
+    /// Packet type.
+    pub kind: WireKind,
+    /// Destination channel (kind + index).
+    pub channel: ChannelId,
+    /// Sending port on the source node.
+    pub src_port: PortId,
+    /// Destination port on the destination node.
+    pub dst_port: PortId,
+    /// Sender-assigned message id (per source NIC, monotonically increasing).
+    pub msg_id: u32,
+    /// Link-level go-back-N sequence number (Data) or cumulative ack (Ack).
+    pub seq: u32,
+    /// Byte offset of this fragment within the message; for RMA, offset
+    /// within the bound buffer.
+    pub offset: u32,
+    /// Total message length in bytes.
+    pub total_len: u32,
+    /// Payload bytes following the header in this packet.
+    pub frag_len: u32,
+}
+
+impl WireHeader {
+    /// Serialize, prepending to `payload`.
+    pub fn encode(&self, payload: &[u8]) -> Bytes {
+        debug_assert_eq!(payload.len(), self.frag_len as usize);
+        let mut b = BytesMut::with_capacity(HEADER_BYTES + payload.len());
+        b.put_u8(self.kind.to_wire());
+        b.put_u8(self.channel.kind.to_wire());
+        b.put_u16_le(self.channel.index);
+        b.put_u16_le(self.src_port.0);
+        b.put_u16_le(self.dst_port.0);
+        b.put_u32_le(self.msg_id);
+        b.put_u32_le(self.seq);
+        b.put_u32_le(self.offset);
+        b.put_u32_le(self.total_len);
+        b.put_u32_le(self.frag_len);
+        b.put_u32_le(0xB0C1_B0C1); // magic/pad to 32 bytes
+        debug_assert_eq!(b.len(), HEADER_BYTES);
+        b.put_slice(payload);
+        b.freeze()
+    }
+
+    /// Parse a packet; returns the header and the payload slice.
+    /// `None` on malformed input (short packet, bad kind, inconsistent
+    /// lengths) — corrupted packets must never panic the firmware.
+    pub fn decode(packet: &Bytes) -> Option<(WireHeader, Bytes)> {
+        if packet.len() < HEADER_BYTES {
+            return None;
+        }
+        let b = &packet[..];
+        let kind = WireKind::from_wire(b[0])?;
+        let chan_kind = ChannelKind::from_wire(b[1])?;
+        let u16le = |i: usize| u16::from_le_bytes([b[i], b[i + 1]]);
+        let u32le = |i: usize| u32::from_le_bytes([b[i], b[i + 1], b[i + 2], b[i + 3]]);
+        let header = WireHeader {
+            kind,
+            channel: ChannelId {
+                kind: chan_kind,
+                index: u16le(2),
+            },
+            src_port: PortId(u16le(4)),
+            dst_port: PortId(u16le(6)),
+            msg_id: u32le(8),
+            seq: u32le(12),
+            offset: u32le(16),
+            total_len: u32le(20),
+            frag_len: u32le(24),
+        };
+        if u32le(28) != 0xB0C1_B0C1 {
+            return None;
+        }
+        if packet.len() != HEADER_BYTES + header.frag_len as usize {
+            return None;
+        }
+        Some((header, packet.slice(HEADER_BYTES..)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WireHeader {
+        WireHeader {
+            kind: WireKind::Data,
+            channel: ChannelId::normal(5),
+            src_port: PortId(2),
+            dst_port: PortId(9),
+            msg_id: 1234,
+            seq: 77,
+            offset: 8192,
+            total_len: 10_000,
+            frag_len: 5,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let h = sample();
+        let pkt = h.encode(b"hello");
+        assert_eq!(pkt.len(), HEADER_BYTES + 5);
+        let (h2, payload) = WireHeader::decode(&pkt).unwrap();
+        assert_eq!(h, h2);
+        assert_eq!(&payload[..], b"hello");
+    }
+
+    #[test]
+    fn all_kinds_roundtrip() {
+        for kind in [
+            WireKind::Data,
+            WireKind::Ack,
+            WireKind::Reject,
+            WireKind::RmaReadReq,
+            WireKind::RmaReadData,
+        ] {
+            let mut h = sample();
+            h.kind = kind;
+            h.frag_len = 0;
+            let (h2, _) = WireHeader::decode(&h.encode(b"")).unwrap();
+            assert_eq!(h2.kind, kind);
+        }
+    }
+
+    #[test]
+    fn malformed_packets_return_none() {
+        // Too short.
+        assert!(WireHeader::decode(&Bytes::from_static(b"tiny")).is_none());
+        // Bad kind byte.
+        let mut raw = sample().encode(b"hello").to_vec();
+        raw[0] = 200;
+        assert!(WireHeader::decode(&Bytes::from(raw.clone())).is_none());
+        // Length mismatch (truncated payload).
+        let good = sample().encode(b"hello");
+        let truncated = good.slice(..good.len() - 1);
+        assert!(WireHeader::decode(&truncated).is_none());
+        // Bad magic.
+        let mut raw2 = sample().encode(b"hello").to_vec();
+        raw2[28] ^= 0xFF;
+        assert!(WireHeader::decode(&Bytes::from(raw2)).is_none());
+    }
+}

@@ -1,0 +1,16 @@
+//! # suca-eadi — the EADI-2 middle layer
+//!
+//! Tag/source matching with wildcards, unexpected-message queue, eager and
+//! rendezvous protocols over BCL channels, request handles, and the rank
+//! universe. MPI (`suca-mpi`) and PVM (`suca-pvm`) are thin layers above
+//! this, exactly as on DAWNING-3000 (paper §2.1 and Figure 1).
+
+#![warn(missing_docs)]
+
+pub mod endpoint;
+pub mod header;
+pub mod universe;
+
+pub use endpoint::{EadiConfig, EadiEndpoint, RecvDone, RecvReq, SendReq};
+pub use header::{EadiHeader, EadiKind, EADI_HEADER};
+pub use universe::Universe;

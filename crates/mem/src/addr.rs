@@ -1,0 +1,164 @@
+//! Address newtypes.
+//!
+//! The paper's whole argument about address translation hinges on the
+//! distinction between a process's virtual addresses, physical frame
+//! addresses, and the bus addresses a DMA engine uses. Confusing them is the
+//! classic messaging-stack bug, so each gets its own type; conversions are
+//! explicit and live in the page-table / pin-down code.
+
+use core::fmt;
+
+/// Page size of the simulated hosts (AIX on Power3 used 4 KiB base pages).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// A virtual address within one process address space.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtAddr(pub u64);
+
+/// A physical memory address on one node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysAddr(pub u64);
+
+/// An address as seen by a bus-master DMA engine. On DAWNING-3000's PCI the
+/// mapping from physical to bus addresses is identity, but the type keeps the
+/// kernel-module code honest about performing the conversion.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BusAddr(pub u64);
+
+/// A virtual page number.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VirtPage(pub u64);
+
+/// A physical frame number.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PhysFrame(pub u64);
+
+impl VirtAddr {
+    /// The page containing this address.
+    #[inline]
+    pub fn page(self) -> VirtPage {
+        VirtPage(self.0 / PAGE_SIZE)
+    }
+    /// Offset within the page.
+    #[inline]
+    pub fn page_offset(self) -> u64 {
+        self.0 % PAGE_SIZE
+    }
+    /// Address `n` bytes further.
+    #[inline]
+    #[allow(clippy::should_implement_trait)] // offset, not algebraic addition
+    pub fn add(self, n: u64) -> VirtAddr {
+        VirtAddr(self.0.checked_add(n).expect("VirtAddr overflow"))
+    }
+}
+
+impl VirtPage {
+    /// First address of the page.
+    #[inline]
+    pub fn base(self) -> VirtAddr {
+        VirtAddr(self.0 * PAGE_SIZE)
+    }
+    /// The next page.
+    #[inline]
+    pub fn next(self) -> VirtPage {
+        VirtPage(self.0 + 1)
+    }
+}
+
+impl PhysFrame {
+    /// First physical address of the frame.
+    #[inline]
+    pub fn base(self) -> PhysAddr {
+        PhysAddr(self.0 * PAGE_SIZE)
+    }
+}
+
+impl PhysAddr {
+    /// The frame containing this address.
+    #[inline]
+    pub fn frame(self) -> PhysFrame {
+        PhysFrame(self.0 / PAGE_SIZE)
+    }
+    /// Offset within the frame.
+    #[inline]
+    pub fn frame_offset(self) -> u64 {
+        self.0 % PAGE_SIZE
+    }
+    /// Address `n` bytes further.
+    #[inline]
+    #[allow(clippy::should_implement_trait)] // offset, not algebraic addition
+    pub fn add(self, n: u64) -> PhysAddr {
+        PhysAddr(self.0.checked_add(n).expect("PhysAddr overflow"))
+    }
+    /// Identity phys→bus conversion of the DAWNING PCI complex.
+    #[inline]
+    pub fn to_bus(self) -> BusAddr {
+        BusAddr(self.0)
+    }
+}
+
+impl BusAddr {
+    /// Identity bus→phys conversion (see [`PhysAddr::to_bus`]).
+    #[inline]
+    pub fn to_phys(self) -> PhysAddr {
+        PhysAddr(self.0)
+    }
+}
+
+impl fmt::Debug for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "V:{:#x}", self.0)
+    }
+}
+impl fmt::Debug for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P:{:#x}", self.0)
+    }
+}
+impl fmt::Debug for BusAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B:{:#x}", self.0)
+    }
+}
+
+/// Number of pages spanned by the byte range `[addr, addr + len)`.
+/// A zero-length range spans zero pages.
+pub fn pages_spanned(addr: VirtAddr, len: u64) -> u64 {
+    if len == 0 {
+        return 0;
+    }
+    let first = addr.page().0;
+    let last = VirtAddr(addr.0 + len - 1).page().0;
+    last - first + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_math() {
+        let a = VirtAddr(PAGE_SIZE * 3 + 17);
+        assert_eq!(a.page(), VirtPage(3));
+        assert_eq!(a.page_offset(), 17);
+        assert_eq!(VirtPage(3).base(), VirtAddr(PAGE_SIZE * 3));
+        assert_eq!(PhysFrame(2).base(), PhysAddr(PAGE_SIZE * 2));
+        assert_eq!(PhysAddr(PAGE_SIZE * 2 + 5).frame(), PhysFrame(2));
+    }
+
+    #[test]
+    fn spanned_pages() {
+        assert_eq!(pages_spanned(VirtAddr(0), 0), 0);
+        assert_eq!(pages_spanned(VirtAddr(0), 1), 1);
+        assert_eq!(pages_spanned(VirtAddr(0), PAGE_SIZE), 1);
+        assert_eq!(pages_spanned(VirtAddr(0), PAGE_SIZE + 1), 2);
+        assert_eq!(pages_spanned(VirtAddr(PAGE_SIZE - 1), 2), 2);
+        assert_eq!(pages_spanned(VirtAddr(1), PAGE_SIZE), 2);
+    }
+
+    #[test]
+    fn bus_roundtrip() {
+        let p = PhysAddr(0x1234);
+        assert_eq!(p.to_bus().to_phys(), p);
+    }
+}

@@ -1,0 +1,209 @@
+//! Collective operations, built strictly on point-to-point.
+//!
+//! The paper: "BCL supports point to point message passing. All other
+//! collective message passing should be implemented in the higher level
+//! software." So these are textbook algorithms over [`Comm`] p2p calls:
+//! dissemination barrier, binomial-tree broadcast/reduce, recursive
+//! allreduce, linear gather/scatter, ring allgather, pairwise alltoall.
+
+use suca_sim::ActorCtx;
+
+use crate::comm::Comm;
+use crate::datatype::{bytes_to_f64s, f64s_to_bytes, ReduceOp};
+
+impl Comm {
+    /// Dissemination barrier: ⌈log₂ n⌉ rounds, each rank sends to
+    /// `(me + 2^k) mod n` and receives from `(me - 2^k) mod n`.
+    pub fn barrier(&self, ctx: &mut ActorCtx) {
+        let n = self.size();
+        if n <= 1 {
+            return;
+        }
+        let tag = self.next_coll_tag();
+        let me = self.rank();
+        let mut k = 1u32;
+        while k < n {
+            let to = (me + k) % n;
+            let from = (me + n - k) % n;
+            // Post the receive first; send; then complete — avoids deadlock
+            // when rounds synchronize.
+            let req = self.eadi.irecv(ctx, Some(from), Some(tag - k as i32));
+            self.send_coll(ctx, to, tag - k as i32, b"");
+            let _ = self.eadi.wait(ctx, req);
+            k <<= 1;
+        }
+    }
+
+    /// Binomial-tree broadcast from `root`.
+    pub fn bcast(&self, ctx: &mut ActorCtx, root: u32, data: &mut Vec<u8>) {
+        let n = self.size();
+        if n <= 1 {
+            return;
+        }
+        let tag = self.next_coll_tag();
+        // Rotate ranks so the root is virtual rank 0.
+        let me = (self.rank() + n - root) % n;
+        if me != 0 {
+            // Receive from the parent: virtual rank with the lowest set bit
+            // cleared.
+            let real_parent = ((me & (me - 1)) + root) % n;
+            *data = self.recv_coll(ctx, real_parent, tag);
+        }
+        // Forward to children: set bits below my lowest set bit.
+        let lowest = if me == 0 {
+            n.next_power_of_two()
+        } else {
+            me & me.wrapping_neg()
+        };
+        let mut bit = 1u32;
+        while bit < lowest && bit < n {
+            let child = me | bit;
+            if child < n && child != me {
+                let real_child = (child + root) % n;
+                self.send_coll(ctx, real_child, tag, data);
+            }
+            bit <<= 1;
+        }
+    }
+
+    /// Binomial-tree reduce of `f64` vectors to `root`. Returns the result
+    /// on the root, `None` elsewhere.
+    pub fn reduce_f64(
+        &self,
+        ctx: &mut ActorCtx,
+        root: u32,
+        contribution: &[f64],
+        op: ReduceOp,
+    ) -> Option<Vec<f64>> {
+        let n = self.size();
+        let tag = self.next_coll_tag();
+        let me = (self.rank() + n - root) % n;
+        let mut acc = contribution.to_vec();
+        // Receive from children (me | bit), fold; then send to parent.
+        let lowest = if me == 0 {
+            n.next_power_of_two()
+        } else {
+            me & me.wrapping_neg()
+        };
+        let mut bit = 1u32;
+        while bit < lowest && bit < n {
+            let child = me | bit;
+            if child < n && child != me {
+                let real_child = (child + root) % n;
+                let got = bytes_to_f64s(&self.recv_coll(ctx, real_child, tag));
+                op.fold(&mut acc, &got);
+            }
+            bit <<= 1;
+        }
+        if me == 0 {
+            Some(acc)
+        } else {
+            let parent = me & (me - 1);
+            let real_parent = (parent + root) % n;
+            self.send_coll(ctx, real_parent, tag, &f64s_to_bytes(&acc));
+            None
+        }
+    }
+
+    /// Allreduce = reduce to 0 + broadcast (simple and correct; the paper's
+    /// stack did the same composition at the MPI level).
+    pub fn allreduce_f64(
+        &self,
+        ctx: &mut ActorCtx,
+        contribution: &[f64],
+        op: ReduceOp,
+    ) -> Vec<f64> {
+        let reduced = self.reduce_f64(ctx, 0, contribution, op);
+        let mut bytes = reduced.map(|v| f64s_to_bytes(&v)).unwrap_or_default();
+        self.bcast(ctx, 0, &mut bytes);
+        bytes_to_f64s(&bytes)
+    }
+
+    /// Linear gather to `root`: returns `Some(parts by rank)` on the root.
+    pub fn gather(&self, ctx: &mut ActorCtx, root: u32, data: &[u8]) -> Option<Vec<Vec<u8>>> {
+        let n = self.size();
+        let tag = self.next_coll_tag();
+        if self.rank() == root {
+            let mut parts: Vec<Vec<u8>> = vec![Vec::new(); n as usize];
+            parts[root as usize] = data.to_vec();
+            for r in 0..n {
+                if r != root {
+                    parts[r as usize] = self.recv_coll(ctx, r, tag);
+                }
+            }
+            Some(parts)
+        } else {
+            self.send_coll(ctx, root, tag, data);
+            None
+        }
+    }
+
+    /// Linear scatter from `root`: each rank gets its slice.
+    pub fn scatter(
+        &self,
+        ctx: &mut ActorCtx,
+        root: u32,
+        parts: Option<&[Vec<u8>]>,
+    ) -> Vec<u8> {
+        let n = self.size();
+        let tag = self.next_coll_tag();
+        if self.rank() == root {
+            let parts = parts.expect("root must supply parts");
+            assert_eq!(parts.len(), n as usize, "one part per rank");
+            for r in 0..n {
+                if r != root {
+                    self.send_coll(ctx, r, tag, &parts[r as usize]);
+                }
+            }
+            parts[root as usize].clone()
+        } else {
+            self.recv_coll(ctx, root, tag)
+        }
+    }
+
+    /// Ring allgather: n−1 steps, each rank forwards the slice it just
+    /// received.
+    pub fn allgather(&self, ctx: &mut ActorCtx, data: &[u8]) -> Vec<Vec<u8>> {
+        let n = self.size();
+        let me = self.rank();
+        let tag = self.next_coll_tag();
+        let mut parts: Vec<Vec<u8>> = vec![Vec::new(); n as usize];
+        parts[me as usize] = data.to_vec();
+        if n == 1 {
+            return parts;
+        }
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        let mut have = me;
+        for _ in 0..n - 1 {
+            let rreq = self.eadi.irecv(ctx, Some(left), Some(tag));
+            self.send_coll(ctx, right, tag, &parts[have as usize]);
+            let got = self.eadi.wait(ctx, rreq);
+            ctx.sleep(self.cfg.recv_overhead);
+            have = (have + n - 1) % n;
+            parts[have as usize] = got.data;
+        }
+        parts
+    }
+
+    /// Pairwise-exchange alltoall: `parts[r]` goes to rank `r`; returns
+    /// what every rank sent to me, indexed by source.
+    pub fn alltoall(&self, ctx: &mut ActorCtx, parts: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        let n = self.size();
+        assert_eq!(parts.len(), n as usize);
+        let me = self.rank();
+        let tag = self.next_coll_tag();
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); n as usize];
+        out[me as usize] = parts[me as usize].clone();
+        for step in 1..n {
+            let to = (me + step) % n;
+            let from = (me + n - step) % n;
+            let rreq = self.eadi.irecv(ctx, Some(from), Some(tag));
+            self.send_coll(ctx, to, tag, &parts[to as usize]);
+            let got = self.eadi.wait(ctx, rreq);
+            ctx.sleep(self.cfg.recv_overhead);
+            out[from as usize] = got.data;
+        }
+        out
+    }
+}

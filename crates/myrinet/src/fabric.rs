@@ -1,0 +1,96 @@
+//! The system-area-network abstraction.
+//!
+//! BCL's heterogeneous-network claim (paper §3, benefit 3) is that the NIC is
+//! invisible to user space, so the same binary runs over Myrinet or the
+//! custom nwrc 2-D mesh. We encode that as the [`Fabric`] trait: a protocol
+//! stack (BCL's MCP, the GM-like baseline, …) talks only to this trait, and
+//! the two SAN crates implement it.
+//!
+//! Payload bytes are opaque to the fabric — protocols serialize their own
+//! headers into the payload, exactly as on real hardware. The fabric adds a
+//! fixed per-packet framing overhead (route bytes + CRC) to the wire length.
+
+use bytes::Bytes;
+
+use suca_sim::Sim;
+
+/// Index of a host attachment point (one per node NIC).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FabricNodeId(pub u32);
+
+/// One packet in flight.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Injecting NIC.
+    pub src: FabricNodeId,
+    /// Destination NIC.
+    pub dst: FabricNodeId,
+    /// Protocol payload (headers included).
+    pub payload: Bytes,
+    /// Set by fault injection when the packet was damaged in flight; the
+    /// receiving firmware's CRC check observes this and discards the packet.
+    pub corrupted: bool,
+    /// Source route: output-port index at each switch/router hop.
+    pub route: Vec<u8>,
+    /// Next hop to consume from `route`.
+    pub route_pos: usize,
+}
+
+impl Packet {
+    /// Bytes that occupy the wire: payload plus framing (route + type + CRC).
+    pub fn wire_len(&self) -> u64 {
+        self.payload.len() as u64 + FRAMING_BYTES
+    }
+}
+
+/// Per-packet framing overhead on the wire (Myrinet header, padded route
+/// bytes, trailing CRC-32).
+pub const FRAMING_BYTES: u64 = 16;
+
+/// Receive callback a protocol registers on its NIC attachment. Runs as a
+/// simulation event at packet-arrival time.
+pub type RxHandler = Box<dyn Fn(&Sim, Packet) + Send + Sync + 'static>;
+
+/// Stochastic fault injection applied per link traversal.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultPlan {
+    /// Probability a packet is silently dropped on a link.
+    pub drop_prob: f64,
+    /// Probability a packet is delivered with a bad CRC.
+    pub corrupt_prob: f64,
+}
+
+impl FaultPlan {
+    /// No faults (the default).
+    pub const NONE: FaultPlan = FaultPlan {
+        drop_prob: 0.0,
+        corrupt_prob: 0.0,
+    };
+}
+
+/// A system-area network a protocol stack can attach to.
+pub trait Fabric: Send + Sync {
+    /// Human-readable name ("myrinet", "nwrc-mesh").
+    fn name(&self) -> &'static str;
+
+    /// Number of host attachment points.
+    fn num_nodes(&self) -> u32;
+
+    /// Largest payload one packet may carry. Protocols fragment above this.
+    fn mtu(&self) -> usize;
+
+    /// Per-direction bandwidth of a host link. NIC firmware uses this to
+    /// pace injection (the LANai polls send-DMA completion before starting
+    /// the next fragment).
+    fn link_bytes_per_sec(&self) -> u64;
+
+    /// Register the receive handler for a node's NIC. Panics if the node is
+    /// out of range or already attached — both are wiring bugs.
+    fn attach(&self, node: FabricNodeId, rx: RxHandler);
+
+    /// Inject a packet. The fabric models transmission, switching and fault
+    /// injection, then invokes the destination's handler (if the packet
+    /// survives). Panics if `payload` exceeds the MTU — fragmentation is the
+    /// protocol's job and an oversized packet is a protocol bug.
+    fn inject(&self, sim: &Sim, src: FabricNodeId, dst: FabricNodeId, payload: Bytes);
+}

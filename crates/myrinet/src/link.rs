@@ -1,0 +1,201 @@
+//! Point-to-point Myrinet links.
+//!
+//! Each link is full-duplex; we model one [`Link`] per direction. A link
+//! serializes packets (1.28 Gb/s ≙ 160 MB/s per direction on DAWNING-3000),
+//! adds a propagation delay, and applies stochastic fault injection with a
+//! per-link deterministic RNG stream.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use suca_sim::{Sim, SimDuration, SimRng, SimTime};
+
+use crate::fabric::{FaultPlan, Packet};
+
+/// Anything that can accept a packet coming off a link (a switch or a NIC).
+pub trait PacketSink: Send + Sync {
+    /// Handle an arriving packet at the current simulation instant.
+    fn deliver(&self, sim: &Sim, pkt: Packet);
+}
+
+struct LinkState {
+    busy_until: SimTime,
+    rng: SimRng,
+    sent: u64,
+    dropped: u64,
+    corrupted: u64,
+}
+
+/// One unidirectional link.
+pub struct Link {
+    label: String,
+    bytes_per_sec: u64,
+    propagation: SimDuration,
+    fault: FaultPlan,
+    dst: Arc<dyn PacketSink>,
+    state: Mutex<LinkState>,
+}
+
+impl Link {
+    /// Create a link delivering into `dst`.
+    pub fn new(
+        sim: &Sim,
+        label: impl Into<String>,
+        bytes_per_sec: u64,
+        propagation: SimDuration,
+        fault: FaultPlan,
+        dst: Arc<dyn PacketSink>,
+    ) -> Arc<Link> {
+        assert!(bytes_per_sec > 0);
+        let label = label.into();
+        let rng = sim.fork_rng(&format!("link:{label}"));
+        Arc::new(Link {
+            label,
+            bytes_per_sec,
+            propagation,
+            fault,
+            dst,
+            state: Mutex::new(LinkState {
+                busy_until: SimTime::ZERO,
+                rng,
+                sent: 0,
+                dropped: 0,
+                corrupted: 0,
+            }),
+        })
+    }
+
+    /// Transmit a packet: seize the wire for `wire_len / bandwidth`, then
+    /// deliver after propagation. Faults are decided here.
+    pub fn send(self: &Arc<Self>, sim: &Sim, mut pkt: Packet) {
+        let tx = SimDuration::for_bytes(pkt.wire_len(), self.bytes_per_sec);
+        let arrival = {
+            let mut st = self.state.lock();
+            let start = st.busy_until.max(sim.now());
+            st.busy_until = start + tx;
+            st.sent += 1;
+            if st.rng.chance(self.fault.drop_prob) {
+                st.dropped += 1;
+                sim.add_count("fabric.dropped", 1);
+                return; // the wire time is still consumed (damaged in flight)
+            }
+            if st.rng.chance(self.fault.corrupt_prob) {
+                st.corrupted += 1;
+                sim.add_count("fabric.corrupted", 1);
+                pkt.corrupted = true;
+            }
+            start + tx + self.propagation
+        };
+        let dst = Arc::clone(&self.dst);
+        sim.schedule_at(arrival, move |s| dst.deliver(s, pkt));
+    }
+
+    /// `(sent, dropped, corrupted)` counts.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        let st = self.state.lock();
+        (st.sent, st.dropped, st.corrupted)
+    }
+
+    /// Link label (for debugging).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::FabricNodeId;
+    use bytes::Bytes;
+    use suca_sim::RunOutcome;
+
+    struct Recorder {
+        arrivals: Mutex<Vec<(u64, bool)>>,
+    }
+    impl PacketSink for Recorder {
+        fn deliver(&self, sim: &Sim, pkt: Packet) {
+            self.arrivals.lock().push((sim.now().as_ns(), pkt.corrupted));
+        }
+    }
+
+    fn pkt(n: usize) -> Packet {
+        Packet {
+            src: FabricNodeId(0),
+            dst: FabricNodeId(1),
+            payload: Bytes::from(vec![0u8; n]),
+            corrupted: false,
+            route: vec![],
+            route_pos: 0,
+        }
+    }
+
+    #[test]
+    fn transmission_and_propagation_timing() {
+        let sim = Sim::new(1);
+        let rec = Arc::new(Recorder {
+            arrivals: Mutex::new(Vec::new()),
+        });
+        let link = Link::new(
+            &sim,
+            "t",
+            160_000_000,
+            SimDuration::from_ns(50),
+            FaultPlan::NONE,
+            rec.clone(),
+        );
+        link.send(&sim, pkt(1584)); // 1584+16 = 1600 B -> 10 us at 160 MB/s
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        assert_eq!(*rec.arrivals.lock(), vec![(10_050, false)]);
+    }
+
+    #[test]
+    fn wire_serializes_packets() {
+        let sim = Sim::new(1);
+        let rec = Arc::new(Recorder {
+            arrivals: Mutex::new(Vec::new()),
+        });
+        let link = Link::new(&sim, "t", 160_000_000, SimDuration::ZERO, FaultPlan::NONE, rec.clone());
+        for _ in 0..3 {
+            link.send(&sim, pkt(1584));
+        }
+        sim.run();
+        let times: Vec<u64> = rec.arrivals.lock().iter().map(|a| a.0).collect();
+        assert_eq!(times, vec![10_000, 20_000, 30_000]);
+    }
+
+    #[test]
+    fn drops_and_corruption_are_deterministic_per_seed() {
+        let run = |seed| {
+            let sim = Sim::new(seed);
+            let rec = Arc::new(Recorder {
+                arrivals: Mutex::new(Vec::new()),
+            });
+            let link = Link::new(
+                &sim,
+                "t",
+                160_000_000,
+                SimDuration::ZERO,
+                FaultPlan {
+                    drop_prob: 0.3,
+                    corrupt_prob: 0.3,
+                },
+                rec.clone(),
+            );
+            for _ in 0..50 {
+                link.send(&sim, pkt(100));
+            }
+            sim.run();
+            let delivered = rec.arrivals.lock().clone();
+            let stats = link.stats();
+            (delivered, stats)
+        };
+        let (d1, s1) = run(7);
+        let (d2, s2) = run(7);
+        assert_eq!(d1, d2);
+        assert_eq!(s1, s2);
+        assert!(s1.1 > 0, "expected some drops");
+        assert!(s1.2 > 0, "expected some corruption");
+        assert_eq!(d1.len() as u64, s1.0 - s1.1);
+    }
+}

@@ -1,0 +1,128 @@
+//! Cut-through crossbar switches (M2M-OCT-SW8 model).
+//!
+//! A Myrinet switch reads the leading route byte of a packet, strips it, and
+//! forwards the packet out of that port after a small cut-through latency.
+//! Output-port contention is inherited from the output [`Link`]'s
+//! serialization; the crossbar itself is non-blocking.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use suca_sim::{Sim, SimDuration};
+
+use crate::fabric::Packet;
+use crate::link::{Link, PacketSink};
+
+/// One crossbar switch with up to `radix` output ports.
+pub struct Switch {
+    label: String,
+    cut_through: SimDuration,
+    out: Mutex<Vec<Option<Arc<Link>>>>,
+}
+
+impl Switch {
+    /// Create a switch with `radix` (initially unwired) ports.
+    pub fn new(label: impl Into<String>, radix: usize, cut_through: SimDuration) -> Arc<Switch> {
+        Arc::new(Switch {
+            label: label.into(),
+            cut_through,
+            out: Mutex::new(vec![None; radix]),
+        })
+    }
+
+    /// Wire output port `port` to `link`. Panics on double-wiring: topology
+    /// construction bugs should fail loudly.
+    pub fn connect(&self, port: usize, link: Arc<Link>) {
+        let mut out = self.out.lock();
+        assert!(
+            out[port].is_none(),
+            "switch {} port {port} wired twice",
+            self.label
+        );
+        out[port] = Some(link);
+    }
+
+    /// Switch radix.
+    pub fn radix(&self) -> usize {
+        self.out.lock().len()
+    }
+}
+
+impl PacketSink for Switch {
+    fn deliver(&self, sim: &Sim, mut pkt: Packet) {
+        assert!(
+            pkt.route_pos < pkt.route.len(),
+            "packet at switch {} with exhausted route (src {:?} dst {:?})",
+            self.label,
+            pkt.src,
+            pkt.dst
+        );
+        let port = pkt.route[pkt.route_pos] as usize;
+        pkt.route_pos += 1;
+        let link = self.out.lock()[port]
+            .as_ref()
+            .unwrap_or_else(|| panic!("switch {} port {port} unwired", self.label))
+            .clone();
+        let cut = self.cut_through;
+        sim.schedule_in(cut, move |s| link.send(s, pkt));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::{FabricNodeId, FaultPlan};
+    use bytes::Bytes;
+
+    struct Recorder(Mutex<Vec<u64>>);
+    impl PacketSink for Recorder {
+        fn deliver(&self, sim: &Sim, _pkt: Packet) {
+            self.0.lock().push(sim.now().as_ns());
+        }
+    }
+
+    #[test]
+    fn routes_through_ports_with_cut_through_latency() {
+        let sim = Sim::new(1);
+        let rec = Arc::new(Recorder(Mutex::new(Vec::new())));
+        let sw = Switch::new("sw0", 8, SimDuration::from_ns(300));
+        let out = Link::new(
+            &sim,
+            "out",
+            160_000_000,
+            SimDuration::ZERO,
+            FaultPlan::NONE,
+            rec.clone(),
+        );
+        sw.connect(3, out);
+        let pkt = Packet {
+            src: FabricNodeId(0),
+            dst: FabricNodeId(1),
+            payload: Bytes::from_static(b""), // 16 B framing -> 100 ns at 160 MB/s
+            corrupted: false,
+            route: vec![3],
+            route_pos: 0,
+        };
+        sw.deliver(&sim, pkt);
+        sim.run();
+        assert_eq!(*rec.0.lock(), vec![400]); // 300 cut-through + 100 wire
+    }
+
+    #[test]
+    #[should_panic(expected = "port 5 unwired")]
+    fn unwired_port_is_a_loud_bug() {
+        let sim = Sim::new(1);
+        let sw = Switch::new("swx", 8, SimDuration::ZERO);
+        let pkt = Packet {
+            src: FabricNodeId(0),
+            dst: FabricNodeId(1),
+            payload: Bytes::from_static(b""),
+            corrupted: false,
+            route: vec![5],
+            route_pos: 0,
+        };
+        sw.deliver(&sim, pkt);
+        sim.run();
+    }
+}

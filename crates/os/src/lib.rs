@@ -1,0 +1,16 @@
+//! # suca-os — host operating-system model
+//!
+//! Traps with entry/exit costs, interrupts, process/address-space management
+//! and SMP CPU slots, calibrated for AIX 4.3.3 on 375 MHz Power3-II. The
+//! counters `os.traps` / `os.interrupts` feed the paper's Table 1
+//! (architecture comparison by critical-path privileged operations).
+
+#![warn(missing_docs)]
+
+pub mod costs;
+pub mod node;
+pub mod smp;
+
+pub use costs::{OsCostModel, OsPersonality};
+pub use node::{NodeId, NodeOs, OsProcess, Pid};
+pub use smp::CpuSet;

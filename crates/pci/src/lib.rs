@@ -1,0 +1,14 @@
+//! # suca-pci — I/O bus substrate
+//!
+//! PIO cost model (the paper's 0.24 µs/word write, 0.98 µs/word read) and
+//! serialized DMA engines. The BCL kernel module pays PIO costs to fill send
+//! descriptors; the NIC's DMA engines move payloads between host memory and
+//! NIC SRAM.
+
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod dma;
+
+pub use bus::PciModel;
+pub use dma::DmaEngine;

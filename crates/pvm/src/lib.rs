@@ -1,0 +1,14 @@
+//! # suca-pvm — PVM-like layer over EADI-2
+//!
+//! Typed pack/unpack message buffers and the task API (`pvm_mytid`,
+//! `pvm_initsend`/`pvm_pk*`/`pvm_send`, `pvm_recv` with `-1` wildcards),
+//! implemented over EADI-2 as on DAWNING-3000 (paper §2.1). Table 3's PVM
+//! rows are measured through this layer.
+
+#![warn(missing_docs)]
+
+pub mod msgbuf;
+pub mod task;
+
+pub use msgbuf::{PackBuf, UnpackBuf, UnpackError};
+pub use task::{PvmConfig, PvmMessage, PvmTask};

@@ -1,0 +1,256 @@
+//! PVM-style typed message buffers.
+//!
+//! PVM transmits self-describing buffers: each `pvm_pk*` call appends a
+//! typed section, and the receiver must unpack with matching types (this is
+//! how real PVM catches mismatched pack/unpack sequences). The encoding is
+//! the in-order section list: `type byte | count u32 | payload`.
+
+/// Section types.
+const T_I32: u8 = 1;
+const T_F64: u8 = 2;
+const T_BYTES: u8 = 3;
+const T_STR: u8 = 4;
+
+/// Error from unpacking.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum UnpackError {
+    /// Buffer exhausted.
+    OutOfData,
+    /// Next section has a different type than requested.
+    TypeMismatch {
+        /// What the caller asked for.
+        wanted: &'static str,
+        /// What the buffer holds.
+        found: u8,
+    },
+    /// Section is malformed (truncated payload).
+    Corrupt,
+}
+
+impl core::fmt::Display for UnpackError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            UnpackError::OutOfData => write!(f, "unpack past end of message"),
+            UnpackError::TypeMismatch { wanted, found } => {
+                write!(f, "unpack type mismatch: wanted {wanted}, found tag {found}")
+            }
+            UnpackError::Corrupt => write!(f, "corrupt message section"),
+        }
+    }
+}
+impl std::error::Error for UnpackError {}
+
+/// A buffer being packed for sending.
+///
+/// ```
+/// use suca_pvm::{PackBuf, UnpackBuf};
+/// let mut pk = PackBuf::new();
+/// pk.pack_str("answer").pack_i32(&[42]);
+/// let mut up = UnpackBuf::new(pk.finish().to_vec());
+/// assert_eq!(up.unpack_str().unwrap(), "answer");
+/// assert_eq!(up.unpack_i32().unwrap(), vec![42]);
+/// // Type confusion is caught:
+/// assert!(up.unpack_f64().is_err());
+/// ```
+#[derive(Default, Clone, Debug)]
+pub struct PackBuf {
+    data: Vec<u8>,
+}
+
+impl PackBuf {
+    /// Fresh empty buffer (`pvm_initsend`).
+    pub fn new() -> PackBuf {
+        PackBuf::default()
+    }
+
+    fn section(&mut self, t: u8, count: u32, payload: &[u8]) {
+        self.data.push(t);
+        self.data.extend_from_slice(&count.to_le_bytes());
+        self.data.extend_from_slice(payload);
+    }
+
+    /// `pvm_pkint`.
+    pub fn pack_i32(&mut self, v: &[i32]) -> &mut Self {
+        let mut p = Vec::with_capacity(v.len() * 4);
+        for x in v {
+            p.extend_from_slice(&x.to_le_bytes());
+        }
+        self.section(T_I32, v.len() as u32, &p);
+        self
+    }
+
+    /// `pvm_pkdouble`.
+    pub fn pack_f64(&mut self, v: &[f64]) -> &mut Self {
+        let mut p = Vec::with_capacity(v.len() * 8);
+        for x in v {
+            p.extend_from_slice(&x.to_le_bytes());
+        }
+        self.section(T_F64, v.len() as u32, &p);
+        self
+    }
+
+    /// `pvm_pkbyte`.
+    pub fn pack_bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.section(T_BYTES, v.len() as u32, v);
+        self
+    }
+
+    /// `pvm_pkstr`.
+    pub fn pack_str(&mut self, s: &str) -> &mut Self {
+        self.section(T_STR, s.len() as u32, s.as_bytes());
+        self
+    }
+
+    /// Encoded wire bytes.
+    pub fn finish(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Encoded size.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if nothing has been packed.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// A received buffer being unpacked.
+#[derive(Clone, Debug)]
+pub struct UnpackBuf {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl UnpackBuf {
+    /// Wrap received bytes.
+    pub fn new(data: Vec<u8>) -> UnpackBuf {
+        UnpackBuf { data, pos: 0 }
+    }
+
+    fn section(&mut self, t: u8, wanted: &'static str) -> Result<(usize, u32), UnpackError> {
+        if self.pos >= self.data.len() {
+            return Err(UnpackError::OutOfData);
+        }
+        let found = self.data[self.pos];
+        if found != t {
+            return Err(UnpackError::TypeMismatch { wanted, found });
+        }
+        if self.pos + 5 > self.data.len() {
+            return Err(UnpackError::Corrupt);
+        }
+        let count = u32::from_le_bytes(
+            self.data[self.pos + 1..self.pos + 5]
+                .try_into()
+                .expect("4 bytes"),
+        );
+        Ok((self.pos + 5, count))
+    }
+
+    /// `pvm_upkint`.
+    pub fn unpack_i32(&mut self) -> Result<Vec<i32>, UnpackError> {
+        let (start, count) = self.section(T_I32, "i32")?;
+        let end = start + count as usize * 4;
+        if end > self.data.len() {
+            return Err(UnpackError::Corrupt);
+        }
+        let out = self.data[start..end]
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes(c.try_into().expect("4")))
+            .collect();
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// `pvm_upkdouble`.
+    pub fn unpack_f64(&mut self) -> Result<Vec<f64>, UnpackError> {
+        let (start, count) = self.section(T_F64, "f64")?;
+        let end = start + count as usize * 8;
+        if end > self.data.len() {
+            return Err(UnpackError::Corrupt);
+        }
+        let out = self.data[start..end]
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8")))
+            .collect();
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// `pvm_upkbyte`.
+    pub fn unpack_bytes(&mut self) -> Result<Vec<u8>, UnpackError> {
+        let (start, count) = self.section(T_BYTES, "bytes")?;
+        let end = start + count as usize;
+        if end > self.data.len() {
+            return Err(UnpackError::Corrupt);
+        }
+        let out = self.data[start..end].to_vec();
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// `pvm_upkstr`.
+    pub fn unpack_str(&mut self) -> Result<String, UnpackError> {
+        let (start, count) = self.section(T_STR, "str")?;
+        let end = start + count as usize;
+        if end > self.data.len() {
+            return Err(UnpackError::Corrupt);
+        }
+        let s = String::from_utf8(self.data[start..end].to_vec())
+            .map_err(|_| UnpackError::Corrupt)?;
+        self.pos = end;
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_mixed_sections_in_order() {
+        let mut pk = PackBuf::new();
+        pk.pack_i32(&[1, -2, 3])
+            .pack_f64(&[2.5])
+            .pack_str("dawning")
+            .pack_bytes(&[9, 9]);
+        let mut up = UnpackBuf::new(pk.finish().to_vec());
+        assert_eq!(up.unpack_i32().unwrap(), vec![1, -2, 3]);
+        assert_eq!(up.unpack_f64().unwrap(), vec![2.5]);
+        assert_eq!(up.unpack_str().unwrap(), "dawning");
+        assert_eq!(up.unpack_bytes().unwrap(), vec![9, 9]);
+        assert_eq!(up.unpack_i32(), Err(UnpackError::OutOfData));
+    }
+
+    #[test]
+    fn type_mismatch_is_detected() {
+        let mut pk = PackBuf::new();
+        pk.pack_f64(&[1.0]);
+        let mut up = UnpackBuf::new(pk.finish().to_vec());
+        assert!(matches!(
+            up.unpack_i32(),
+            Err(UnpackError::TypeMismatch { wanted: "i32", .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_buffer_is_corrupt() {
+        let mut pk = PackBuf::new();
+        pk.pack_bytes(&[1, 2, 3, 4]);
+        let mut raw = pk.finish().to_vec();
+        raw.truncate(raw.len() - 2);
+        let mut up = UnpackBuf::new(raw);
+        assert_eq!(up.unpack_bytes(), Err(UnpackError::Corrupt));
+    }
+
+    #[test]
+    fn empty_sections_are_fine() {
+        let mut pk = PackBuf::new();
+        pk.pack_i32(&[]).pack_bytes(&[]);
+        let mut up = UnpackBuf::new(pk.finish().to_vec());
+        assert_eq!(up.unpack_i32().unwrap(), Vec::<i32>::new());
+        assert_eq!(up.unpack_bytes().unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,233 @@
+//! Thread-backed simulation actors.
+//!
+//! Application code in this reproduction (the processes that call the BCL
+//! API, the MPI ranks, …) is written as ordinary blocking Rust. Each such
+//! process runs on a real OS thread, but the engine enforces that **exactly
+//! one party runs at a time** — either the scheduler or a single actor —
+//! passing a baton through rendezvous channels. Execution is therefore
+//! sequential and fully deterministic even though the code is multi-threaded;
+//! virtual time only advances through the event queue.
+//!
+//! The handshake:
+//!
+//! ```text
+//! scheduler                       actor thread
+//! ---------                       ------------
+//! pop WakeActor(id, gen)
+//! shared.wake_tx.send(Run) ─────► wake_rx.recv() returns, user code runs
+//! shared.yield_rx.recv() ◄─────── (actor parks or finishes)
+//! continue event loop
+//! ```
+//!
+//! Parks are *generational*: every park gets a fresh generation number and a
+//! `WakeActor` event only resumes the actor if the generations match. Stale
+//! wakeups (e.g. a signal notification racing a sleep timer) are dropped
+//! instead of resuming the actor early.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use crate::engine::Sim;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies an actor within one simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ActorId(pub(crate) u32);
+
+impl ActorId {
+    /// Raw index (useful for deterministic per-actor seeding).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// What the scheduler tells a parked actor thread.
+pub(crate) enum WakeMsg {
+    /// Resume user code.
+    Run,
+    /// The simulation is being torn down; unwind out of user code quietly.
+    Shutdown,
+}
+
+/// What an actor thread tells the scheduler when handing the baton back.
+pub(crate) enum YieldMsg {
+    /// The actor parked (waiting for a timer or a signal).
+    Parked,
+    /// The actor's body returned normally.
+    Done,
+    /// The actor's body panicked; payload is the formatted message.
+    Panicked(String),
+}
+
+/// Zero-sized panic payload used to unwind actor threads at teardown.
+/// Recognized (and swallowed) by the actor runner and the global panic hook.
+pub(crate) struct ShutdownToken;
+
+/// Channel endpoints shared between the scheduler and one actor thread.
+pub(crate) struct ActorShared {
+    pub(crate) wake_tx: Sender<WakeMsg>,
+    pub(crate) yield_rx: Receiver<YieldMsg>,
+}
+
+/// Scheduler-side record of one actor.
+pub(crate) struct ActorRecord {
+    pub(crate) name: String,
+    pub(crate) shared: Arc<ActorShared>,
+    /// Park generation; a `WakeActor` event must match this to resume.
+    pub(crate) gen: u64,
+    pub(crate) status: ActorStatus,
+    pub(crate) join: Option<JoinHandle<()>>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum ActorStatus {
+    Parked,
+    Running,
+    Done,
+}
+
+/// Handle passed to actor bodies; the actor's view of the simulation.
+///
+/// All blocking operations (`sleep`, [`crate::signal::Signal::wait`]) go
+/// through this context so the engine can keep virtual time consistent.
+pub struct ActorCtx {
+    sim: Sim,
+    id: ActorId,
+    name: String,
+    wake_rx: Receiver<WakeMsg>,
+    yield_tx: Sender<YieldMsg>,
+}
+
+impl ActorCtx {
+    /// The simulation handle (for scheduling events, reading the clock, …).
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// This actor's id.
+    pub fn id(&self) -> ActorId {
+        self.id
+    }
+
+    /// This actor's debug name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Advance virtual time by `d` — models this process spending `d` of
+    /// CPU/elapsed time. Other events scheduled inside the window run while
+    /// this actor is parked.
+    pub fn sleep(&mut self, d: SimDuration) {
+        if d.is_zero() {
+            return self.yield_now();
+        }
+        let gen = self.sim.next_park_gen(self.id);
+        let id = self.id;
+        self.sim.schedule_wake_in(d, id, gen);
+        self.park();
+    }
+
+    /// Yield the baton without advancing time: all other events scheduled at
+    /// the current instant run before this actor resumes.
+    pub fn yield_now(&mut self) {
+        let gen = self.sim.next_park_gen(self.id);
+        let id = self.id;
+        self.sim.schedule_wake_in(SimDuration::ZERO, id, gen);
+        self.park();
+    }
+
+    /// Park until a matching wakeup. Internal: used by `sleep` and signals,
+    /// which must have arranged a wake *before* calling this.
+    pub(crate) fn park(&mut self) {
+        self.sim.mark_parked(self.id);
+        // Hand the baton to the scheduler and wait for it back.
+        self.yield_tx
+            .send(YieldMsg::Parked)
+            .expect("engine vanished while actor parked");
+        match self.wake_rx.recv() {
+            Ok(WakeMsg::Run) => {}
+            Ok(WakeMsg::Shutdown) | Err(_) => panic::panic_any(ShutdownToken),
+        }
+    }
+
+}
+
+/// Spawn machinery, called from [`Sim::spawn`].
+pub(crate) fn spawn_actor_thread(
+    sim: Sim,
+    id: ActorId,
+    name: String,
+    body: Box<dyn FnOnce(&mut ActorCtx) + Send + 'static>,
+) -> (Arc<ActorShared>, JoinHandle<()>) {
+    // Rendezvous channels: the sender blocks until the receiver takes the
+    // message, which is exactly the baton-passing we need.
+    let (wake_tx, wake_rx) = bounded::<WakeMsg>(0);
+    let (yield_tx, yield_rx) = bounded::<YieldMsg>(0);
+    let shared = Arc::new(ActorShared { wake_tx, yield_rx });
+
+    let thread_name = format!("sim-actor-{}-{}", id.0, name);
+    let ctx_name = name;
+    let join = std::thread::Builder::new()
+        .name(thread_name)
+        .spawn(move || {
+            // Wait to be scheduled for the first time.
+            match wake_rx.recv() {
+                Ok(WakeMsg::Run) => {}
+                Ok(WakeMsg::Shutdown) | Err(_) => return,
+            }
+            let mut ctx = ActorCtx {
+                sim,
+                id,
+                name: ctx_name,
+                wake_rx,
+                yield_tx,
+            };
+            let result = panic::catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
+            let msg = match result {
+                Ok(()) => YieldMsg::Done,
+                Err(payload) => {
+                    if payload.downcast_ref::<ShutdownToken>().is_some() {
+                        // Teardown unwind: exit quietly, nobody is listening.
+                        return;
+                    }
+                    let text = if let Some(s) = payload.downcast_ref::<&str>() {
+                        (*s).to_string()
+                    } else if let Some(s) = payload.downcast_ref::<String>() {
+                        s.clone()
+                    } else {
+                        "<non-string panic payload>".to_string()
+                    };
+                    YieldMsg::Panicked(text)
+                }
+            };
+            // If the engine is gone this send fails, which is fine.
+            let _ = ctx.yield_tx.send(msg);
+        })
+        .expect("failed to spawn actor thread");
+    (shared, join)
+}
+
+/// Install a process-global panic hook that silences [`ShutdownToken`]
+/// unwinds (they are control flow, not errors) while delegating everything
+/// else to the previously installed hook. Idempotent.
+pub(crate) fn install_quiet_shutdown_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ShutdownToken>().is_some() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}

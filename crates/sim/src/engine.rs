@@ -1,0 +1,552 @@
+//! The discrete-event scheduler.
+//!
+//! A classic calendar-queue engine: events are `(time, seq)`-ordered, ties
+//! broken by insertion order, so runs are bit-for-bit reproducible. Two kinds
+//! of events exist: boxed closures (used by hardware models — NIC firmware,
+//! DMA engines, switches) and actor wakeups (used by thread-backed
+//! application processes, see [`crate::actor`]).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::actor::{
+    install_quiet_shutdown_hook, spawn_actor_thread, ActorCtx, ActorId, ActorRecord, ActorStatus,
+    WakeMsg, YieldMsg,
+};
+use crate::rng::SimRng;
+use crate::stats::Counters;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Span, Tracer};
+
+/// Identifies a scheduled event; returned by the `schedule_*` methods and
+/// accepted by [`Sim::cancel`] (used for e.g. retransmission timers).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(u64);
+
+enum EventAction {
+    Call(Box<dyn FnOnce(&Sim) + Send + 'static>),
+    Wake(ActorId, u64),
+}
+
+struct EventEntry {
+    time: SimTime,
+    seq: u64,
+    action: EventAction,
+}
+
+impl PartialEq for EventEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for EventEntry {}
+impl PartialOrd for EventEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Why [`Sim::run`] (or [`Sim::run_until`]) returned.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RunOutcome {
+    /// Event queue drained and every actor finished.
+    Completed,
+    /// Event queue drained but some actors are still parked waiting for a
+    /// signal that can never fire. The names of the stuck actors are listed —
+    /// this is how protocol-level deadlocks surface in tests.
+    Deadlock(Vec<String>),
+    /// `run_until` reached its time limit with work still pending.
+    Pending,
+}
+
+struct EngineState {
+    now: SimTime,
+    seq: u64,
+    dispatched: u64,
+    queue: BinaryHeap<Reverse<EventEntry>>,
+    cancelled: HashSet<u64>,
+    actors: Vec<ActorRecord>,
+    tracer: Tracer,
+    counters: Counters,
+    seed: u64,
+    running: bool,
+}
+
+pub(crate) struct SimInner {
+    state: Mutex<EngineState>,
+}
+
+/// Handle to one simulation. Cheap to clone; all clones refer to the same
+/// engine. Hardware components keep a `Sim` to schedule their own events.
+#[derive(Clone)]
+pub struct Sim {
+    inner: Arc<SimInner>,
+}
+
+impl Sim {
+    /// Create a simulation with the given master RNG seed. The seed fixes
+    /// every random decision in the run (fault injection, jitter), so a
+    /// `(seed, program)` pair is a complete reproduction recipe.
+    pub fn new(seed: u64) -> Self {
+        install_quiet_shutdown_hook();
+        Sim {
+            inner: Arc::new(SimInner {
+                state: Mutex::new(EngineState {
+                    now: SimTime::ZERO,
+                    seq: 0,
+                    dispatched: 0,
+                    queue: BinaryHeap::new(),
+                    cancelled: HashSet::new(),
+                    actors: Vec::new(),
+                    tracer: Tracer::new(),
+                    counters: Counters::new(),
+                    seed,
+                    running: false,
+                }),
+            }),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.state.lock().now
+    }
+
+    /// Schedule `f` to run `delay` after the current instant.
+    pub fn schedule_in(&self, delay: SimDuration, f: impl FnOnce(&Sim) + Send + 'static) -> EventId {
+        let mut st = self.inner.state.lock();
+        let time = st.now + delay;
+        Self::push_event(&mut st, time, EventAction::Call(Box::new(f)))
+    }
+
+    /// Schedule `f` at an absolute instant. Panics if `time` is in the past —
+    /// a causality violation is always a modeling bug.
+    pub fn schedule_at(&self, time: SimTime, f: impl FnOnce(&Sim) + Send + 'static) -> EventId {
+        let mut st = self.inner.state.lock();
+        assert!(
+            time >= st.now,
+            "cannot schedule event in the past ({time} < {})",
+            st.now
+        );
+        Self::push_event(&mut st, time, EventAction::Call(Box::new(f)))
+    }
+
+    fn push_event(st: &mut EngineState, time: SimTime, action: EventAction) -> EventId {
+        let seq = st.seq;
+        st.seq += 1;
+        st.queue.push(Reverse(EventEntry { time, seq, action }));
+        EventId(seq)
+    }
+
+    /// Cancel a pending event. Returns `false` if it already fired or was
+    /// already cancelled. Cancelling a wakeup event is safe: generational
+    /// parking means a cancelled wake simply never matches.
+    pub fn cancel(&self, id: EventId) -> bool {
+        let mut st = self.inner.state.lock();
+        if st.seq <= id.0 {
+            return false;
+        }
+        st.cancelled.insert(id.0)
+    }
+
+    /// Spawn a thread-backed actor; it starts running at the current instant
+    /// (after already-scheduled events at this instant).
+    pub fn spawn(
+        &self,
+        name: impl Into<String>,
+        body: impl FnOnce(&mut ActorCtx) + Send + 'static,
+    ) -> ActorId {
+        let name = name.into();
+        let id = ActorId(self.inner.state.lock().actors.len() as u32);
+        let (shared, join) = spawn_actor_thread(self.clone(), id, name.clone(), Box::new(body));
+        let mut st = self.inner.state.lock();
+        st.actors.push(ActorRecord {
+            name,
+            shared,
+            gen: 0,
+            status: ActorStatus::Parked,
+            join: Some(join),
+        });
+        let now = st.now;
+        Self::push_event(&mut st, now, EventAction::Wake(id, 0));
+        id
+    }
+
+    /// Run until the event queue drains.
+    pub fn run(&self) -> RunOutcome {
+        self.run_inner(SimTime::MAX)
+    }
+
+    /// Run until the event queue drains or the clock would pass `limit`.
+    /// On `Pending`, the clock is left at `limit`.
+    pub fn run_until(&self, limit: SimTime) -> RunOutcome {
+        self.run_inner(limit)
+    }
+
+    fn run_inner(&self, limit: SimTime) -> RunOutcome {
+        {
+            let mut st = self.inner.state.lock();
+            assert!(!st.running, "Sim::run called reentrantly");
+            st.running = true;
+        }
+        let outcome = loop {
+            let next = {
+                let mut st = self.inner.state.lock();
+                loop {
+                    match st.queue.peek() {
+                        None => break None,
+                        Some(Reverse(e)) if e.time > limit => break None,
+                        Some(Reverse(e)) => {
+                            let seq = e.seq;
+                            if st.cancelled.remove(&seq) {
+                                st.queue.pop();
+                                continue;
+                            }
+                            let Reverse(e) = st.queue.pop().expect("peeked");
+                            st.now = e.time;
+                            st.dispatched += 1;
+                            break Some(e);
+                        }
+                    }
+                }
+            };
+            match next {
+                None => break self.finish(limit),
+                Some(e) => {
+                    if std::env::var_os("SUCA_SIM_TRACE_DISPATCH").is_some() {
+                        let kind = match &e.action {
+                            EventAction::Call(_) => "call".to_string(),
+                            EventAction::Wake(id, gen) => format!("wake a{} g{gen}", id.0),
+                        };
+                        eprintln!("[dispatch] t={} seq={} {kind}", e.time, e.seq);
+                    }
+                    self.dispatch(e)
+                }
+            }
+        };
+        self.inner.state.lock().running = false;
+        outcome
+    }
+
+    fn finish(&self, limit: SimTime) -> RunOutcome {
+        let mut st = self.inner.state.lock();
+        if !st.queue.is_empty() {
+            // Stopped by the time limit with events still pending.
+            st.now = limit;
+            return RunOutcome::Pending;
+        }
+        let stuck: Vec<String> = st
+            .actors
+            .iter()
+            .filter(|a| a.status == ActorStatus::Parked)
+            .map(|a| a.name.clone())
+            .collect();
+        if stuck.is_empty() {
+            RunOutcome::Completed
+        } else {
+            RunOutcome::Deadlock(stuck)
+        }
+    }
+
+    fn dispatch(&self, e: EventEntry) {
+        match e.action {
+            EventAction::Call(f) => f(self),
+            EventAction::Wake(id, gen) => {
+                let shared = {
+                    let mut st = self.inner.state.lock();
+                    let rec = &mut st.actors[id.0 as usize];
+                    if rec.status == ActorStatus::Parked && rec.gen == gen {
+                        rec.status = ActorStatus::Running;
+                        Some(rec.shared.clone())
+                    } else {
+                        None // stale wake: the actor moved on or finished
+                    }
+                };
+                let Some(shared) = shared else { return };
+                shared
+                    .wake_tx
+                    .send(WakeMsg::Run)
+                    .expect("actor thread died while parked");
+                match shared.yield_rx.recv().expect("actor thread hung up") {
+                    YieldMsg::Parked => {} // status already set by mark_parked
+                    YieldMsg::Done => {
+                        self.inner.state.lock().actors[id.0 as usize].status = ActorStatus::Done;
+                    }
+                    YieldMsg::Panicked(msg) => {
+                        let name = {
+                            let st = self.inner.state.lock();
+                            st.actors[id.0 as usize].name.clone()
+                        };
+                        // Mark done so teardown does not try to shut it down.
+                        self.inner.state.lock().actors[id.0 as usize].status = ActorStatus::Done;
+                        panic!("sim actor '{name}' panicked: {msg}");
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- actor support (crate-internal) ------------------------------------
+
+    /// Bump and return the park generation for an upcoming park.
+    pub(crate) fn next_park_gen(&self, id: ActorId) -> u64 {
+        let mut st = self.inner.state.lock();
+        let rec = &mut st.actors[id.0 as usize];
+        rec.gen += 1;
+        rec.gen
+    }
+
+    /// Schedule a generational wakeup.
+    pub(crate) fn schedule_wake_in(&self, delay: SimDuration, id: ActorId, gen: u64) -> EventId {
+        let mut st = self.inner.state.lock();
+        let time = st.now + delay;
+        Self::push_event(&mut st, time, EventAction::Wake(id, gen))
+    }
+
+    /// Schedule a generational wakeup at the current instant (signal notify).
+    pub(crate) fn schedule_wake_now(&self, id: ActorId, gen: u64) -> EventId {
+        self.schedule_wake_in(SimDuration::ZERO, id, gen)
+    }
+
+    /// Record that an actor is about to hand the baton back.
+    pub(crate) fn mark_parked(&self, id: ActorId) {
+        let mut st = self.inner.state.lock();
+        st.actors[id.0 as usize].status = ActorStatus::Parked;
+    }
+
+    // ---- observability ------------------------------------------------------
+
+    /// Enable/disable span tracing (used by the timeline figures).
+    pub fn set_tracing(&self, on: bool) {
+        self.inner.state.lock().tracer.set_enabled(on);
+    }
+
+    /// Record a named span on a track. No-op while tracing is disabled.
+    pub fn trace_span(
+        &self,
+        track: impl Into<String>,
+        stage: impl Into<String>,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        self.inner.state.lock().tracer.span(track, stage, start, end);
+    }
+
+    /// Drain all recorded spans (sorted by start time, then insertion).
+    pub fn take_spans(&self) -> Vec<Span> {
+        self.inner.state.lock().tracer.take()
+    }
+
+    /// Increment a named counter.
+    pub fn add_count(&self, name: &str, n: u64) {
+        self.inner.state.lock().counters.add(name, n);
+    }
+
+    /// Read a named counter (0 if never incremented).
+    pub fn get_count(&self, name: &str) -> u64 {
+        self.inner.state.lock().counters.get(name)
+    }
+
+    /// Snapshot all counters.
+    pub fn counters(&self) -> HashMap<String, u64> {
+        self.inner.state.lock().counters.snapshot()
+    }
+
+    /// Derive a deterministic, independent RNG stream for a named component.
+    /// Same `(seed, label)` always yields the same stream.
+    pub fn fork_rng(&self, label: &str) -> SimRng {
+        let seed = self.inner.state.lock().seed;
+        SimRng::fork(seed, label)
+    }
+
+    /// The master seed this simulation was created with.
+    pub fn seed(&self) -> u64 {
+        self.inner.state.lock().seed
+    }
+
+    /// Number of events dispatched so far (observability / runaway-loop
+    /// diagnosis).
+    pub fn events_dispatched(&self) -> u64 {
+        self.inner.state.lock().dispatched
+    }
+}
+
+impl Drop for SimInner {
+    fn drop(&mut self) {
+        // Unwind any still-parked actor threads so tests don't leak threads.
+        let mut actors = std::mem::take(&mut self.state.lock().actors);
+        for rec in &mut actors {
+            if rec.status != ActorStatus::Done {
+                // Actor is blocked in wake_rx.recv(); Shutdown makes it
+                // unwind via ShutdownToken and exit quietly. If the thread is
+                // already gone the send just fails.
+                let _ = rec.shared.wake_tx.send(WakeMsg::Shutdown);
+            }
+            if let Some(join) = rec.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn events_run_in_time_order_with_fifo_ties() {
+        let sim = Sim::new(1);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for (i, d) in [(0u32, 30u64), (1, 10), (2, 10), (3, 20)] {
+            let log = log.clone();
+            sim.schedule_in(SimDuration::from_ns(d), move |_| log.lock().push(i));
+        }
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        assert_eq!(*log.lock(), vec![1, 2, 3, 0]);
+        assert_eq!(sim.now().as_ns(), 30);
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let sim = Sim::new(1);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = hits.clone();
+        let id = sim.schedule_in(SimDuration::from_us(1), move |_| {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(sim.cancel(id));
+        assert!(!sim.cancel(id), "double-cancel reports false");
+        sim.run();
+        assert_eq!(hits.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn handlers_can_schedule_more_events() {
+        let sim = Sim::new(1);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = hits.clone();
+        sim.schedule_in(SimDuration::from_us(1), move |s| {
+            let h2 = h.clone();
+            s.schedule_in(SimDuration::from_us(2), move |_| {
+                h2.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        sim.run();
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        assert_eq!(sim.now().as_us(), 3.0);
+    }
+
+    #[test]
+    fn actor_sleep_advances_virtual_time() {
+        let sim = Sim::new(1);
+        let t = Arc::new(Mutex::new(SimTime::ZERO));
+        let t2 = t.clone();
+        sim.spawn("sleeper", move |ctx| {
+            ctx.sleep(SimDuration::from_us(5));
+            ctx.sleep(SimDuration::from_us(7));
+            *t2.lock() = ctx.now();
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        assert_eq!(t.lock().as_us(), 12.0);
+    }
+
+    #[test]
+    fn actors_interleave_deterministically() {
+        let sim = Sim::new(1);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for who in ["a", "b"] {
+            let log = log.clone();
+            sim.spawn(who, move |ctx| {
+                for i in 0..3 {
+                    ctx.sleep(SimDuration::from_us(10));
+                    log.lock().push(format!("{who}{i}"));
+                }
+            });
+        }
+        sim.run();
+        // Same sleep times -> FIFO tie-break: 'a' was spawned first.
+        assert_eq!(
+            *log.lock(),
+            vec!["a0", "b0", "a1", "b1", "a2", "b2"]
+        );
+    }
+
+    #[test]
+    fn run_until_reports_pending() {
+        let sim = Sim::new(1);
+        sim.schedule_in(SimDuration::from_us(100), |_| {});
+        let out = sim.run_until(SimTime::from_ns(50_000));
+        assert_eq!(out, RunOutcome::Pending);
+        assert_eq!(sim.now().as_us(), 50.0);
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        assert_eq!(sim.now().as_us(), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sim actor 'oops' panicked: boom")]
+    fn actor_panics_propagate() {
+        let sim = Sim::new(1);
+        sim.spawn("oops", |_| panic!("boom"));
+        sim.run();
+    }
+
+    #[test]
+    fn dropping_engine_reclaims_parked_actor_threads() {
+        // An actor parked forever must not wedge drop.
+        let sim = Sim::new(1);
+        let sig = crate::signal::Signal::new(&sim);
+        sim.spawn("stuck", move |ctx| {
+            sig.wait(ctx); // never notified
+        });
+        match sim.run() {
+            RunOutcome::Deadlock(names) => assert_eq!(names, vec!["stuck".to_string()]),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+        drop(sim); // must not hang
+    }
+
+    #[test]
+    fn events_dispatched_counts_and_runs_resume_after_deadlock() {
+        let sim = Sim::new(1);
+        let sig = crate::signal::Signal::new(&sim);
+        let sig2 = sig.clone();
+        sim.spawn("blocked", move |ctx| sig2.wait(ctx));
+        // First run deadlocks (nothing notifies).
+        assert!(matches!(sim.run(), RunOutcome::Deadlock(_)));
+        let before = sim.events_dispatched();
+        // New work can still be scheduled and a later run un-sticks the
+        // actor.
+        let sig3 = sig.clone();
+        sim.schedule_in(SimDuration::from_us(1), move |_| sig3.notify());
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        assert!(sim.events_dispatched() > before);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let sim = Sim::new(1);
+        sim.add_count("traps", 1);
+        sim.add_count("traps", 2);
+        assert_eq!(sim.get_count("traps"), 3);
+        assert_eq!(sim.get_count("absent"), 0);
+    }
+
+    #[test]
+    fn fork_rng_is_deterministic_per_label() {
+        let sim = Sim::new(42);
+        let a1: u64 = sim.fork_rng("link0").next_u64();
+        let a2: u64 = sim.fork_rng("link0").next_u64();
+        let b: u64 = sim.fork_rng("link1").next_u64();
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+    }
+}

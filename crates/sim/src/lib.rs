@@ -1,0 +1,49 @@
+//! # suca-sim — deterministic discrete-event engine
+//!
+//! Foundation of the Semi-User-Level Communication Architecture
+//! reproduction (Meng et al., IPPS 2002). Every hardware model (PCI bus,
+//! Myrinet NIC/switch, DMA engine) and every OS cost (trap, interrupt) is
+//! simulated on a virtual nanosecond clock driven by this engine, so the
+//! paper's microsecond-scale timelines can be regenerated exactly and
+//! reproducibly.
+//!
+//! Two execution styles coexist:
+//!
+//! * **Event handlers** — hardware components are state machines that
+//!   schedule boxed closures ([`Sim::schedule_in`]).
+//! * **Thread-backed actors** — application processes (the code calling the
+//!   BCL/MPI APIs) run on real OS threads written as ordinary blocking Rust
+//!   ([`Sim::spawn`], [`ActorCtx`]). A baton handshake guarantees exactly one
+//!   party runs at a time, so execution stays deterministic.
+//!
+//! ```
+//! use suca_sim::{Sim, SimDuration, Signal, RunOutcome};
+//!
+//! let sim = Sim::new(42);
+//! let sig = Signal::new(&sim);
+//! let sig2 = sig.clone();
+//! sim.spawn("consumer", move |ctx| {
+//!     sig2.wait(ctx);                      // blocks until notified
+//!     assert_eq!(ctx.now().as_us(), 3.0);
+//! });
+//! sim.schedule_in(SimDuration::from_us(3), move |_| sig.notify());
+//! assert_eq!(sim.run(), RunOutcome::Completed);
+//! ```
+
+#![warn(missing_docs)]
+
+mod actor;
+mod engine;
+mod rng;
+mod signal;
+mod stats;
+mod time;
+mod trace;
+
+pub use actor::{ActorCtx, ActorId};
+pub use engine::{EventId, RunOutcome, Sim};
+pub use rng::SimRng;
+pub use signal::{Semaphore, Signal};
+pub use stats::{Counters, Samples};
+pub use time::{SimDuration, SimTime};
+pub use trace::{render_gantt, render_timeline, Span};

@@ -1,0 +1,143 @@
+//! Deterministic random streams.
+//!
+//! Every stochastic decision in the simulator (packet drops, bit corruption,
+//! jitter) draws from a [`SimRng`] forked from the master seed plus a stable
+//! component label, so independent components get independent streams and a
+//! run is reproducible from `(seed, program)` alone. The fork function is a
+//! hand-rolled FNV-1a/splitmix64 combination rather than `DefaultHasher`
+//! because the latter's output is not guaranteed stable across Rust releases.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// FNV-1a over a byte string; stable across platforms and Rust versions.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One round of splitmix64; good avalanche for seed derivation.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seeded RNG stream for one simulation component.
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Derive a stream from `(master_seed, label)`.
+    pub fn fork(master_seed: u64, label: &str) -> Self {
+        let mut state = splitmix64(master_seed ^ fnv1a(label.as_bytes()));
+        let mut seed = [0u8; 32];
+        for chunk in seed.chunks_mut(8) {
+            state = splitmix64(state);
+            chunk.copy_from_slice(&state.to_le_bytes());
+        }
+        SimRng {
+            inner: StdRng::from_seed(seed),
+        }
+    }
+
+    /// Uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        RngCore::next_u64(&mut self.inner)
+    }
+
+    /// Uniform in `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform in `[lo, hi)`. Panics if the range is empty.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.inner.gen_bool(p)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.r#gen::<f64>()
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_label_same_stream() {
+        let mut a = SimRng::fork(7, "nic0");
+        let mut b = SimRng::fork(7, "nic0");
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_labels_diverge() {
+        let mut a = SimRng::fork(7, "nic0");
+        let mut b = SimRng::fork(7, "nic1");
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::fork(7, "nic0");
+        let mut b = SimRng::fork(8, "nic0");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::fork(1, "x");
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut r = SimRng::fork(1, "y");
+        for _ in 0..100 {
+            assert!(r.below(10) < 10);
+            let v = r.range(5, 8);
+            assert!((5..8).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Counters and sample summaries used by the experiment harnesses.
+
+use std::collections::HashMap;
+
+/// Named monotonic counters (traps, interrupts, retransmissions, …).
+/// Table 1 of the paper is generated from these.
+#[derive(Default)]
+pub struct Counters {
+    map: HashMap<String, u64>,
+}
+
+impl Counters {
+    /// Empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, n: u64) {
+        *self.map.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Current value (0 if never written).
+    pub fn get(&self, name: &str) -> u64 {
+        self.map.get(name).copied().unwrap_or(0)
+    }
+
+    /// Copy of the whole map.
+    pub fn snapshot(&self) -> HashMap<String, u64> {
+        self.map.clone()
+    }
+}
+
+/// A collection of f64 samples with summary statistics. Used for latency
+/// distributions in the sweep harnesses.
+#[derive(Default, Clone, Debug)]
+pub struct Samples {
+    values: Vec<f64>,
+}
+
+impl Samples {
+    /// Empty sample set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn push(&mut self, v: f64) {
+        self.values.push(v);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no samples recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean; 0 for an empty set.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Smallest sample; 0 for an empty set.
+    pub fn min(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest sample; 0 for an empty set.
+    pub fn max(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// p-th percentile (0..=100) by nearest-rank; 0 for an empty set.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// All raw values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_basic() {
+        let mut c = Counters::new();
+        c.add("traps", 2);
+        c.add("traps", 3);
+        assert_eq!(c.get("traps"), 5);
+        assert_eq!(c.get("other"), 0);
+        assert_eq!(c.snapshot()["traps"], 5);
+    }
+
+    #[test]
+    fn samples_summary() {
+        let mut s = Samples::new();
+        for v in [3.0, 1.0, 2.0, 4.0] {
+            s.push(v);
+        }
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.mean(), 2.5);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 4.0);
+        assert_eq!(s.percentile(50.0), 3.0); // nearest-rank of 1.5 -> idx 2
+    }
+
+    #[test]
+    fn empty_samples_are_zero() {
+        let s = Samples::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.percentile(50.0), 0.0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Virtual time for the discrete-event engine.
+//!
+//! All simulated clocks are nanosecond-resolution `u64` counters starting at
+//! zero. The paper reports everything in microseconds (e.g. a PIO word write
+//! costs 0.24 µs); nanoseconds keep those constants exact while leaving
+//! headroom for multi-second simulations (a `u64` of nanoseconds covers
+//! ~584 years).
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant on the simulation clock, in nanoseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Raw nanoseconds since simulation start.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since start, as a float (for reporting — the paper's unit).
+    #[inline]
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The duration elapsed since `earlier`. Saturates at zero if `earlier`
+    /// is in the future, which keeps measurement code panic-free.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(d.0).map(SimTime)
+    }
+}
+
+impl SimDuration {
+    /// A zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Construct from integer microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Construct from fractional microseconds (e.g. the paper's `0.24 µs`
+    /// PIO write). Rounds to the nearest nanosecond; negative inputs clamp
+    /// to zero.
+    #[inline]
+    pub fn from_us_f64(us: f64) -> Self {
+        SimDuration((us * 1_000.0).round().max(0.0) as u64)
+    }
+
+    /// Construct from integer milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Construct from integer seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Raw nanoseconds.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds as a float (the paper's reporting unit).
+    #[inline]
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Seconds as a float.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Time to move `bytes` at `bytes_per_sec`, rounded up to a whole
+    /// nanosecond. Uses 128-bit intermediate math so multi-megabyte
+    /// transfers at multi-hundred-MB/s rates do not overflow or lose
+    /// precision — bandwidth curves (Fig. 9) are built from this.
+    #[inline]
+    pub fn for_bytes(bytes: u64, bytes_per_sec: u64) -> Self {
+        assert!(bytes_per_sec > 0, "bandwidth must be positive");
+        let ns = (bytes as u128 * 1_000_000_000u128).div_ceil(bytes_per_sec as u128);
+        SimDuration(u64::try_from(ns).expect("transfer time overflows u64 ns"))
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// True if this is the zero duration.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.checked_add(d.0).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, d: SimDuration) {
+        *self = *self + d;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, other: SimTime) -> SimDuration {
+        self.since(other)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(other.0).expect("SimDuration overflow"))
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, other: SimDuration) {
+        *self = *self + other;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(other.0)
+                .expect("SimDuration underflow; use saturating_sub"),
+        )
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, other: SimDuration) {
+        *self = *self - other;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.checked_mul(k).expect("SimDuration overflow"))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, k: u64) -> SimDuration {
+        SimDuration(self.0 / k)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}us", self.as_us())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_us())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_us())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_us())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn us_roundtrip() {
+        let d = SimDuration::from_us_f64(0.24);
+        assert_eq!(d.as_ns(), 240);
+        assert!((d.as_us() - 0.24).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_us(5);
+        assert_eq!(t.as_ns(), 5_000);
+        assert_eq!((t + SimDuration::from_ns(1)).since(t).as_ns(), 1);
+        assert_eq!(SimTime::ZERO.since(t), SimDuration::ZERO); // saturates
+    }
+
+    #[test]
+    fn bytes_at_bandwidth() {
+        // 128 KB at 146 MB/s ~= 898 us (the paper's Fig. 9 anchor point).
+        let d = SimDuration::for_bytes(128 * 1024, 146_000_000);
+        assert!((d.as_us() - 897.75).abs() < 1.0, "got {}", d.as_us());
+        // Rounds up: 1 byte at 3 B/s needs ceil(1e9/3) ns.
+        assert_eq!(SimDuration::for_bytes(1, 3).as_ns(), 333_333_334);
+    }
+
+    #[test]
+    fn no_overflow_on_large_transfers() {
+        // 1 TB at 1 MB/s = 1e6 seconds; fits comfortably.
+        let d = SimDuration::for_bytes(1 << 40, 1_000_000);
+        assert!(d.as_secs_f64() > 1.0e6 - 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_panics() {
+        let _ = SimDuration::for_bytes(1, 0);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_us(10) * 3;
+        assert_eq!(d.as_us(), 30.0);
+        assert_eq!((d / 3).as_us(), 10.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Stage-span tracing.
+//!
+//! The paper's Figures 5–7 are *timelines*: a message's journey broken into
+//! named stages with per-stage durations. Protocol code records a [`Span`]
+//! per stage on a named track (e.g. `"node0/send"`); the figure harnesses
+//! drain the spans and print the same breakdowns the paper shows.
+
+use crate::time::{SimDuration, SimTime};
+
+/// One traced stage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Span {
+    /// Grouping key, typically `"<node>/<direction>"`.
+    pub track: String,
+    /// Stage name, e.g. `"trap+check+translate"`.
+    pub stage: String,
+    /// Stage start (virtual time).
+    pub start: SimTime,
+    /// Stage end (virtual time).
+    pub end: SimTime,
+}
+
+impl Span {
+    /// Stage duration.
+    pub fn duration(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+}
+
+/// Span sink owned by the engine; disabled by default (zero overhead on the
+/// hot path beyond one branch).
+pub struct Tracer {
+    enabled: bool,
+    spans: Vec<Span>,
+}
+
+impl Tracer {
+    pub(crate) fn new() -> Self {
+        Tracer {
+            enabled: false,
+            spans: Vec::new(),
+        }
+    }
+
+    pub(crate) fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    pub(crate) fn span(
+        &mut self,
+        track: impl Into<String>,
+        stage: impl Into<String>,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.spans.push(Span {
+            track: track.into(),
+            stage: stage.into(),
+            start,
+            end,
+        });
+    }
+
+    pub(crate) fn take(&mut self) -> Vec<Span> {
+        let mut spans = std::mem::take(&mut self.spans);
+        spans.sort_by_key(|s| s.start);
+        spans
+    }
+}
+
+/// Render a list of spans as a text timeline table (one row per span),
+/// matching the presentation of the paper's timeline figures.
+pub fn render_timeline(spans: &[Span]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let width = spans
+        .iter()
+        .map(|s| s.track.len() + s.stage.len())
+        .max()
+        .unwrap_or(20)
+        + 3;
+    for s in spans {
+        let label = format!("{} :: {}", s.track, s.stage);
+        let _ = writeln!(
+            out,
+            "{label:<width$} {:>10.3} -> {:>10.3}  ({:>7.3} us)",
+            s.start.as_us(),
+            s.end.as_us(),
+            s.duration().as_us(),
+        );
+    }
+    out
+}
+
+/// Render spans as an ASCII Gantt chart, the visual analogue of the paper's
+/// timeline figures: one row per span, bars positioned on a common time
+/// axis starting at the earliest span.
+pub fn render_gantt(spans: &[Span], width: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if spans.is_empty() {
+        return out;
+    }
+    let t0 = spans.iter().map(|s| s.start).min().expect("nonempty");
+    let t1 = spans.iter().map(|s| s.end).max().expect("nonempty");
+    let total = t1.since(t0).as_ns().max(1);
+    let label_w = spans
+        .iter()
+        .map(|s| s.track.len() + s.stage.len() + 4)
+        .max()
+        .unwrap_or(20);
+    let scale = |t: SimTime| -> usize {
+        ((t.since(t0).as_ns() as u128 * width as u128) / total as u128) as usize
+    };
+    let _ = writeln!(
+        out,
+        "{:<label_w$} 0{}{:.2}us",
+        "",
+        " ".repeat(width.saturating_sub(8)),
+        t1.since(t0).as_us()
+    );
+    for s in spans {
+        let label = format!("{} :: {}", s.track, s.stage);
+        let a = scale(s.start).min(width);
+        let b = scale(s.end).clamp(a + 1, width);
+        let mut bar = String::with_capacity(width);
+        bar.push_str(&" ".repeat(a));
+        bar.push_str(&"#".repeat(b - a));
+        bar.push_str(&" ".repeat(width - b));
+        let _ = writeln!(out, "{label:<label_w$} |{bar}| {:.2}us", s.duration().as_us());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Sim;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let sim = Sim::new(1);
+        sim.trace_span("t", "s", SimTime::ZERO, SimTime::from_ns(10));
+        assert!(sim.take_spans().is_empty());
+    }
+
+    #[test]
+    fn spans_come_back_sorted_by_start() {
+        let sim = Sim::new(1);
+        sim.set_tracing(true);
+        let t = |ns| SimTime::from_ns(ns);
+        sim.trace_span("a", "late", t(100), t(200));
+        sim.trace_span("a", "early", t(0), t(50));
+        let spans = sim.take_spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].stage, "early");
+        assert_eq!(spans[1].stage, "late");
+        assert_eq!(spans[1].duration(), SimDuration::from_ns(100));
+        // Drained: second take is empty.
+        assert!(sim.take_spans().is_empty());
+    }
+
+    #[test]
+    fn gantt_renders_scaled_bars() {
+        let t = |ns| SimTime::from_ns(ns);
+        let spans = vec![
+            Span {
+                track: "n0/tx".into(),
+                stage: "first-half".into(),
+                start: t(0),
+                end: t(500),
+            },
+            Span {
+                track: "n0/tx".into(),
+                stage: "second-half".into(),
+                start: t(500),
+                end: t(1000),
+            },
+        ];
+        let g = render_gantt(&spans, 40);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Equal halves get equal-ish bars.
+        let count = |l: &str| l.matches('#').count();
+        let (a, b) = (count(lines[1]), count(lines[2]));
+        assert!((a as i64 - b as i64).abs() <= 1, "{a} vs {b}");
+        assert!(a >= 19 && a <= 21);
+        // Second bar starts where the first ended.
+        assert!(lines[2].find('#').unwrap() >= lines[1].rfind('#').unwrap());
+    }
+
+    #[test]
+    fn gantt_empty_is_empty() {
+        assert!(render_gantt(&[], 40).is_empty());
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let spans = vec![Span {
+            track: "n0/send".into(),
+            stage: "trap".into(),
+            start: SimTime::ZERO,
+            end: SimTime::from_ns(1_200),
+        }];
+        let text = render_timeline(&spans);
+        assert!(text.contains("n0/send :: trap"));
+        assert!(text.contains("1.200 us"));
+    }
+}

@@ -1,0 +1,87 @@
+//! PVM over BCL: the classic master/worker task farm.
+//!
+//! The master scatters chunks of a numerical integration (π via the
+//! midpoint rule), workers compute partial sums and return typed results;
+//! the master receives with PVM's `-1` wildcards, in whatever order workers
+//! finish.
+//!
+//! ```text
+//! cargo run --example pvm_master_worker
+//! ```
+
+use suca::cluster::ClusterSpec;
+use suca::eadi::Universe;
+use suca::prelude::*;
+use suca::pvm::{PvmConfig, PvmTask};
+
+const TASKS: u32 = 5; // 1 master + 4 workers
+const INTERVALS: u64 = 1_000_000;
+
+fn main() {
+    let cluster = ClusterSpec::dawning3000(3).build();
+    let sim = cluster.sim.clone();
+    let uni = Universe::new(&sim, TASKS);
+
+    for tid in 0..TASKS {
+        let uni = uni.clone();
+        cluster.spawn_process(tid % 3, format!("task{tid}"), move |ctx, env| {
+            let task = PvmTask::enroll(ctx, &env.node.bcl, &env.proc, uni, tid, PvmConfig::dawning3000());
+            if task.tid() == 0 {
+                master(ctx, &task);
+            } else {
+                worker(ctx, &task);
+            }
+        });
+    }
+    assert_eq!(sim.run(), RunOutcome::Completed);
+}
+
+fn master(ctx: &mut suca::sim::ActorCtx, task: &PvmTask) {
+    let workers = task.ntasks() - 1;
+    let chunk = INTERVALS / u64::from(workers);
+    // Farm out [start, end) ranges with the interval count.
+    for w in 1..=workers {
+        let start = chunk * u64::from(w - 1);
+        let end = if w == workers { INTERVALS } else { start + chunk };
+        task.initsend()
+            .pack_i32(&[start as i32, end as i32])
+            .pack_f64(&[INTERVALS as f64]);
+        task.send(ctx, w, 1);
+        println!("[master] sent range [{start}, {end}) to worker {w}");
+    }
+    // Collect partial sums from ANY worker, ANY order.
+    let mut pi = 0.0;
+    for _ in 0..workers {
+        let mut m = task.recv(ctx, -1, 2);
+        let part = m.buf.unpack_f64().expect("partial sum")[0];
+        println!(
+            "[master] worker {} returned {:.9} at t={}",
+            m.src_tid,
+            part,
+            ctx.now()
+        );
+        pi += part;
+    }
+    let err = (pi - std::f64::consts::PI).abs();
+    println!("\n[master] pi ~= {pi:.9}   |error| = {err:.2e}");
+    assert!(err < 1e-6, "integration failed");
+}
+
+fn worker(ctx: &mut suca::sim::ActorCtx, task: &PvmTask) {
+    let mut m = task.recv(ctx, 0, 1);
+    let range = m.buf.unpack_i32().expect("range");
+    let n = m.buf.unpack_f64().expect("intervals")[0];
+    let (start, end) = (range[0] as u64, range[1] as u64);
+    // Midpoint rule on 4/(1+x^2).
+    let h = 1.0 / n;
+    let mut sum = 0.0;
+    for i in start..end {
+        let x = (i as f64 + 0.5) * h;
+        sum += 4.0 / (1.0 + x * x);
+    }
+    sum *= h;
+    // Simulated compute time: ~2 ns per interval on a Power3.
+    ctx.sleep(SimDuration::from_ns(2 * (end - start)));
+    task.initsend().pack_f64(&[sum]);
+    task.send(ctx, 0, 2);
+}
