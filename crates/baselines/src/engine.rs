@@ -24,7 +24,7 @@ use suca_bcl::wire::{WireHeader, WireKind, HEADER_BYTES};
 use suca_bcl::{ChannelId, PortId};
 use suca_myrinet::{Fabric, FabricNodeId, FRAMING_BYTES};
 use suca_os::OsPersonality;
-use suca_sim::{ActorCtx, EventId, Sim, SimDuration, Signal};
+use suca_sim::{ActorCtx, EventId, Signal, Sim, SimDuration};
 
 use crate::arch::ArchModel;
 
@@ -128,7 +128,9 @@ impl BaselineNet {
                 protocol: arch.name,
             });
         }
-        let frag_cap = (fabric.mtu() as u64).saturating_sub(HEADER_BYTES as u64).min(4096);
+        let frag_cap = (fabric.mtu() as u64)
+            .saturating_sub(HEADER_BYTES as u64)
+            .min(4096);
         let endpoints = (0..fabric.num_nodes())
             .map(|n| {
                 let inner = Arc::new(EpInner {
@@ -400,7 +402,9 @@ impl EpInner {
         {
             let mut st = self.state.lock();
             st.timers.remove(&dst.0);
-            let Some(gbn) = st.gbn_tx.get(&dst.0) else { return };
+            let Some(gbn) = st.gbn_tx.get(&dst.0) else {
+                return;
+            };
             if gbn.in_flight() == 0 {
                 return;
             }
@@ -443,7 +447,9 @@ impl EpInner {
     fn on_ack(self: &Arc<Self>, src: FabricNodeId, cum: u32) {
         {
             let mut st = self.state.lock();
-            let Some(gbn) = st.gbn_tx.get_mut(&src.0) else { return };
+            let Some(gbn) = st.gbn_tx.get_mut(&src.0) else {
+                return;
+            };
             if gbn.on_ack(cum) == 0 {
                 return;
             }
@@ -479,9 +485,10 @@ impl EpInner {
             let fabric = self.fabric.clone();
             let fid = self.fid;
             let pkt = ack.encode(b"");
-            self.sim.schedule_in(SimDuration::from_us_f64(0.30), move |s| {
-                fabric.inject(s, fid, src, pkt);
-            });
+            self.sim
+                .schedule_in(SimDuration::from_us_f64(0.30), move |s| {
+                    fabric.inject(s, fid, src, pkt);
+                });
             if verdict != GbnVerdict::Accept {
                 return;
             }

@@ -141,11 +141,11 @@ mod tests {
     fn user_level_cannot_exist_on_aix() {
         let sim = Sim::new(1);
         let fabric = Myrinet::build(&sim, 2, MyrinetConfig::dawning3000());
-        let err = match BaselineNet::build(&sim, fabric, ArchModel::user_level(), OsPersonality::AIX)
-        {
-            Err(e) => e,
-            Ok(_) => panic!("user-level protocol must be unbuildable on AIX"),
-        };
+        let err =
+            match BaselineNet::build(&sim, fabric, ArchModel::user_level(), OsPersonality::AIX) {
+                Err(e) => e,
+                Ok(_) => panic!("user-level protocol must be unbuildable on AIX"),
+            };
         assert_eq!(err.os, "AIX");
         // The kernel-level protocol is fine on AIX.
         let sim2 = Sim::new(1);

@@ -1,65 +1,102 @@
-//! Criterion benchmarks of the simulator itself: these measure real
-//! wall-clock cost of running the reproduction (events/second, full
-//! protocol exchanges), not simulated time — useful for keeping the
-//! simulator fast enough that the paper sweeps stay interactive.
+//! Wall-clock benchmarks of the simulator itself: events/second, full
+//! protocol exchanges, codec throughput — real time, not simulated time.
+//! Useful for keeping the simulator fast enough that the paper sweeps stay
+//! interactive.
+//!
+//! Hand-rolled harness (`harness = false`): the build environment cannot
+//! fetch criterion, and median-of-N wall timing is all these need.
+//! Run with `cargo bench -p suca-bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::time::Instant;
 
 use suca_cluster::{measure_one_way, ClusterSpec};
 use suca_sim::{Sim, SimDuration};
 
-fn bench_engine_events(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("dispatch_10k_events", |b| {
-        b.iter_batched(
-            || {
-                let sim = Sim::new(1);
-                for i in 0..10_000u64 {
-                    sim.schedule_in(SimDuration::from_ns(i), |_| {});
-                }
-                sim
-            },
-            |sim| sim.run(),
-            BatchSize::SmallInput,
-        );
-    });
-    g.bench_function("actor_pingpong_1k_switches", |b| {
-        b.iter_batched(
-            || {
-                let sim = Sim::new(1);
-                for who in 0..2 {
-                    sim.spawn(format!("a{who}"), |ctx| {
-                        for _ in 0..500 {
-                            ctx.sleep(SimDuration::from_ns(10));
-                        }
-                    });
-                }
-                sim
-            },
-            |sim| sim.run(),
-            BatchSize::SmallInput,
-        );
-    });
-    g.finish();
+/// Run `f` (with per-iteration setup) `iters` times and report the median
+/// wall time per iteration plus derived throughput.
+fn bench<S, T, R>(
+    name: &str,
+    iters: usize,
+    elements: Option<f64>,
+    mut setup: S,
+    mut f: impl FnMut(T) -> R,
+) where
+    S: FnMut() -> T,
+{
+    let mut times = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let input = setup();
+        let t0 = Instant::now();
+        let out = f(input);
+        times.push(t0.elapsed().as_secs_f64());
+        std::hint::black_box(out);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    let median = times[times.len() / 2];
+    let rate = elements
+        .map(|n| format!("  ({:.1} Melem/s)", n / median / 1e6))
+        .unwrap_or_default();
+    println!("{name:<40} {:>10.3} ms/iter{rate}", median * 1e3);
 }
 
-fn bench_bcl_exchange(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bcl");
-    g.sample_size(10);
-    g.bench_function("one_way_0B_full_stack", |b| {
-        b.iter(|| measure_one_way(ClusterSpec::dawning3000(2), 0, 1, 0, 0, 1));
-    });
-    g.bench_function("one_way_64KB_full_stack", |b| {
-        b.iter(|| measure_one_way(ClusterSpec::dawning3000(2), 0, 1, 65536, 0, 1));
-    });
-    g.bench_function("build_70_node_cluster", |b| {
-        b.iter(|| ClusterSpec::dawning3000(70).build());
-    });
-    g.finish();
+fn bench_engine_events() {
+    bench(
+        "engine/dispatch_10k_events",
+        20,
+        Some(10_000.0),
+        || {
+            let sim = Sim::new(1);
+            for i in 0..10_000u64 {
+                sim.schedule_in(SimDuration::from_ns(i), |_| {});
+            }
+            sim
+        },
+        |sim| sim.run(),
+    );
+    bench(
+        "engine/actor_pingpong_1k_switches",
+        20,
+        Some(1_000.0),
+        || {
+            let sim = Sim::new(1);
+            for who in 0..2 {
+                sim.spawn(format!("a{who}"), |ctx| {
+                    for _ in 0..500 {
+                        ctx.sleep(SimDuration::from_ns(10));
+                    }
+                });
+            }
+            sim
+        },
+        |sim| sim.run(),
+    );
 }
 
-fn bench_wire_codec(c: &mut Criterion) {
+fn bench_bcl_exchange() {
+    bench(
+        "bcl/one_way_0B_full_stack",
+        10,
+        None,
+        || (),
+        |()| measure_one_way(ClusterSpec::dawning3000(2), 0, 1, 0, 0, 1),
+    );
+    bench(
+        "bcl/one_way_64KB_full_stack",
+        10,
+        None,
+        || (),
+        |()| measure_one_way(ClusterSpec::dawning3000(2), 0, 1, 65536, 0, 1),
+    );
+    bench(
+        "bcl/build_70_node_cluster",
+        10,
+        None,
+        || (),
+        |()| ClusterSpec::dawning3000(70).build(),
+    );
+}
+
+fn bench_wire_codec() {
     use bytes::Bytes;
     use suca_bcl::wire::{WireHeader, WireKind};
     use suca_bcl::{ChannelId, PortId};
@@ -77,16 +114,26 @@ fn bench_wire_codec(c: &mut Criterion) {
     };
     let payload = vec![0xABu8; 4064];
     let encoded: Bytes = header.encode(&payload);
-    let mut g = c.benchmark_group("wire");
-    g.throughput(Throughput::Bytes(encoded.len() as u64));
-    g.bench_function("encode_4k_fragment", |b| {
-        b.iter(|| header.encode(&payload));
-    });
-    g.bench_function("decode_4k_fragment", |b| {
-        b.iter(|| WireHeader::decode(&encoded).expect("valid"));
-    });
-    g.finish();
+    let bytes_per_iter = encoded.len() as f64;
+    bench(
+        "wire/encode_4k_fragment",
+        2000,
+        Some(bytes_per_iter),
+        || (),
+        |()| header.encode(&payload),
+    );
+    bench(
+        "wire/decode_4k_fragment",
+        2000,
+        Some(bytes_per_iter),
+        || (),
+        |()| WireHeader::decode(&encoded).expect("valid"),
+    );
 }
 
-criterion_group!(benches, bench_engine_events, bench_bcl_exchange, bench_wire_codec);
-criterion_main!(benches);
+fn main() {
+    println!("suca-bench wall-clock microbenchmarks (median of N)");
+    bench_engine_events();
+    bench_bcl_exchange();
+    bench_wire_codec();
+}

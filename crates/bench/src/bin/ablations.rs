@@ -34,7 +34,10 @@ fn latency_with(cfg: BclConfig, os_costs: suca_os::OsCostModel) -> f64 {
 
 fn ablation_pci() {
     println!("-- Ablation 1: PCI (PIO) speed");
-    println!("{:<26} {:>14} {:>14}", "PCI model", "0B send PIO", "one-way (us)");
+    println!(
+        "{:<26} {:>14} {:>14}",
+        "PCI model", "0B send PIO", "one-way (us)"
+    );
     for (name, pci) in [
         ("DAWNING (0.24us/word)", PciModel::dawning3000()),
         ("fast motherboard (0.06)", PciModel::fast_pci()),
@@ -50,14 +53,20 @@ fn ablation_pci() {
 
 fn ablation_cpu() {
     println!("-- Ablation 2: host CPU speed (scales trap/check costs)");
-    println!("{:<26} {:>14} {:>14}", "CPU", "kernel extra", "one-way (us)");
+    println!(
+        "{:<26} {:>14} {:>14}",
+        "CPU", "kernel extra", "one-way (us)"
+    );
     for factor in [1.0, 2.0, 4.0] {
         let os = suca_os::OsCostModel::aix_power3().scaled_cpu(factor);
         let mut cfg = BclConfig::dawning3000();
         cfg.os = os.clone();
         let extra = cfg.kernel_extra().as_us();
         let lat = latency_with(cfg, os);
-        println!("{:<26} {extra:>11.2} us {lat:>14.2}", format!("{factor}x 375 MHz Power3"));
+        println!(
+            "{:<26} {extra:>11.2} us {lat:>14.2}",
+            format!("{factor}x 375 MHz Power3")
+        );
     }
     println!();
 }
@@ -65,7 +74,10 @@ fn ablation_cpu() {
 fn ablation_reliability() {
     println!("-- Ablation 3: reliable-protocol cost on the NIC");
     println!("{:<34} {:>14}", "MCP protocol", "one-way (us)");
-    for (name, cut_us) in [("full reliability (default)", 0.0), ("no reliability (-5.65us)", 5.65)] {
+    for (name, cut_us) in [
+        ("full reliability (default)", 0.0),
+        ("no reliability (-5.65us)", 5.65),
+    ] {
         let mut cfg = BclConfig::dawning3000();
         cfg.mcp.send_fixed = SimDuration::from_us_f64(cfg.mcp.send_fixed.as_us() - cut_us);
         let lat = latency_with(cfg, suca_os::OsCostModel::aix_power3());
@@ -134,7 +146,8 @@ fn bcl_send_time(working_set: u64, pin_table_pages: usize) -> f64 {
         for _ in 0..working_set * 2 {
             let ev = port.wait_recv(ctx);
             let _ = port.recv_bytes(ctx, &ev).expect("data");
-            port.send_bytes(ctx, ev.src, ChannelId::SYSTEM, b"").expect("token");
+            port.send_bytes(ctx, ev.src, ChannelId::SYSTEM, b"")
+                .expect("token");
         }
     });
     let b3 = barrier.clone();
@@ -150,7 +163,8 @@ fn bcl_send_time(working_set: u64, pin_table_pages: usize) -> f64 {
         for round in 0..2 {
             for &buf in &bufs {
                 let t0 = ctx.now().as_us();
-                port.send(ctx, dst, ChannelId::SYSTEM, buf, 64).expect("send");
+                port.send(ctx, dst, ChannelId::SYSTEM, buf, 64)
+                    .expect("send");
                 if round == 1 {
                     second_round += ctx.now().as_us() - t0;
                 }
@@ -166,17 +180,26 @@ fn bcl_send_time(working_set: u64, pin_table_pages: usize) -> f64 {
         }
         *m2.lock() = second_round / working_set as f64;
     });
-    assert_eq!(sim.run(), suca_sim::RunOutcome::Completed, "ablation harness hung");
+    assert_eq!(
+        sim.run(),
+        suca_sim::RunOutcome::Completed,
+        "ablation harness hung"
+    );
     let m = *mean.lock();
     m
 }
 
 fn ablation_translation() {
     println!("-- Ablation 4: address translation under growing working sets");
-    println!("   (user-level: 256-entry NIC TLB, 16 us/miss; BCL: pin-down table in host kernel memory)");
+    println!(
+        "   (user-level: 256-entry NIC TLB, 16 us/miss; BCL: pin-down table in host kernel memory)"
+    );
     println!(
         "{:>12} {:>26} {:>26} {:>26}",
-        "buffers", "user-level stall/send", "BCL send (64K-page table)", "BCL send (256-page table)"
+        "buffers",
+        "user-level stall/send",
+        "BCL send (64K-page table)",
+        "BCL send (256-page table)"
     );
     for ws in [64u64, 256, 1024, 4096] {
         let (stall, _misses) = user_level_tlb_stall(ws);

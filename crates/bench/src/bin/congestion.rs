@@ -45,8 +45,13 @@ fn aggregate_bandwidth(cluster: &Cluster, pairs: &[(u32, u32)]) -> f64 {
                 for i in 0..COUNT {
                     let ev = port.wait_recv(ctx);
                     if i + 4 < COUNT {
-                        port.post_recv_at(ctx, ev.channel.index, bufs[ev.channel.index as usize], MSG)
-                            .expect("re-post");
+                        port.post_recv_at(
+                            ctx,
+                            ev.channel.index,
+                            bufs[ev.channel.index as usize],
+                            MSG,
+                        )
+                        .expect("re-post");
                     }
                 }
                 let mut g = t1.lock();

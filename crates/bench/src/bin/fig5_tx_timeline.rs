@@ -11,7 +11,11 @@ use suca_sim::{render_gantt, render_timeline};
 
 fn main() {
     let spans = traced_zero_len_spans();
-    let tx: Vec<_> = spans.iter().filter(|s| s.track == "n0/tx").cloned().collect();
+    let tx: Vec<_> = spans
+        .iter()
+        .filter(|s| s.track == "n0/tx")
+        .cloned()
+        .collect();
     println!("-- Fig. 5: transmission timeline (sender side, 0-length message)\n");
     print!("{}", render_timeline(&tx));
     println!();
@@ -37,7 +41,12 @@ fn main() {
                 Row::new("host CPU overhead to push message", 7.04, send_oh, "us"),
                 Row::new("  (same, summed from stage spans)", 7.04, host, "us"),
                 Row::new("complete sending op (event poll)", 0.82, send_done, "us"),
-                Row::new("request fill (dispatch+PIO) share", 50.0, fill / host * 100.0, "%"),
+                Row::new(
+                    "request fill (dispatch+PIO) share",
+                    50.0,
+                    fill / host * 100.0,
+                    "%"
+                ),
             ],
         )
     );

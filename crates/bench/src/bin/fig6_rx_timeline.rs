@@ -11,7 +11,11 @@ use suca_sim::{render_gantt, render_timeline};
 
 fn main() {
     let spans = traced_zero_len_spans();
-    let rx: Vec<_> = spans.iter().filter(|s| s.track == "n1/rx").cloned().collect();
+    let rx: Vec<_> = spans
+        .iter()
+        .filter(|s| s.track == "n1/rx")
+        .cloned()
+        .collect();
     println!("-- Fig. 6: reception timeline (receiver side, 0-length message)\n");
     print!("{}", render_timeline(&rx));
     println!();

@@ -7,13 +7,13 @@
 //! transfer machinery, dominated by the reliable protocol).
 
 use suca_baselines::{arch_one_way_us, ArchModel};
-use suca_bench::measure::traced_zero_len_spans;
-use suca_bench::report::{render, Row};
+use suca_bench::measure::traced_zero_len_run;
+use suca_bench::report::{emit_metrics, render, Row};
 use suca_cluster::{measure_one_way, ClusterSpec};
 use suca_sim::{render_gantt, render_timeline};
 
 fn main() {
-    let spans = traced_zero_len_spans();
+    let (spans, traced_sim) = traced_zero_len_run();
     println!("-- Fig. 7: one-way timeline, 0-length message (all stages, both hosts)\n");
     print!("{}", render_timeline(&spans));
     println!();
@@ -47,12 +47,24 @@ fn main() {
             "Fig. 7 anchors",
             &[
                 Row::new("one-way latency (semi-user-level BCL)", 18.3, bcl, "us"),
-                Row::new("one-way latency (user-level baseline)", None, user_level, "us"),
+                Row::new(
+                    "one-way latency (user-level baseline)",
+                    None,
+                    user_level,
+                    "us"
+                ),
                 Row::new("semi-user extra vs user-level", 4.17, extra, "us"),
                 Row::new("  extra as % of total", 22.0, extra / bcl * 100.0, "%"),
-                Row::new("  kernel stages summed from spans", 4.17, kernel_stage_sum, "us"),
+                Row::new(
+                    "  kernel stages summed from spans",
+                    4.17,
+                    kernel_stage_sum,
+                    "us"
+                ),
                 Row::new("NIC send stage (stage 4) share", 33.3, nic_share, "%"),
             ],
         )
     );
+    println!();
+    emit_metrics(&traced_sim, "fig7_oneway_timeline");
 }

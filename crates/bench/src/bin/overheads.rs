@@ -9,18 +9,27 @@ fn main() {
     let cfg = suca_bcl::BclConfig::dawning3000();
     let bcl = measure_one_way(ClusterSpec::dawning3000(2), 0, 1, 0, 3, 10).one_way_us;
     let ul = suca_baselines::arch_one_way_us(suca_baselines::ArchModel::user_level(), 0, 3, 10);
-    let bw =
-        measure_bandwidth(ClusterSpec::dawning3000(2), 0, 1, 128 * 1024, 24, 8).mb_per_sec;
+    let bw = measure_bandwidth(ClusterSpec::dawning3000(2), 0, 1, 128 * 1024, 24, 8).mb_per_sec;
     let t128k = 131072.0 / bw;
 
     let rows = vec![
         Row::new("send overhead (0B, host CPU)", 7.04, send_oh, "us"),
         Row::new("send completion poll", 0.82, send_done, "us"),
         Row::new("receive overhead (poll, no trap)", 1.01, recv_poll, "us"),
-        Row::new("PIO write one word", 0.24, cfg.pci.pio_write(1).as_us(), "us"),
+        Row::new(
+            "PIO write one word",
+            0.24,
+            cfg.pci.pio_write(1).as_us(),
+            "us",
+        ),
         Row::new("PIO read one word", 0.98, cfg.pci.pio_read(1).as_us(), "us"),
         Row::new("semi-user extra vs user-level", 4.17, bcl - ul, "us"),
-        Row::new("  as % of one-way latency", 22.0, (bcl - ul) / bcl * 100.0, "%"),
+        Row::new(
+            "  as % of one-way latency",
+            22.0,
+            (bcl - ul) / bcl * 100.0,
+            "%",
+        ),
         Row::new("one-way latency inter-node (0B)", 18.3, bcl, "us"),
         Row::new(
             "extra at 128KB as % of transfer",

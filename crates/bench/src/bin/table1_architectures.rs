@@ -10,6 +10,7 @@ use parking_lot::Mutex;
 
 use suca_baselines::{table1, ArchModel, BaselineNet};
 use suca_bcl::ChannelId;
+use suca_bench::report::emit_metrics;
 use suca_cluster::{ClusterSpec, SimBarrier};
 use suca_myrinet::{Myrinet, MyrinetConfig};
 use suca_os::{OsCostModel, OsPersonality};
@@ -30,13 +31,19 @@ fn count_baseline(arch: ArchModel) -> (u64, u64) {
     (sim.get_count("os.traps"), sim.get_count("os.interrupts"))
 }
 
-/// Count (traps, interrupts) for one BCL message (full stack).
+/// Count (traps, interrupts) for one BCL message (full stack), derived
+/// from the metrics registry. The send path and the receive path are
+/// counted separately so the architecture's defining claims — exactly one
+/// kernel trap per send, zero interrupts, zero kernel crossings on receive
+/// — are each asserted on their own, and a JSON snapshot of every counter
+/// in the run is written for the record.
 fn count_bcl() -> (u64, u64) {
     let cluster = ClusterSpec::dawning3000(2).build();
     let sim = cluster.sim.clone();
     let barrier = SimBarrier::new(&sim, 2);
     let addr: Arc<Mutex<Option<suca_bcl::ProcAddr>>> = Arc::new(Mutex::new(None));
-    let counts = Arc::new(Mutex::new((0u64, 0u64)));
+    // (send traps, recv traps, recv interrupts)
+    let counts = Arc::new(Mutex::new((0u64, 0u64, 0u64)));
 
     let b2 = barrier.clone();
     let a2 = addr.clone();
@@ -55,8 +62,8 @@ fn count_bcl() -> (u64, u64) {
             ctx.sim().get_count("os.interrupts.n1"),
         );
         let mut g = c2.lock();
-        g.0 += after.0 - before.0;
-        g.1 += after.1 - before.1;
+        g.1 += after.0 - before.0;
+        g.2 += after.1 - before.1;
     });
     let b3 = barrier.clone();
     let c3 = counts.clone();
@@ -71,8 +78,30 @@ fn count_bcl() -> (u64, u64) {
         c3.lock().0 += after - before;
     });
     sim.run();
-    let g = counts.lock();
-    (g.0, g.1)
+    let (send_traps, recv_traps, recv_interrupts) = *counts.lock();
+    let snap = emit_metrics(&sim, "table1_bcl");
+
+    // The semi-user-level contract, from the counters themselves:
+    assert_eq!(
+        send_traps, 1,
+        "BCL must cost exactly one kernel trap per send"
+    );
+    assert_eq!(
+        recv_traps + recv_interrupts,
+        0,
+        "BCL receive path must make zero kernel crossings"
+    );
+    assert_eq!(
+        snap.counter("os.interrupts"),
+        0,
+        "BCL must raise zero interrupts anywhere in the run"
+    );
+    assert!(
+        snap.counter_count() >= 20,
+        "expected a full-stack snapshot (>= 20 distinct counters), got {}",
+        snap.counter_count()
+    );
+    (send_traps + recv_traps, recv_interrupts)
 }
 
 fn main() {

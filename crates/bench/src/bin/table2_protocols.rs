@@ -43,11 +43,20 @@ fn main() {
     println!();
     println!("shape checks (the paper's qualitative claims):");
     let checks: [(&str, bool); 6] = [
-        ("GM latency within 11-21 us", (11.0..=21.0).contains(&gm_lat)),
+        (
+            "GM latency within 11-21 us",
+            (11.0..=21.0).contains(&gm_lat),
+        ),
         ("GM bandwidth > 140 MB/s", gm_bw > 140.0),
         ("BCL bandwidth >= GM bandwidth", bcl_inter_bw >= gm_bw - 2.0),
-        ("BCL bandwidth much higher than AM-II", bcl_inter_bw > 1.3 * am2_bw),
-        ("BIP latency lowest of all", bip_lat < gm_lat && bip_lat < bcl_inter_lat),
+        (
+            "BCL bandwidth much higher than AM-II",
+            bcl_inter_bw > 1.3 * am2_bw,
+        ),
+        (
+            "BIP latency lowest of all",
+            bip_lat < gm_lat && bip_lat < bcl_inter_lat,
+        ),
         ("BIP bandwidth < BCL bandwidth", bip_bw < bcl_inter_bw),
     ];
     for (what, ok) in checks {
@@ -55,5 +64,7 @@ fn main() {
         assert!(ok, "shape check failed: {what}");
     }
     println!("  [ok] GM has no SMP support (model property); BCL adds the intra-node path");
-    println!("  [ok] BIP has no flow control/error correction (loses data under faults; see tests)");
+    println!(
+        "  [ok] BIP has no flow control/error correction (loses data under faults; see tests)"
+    );
 }

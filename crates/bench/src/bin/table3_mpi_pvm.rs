@@ -5,14 +5,54 @@ use suca_bench::{layer_bandwidth_mbps, layer_one_way_us, Layer};
 
 fn main() {
     let rows = vec![
-        Row::new("MPI latency intra-node (0B)", 6.3, layer_one_way_us(Layer::Mpi, true, 0, 3, 10), "us"),
-        Row::new("MPI latency inter-node (0B)", 23.7, layer_one_way_us(Layer::Mpi, false, 0, 3, 10), "us"),
-        Row::new("MPI bandwidth intra-node (128KB)", 328.0, layer_bandwidth_mbps(Layer::Mpi, true, 128 * 1024, 12), "MB/s"),
-        Row::new("MPI bandwidth inter-node (128KB)", 131.0, layer_bandwidth_mbps(Layer::Mpi, false, 128 * 1024, 12), "MB/s"),
-        Row::new("PVM latency intra-node (0B)", 6.5, layer_one_way_us(Layer::Pvm, true, 0, 3, 10), "us"),
-        Row::new("PVM latency inter-node (0B)", 22.4, layer_one_way_us(Layer::Pvm, false, 0, 3, 10), "us"),
-        Row::new("PVM bandwidth intra-node (128KB)", 313.0, layer_bandwidth_mbps(Layer::Pvm, true, 128 * 1024, 12), "MB/s"),
-        Row::new("PVM bandwidth inter-node (128KB)", 131.0, layer_bandwidth_mbps(Layer::Pvm, false, 128 * 1024, 12), "MB/s"),
+        Row::new(
+            "MPI latency intra-node (0B)",
+            6.3,
+            layer_one_way_us(Layer::Mpi, true, 0, 3, 10),
+            "us",
+        ),
+        Row::new(
+            "MPI latency inter-node (0B)",
+            23.7,
+            layer_one_way_us(Layer::Mpi, false, 0, 3, 10),
+            "us",
+        ),
+        Row::new(
+            "MPI bandwidth intra-node (128KB)",
+            328.0,
+            layer_bandwidth_mbps(Layer::Mpi, true, 128 * 1024, 12),
+            "MB/s",
+        ),
+        Row::new(
+            "MPI bandwidth inter-node (128KB)",
+            131.0,
+            layer_bandwidth_mbps(Layer::Mpi, false, 128 * 1024, 12),
+            "MB/s",
+        ),
+        Row::new(
+            "PVM latency intra-node (0B)",
+            6.5,
+            layer_one_way_us(Layer::Pvm, true, 0, 3, 10),
+            "us",
+        ),
+        Row::new(
+            "PVM latency inter-node (0B)",
+            22.4,
+            layer_one_way_us(Layer::Pvm, false, 0, 3, 10),
+            "us",
+        ),
+        Row::new(
+            "PVM bandwidth intra-node (128KB)",
+            313.0,
+            layer_bandwidth_mbps(Layer::Pvm, true, 128 * 1024, 12),
+            "MB/s",
+        ),
+        Row::new(
+            "PVM bandwidth inter-node (128KB)",
+            131.0,
+            layer_bandwidth_mbps(Layer::Pvm, false, 128 * 1024, 12),
+            "MB/s",
+        ),
     ];
     print!("{}", render("Table 3: MPI and PVM over BCL", &rows));
 }

@@ -40,7 +40,14 @@ pub fn layer_one_way_us(layer: Layer, intra: bool, size: usize, warmup: u32, ite
         let node = if rank == 0 { 0 } else { dst_node };
         cluster.spawn_process(node, format!("lat{rank}"), move |ctx, env| match layer {
             Layer::Mpi => {
-                let comm = Comm::init(ctx, &env.node.bcl, &env.proc, uni, rank, MpiConfig::dawning3000());
+                let comm = Comm::init(
+                    ctx,
+                    &env.node.bcl,
+                    &env.proc,
+                    uni,
+                    rank,
+                    MpiConfig::dawning3000(),
+                );
                 let payload = vec![0x44u8; size];
                 if rank == 0 {
                     for _ in 0..total {
@@ -58,8 +65,14 @@ pub fn layer_one_way_us(layer: Layer, intra: bool, size: usize, warmup: u32, ite
                 }
             }
             Layer::Pvm => {
-                let task =
-                    PvmTask::enroll(ctx, &env.node.bcl, &env.proc, uni, rank, PvmConfig::dawning3000());
+                let task = PvmTask::enroll(
+                    ctx,
+                    &env.node.bcl,
+                    &env.proc,
+                    uni,
+                    rank,
+                    PvmConfig::dawning3000(),
+                );
                 let payload = vec![0x44u8; size];
                 if rank == 0 {
                     for _ in 0..total {
@@ -109,7 +122,14 @@ pub fn layer_bandwidth_mbps(layer: Layer, intra: bool, size: usize, count: u32) 
         let node = if rank == 0 { 0 } else { dst_node };
         cluster.spawn_process(node, format!("bw{rank}"), move |ctx, env| match layer {
             Layer::Mpi => {
-                let comm = Comm::init(ctx, &env.node.bcl, &env.proc, uni, rank, MpiConfig::dawning3000());
+                let comm = Comm::init(
+                    ctx,
+                    &env.node.bcl,
+                    &env.proc,
+                    uni,
+                    rank,
+                    MpiConfig::dawning3000(),
+                );
                 let payload = vec![0x55u8; size];
                 if rank == 0 {
                     // Warmup message starts the clock at its completion.
@@ -127,8 +147,14 @@ pub fn layer_bandwidth_mbps(layer: Layer, intra: bool, size: usize, count: u32) 
                 }
             }
             Layer::Pvm => {
-                let task =
-                    PvmTask::enroll(ctx, &env.node.bcl, &env.proc, uni, rank, PvmConfig::dawning3000());
+                let task = PvmTask::enroll(
+                    ctx,
+                    &env.node.bcl,
+                    &env.proc,
+                    uni,
+                    rank,
+                    PvmConfig::dawning3000(),
+                );
                 let payload = vec![0x55u8; size];
                 if rank == 0 {
                     task.initsend().pack_bytes(&payload);
@@ -156,6 +182,12 @@ pub fn layer_bandwidth_mbps(layer: Layer, intra: bool, size: usize, count: u32) 
 /// Run one traced 0-length BCL message between nodes 0 → 1 and return the
 /// recorded stage spans (setup traffic excluded). Powers Figs. 5–7.
 pub fn traced_zero_len_spans() -> Vec<suca_sim::Span> {
+    traced_zero_len_run().0
+}
+
+/// Like [`traced_zero_len_spans`], but also hands back the run's `Sim` so
+/// harnesses can emit its metrics snapshot.
+pub fn traced_zero_len_run() -> (Vec<suca_sim::Span>, suca_sim::Sim) {
     use suca_bcl::ChannelId;
     use suca_cluster::SimBarrier;
 
@@ -181,10 +213,12 @@ pub fn traced_zero_len_spans() -> Vec<suca_sim::Span> {
         ctx.sim().set_tracing(true);
         let dst = addr_b.lock().expect("rx ready");
         let buf = port.alloc_buffer(1).expect("buf");
-        port.send(ctx, dst, ChannelId::SYSTEM, buf, 0).expect("send");
+        port.send(ctx, dst, ChannelId::SYSTEM, buf, 0)
+            .expect("send");
     });
     assert_eq!(sim.run(), RunOutcome::Completed);
-    sim.take_spans()
+    let spans = sim.take_spans();
+    (spans, sim)
 }
 
 /// Host-side scalar overheads measured directly (the §5 numbers):
@@ -220,7 +254,8 @@ pub fn measured_host_overheads() -> (f64, f64, f64) {
         let dst = addr_b.lock().expect("rx ready");
         let buf = port.alloc_buffer(1).expect("buf");
         let t0 = ctx.now().as_us();
-        port.send(ctx, dst, ChannelId::SYSTEM, buf, 0).expect("send");
+        port.send(ctx, dst, ChannelId::SYSTEM, buf, 0)
+            .expect("send");
         out_tx.lock().0 = ctx.now().as_us() - t0;
         // Wait for the completion event to be present, then time the poll.
         ctx.sleep(suca_sim::SimDuration::from_us(100));

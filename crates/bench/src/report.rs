@@ -1,4 +1,47 @@
-//! Paper-vs-measured report formatting shared by the harness binaries.
+//! Paper-vs-measured report formatting shared by the harness binaries,
+//! plus machine-readable metrics-snapshot emission.
+
+use std::io;
+use std::path::PathBuf;
+
+use suca_sim::{MetricsSnapshot, Sim};
+
+/// Directory the harness binaries write metrics snapshots into. Overridable
+/// via `SUCA_METRICS_DIR`; relative paths resolve against the working
+/// directory (the workspace root under `cargo run`).
+pub fn metrics_dir() -> PathBuf {
+    std::env::var_os("SUCA_METRICS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/metrics"))
+}
+
+/// Serialize `snap` as JSON to `<metrics_dir>/<harness>.json`.
+pub fn write_metrics_json(snap: &MetricsSnapshot, harness: &str) -> io::Result<PathBuf> {
+    let dir = metrics_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{harness}.json"));
+    std::fs::write(&path, snap.to_json())?;
+    Ok(path)
+}
+
+/// Snapshot `sim`'s metrics registry, stamp the harness name into its
+/// metadata, write it to disk, and print where it went. Harness binaries
+/// call this once per instrumented run; failures are reported but not
+/// fatal (the numbers on stdout are the primary artifact).
+pub fn emit_metrics(sim: &Sim, harness: &str) -> MetricsSnapshot {
+    sim.metrics().set_meta("harness", harness);
+    let snap = sim.metrics_snapshot();
+    match write_metrics_json(&snap, harness) {
+        Ok(path) => println!(
+            "[metrics] {} counters, {} gauges -> {}",
+            snap.counters.len(),
+            snap.gauges.len(),
+            path.display()
+        ),
+        Err(e) => eprintln!("[metrics] could not write snapshot for {harness}: {e}"),
+    }
+    snap
+}
 
 /// One comparison row.
 #[derive(Clone, Debug)]
@@ -15,7 +58,12 @@ pub struct Row {
 
 impl Row {
     /// Build a row.
-    pub fn new(what: impl Into<String>, paper: impl Into<Option<f64>>, measured: f64, unit: &'static str) -> Row {
+    pub fn new(
+        what: impl Into<String>,
+        paper: impl Into<Option<f64>>,
+        measured: f64,
+        unit: &'static str,
+    ) -> Row {
         Row {
             what: what.into(),
             paper: paper.into(),
@@ -47,10 +95,18 @@ pub fn render(title: &str, rows: &[Row]) -> String {
                 );
             }
             Some(p) => {
-                let _ = writeln!(out, "{:<w$} {:>10.2} {:>10.2} {:>8}  {}", r.what, p, r.measured, "-", r.unit);
+                let _ = writeln!(
+                    out,
+                    "{:<w$} {:>10.2} {:>10.2} {:>8}  {}",
+                    r.what, p, r.measured, "-", r.unit
+                );
             }
             None => {
-                let _ = writeln!(out, "{:<w$} {:>10} {:>10.2} {:>8}  {}", r.what, "-", r.measured, "-", r.unit);
+                let _ = writeln!(
+                    out,
+                    "{:<w$} {:>10} {:>10.2} {:>8}  {}",
+                    r.what, "-", r.measured, "-", r.unit
+                );
             }
         }
     }

@@ -2,11 +2,23 @@ use suca_cluster::{measure_bandwidth, measure_one_way, ClusterSpec};
 
 fn main() {
     let lat = measure_one_way(ClusterSpec::dawning3000(2), 0, 1, 0, 3, 10);
-    println!("inter 0-len one-way = {:.3} us (paper 18.3)", lat.one_way_us);
+    println!(
+        "inter 0-len one-way = {:.3} us (paper 18.3)",
+        lat.one_way_us
+    );
     let lat_intra = measure_one_way(ClusterSpec::dawning3000(2), 0, 0, 0, 3, 10);
-    println!("intra 0-len one-way = {:.3} us (paper 2.7)", lat_intra.one_way_us);
+    println!(
+        "intra 0-len one-way = {:.3} us (paper 2.7)",
+        lat_intra.one_way_us
+    );
     let bw = measure_bandwidth(ClusterSpec::dawning3000(2), 0, 1, 128 * 1024, 24, 8);
-    println!("inter 128KB bandwidth = {:.1} MB/s (paper 146)", bw.mb_per_sec);
+    println!(
+        "inter 128KB bandwidth = {:.1} MB/s (paper 146)",
+        bw.mb_per_sec
+    );
     let bwi = measure_bandwidth(ClusterSpec::dawning3000(2), 0, 0, 128 * 1024, 8, 8);
-    println!("intra 128KB bandwidth = {:.1} MB/s (paper 391)", bwi.mb_per_sec);
+    println!(
+        "intra 128KB bandwidth = {:.1} MB/s (paper 391)",
+        bwi.mb_per_sec
+    );
 }

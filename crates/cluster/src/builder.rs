@@ -94,9 +94,21 @@ impl ClusterSpec {
         self
     }
 
-    /// Build the cluster.
+    /// Build the cluster. Every layer (OS, kernel module, MCP, fabric, DMA
+    /// engines, completion queues) registers its instruments in the run's
+    /// shared [`suca_sim::Metrics`] registry, reachable afterwards via
+    /// [`Cluster::metrics_snapshot`].
     pub fn build(self) -> Cluster {
         let sim = Sim::new(self.seed);
+        let metrics = sim.metrics();
+        metrics.set_meta("nodes", self.nodes.to_string());
+        metrics.set_meta(
+            "san",
+            match &self.san {
+                SanKind::Myrinet(_) => "myrinet",
+                SanKind::Mesh(_) => "mesh",
+            },
+        );
         let fabric: Arc<dyn Fabric> = match &self.san {
             SanKind::Myrinet(cfg) => Myrinet::build(&sim, self.nodes, cfg.clone()),
             SanKind::Mesh(cfg) => Mesh::build_square(&sim, self.nodes, cfg.clone()),
@@ -141,15 +153,14 @@ impl Cluster {
     ) -> ActorId {
         let n = self.nodes[node as usize].clone();
         let proc = n.create_process();
-        self.sim.spawn(name, move |ctx| {
-            body(
-                ctx,
-                ProcessEnv {
-                    node: n,
-                    proc,
-                },
-            )
-        })
+        self.sim
+            .spawn(name, move |ctx| body(ctx, ProcessEnv { node: n, proc }))
+    }
+
+    /// Point-in-time copy of every instrument registered by any layer of
+    /// this cluster; serializes to JSON for the experiment harnesses.
+    pub fn metrics_snapshot(&self) -> suca_sim::MetricsSnapshot {
+        self.sim.metrics_snapshot()
     }
 }
 
@@ -160,7 +171,10 @@ mod tests {
 
     #[test]
     fn builds_both_sans() {
-        for spec in [ClusterSpec::dawning3000(4), ClusterSpec::dawning3000_mesh(4)] {
+        for spec in [
+            ClusterSpec::dawning3000(4),
+            ClusterSpec::dawning3000_mesh(4),
+        ] {
             let c = spec.build();
             assert_eq!(c.nodes.len(), 4);
             assert_eq!(c.fabric.num_nodes(), 4);
@@ -175,5 +189,37 @@ mod tests {
             let _port = env.open_port(ctx);
         });
         assert_eq!(c.sim.run(), RunOutcome::Completed);
+    }
+
+    #[test]
+    fn every_layer_registers_instruments() {
+        let c = ClusterSpec::dawning3000(2).build();
+        c.spawn_process(0, "noop", |ctx, env| {
+            let _port = env.open_port(ctx);
+        });
+        assert_eq!(c.sim.run(), RunOutcome::Completed);
+        let snap = c.metrics_snapshot();
+        // One prefix per reporting subsystem: kernel module, OS, MCP
+        // protocol + firmware, fabric links/switches, DMA engines.
+        for prefix in [
+            "kmod.", "os.", "bcl.", "mcp.", "fabric.", "link.", "switch.", "dma.",
+        ] {
+            assert!(
+                snap.counters.keys().any(|k| k.starts_with(prefix)),
+                "no counter registered under {prefix}"
+            );
+        }
+        assert!(
+            snap.counter_count() >= 20,
+            "expected >= 20 distinct counters, got {}",
+            snap.counter_count()
+        );
+        assert!(
+            snap.gauges.contains_key("cq.recv_depth"),
+            "completion-queue gauges missing"
+        );
+        assert_eq!(snap.meta.get("san").map(String::as_str), Some("myrinet"));
+        let json = snap.to_json();
+        assert!(json.contains("\"os.traps\""));
     }
 }

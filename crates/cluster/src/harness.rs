@@ -128,7 +128,8 @@ pub fn measure_one_way(
         cluster.spawn_process(src, "latency-send", move |ctx, env| {
             let port = env.open_port(ctx);
             let buf = port.alloc_buffer(size.max(1)).expect("alloc");
-            port.write_buffer(buf, &vec![0xA5u8; size as usize]).expect("fill");
+            port.write_buffer(buf, &vec![0xA5u8; size as usize])
+                .expect("fill");
             barrier.wait(ctx);
             let dst_addr = addr_of_b.lock().expect("receiver opened first");
             for _ in 0..total {
@@ -224,7 +225,8 @@ pub fn measure_bandwidth(
         cluster.spawn_process(src, "bw-send", move |ctx, env| {
             let port = env.open_port(ctx);
             let buf = port.alloc_buffer(size).expect("alloc");
-            port.write_buffer(buf, &vec![0x5Au8; size as usize]).expect("fill");
+            port.write_buffer(buf, &vec![0x5Au8; size as usize])
+                .expect("fill");
             barrier.wait(ctx);
             let dst_addr = addr_of_b.lock().expect("receiver first");
             // Warm the pin-down table so the stream measures steady state.
@@ -272,9 +274,10 @@ pub fn half_bandwidth_point(
     peak: f64,
     count: u32,
 ) -> Option<u64> {
-    sizes.iter().copied().find(|&s| {
-        measure_bandwidth(spec.clone(), 0, 1, s, count, 8).mb_per_sec >= peak / 2.0
-    })
+    sizes
+        .iter()
+        .copied()
+        .find(|&s| measure_bandwidth(spec.clone(), 0, 1, s, count, 8).mb_per_sec >= peak / 2.0)
 }
 
 /// Build a default 2-node cluster and return it (tests use this a lot).

@@ -13,7 +13,9 @@ use suca_myrinet::FaultPlan;
 use suca_sim::RunOutcome;
 
 fn pattern(len: usize, salt: u8) -> Vec<u8> {
-    (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(salt)).collect()
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(salt))
+        .collect()
 }
 
 // ---------------------------------------------------------------- headline
@@ -112,7 +114,14 @@ fn large_message_integrity_through_fragmentation() {
     });
     cluster.spawn_process(0, "tx", move |ctx, env| {
         let port = env.open_port(ctx);
-        b2_wait_then_send(ctx, &port, &barrier, &addr_b, &payload, ChannelId::normal(3));
+        b2_wait_then_send(
+            ctx,
+            &port,
+            &barrier,
+            &addr_b,
+            &payload,
+            ChannelId::normal(3),
+        );
         let ev = port.wait_send(ctx);
         assert_eq!(ev.status, SendStatus::Ok);
     });
@@ -131,7 +140,8 @@ fn b2_wait_then_send(
     let dst = addr_b.lock().expect("receiver ready");
     let buf = port.alloc_buffer(payload.len() as u64).unwrap();
     port.write_buffer(buf, payload).unwrap();
-    port.send(ctx, dst, channel, buf, payload.len() as u64).unwrap();
+    port.send(ctx, dst, channel, buf, payload.len() as u64)
+        .unwrap();
 }
 
 #[test]
@@ -273,7 +283,13 @@ fn kernel_rejects_forged_buffer_pointer() {
         // A pointer into unmapped space: must be refused by the kernel
         // module, not crash anything.
         let err = port
-            .send(ctx, dst, ChannelId::SYSTEM, suca_mem::VirtAddr(0xDEAD_BEEF), 100)
+            .send(
+                ctx,
+                dst,
+                ChannelId::SYSTEM,
+                suca_mem::VirtAddr(0xDEAD_BEEF),
+                100,
+            )
             .unwrap_err();
         assert!(matches!(err, BclError::BadBuffer { .. }), "got {err:?}");
     });
@@ -378,7 +394,8 @@ fn rma_write_and_read_roundtrip() {
         *ab.lock() = Some(port.addr());
         let win = port.bind_open(ctx, 0, 8192).unwrap();
         // Preload the second half with a known pattern for the read test.
-        port.write_buffer(win.add(4096), &pattern(4096, 42)).unwrap();
+        port.write_buffer(win.add(4096), &pattern(4096, 42))
+            .unwrap();
         *w2.lock() = Some(win);
         b2.wait(ctx);
         d2.wait(ctx); // stay alive until the initiator finished

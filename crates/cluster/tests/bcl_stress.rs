@@ -12,7 +12,9 @@ use suca_myrinet::FaultPlan;
 use suca_sim::{RunOutcome, SimDuration};
 
 fn pattern(len: usize, salt: u8) -> Vec<u8> {
-    (0..len).map(|i| (i as u8).wrapping_mul(13).wrapping_add(salt)).collect()
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(13).wrapping_add(salt))
+        .collect()
 }
 
 fn two_proc(
@@ -62,7 +64,8 @@ fn tiny_sram_forces_backpressure_but_delivers() {
         move |ctx, port, dst| {
             let buf = port.alloc_buffer(200_000).unwrap();
             port.write_buffer(buf, &payload).unwrap();
-            port.send(ctx, dst, ChannelId::normal(0), buf, 200_000).unwrap();
+            port.send(ctx, dst, ChannelId::normal(0), buf, 200_000)
+                .unwrap();
             let ev = port.wait_send(ctx);
             assert_eq!(ev.status, SendStatus::Ok);
         },
@@ -172,7 +175,10 @@ fn heavy_loss_20_percent_still_delivers_in_order() {
             }
         },
     );
-    assert!(sim.get_count("bcl.timeouts") > 0, "no timeouts under 20% loss?");
+    assert!(
+        sim.get_count("bcl.timeouts") > 0,
+        "no timeouts under 20% loss?"
+    );
 }
 
 #[test]
@@ -180,8 +186,7 @@ fn full_duplex_bulk_transfers_both_directions() {
     let cluster = ClusterSpec::dawning3000(2).build();
     let sim = cluster.sim.clone();
     let barrier = SimBarrier::new(&sim, 2);
-    let addrs: Arc<Mutex<Vec<Option<suca_bcl::ProcAddr>>>> =
-        Arc::new(Mutex::new(vec![None, None]));
+    let addrs: Arc<Mutex<Vec<Option<suca_bcl::ProcAddr>>>> = Arc::new(Mutex::new(vec![None, None]));
     const LEN: usize = 150_000;
     for me in 0..2u32 {
         let barrier = barrier.clone();
@@ -194,7 +199,8 @@ fn full_duplex_bulk_transfers_both_directions() {
             let peer = addrs.lock()[(1 - me) as usize].expect("peer ready");
             let buf = port.alloc_buffer(LEN as u64).unwrap();
             port.write_buffer(buf, &pattern(LEN, me as u8)).unwrap();
-            port.send(ctx, peer, ChannelId::normal(0), buf, LEN as u64).unwrap();
+            port.send(ctx, peer, ChannelId::normal(0), buf, LEN as u64)
+                .unwrap();
             // Receive the peer's bulk message while ours is in flight.
             let ev = port.wait_recv(ctx);
             let data = port.recv_bytes(ctx, &ev).unwrap();
@@ -269,7 +275,8 @@ fn tiny_gbn_window_still_moves_large_messages() {
         move |ctx, port, dst| {
             let buf = port.alloc_buffer(100_000).unwrap();
             port.write_buffer(buf, &payload).unwrap();
-            port.send(ctx, dst, ChannelId::normal(0), buf, 100_000).unwrap();
+            port.send(ctx, dst, ChannelId::normal(0), buf, 100_000)
+                .unwrap();
             let ev = port.wait_send(ctx);
             assert_eq!(ev.status, SendStatus::Ok);
         },

@@ -25,9 +25,7 @@ use crate::error::BclError;
 use crate::intranode::IntraHub;
 use crate::kmod::BclKmod;
 use crate::mcp::Mcp;
-use crate::port::{
-    ChannelId, ChannelKind, PortId, ProcAddr, RecvDataLoc, RecvEvent, SendEvent,
-};
+use crate::port::{ChannelId, ChannelKind, PortId, ProcAddr, RecvDataLoc, RecvEvent, SendEvent};
 use crate::queues::UserQueues;
 
 /// Everything BCL needs on one node: OS, kernel module, NIC firmware and
@@ -47,7 +45,13 @@ pub struct BclNode {
 
 impl BclNode {
     /// Assemble the BCL stack on a node whose NIC firmware is `mcp`.
-    pub fn new(sim: &Sim, os: Arc<NodeOs>, mcp: Mcp, num_nodes: u32, cfg: BclConfig) -> Arc<BclNode> {
+    pub fn new(
+        sim: &Sim,
+        os: Arc<NodeOs>,
+        mcp: Mcp,
+        num_nodes: u32,
+        cfg: BclConfig,
+    ) -> Arc<BclNode> {
         let kmod = BclKmod::new(os.clone(), mcp.clone(), num_nodes, cfg.clone());
         let intra = IntraHub::new(sim, os.node_id, os.memory().clone(), cfg.intra.clone());
         Arc::new(BclNode {
@@ -153,12 +157,7 @@ impl BclPort {
 
     /// Post a receive buffer of `len` bytes on normal channel `chan`;
     /// allocates the buffer and returns its address. One kernel trap.
-    pub fn post_recv(
-        &self,
-        ctx: &mut ActorCtx,
-        chan: u16,
-        len: u64,
-    ) -> Result<VirtAddr, BclError> {
+    pub fn post_recv(&self, ctx: &mut ActorCtx, chan: u16, len: u64) -> Result<VirtAddr, BclError> {
         let addr = self.alloc_buffer(len)?;
         self.post_recv_at(ctx, chan, addr, len)?;
         Ok(addr)
@@ -177,9 +176,9 @@ impl BclPort {
         let kmod = self.node.kmod.clone();
         let proc = self.proc.clone();
         let id = self.id;
-        self.node
-            .os
-            .trap(ctx, |ctx| kmod.ioctl_post_recv(ctx, &proc, id, chan, addr, len, replace))?;
+        self.node.os.trap(ctx, |ctx| {
+            kmod.ioctl_post_recv(ctx, &proc, id, chan, addr, len, replace)
+        })?;
         self.posted.lock().insert(chan, (addr, len));
         Ok(())
     }
@@ -211,9 +210,9 @@ impl BclPort {
         let kmod = self.node.kmod.clone();
         let proc = self.proc.clone();
         let id = self.id;
-        self.node
-            .os
-            .trap(ctx, |ctx| kmod.ioctl_send(ctx, &proc, id, dst, channel, addr, len))
+        self.node.os.trap(ctx, |ctx| {
+            kmod.ioctl_send(ctx, &proc, id, dst, channel, addr, len)
+        })
     }
 
     /// Convenience: allocate a buffer, fill it with `data`, and send it.
@@ -377,9 +376,9 @@ impl BclPort {
         let kmod = self.node.kmod.clone();
         let proc = self.proc.clone();
         let id = self.id;
-        self.node
-            .os
-            .trap(ctx, |ctx| kmod.ioctl_bind_open(ctx, &proc, id, chan, addr, len))?;
+        self.node.os.trap(ctx, |ctx| {
+            kmod.ioctl_bind_open(ctx, &proc, id, chan, addr, len)
+        })?;
         self.bound.lock().insert(chan, (addr, len));
         Ok(addr)
     }

@@ -99,7 +99,10 @@ impl core::fmt::Display for BclError {
             BclError::RingFull => write!(f, "send request ring full"),
             BclError::ChannelBusy(c) => write!(f, "channel {c:?} already posted"),
             BclError::RmaOutOfRange { end, len } => {
-                write!(f, "RMA access to offset {end} outside bound buffer of {len} B")
+                write!(
+                    f,
+                    "RMA access to offset {end} outside bound buffer of {len} B"
+                )
             }
             BclError::Mem(e) => write!(f, "memory error: {e}"),
         }

@@ -19,9 +19,9 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use suca_mem::{PhysAddr, PinDownTable, PinLookup, VirtAddr};
-use suca_os::{NodeOs, OsProcess, Pid};
 use suca_myrinet::FabricNodeId;
-use suca_sim::{ActorCtx, SimDuration};
+use suca_os::{NodeOs, OsProcess, Pid};
+use suca_sim::{ActorCtx, Counter, SimDuration};
 
 use crate::config::BclConfig;
 use crate::error::BclError;
@@ -38,6 +38,9 @@ struct KmodState {
     ports: HashMap<u16, KernelPort>,
     next_port: u16,
     next_msg: u32,
+    /// Evictions already folded into the `kmod.pin_evictions` counter; the
+    /// pin table reports a lifetime total, we publish deltas.
+    evictions_seen: u64,
 }
 
 /// One node's BCL kernel module.
@@ -47,14 +50,21 @@ pub struct BclKmod {
     mcp: Mcp,
     num_nodes: u32,
     state: Mutex<KmodState>,
+    // Typed metric handles (cluster-wide totals across all nodes' modules).
+    ioctls: Counter,
+    security_rejects: Counter,
+    pin_hits: Counter,
+    pin_misses: Counter,
+    pin_evictions: Counter,
+    pio_descriptors: Counter,
 }
 
 impl BclKmod {
     /// Load the module on a node.
     pub fn new(os: Arc<NodeOs>, mcp: Mcp, num_nodes: u32, cfg: BclConfig) -> Arc<BclKmod> {
         let pin = PinDownTable::new(cfg.pin_table_pages);
+        let metrics = os.sim().metrics();
         Arc::new(BclKmod {
-            os,
             cfg,
             mcp,
             num_nodes,
@@ -63,7 +73,15 @@ impl BclKmod {
                 ports: HashMap::new(),
                 next_port: 0,
                 next_msg: 2, // even ids: kernel-assigned; odd: intra-node lib
+                evictions_seen: 0,
             }),
+            ioctls: metrics.counter("kmod.ioctls"),
+            security_rejects: metrics.counter("kmod.security_rejects"),
+            pin_hits: metrics.counter("kmod.pin_hits"),
+            pin_misses: metrics.counter("kmod.pin_misses"),
+            pin_evictions: metrics.counter("kmod.pin_evictions"),
+            pio_descriptors: metrics.counter("kmod.pio_descriptors"),
+            os,
         })
     }
 
@@ -79,10 +97,16 @@ impl BclKmod {
 
     // ---- shared kernel-side checks ----
 
+    /// Record a §4.3 security-check rejection and pass the error through.
+    fn reject(&self, e: BclError) -> BclError {
+        self.security_rejects.inc();
+        e
+    }
+
     fn check_caller(&self, proc: &OsProcess) -> Result<(), BclError> {
         // "The parameters checked include application process ID …"
         if !self.os.is_live(proc.pid) {
-            return Err(BclError::DeadProcess(proc.pid));
+            return Err(self.reject(BclError::DeadProcess(proc.pid)));
         }
         Ok(())
     }
@@ -90,8 +114,8 @@ impl BclKmod {
     fn check_owner(&self, st: &KmodState, port: PortId, pid: Pid) -> Result<(), BclError> {
         match st.ports.get(&port.0) {
             Some(kp) if kp.owner == pid => Ok(()),
-            Some(_) => Err(BclError::NotPortOwner { port, pid }),
-            None => Err(BclError::BadPort(port)),
+            Some(_) => Err(self.reject(BclError::NotPortOwner { port, pid })),
+            None => Err(self.reject(BclError::BadPort(port))),
         }
     }
 
@@ -100,10 +124,7 @@ impl BclKmod {
         // the *caller's* space; a forged pointer fails here, in the kernel,
         // before the NIC ever sees it.
         if !proc.space.is_mapped(addr, len.max(1)) {
-            return Err(BclError::BadBuffer {
-                addr: addr.0,
-                len,
-            });
+            return Err(self.reject(BclError::BadBuffer { addr: addr.0, len }));
         }
         Ok(())
     }
@@ -111,10 +132,10 @@ impl BclKmod {
     fn check_dest(&self, dst: ProcAddr) -> Result<(), BclError> {
         // "… and communication target and so on."
         if dst.node.0 >= self.num_nodes {
-            return Err(BclError::BadNode(dst.node));
+            return Err(self.reject(BclError::BadNode(dst.node)));
         }
         if dst.port.0 >= self.cfg.limits.max_ports {
-            return Err(BclError::BadPort(dst.port));
+            return Err(self.reject(BclError::BadPort(dst.port)));
         }
         Ok(())
     }
@@ -135,12 +156,17 @@ impl BclKmod {
                 .iter()
                 .filter(|(_, l)| *l == PinLookup::Miss)
                 .count() as u64;
+            self.pin_hits.add(results.len() as u64 - misses);
+            self.pin_misses.add(misses);
             // Drop the transient pin immediately: the entry stays cached
             // (evictable, LRU) so repeat sends hit — the whole point of the
             // pin-down cache. Simulated memory never swaps, so releasing
             // before DMA completion is safe here; real BCL holds the pin
             // until the completion event.
             st.pin.unpin_range(proc.space.asid(), addr, len);
+            let (_, _, evictions) = st.pin.stats();
+            self.pin_evictions.add(evictions - st.evictions_seen);
+            st.evictions_seen = evictions;
             (
                 self.os.costs.pin_lookup_hit,
                 self.os.costs.pin_miss_per_page * misses,
@@ -162,6 +188,7 @@ impl BclKmod {
     /// Charge the PIO cost of writing a send descriptor with `segments`
     /// scatter/gather entries plus the doorbell.
     fn charge_descriptor_pio(&self, ctx: &mut ActorCtx, segments: u64) {
+        self.pio_descriptors.inc();
         let start = ctx.now();
         let d = self.cfg.descriptor_pio(segments);
         ctx.sim().trace_span(
@@ -174,6 +201,7 @@ impl BclKmod {
     }
 
     fn charge_checks(&self, ctx: &mut ActorCtx) {
+        self.ioctls.inc();
         let start = ctx.now();
         let d = self.cfg.copyin_dispatch + self.os.costs.security_check;
         ctx.sim().trace_span(
@@ -269,7 +297,7 @@ impl BclKmod {
             self.check_owner(&st, port, proc.pid)?;
         }
         if chan >= self.cfg.limits.normal_channels {
-            return Err(BclError::BadChannel(ChannelId::normal(chan)));
+            return Err(self.reject(BclError::BadChannel(ChannelId::normal(chan))));
         }
         self.check_buffer(proc, addr, len)?;
         let segs = self.pin_translate(ctx, proc, addr, len)?;
@@ -298,7 +326,7 @@ impl BclKmod {
             self.check_owner(&st, port, proc.pid)?;
         }
         if chan >= self.cfg.limits.open_channels {
-            return Err(BclError::BadChannel(ChannelId::open(chan)));
+            return Err(self.reject(BclError::BadChannel(ChannelId::open(chan))));
         }
         self.check_buffer(proc, addr, len)?;
         let segs = self.pin_translate(ctx, proc, addr, len)?;
@@ -330,24 +358,24 @@ impl BclKmod {
         match channel.kind {
             ChannelKind::System => {
                 if len > self.cfg.system_pool.buffer_bytes {
-                    return Err(BclError::TooBigForSystemChannel {
+                    return Err(self.reject(BclError::TooBigForSystemChannel {
                         len,
                         max: self.cfg.system_pool.buffer_bytes,
-                    });
+                    }));
                 }
             }
             ChannelKind::Normal => {
                 if channel.index >= self.cfg.limits.normal_channels {
-                    return Err(BclError::BadChannel(channel));
+                    return Err(self.reject(BclError::BadChannel(channel)));
                 }
             }
-            ChannelKind::Open => return Err(BclError::BadChannel(channel)),
+            ChannelKind::Open => return Err(self.reject(BclError::BadChannel(channel))),
         }
         if len > self.cfg.limits.max_message_bytes {
-            return Err(BclError::MessageTooLong {
+            return Err(self.reject(BclError::MessageTooLong {
                 len,
                 max: self.cfg.limits.max_message_bytes,
-            });
+            }));
         }
         if self.mcp.queue_depth() >= self.cfg.limits.send_ring {
             return Err(BclError::RingFull);
@@ -407,7 +435,7 @@ impl BclKmod {
         }
         self.check_dest(dst)?;
         if chan >= self.cfg.limits.open_channels {
-            return Err(BclError::BadChannel(ChannelId::open(chan)));
+            return Err(self.reject(BclError::BadChannel(ChannelId::open(chan))));
         }
         self.check_buffer(proc, addr, len)?;
         let segs = self.pin_translate(ctx, proc, addr, len)?;
@@ -449,7 +477,7 @@ impl BclKmod {
         }
         self.check_dest(dst)?;
         if chan >= self.cfg.limits.open_channels {
-            return Err(BclError::BadChannel(ChannelId::open(chan)));
+            return Err(self.reject(BclError::BadChannel(ChannelId::open(chan))));
         }
         self.check_buffer(proc, into, len)?;
         let segs = self.pin_translate(ctx, proc, into, len)?;

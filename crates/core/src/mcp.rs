@@ -33,10 +33,12 @@ use suca_mem::{PhysAddr, PhysMemory};
 use suca_myrinet::{Fabric, FabricNodeId, SramLease, SramPool, FRAMING_BYTES};
 use suca_os::NodeId;
 use suca_pci::DmaEngine;
-use suca_sim::{EventId, Sim, SimDuration};
+use suca_sim::{Counter, EventId, Sim, SimDuration};
 
 use crate::config::BclConfig;
-use crate::port::{ChannelId, ChannelKind, PortId, ProcAddr, RecvDataLoc, RecvEvent, SendEvent, SendStatus};
+use crate::port::{
+    ChannelId, ChannelKind, PortId, ProcAddr, RecvDataLoc, RecvEvent, SendEvent, SendStatus,
+};
 use crate::queues::{SystemPool, UserQueues};
 use crate::reliable::{GbnReceiver, GbnSender, GbnVerdict};
 use crate::sg::{read_sg, sg_total, write_sg};
@@ -152,6 +154,10 @@ pub(crate) struct McpInner {
     sram: SramPool,
     frag_cap: u64,
     state: Mutex<McpState>,
+    // Typed metric handles for the firmware hot paths (cluster-wide cells).
+    sram_stalls: Counter,
+    retx_packets: Counter,
+    completion_dmas: Counter,
 }
 
 /// Handle to one NIC's firmware.
@@ -179,12 +185,15 @@ impl Mcp {
     ) -> Mcp {
         let host_dma = DmaEngine::from_pci(sim, "host", &cfg.pci);
         let sram = SramPool::new(cfg.nic_sram_bytes);
-        let frag_cap = (fabric.mtu() as u64).saturating_sub(HEADER_BYTES as u64).min(4096);
+        let frag_cap = (fabric.mtu() as u64)
+            .saturating_sub(HEADER_BYTES as u64)
+            .min(4096);
         assert!(frag_cap > 0, "MTU too small for the BCL header");
         assert!(
             cfg.nic_sram_bytes >= frag_cap,
             "NIC SRAM must hold at least one fragment or staging deadlocks"
         );
+        let metrics = sim.metrics();
         let inner = Arc::new(McpInner {
             sim: sim.clone(),
             cfg,
@@ -195,6 +204,9 @@ impl Mcp {
             host_dma,
             sram,
             frag_cap,
+            sram_stalls: metrics.counter("bcl.sram_stall"),
+            retx_packets: metrics.counter("bcl.retx_packets"),
+            completion_dmas: metrics.counter("mcp.completion_dmas"),
             state: Mutex::new(McpState {
                 ports: HashMap::new(),
                 send_queue: VecDeque::new(),
@@ -257,7 +269,10 @@ impl Mcp {
         replace: bool,
     ) -> bool {
         let mut st = self.inner.state.lock();
-        let p = st.ports.get_mut(&port.0).expect("post on unregistered port");
+        let p = st
+            .ports
+            .get_mut(&port.0)
+            .expect("post on unregistered port");
         if p.normal.contains_key(&idx) && !replace {
             return false;
         }
@@ -268,7 +283,10 @@ impl Mcp {
     /// Kernel module: bind a buffer to an open (RMA) channel.
     pub fn bind_open(&self, port: PortId, idx: u16, segs: Vec<(PhysAddr, u64)>) {
         let mut st = self.inner.state.lock();
-        let p = st.ports.get_mut(&port.0).expect("bind on unregistered port");
+        let p = st
+            .ports
+            .get_mut(&port.0)
+            .expect("bind on unregistered port");
         p.open.insert(idx, segs);
     }
 
@@ -356,7 +374,8 @@ impl McpInner {
         };
         if should {
             let me = self.clone();
-            self.sim.schedule_in(SimDuration::ZERO, move |_| me.sender_step());
+            self.sim
+                .schedule_in(SimDuration::ZERO, move |_| me.sender_step());
         }
     }
 
@@ -476,12 +495,16 @@ impl McpInner {
                 let me = self.clone();
                 let start = self.sim.now();
                 let d = self.cfg.mcp.send_fixed;
-                self.sim
-                    .trace_span(self.track("tx"), "mcp: descriptor fetch + reliable setup", start, start + d);
+                self.sim.trace_span(
+                    self.track("tx"),
+                    "mcp: descriptor fetch + reliable setup",
+                    start,
+                    start + d,
+                );
                 self.sim.schedule_in(d, move |_| me.sender_step());
             }
             Work::Retx(dst, pkt) => {
-                self.sim.add_count("bcl.retx_packets", 1);
+                self.retx_packets.inc();
                 let proc = self.cfg.mcp.send_per_frag;
                 let tx = self.wire_time(pkt.len());
                 let me = self.clone();
@@ -501,10 +524,18 @@ impl McpInner {
                 let proc = self.cfg.mcp.send_per_frag;
                 let tx = self.wire_time(payload_len);
                 let start = self.sim.now();
-                self.sim
-                    .trace_span(self.track("tx"), "mcp: fragment process", start, start + proc);
-                self.sim
-                    .trace_span(self.track("tx"), "wire: inject + transmit", start + proc, start + proc + tx);
+                self.sim.trace_span(
+                    self.track("tx"),
+                    "mcp: fragment process",
+                    start,
+                    start + proc,
+                );
+                self.sim.trace_span(
+                    self.track("tx"),
+                    "wire: inject + transmit",
+                    start + proc,
+                    start + proc + tx,
+                );
                 let fabric = self.fabric.clone();
                 let fid = self.fid;
                 self.sim.schedule_in(proc, move |s| {
@@ -548,7 +579,7 @@ impl McpInner {
         // SRAM back-pressure: if the staging buffers are exhausted, pause;
         // injection drops a lease per fragment and re-invokes stage_more.
         let Some(lease) = self.sram.try_alloc(len) else {
-            self.sim.add_count("bcl.sram_stall", 1);
+            self.sram_stalls.inc();
             return;
         };
         a.staging = true;
@@ -587,6 +618,7 @@ impl McpInner {
         };
         let queues = port.queues.clone();
         let msg_id = job.msg_id;
+        self.completion_dmas.inc();
         self.host_dma.submit(self.cfg.mcp.event_bytes, move |_| {
             queues.push_send(SendEvent { msg_id, status });
         });
@@ -611,7 +643,9 @@ impl McpInner {
         {
             let mut st = self.state.lock();
             st.timers.remove(&dst.0);
-            let Some(gbn) = st.gbn_tx.get(&dst.0) else { return };
+            let Some(gbn) = st.gbn_tx.get(&dst.0) else {
+                return;
+            };
             if gbn.in_flight() == 0 {
                 return;
             }
@@ -654,7 +688,12 @@ impl McpInner {
                 let me = self.clone();
                 let proc = self.cfg.mcp.recv_per_frag;
                 let start = sim.now();
-                sim.trace_span(self.track("rx"), "mcp: receive process", start, start + proc);
+                sim.trace_span(
+                    self.track("rx"),
+                    "mcp: receive process",
+                    start,
+                    start + proc,
+                );
                 sim.schedule_in(proc, move |_| {
                     me.on_data(src, header, payload);
                 });
@@ -665,7 +704,9 @@ impl McpInner {
     fn on_ack(self: &Arc<Self>, src: FabricNodeId, cum: u32) {
         {
             let mut st = self.state.lock();
-            let Some(gbn) = st.gbn_tx.get_mut(&src.0) else { return };
+            let Some(gbn) = st.gbn_tx.get_mut(&src.0) else {
+                return;
+            };
             let freed = gbn.on_ack(cum);
             if freed == 0 {
                 return;
@@ -685,11 +726,7 @@ impl McpInner {
         let decision = {
             let mut st = self.state.lock();
             // Find the job: active, queued, or recently completed.
-            let job = if st
-                .active
-                .as_ref()
-                .is_some_and(|a| a.job.msg_id == msg_id)
-            {
+            let job = if st.active.as_ref().is_some_and(|a| a.job.msg_id == msg_id) {
                 let a = st.active.take().unwrap();
                 Some(a.job)
             } else if let Some(pos) = st.send_queue.iter().position(|j| j.msg_id == msg_id) {
@@ -853,6 +890,7 @@ impl McpInner {
                     None => {
                         // Rendezvous violated: tell the sender to retry.
                         self.sim.add_count("bcl.rx_not_ready", 1);
+                        self.sim.add_count("mcp.rejects_sent", 1);
                         if header.total_len as u64 > payload.len() as u64 {
                             st.rejected.insert(key);
                         }
@@ -865,6 +903,7 @@ impl McpInner {
             if (header.total_len as u64) > sg_total(&target) {
                 // Message longer than the receive buffer: refuse (fatal).
                 self.sim.add_count("bcl.rx_too_big", 1);
+                self.sim.add_count("mcp.rejects_sent", 1);
                 if header.total_len as u64 > payload.len() as u64 {
                     st.rejected.insert(key);
                 }
@@ -896,7 +935,9 @@ impl McpInner {
         self.host_dma.submit(len, move |_| {
             write_sg(&me.mem, &segs, off, &payload).expect("recv DMA faulted");
             let mut st = me.state.lock();
-            let Some(inc) = st.incoming.get_mut(&key) else { return };
+            let Some(inc) = st.incoming.get_mut(&key) else {
+                return;
+            };
             inc.received += len;
             if inc.received >= inc.total {
                 let inc = st.incoming.remove(&key).expect("present above");
@@ -906,8 +947,16 @@ impl McpInner {
     }
 
     /// DMA a receive-completion event into the user queue. Lock held.
-    fn post_recv_event(self: &Arc<Self>, st: &McpState, src: FabricNodeId, msg_id: u32, inc: Incoming) {
-        let Some(port) = st.ports.get(&inc.port.0) else { return };
+    fn post_recv_event(
+        self: &Arc<Self>,
+        st: &McpState,
+        src: FabricNodeId,
+        msg_id: u32,
+        inc: Incoming,
+    ) {
+        let Some(port) = st.ports.get(&inc.port.0) else {
+            return;
+        };
         let queues = port.queues.clone();
         let ev = RecvEvent {
             src: ProcAddr {
@@ -922,8 +971,13 @@ impl McpInner {
         let start = self.sim.now();
         let d = SimDuration::for_bytes(self.cfg.mcp.event_bytes, self.cfg.pci.dma_bytes_per_sec)
             + self.cfg.pci.dma_setup;
-        self.sim
-            .trace_span(self.track("rx"), "dma: completion event to user queue", start, start + d);
+        self.sim.trace_span(
+            self.track("rx"),
+            "dma: completion event to user queue",
+            start,
+            start + d,
+        );
+        self.completion_dmas.inc();
         self.host_dma.submit(self.cfg.mcp.event_bytes, move |_| {
             queues.push_recv(ev);
         });
@@ -959,7 +1013,12 @@ impl McpInner {
         });
     }
 
-    fn rma_read_request(self: &Arc<Self>, st: &mut McpState, src: FabricNodeId, header: WireHeader) {
+    fn rma_read_request(
+        self: &Arc<Self>,
+        st: &mut McpState,
+        src: FabricNodeId,
+        header: WireHeader,
+    ) {
         let Some(port) = st.ports.get(&header.dst_port.0) else {
             self.sim.add_count("bcl.rx_no_port", 1);
             self.send_control(src, Self::reject_header(header.msg_id, true));
@@ -992,7 +1051,8 @@ impl McpInner {
         });
         // kick_sender needs the lock we currently hold; defer.
         let me = self.clone();
-        self.sim.schedule_in(SimDuration::ZERO, move |_| me.kick_sender());
+        self.sim
+            .schedule_in(SimDuration::ZERO, move |_| me.kick_sender());
     }
 
     fn rma_read_data(
@@ -1014,7 +1074,9 @@ impl McpInner {
         self.host_dma.submit(len, move |_| {
             write_sg(&me.mem, &segs, off, &payload).expect("read-reply DMA faulted");
             let mut st = me.state.lock();
-            let Some(pr) = st.pending_reads.get_mut(&msg_id) else { return };
+            let Some(pr) = st.pending_reads.get_mut(&msg_id) else {
+                return;
+            };
             pr.received += len;
             if pr.received >= pr.total {
                 let pr = st.pending_reads.remove(&msg_id).unwrap();

@@ -15,7 +15,7 @@ use std::collections::VecDeque;
 use parking_lot::Mutex;
 
 use suca_mem::PhysAddr;
-use suca_sim::{ActorCtx, Signal, Sim};
+use suca_sim::{ActorCtx, Gauge, Signal, Sim};
 
 use crate::port::{RecvEvent, SendEvent};
 
@@ -23,6 +23,11 @@ use crate::port::{RecvEvent, SendEvent};
 pub struct UserQueues {
     recv: Mutex<VecDeque<RecvEvent>>,
     send: Mutex<VecDeque<SendEvent>>,
+    /// Depth gauges (cluster-wide, high-water tracked): an unbounded model
+    /// queue standing in for a fixed ring, so the high-water mark tells us
+    /// how deep a real ring would have to be.
+    recv_depth: Gauge,
+    send_depth: Gauge,
     /// Notified when a receive event is posted.
     pub recv_signal: Signal,
     /// Notified when a send event is posted.
@@ -34,9 +39,12 @@ pub struct UserQueues {
 impl UserQueues {
     /// Create the queues (library side, at port open).
     pub fn new(sim: &Sim) -> Self {
+        let metrics = sim.metrics();
         UserQueues {
             recv: Mutex::new(VecDeque::new()),
             send: Mutex::new(VecDeque::new()),
+            recv_depth: metrics.gauge("cq.recv_depth"),
+            send_depth: metrics.gauge("cq.send_depth"),
             recv_signal: Signal::new(sim),
             send_signal: Signal::new(sim),
             any_signal: Signal::new(sim),
@@ -45,14 +53,22 @@ impl UserQueues {
 
     /// NIC side: post a receive event and wake pollers.
     pub fn push_recv(&self, ev: RecvEvent) {
-        self.recv.lock().push_back(ev);
+        {
+            let mut q = self.recv.lock();
+            q.push_back(ev);
+            self.recv_depth.add(1);
+        }
         self.recv_signal.notify();
         self.any_signal.notify();
     }
 
     /// NIC side: post a send event and wake pollers.
     pub fn push_send(&self, ev: SendEvent) {
-        self.send.lock().push_back(ev);
+        {
+            let mut q = self.send.lock();
+            q.push_back(ev);
+            self.send_depth.add(1);
+        }
         self.send_signal.notify();
         self.any_signal.notify();
     }
@@ -70,12 +86,20 @@ impl UserQueues {
 
     /// Library side: non-blocking poll of the receive queue.
     pub fn pop_recv(&self) -> Option<RecvEvent> {
-        self.recv.lock().pop_front()
+        let ev = self.recv.lock().pop_front();
+        if ev.is_some() {
+            self.recv_depth.sub(1);
+        }
+        ev
     }
 
     /// Library side: non-blocking poll of the send queue.
     pub fn pop_send(&self) -> Option<SendEvent> {
-        self.send.lock().pop_front()
+        let ev = self.send.lock().pop_front();
+        if ev.is_some() {
+            self.send_depth.sub(1);
+        }
+        ev
     }
 
     /// Library side: block the actor until a receive event is available.
@@ -169,9 +193,9 @@ impl SystemPool {
 mod tests {
     use super::*;
     use crate::port::{ChannelId, ProcAddr, RecvDataLoc, SendStatus};
+    use std::sync::Arc;
     use suca_os::NodeId;
     use suca_sim::{RunOutcome, SimDuration};
-    use std::sync::Arc;
 
     fn ev(n: u32) -> RecvEvent {
         RecvEvent {

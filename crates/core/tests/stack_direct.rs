@@ -11,7 +11,7 @@ use suca_bcl::{BclNode, BclPort, ChannelId, Mcp, ProcAddr};
 use suca_mem::PhysMemory;
 use suca_myrinet::{Fabric, FabricNodeId, Myrinet, MyrinetConfig};
 use suca_os::{NodeId, NodeOs, OsCostModel, OsPersonality};
-use suca_sim::{RunOutcome, Sim, SimDuration, Signal};
+use suca_sim::{RunOutcome, Signal, Sim, SimDuration};
 
 fn build_pair(sim: &Sim) -> (Arc<BclNode>, Arc<BclNode>, Arc<Myrinet>) {
     let fabric = Myrinet::build(sim, 2, MyrinetConfig::dawning3000());
@@ -66,7 +66,8 @@ fn hand_assembled_stack_round_trips() {
         let addr2 = addr.clone();
         ready.wait_until(ctx, || addr2.lock().is_some());
         let dst = addr.lock().expect("set");
-        port.send_bytes(ctx, dst, ChannelId::SYSTEM, b"direct").expect("send");
+        port.send_bytes(ctx, dst, ChannelId::SYSTEM, b"direct")
+            .expect("send");
     });
     assert_eq!(sim.run(), RunOutcome::Completed);
 }
@@ -112,7 +113,8 @@ fn sram_high_water_reflects_staging() {
         ready.wait_until(ctx, || addr2.lock().is_some());
         let dst = addr.lock().expect("set");
         let buf = port.alloc_buffer(100_000).expect("buf");
-        port.send(ctx, dst, ChannelId::normal(0), buf, 100_000).expect("send");
+        port.send(ctx, dst, ChannelId::normal(0), buf, 100_000)
+            .expect("send");
         let _ = port.wait_send(ctx);
     });
     assert_eq!(sim.run(), RunOutcome::Completed);
@@ -150,7 +152,8 @@ fn queue_depth_drains_to_zero() {
         ready.wait_until(ctx, || addr2.lock().is_some());
         let dst = addr.lock().expect("set");
         for i in 0..6u8 {
-            port.send_bytes(ctx, dst, ChannelId::SYSTEM, &[i; 64]).expect("send");
+            port.send_bytes(ctx, dst, ChannelId::SYSTEM, &[i; 64])
+                .expect("send");
         }
         // Queue may be nonzero immediately after posting a burst…
         ctx.sleep(SimDuration::from_ms(1));

@@ -291,7 +291,9 @@ impl EadiEndpoint {
 
     /// Block until a send request completes (buffer reusable, data on wire).
     pub fn wait_send(&self, ctx: &mut ActorCtx, req: SendReq) {
-        let SendReq::Rendezvous(xid) = req else { return };
+        let SendReq::Rendezvous(xid) = req else {
+            return;
+        };
         loop {
             {
                 let mut st = self.st.lock();
@@ -349,7 +351,10 @@ impl EadiEndpoint {
                 self.grant_cts(ctx, req, src, tag, xid, total);
             }
             None => {
-                self.st.lock().posted.push_back(PostedRecv { req, src, tag });
+                self.st
+                    .lock()
+                    .posted
+                    .push_back(PostedRecv { req, src, tag });
             }
         }
         req
@@ -475,9 +480,7 @@ impl EadiEndpoint {
 
     fn on_rts(&self, ctx: &mut ActorCtx, h: EadiHeader) {
         match self.match_posted(h.src_rank, h.tag) {
-            Some(req) => {
-                self.grant_cts(ctx, req, h.src_rank, h.tag, h.xid, h.total_len as u64)
-            }
+            Some(req) => self.grant_cts(ctx, req, h.src_rank, h.tag, h.xid, h.total_len as u64),
             None => self.st.lock().unexpected.push_back(Unexpected::Rts {
                 src: h.src_rank,
                 tag: h.tag,
@@ -603,7 +606,8 @@ impl EadiEndpoint {
                 .expect("segment send");
             let mut st = self.st.lock();
             st.seg_to_xid.insert(msg_id, h.xid);
-            st.buf_recycle.insert(msg_id, (buf, Self::class_of(this_len)));
+            st.buf_recycle
+                .insert(msg_id, (buf, Self::class_of(this_len)));
         }
     }
 

@@ -54,11 +54,10 @@ impl Universe {
         }
         self.signal.notify();
         let state = self.state.clone();
-        self.signal
-            .wait_until(ctx, || {
-                let st = state.lock();
-                st.registered as usize == st.slots.len()
-            });
+        self.signal.wait_until(ctx, || {
+            let st = state.lock();
+            st.registered as usize == st.slots.len()
+        });
     }
 
     /// Address of `rank`. Panics if called before the universe is complete.

@@ -9,7 +9,9 @@ use suca_eadi::{EadiConfig, EadiEndpoint, Universe};
 use suca_sim::RunOutcome;
 
 fn pattern(len: usize, salt: u8) -> Vec<u8> {
-    (0..len).map(|i| (i as u8).wrapping_mul(17).wrapping_add(salt)).collect()
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(17).wrapping_add(salt))
+        .collect()
 }
 
 /// Spawn `n` EADI ranks (one per node, round-robin) and run `body(rank)`.
@@ -214,7 +216,9 @@ fn many_concurrent_rendezvous_exceed_channel_pool_and_backlog() {
         } else {
             // Post all receives up front so every RTS matches immediately
             // and channel pressure peaks.
-            let reqs: Vec<_> = (0..16i32).map(|t| ep.irecv(ctx, Some(0), Some(t))).collect();
+            let reqs: Vec<_> = (0..16i32)
+                .map(|t| ep.irecv(ctx, Some(0), Some(t)))
+                .collect();
             for (i, r) in reqs.into_iter().enumerate() {
                 let m = ep.wait(ctx, r);
                 assert_eq!(m.data, expect[i], "transfer {i} damaged");
@@ -236,7 +240,11 @@ fn interleaved_eager_and_rendezvous_streams_stay_ordered_per_tag() {
             for i in 0..6u8 {
                 let m = ep.recv(ctx, Some(0), Some(1));
                 let len = if i % 2 == 0 { 100 } else { 50_000 };
-                assert_eq!(m.data, pattern(len, i), "message {i} out of order or damaged");
+                assert_eq!(
+                    m.data,
+                    pattern(len, i),
+                    "message {i} out of order or damaged"
+                );
             }
         }
     });

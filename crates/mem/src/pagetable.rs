@@ -107,7 +107,10 @@ impl AddressSpace {
         let mut inner = self.inner.lock();
         for i in 0..pages {
             let vp = VirtPage(base.page().0 + i);
-            let frame = inner.table.remove(&vp).ok_or(MemError::Unmapped(vp.base()))?;
+            let frame = inner
+                .table
+                .remove(&vp)
+                .ok_or(MemError::Unmapped(vp.base()))?;
             self.mem.free_frame(frame)?;
         }
         Ok(())

@@ -97,6 +97,7 @@ impl Mesh {
         let routers: Vec<Arc<Switch>> = (0..width * height)
             .map(|i| {
                 Switch::new(
+                    sim,
                     format!("r{}x{}", i % width, i / width),
                     5,
                     cfg.router_latency,
@@ -327,7 +328,12 @@ mod tests {
         let sim = Sim::new(1);
         let m = Mesh::build(&sim, 4, 4, 16, MeshConfig::dawning3000());
         let log = listen(&m, 15);
-        m.inject(&sim, FabricNodeId(0), FabricNodeId(15), Bytes::from_static(b"diag"));
+        m.inject(
+            &sim,
+            FabricNodeId(0),
+            FabricNodeId(15),
+            Bytes::from_static(b"diag"),
+        );
         assert_eq!(sim.run(), RunOutcome::Completed);
         assert_eq!(*log.lock(), vec![b"diag".to_vec()]);
     }
@@ -340,7 +346,12 @@ mod tests {
         let logs: Vec<_> = (0..70).map(|n| listen(&m, n)).collect();
         for src in 0..70u32 {
             for dst in 0..70u32 {
-                m.inject(&sim, FabricNodeId(src), FabricNodeId(dst), Bytes::from_static(b"p"));
+                m.inject(
+                    &sim,
+                    FabricNodeId(src),
+                    FabricNodeId(dst),
+                    Bytes::from_static(b"p"),
+                );
             }
         }
         assert_eq!(sim.run(), RunOutcome::Completed);
@@ -360,7 +371,12 @@ mod tests {
                 FabricNodeId(dst),
                 Box::new(move |s, _| *t2.lock() = s.now().as_ns()),
             );
-            m.inject(&sim, FabricNodeId(0), FabricNodeId(dst), Bytes::from_static(b"t"));
+            m.inject(
+                &sim,
+                FabricNodeId(0),
+                FabricNodeId(dst),
+                Bytes::from_static(b"t"),
+            );
             sim.run();
             let v = *t.lock();
             v

@@ -139,12 +139,7 @@ impl Comm {
     }
 
     /// Linear scatter from `root`: each rank gets its slice.
-    pub fn scatter(
-        &self,
-        ctx: &mut ActorCtx,
-        root: u32,
-        parts: Option<&[Vec<u8>]>,
-    ) -> Vec<u8> {
+    pub fn scatter(&self, ctx: &mut ActorCtx, root: u32, parts: Option<&[Vec<u8>]>) -> Vec<u8> {
         let n = self.size();
         let tag = self.next_coll_tag();
         if self.rank() == root {

@@ -66,14 +66,7 @@ fn sendrecv_symmetric_exchange_does_not_deadlock() {
     mpi_job(2, 2, |ctx, comm| {
         let me = comm.rank();
         let other = 1 - me;
-        let m = comm.sendrecv(
-            ctx,
-            other,
-            7,
-            &me.to_le_bytes(),
-            other as i32,
-            7,
-        );
+        let m = comm.sendrecv(ctx, other, 7, &me.to_le_bytes(), other as i32, 7);
         assert_eq!(m.data, other.to_le_bytes());
     });
 }
@@ -95,10 +88,7 @@ fn barrier_synchronizes() {
     let log = order.lock();
     let last_before = log.iter().rposition(|e| e.1 == "before").expect("befores");
     let first_after = log.iter().position(|e| e.1 == "after").expect("afters");
-    assert!(
-        last_before < first_after,
-        "barrier violated: {log:?}"
-    );
+    assert!(last_before < first_after, "barrier violated: {log:?}");
 }
 
 #[test]
@@ -259,7 +249,11 @@ fn back_to_back_collectives_do_not_cross_talk() {
             if comm.rank() == round as u32 % 4 {
                 ctx.sleep(suca_sim::SimDuration::from_us(200));
             }
-            let mut v = if comm.rank() == 0 { vec![round; 100] } else { Vec::new() };
+            let mut v = if comm.rank() == 0 {
+                vec![round; 100]
+            } else {
+                Vec::new()
+            };
             comm.bcast(ctx, 0, &mut v);
             assert_eq!(v, vec![round; 100], "round {round} corrupted");
             let s = comm.allreduce_f64(ctx, &[1.0], ReduceOp::Sum);

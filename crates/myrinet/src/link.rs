@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use suca_sim::{Sim, SimDuration, SimRng, SimTime};
+use suca_sim::{Counter, Sim, SimDuration, SimRng, SimTime};
 
 use crate::fabric::{FaultPlan, Packet};
 
@@ -35,6 +35,11 @@ pub struct Link {
     fault: FaultPlan,
     dst: Arc<dyn PacketSink>,
     state: Mutex<LinkState>,
+    // Typed metric handles, registered once at link creation; shared cells
+    // across all links ("fabric.*" / "link.*" are fabric-wide totals).
+    drops: Counter,
+    corruptions: Counter,
+    tx_bytes: Counter,
 }
 
 impl Link {
@@ -50,12 +55,16 @@ impl Link {
         assert!(bytes_per_sec > 0);
         let label = label.into();
         let rng = sim.fork_rng(&format!("link:{label}"));
+        let metrics = sim.metrics();
         Arc::new(Link {
             label,
             bytes_per_sec,
             propagation,
             fault,
             dst,
+            drops: metrics.counter("fabric.dropped"),
+            corruptions: metrics.counter("fabric.corrupted"),
+            tx_bytes: metrics.counter("link.tx_bytes"),
             state: Mutex::new(LinkState {
                 busy_until: SimTime::ZERO,
                 rng,
@@ -70,6 +79,7 @@ impl Link {
     /// deliver after propagation. Faults are decided here.
     pub fn send(self: &Arc<Self>, sim: &Sim, mut pkt: Packet) {
         let tx = SimDuration::for_bytes(pkt.wire_len(), self.bytes_per_sec);
+        self.tx_bytes.add(pkt.wire_len());
         let arrival = {
             let mut st = self.state.lock();
             let start = st.busy_until.max(sim.now());
@@ -77,12 +87,12 @@ impl Link {
             st.sent += 1;
             if st.rng.chance(self.fault.drop_prob) {
                 st.dropped += 1;
-                sim.add_count("fabric.dropped", 1);
+                self.drops.inc();
                 return; // the wire time is still consumed (damaged in flight)
             }
             if st.rng.chance(self.fault.corrupt_prob) {
                 st.corrupted += 1;
-                sim.add_count("fabric.corrupted", 1);
+                self.corruptions.inc();
                 pkt.corrupted = true;
             }
             start + tx + self.propagation
@@ -115,7 +125,9 @@ mod tests {
     }
     impl PacketSink for Recorder {
         fn deliver(&self, sim: &Sim, pkt: Packet) {
-            self.arrivals.lock().push((sim.now().as_ns(), pkt.corrupted));
+            self.arrivals
+                .lock()
+                .push((sim.now().as_ns(), pkt.corrupted));
         }
     }
 
@@ -155,7 +167,14 @@ mod tests {
         let rec = Arc::new(Recorder {
             arrivals: Mutex::new(Vec::new()),
         });
-        let link = Link::new(&sim, "t", 160_000_000, SimDuration::ZERO, FaultPlan::NONE, rec.clone());
+        let link = Link::new(
+            &sim,
+            "t",
+            160_000_000,
+            SimDuration::ZERO,
+            FaultPlan::NONE,
+            rec.clone(),
+        );
         for _ in 0..3 {
             link.send(&sim, pkt(1584));
         }

@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use suca_sim::{Sim, SimDuration};
+use suca_sim::{Counter, Sim, SimDuration};
 
 use crate::fabric::Packet;
 use crate::link::{Link, PacketSink};
@@ -19,15 +19,25 @@ pub struct Switch {
     label: String,
     cut_through: SimDuration,
     out: Mutex<Vec<Option<Arc<Link>>>>,
+    unwired_drops: Counter,
+    route_exhausted_drops: Counter,
 }
 
 impl Switch {
     /// Create a switch with `radix` (initially unwired) ports.
-    pub fn new(label: impl Into<String>, radix: usize, cut_through: SimDuration) -> Arc<Switch> {
+    pub fn new(
+        sim: &Sim,
+        label: impl Into<String>,
+        radix: usize,
+        cut_through: SimDuration,
+    ) -> Arc<Switch> {
+        let metrics = sim.metrics();
         Arc::new(Switch {
             label: label.into(),
             cut_through,
             out: Mutex::new(vec![None; radix]),
+            unwired_drops: metrics.counter("switch.unwired_drop"),
+            route_exhausted_drops: metrics.counter("switch.route_exhausted_drop"),
         })
     }
 
@@ -51,19 +61,26 @@ impl Switch {
 
 impl PacketSink for Switch {
     fn deliver(&self, sim: &Sim, mut pkt: Packet) {
-        assert!(
-            pkt.route_pos < pkt.route.len(),
-            "packet at switch {} with exhausted route (src {:?} dst {:?})",
-            self.label,
-            pkt.src,
-            pkt.dst
-        );
+        // Malformed routes can reach a switch from fault injection (a
+        // corrupted route byte) — they must never panic the sim thread.
+        // The packet is counted and dropped; end-to-end reliability
+        // (go-back-N in the MCP) recovers it like any other loss.
+        if pkt.route_pos >= pkt.route.len() {
+            self.route_exhausted_drops.inc();
+            return;
+        }
         let port = pkt.route[pkt.route_pos] as usize;
         pkt.route_pos += 1;
-        let link = self.out.lock()[port]
-            .as_ref()
-            .unwrap_or_else(|| panic!("switch {} port {port} unwired", self.label))
-            .clone();
+        let link = {
+            let out = self.out.lock();
+            match out.get(port).and_then(|l| l.as_ref()) {
+                Some(link) => link.clone(),
+                None => {
+                    self.unwired_drops.inc();
+                    return;
+                }
+            }
+        };
         let cut = self.cut_through;
         sim.schedule_in(cut, move |s| link.send(s, pkt));
     }
@@ -86,7 +103,7 @@ mod tests {
     fn routes_through_ports_with_cut_through_latency() {
         let sim = Sim::new(1);
         let rec = Arc::new(Recorder(Mutex::new(Vec::new())));
-        let sw = Switch::new("sw0", 8, SimDuration::from_ns(300));
+        let sw = Switch::new(&sim, "sw0", 8, SimDuration::from_ns(300));
         let out = Link::new(
             &sim,
             "out",
@@ -110,10 +127,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "port 5 unwired")]
-    fn unwired_port_is_a_loud_bug() {
+    fn unwired_port_is_a_counted_drop() {
         let sim = Sim::new(1);
-        let sw = Switch::new("swx", 8, SimDuration::ZERO);
+        let sw = Switch::new(&sim, "swx", 8, SimDuration::ZERO);
         let pkt = Packet {
             src: FabricNodeId(0),
             dst: FabricNodeId(1),
@@ -124,5 +140,42 @@ mod tests {
         };
         sw.deliver(&sim, pkt);
         sim.run();
+        assert_eq!(sim.get_count("switch.unwired_drop"), 1);
+    }
+
+    #[test]
+    fn out_of_radix_port_is_a_counted_drop() {
+        // A corrupted route byte can name a port past the radix; that must
+        // not panic either.
+        let sim = Sim::new(1);
+        let sw = Switch::new(&sim, "swx", 8, SimDuration::ZERO);
+        let pkt = Packet {
+            src: FabricNodeId(0),
+            dst: FabricNodeId(1),
+            payload: Bytes::from_static(b""),
+            corrupted: false,
+            route: vec![200],
+            route_pos: 0,
+        };
+        sw.deliver(&sim, pkt);
+        sim.run();
+        assert_eq!(sim.get_count("switch.unwired_drop"), 1);
+    }
+
+    #[test]
+    fn exhausted_route_is_a_counted_drop() {
+        let sim = Sim::new(1);
+        let sw = Switch::new(&sim, "swx", 8, SimDuration::ZERO);
+        let pkt = Packet {
+            src: FabricNodeId(0),
+            dst: FabricNodeId(1),
+            payload: Bytes::from_static(b""),
+            corrupted: false,
+            route: vec![],
+            route_pos: 0,
+        };
+        sw.deliver(&sim, pkt);
+        sim.run();
+        assert_eq!(sim.get_count("switch.route_exhausted_drop"), 1);
     }
 }

@@ -97,7 +97,7 @@ impl Myrinet {
         let n_switches = (n_nodes as usize).div_ceil(h);
 
         let switches: Vec<Arc<Switch>> = (0..n_switches)
-            .map(|i| Switch::new(format!("sw{i}"), 8, cfg.switch_cut_through))
+            .map(|i| Switch::new(sim, format!("sw{i}"), 8, cfg.switch_cut_through))
             .collect();
 
         // Trunks between neighboring switches, both directions.
@@ -257,7 +257,12 @@ mod tests {
         let sim = Sim::new(1);
         let net = Myrinet::build(&sim, 4, MyrinetConfig::dawning3000());
         let log = collect_arrivals(&sim, &net, 1);
-        net.inject(&sim, FabricNodeId(0), FabricNodeId(1), Bytes::from_static(b"ping"));
+        net.inject(
+            &sim,
+            FabricNodeId(0),
+            FabricNodeId(1),
+            Bytes::from_static(b"ping"),
+        );
         assert_eq!(sim.run(), RunOutcome::Completed);
         let got = log.lock();
         assert_eq!(got.len(), 1);
@@ -274,12 +279,22 @@ mod tests {
         // Node 0 on sw0, node 13 on sw2: two trunk hops.
         assert_eq!(net.hops(FabricNodeId(0), FabricNodeId(13)), 3);
         let log = collect_arrivals(&sim, &net, 13);
-        net.inject(&sim, FabricNodeId(0), FabricNodeId(13), Bytes::from_static(b"x"));
+        net.inject(
+            &sim,
+            FabricNodeId(0),
+            FabricNodeId(13),
+            Bytes::from_static(b"x"),
+        );
         sim.run();
         assert_eq!(log.lock().len(), 1);
         // And the reverse direction too.
         let back = collect_arrivals(&sim, &net, 0);
-        net.inject(&sim, FabricNodeId(13), FabricNodeId(0), Bytes::from_static(b"y"));
+        net.inject(
+            &sim,
+            FabricNodeId(13),
+            FabricNodeId(0),
+            Bytes::from_static(b"y"),
+        );
         sim.run();
         assert_eq!(back.lock().len(), 1);
     }
@@ -288,9 +303,7 @@ mod tests {
     fn all_pairs_reachable_in_70_node_cluster() {
         let sim = Sim::new(1);
         let net = Myrinet::build(&sim, 70, MyrinetConfig::dawning3000());
-        let counts: Vec<_> = (0..70)
-            .map(|n| collect_arrivals(&sim, &net, n))
-            .collect();
+        let counts: Vec<_> = (0..70).map(|n| collect_arrivals(&sim, &net, n)).collect();
         for src in 0..70u32 {
             for dst in 0..70u32 {
                 net.inject(
@@ -325,7 +338,12 @@ mod tests {
     fn unclaimed_packets_are_counted_not_lost_silently() {
         let sim = Sim::new(1);
         let net = Myrinet::build(&sim, 2, MyrinetConfig::dawning3000());
-        net.inject(&sim, FabricNodeId(0), FabricNodeId(1), Bytes::from_static(b"z"));
+        net.inject(
+            &sim,
+            FabricNodeId(0),
+            FabricNodeId(1),
+            Bytes::from_static(b"z"),
+        );
         sim.run();
         assert_eq!(sim.get_count("fabric.unclaimed"), 1);
     }

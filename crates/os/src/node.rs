@@ -13,7 +13,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use suca_mem::{AddressSpace, Asid, PhysMemory};
-use suca_sim::{ActorCtx, Sim, SimDuration};
+use suca_sim::{ActorCtx, Counter, Sim, SimDuration};
 
 use crate::costs::{OsCostModel, OsPersonality};
 
@@ -52,6 +52,11 @@ pub struct NodeOs {
     pub costs: OsCostModel,
     mem: PhysMemory,
     inner: Mutex<NodeOsInner>,
+    // Typed handles for the Table 1 counters: cluster-wide and per-node.
+    traps: Counter,
+    traps_node: Counter,
+    interrupts: Counter,
+    interrupts_node: Counter,
 }
 
 impl NodeOs {
@@ -63,6 +68,7 @@ impl NodeOs {
         personality: OsPersonality,
         costs: OsCostModel,
     ) -> Arc<NodeOs> {
+        let metrics = sim.metrics();
         Arc::new(NodeOs {
             sim: sim.clone(),
             node_id,
@@ -73,6 +79,10 @@ impl NodeOs {
                 next_pid: 1,
                 live: HashMap::new(),
             }),
+            traps: metrics.counter("os.traps"),
+            traps_node: metrics.counter(&format!("os.traps.n{}", node_id.0)),
+            interrupts: metrics.counter("os.interrupts"),
+            interrupts_node: metrics.counter(&format!("os.interrupts.n{}", node_id.0)),
         })
     }
 
@@ -118,18 +128,25 @@ impl NodeOs {
     /// Kernel code inside `f` charges its own additional costs (checks,
     /// translation, PIO) via `ctx.sleep`.
     pub fn trap<R>(&self, ctx: &mut ActorCtx, f: impl FnOnce(&mut ActorCtx) -> R) -> R {
-        self.sim.add_count("os.traps", 1);
-        self.sim
-            .add_count(&format!("os.traps.n{}", self.node_id.0), 1);
+        self.traps.inc();
+        self.traps_node.inc();
         let track = format!("n{}/tx", self.node_id.0);
         let start = ctx.now();
-        self.sim
-            .trace_span(&track, "kernel: trap enter", start, start + self.costs.trap_enter);
+        self.sim.trace_span(
+            &track,
+            "kernel: trap enter",
+            start,
+            start + self.costs.trap_enter,
+        );
         ctx.sleep(self.costs.trap_enter);
         let r = f(ctx);
         let start = ctx.now();
-        self.sim
-            .trace_span(&track, "kernel: trap exit", start, start + self.costs.trap_exit);
+        self.sim.trace_span(
+            &track,
+            "kernel: trap exit",
+            start,
+            start + self.costs.trap_exit,
+        );
         ctx.sleep(self.costs.trap_exit);
         r
     }
@@ -139,8 +156,8 @@ impl NodeOs {
     /// kernel-level (TCP-like) baseline — BCL's whole point is to have zero
     /// of these.
     pub fn interrupt(&self, sim: &Sim, handler: impl FnOnce(&Sim) + Send + 'static) {
-        sim.add_count("os.interrupts", 1);
-        sim.add_count(&format!("os.interrupts.n{}", self.node_id.0), 1);
+        self.interrupts.inc();
+        self.interrupts_node.inc();
         let cost = self.costs.interrupt_entry + self.costs.interrupt_service;
         sim.schedule_in(cost, handler);
     }

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use suca_sim::{Sim, SimDuration, SimTime};
+use suca_sim::{Counter, Gauge, Sim, SimDuration, SimTime};
 
 use crate::bus::PciModel;
 
@@ -29,12 +29,17 @@ pub struct DmaEngine {
     setup: SimDuration,
     bytes_per_sec: u64,
     state: Arc<Mutex<EngineState>>,
+    // Typed metric handles (registered once; hot-path updates are atomic).
+    transfers: Counter,
+    busy_ns: Counter,
+    queued_bytes: Gauge,
 }
 
 impl DmaEngine {
     /// Create an engine with explicit rate parameters.
     pub fn new(sim: &Sim, name: &'static str, setup: SimDuration, bytes_per_sec: u64) -> Self {
         assert!(bytes_per_sec > 0);
+        let metrics = sim.metrics();
         DmaEngine {
             sim: sim.clone(),
             name,
@@ -45,6 +50,9 @@ impl DmaEngine {
                 completed: 0,
                 bytes_moved: 0,
             })),
+            transfers: metrics.counter(&format!("dma.{name}.transfers")),
+            busy_ns: metrics.counter(&format!("dma.{name}.busy_ns")),
+            queued_bytes: metrics.gauge(&format!("dma.{name}.queued_bytes")),
         }
     }
 
@@ -73,8 +81,14 @@ impl DmaEngine {
             st.bytes_moved += len;
             done
         };
-        self.sim.schedule_at(done, on_done);
-        self.sim.add_count(&format!("dma.{}.transfers", self.name), 1);
+        self.transfers.inc();
+        self.busy_ns.add(duration.as_ns());
+        self.queued_bytes.add(len);
+        let queued = self.queued_bytes.clone();
+        self.sim.schedule_at(done, move |s| {
+            queued.sub(len);
+            on_done(s);
+        });
         done
     }
 
@@ -98,8 +112,8 @@ impl DmaEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use suca_sim::RunOutcome;
     use std::sync::atomic::{AtomicU64, Ordering};
+    use suca_sim::RunOutcome;
 
     #[test]
     fn transfer_takes_setup_plus_bytes() {

@@ -32,7 +32,10 @@ impl core::fmt::Display for UnpackError {
         match self {
             UnpackError::OutOfData => write!(f, "unpack past end of message"),
             UnpackError::TypeMismatch { wanted, found } => {
-                write!(f, "unpack type mismatch: wanted {wanted}, found tag {found}")
+                write!(
+                    f,
+                    "unpack type mismatch: wanted {wanted}, found tag {found}"
+                )
             }
             UnpackError::Corrupt => write!(f, "corrupt message section"),
         }
@@ -198,8 +201,8 @@ impl UnpackBuf {
         if end > self.data.len() {
             return Err(UnpackError::Corrupt);
         }
-        let s = String::from_utf8(self.data[start..end].to_vec())
-            .map_err(|_| UnpackError::Corrupt)?;
+        let s =
+            String::from_utf8(self.data[start..end].to_vec()).map_err(|_| UnpackError::Corrupt)?;
         self.pos = end;
         Ok(s)
     }

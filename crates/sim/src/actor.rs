@@ -157,7 +157,6 @@ impl ActorCtx {
             Ok(WakeMsg::Shutdown) | Err(_) => panic::panic_any(ShutdownToken),
         }
     }
-
 }
 
 /// Spawn machinery, called from [`Sim::spawn`].

@@ -17,7 +17,6 @@ use crate::actor::{
     WakeMsg, YieldMsg,
 };
 use crate::rng::SimRng;
-use crate::stats::Counters;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Span, Tracer};
 
@@ -75,13 +74,15 @@ struct EngineState {
     cancelled: HashSet<u64>,
     actors: Vec<ActorRecord>,
     tracer: Tracer,
-    counters: Counters,
     seed: u64,
     running: bool,
 }
 
 pub(crate) struct SimInner {
     state: Mutex<EngineState>,
+    /// Metrics registry lives *outside* the engine mutex: bumping a counter
+    /// from inside an event handler must not touch the scheduler lock.
+    metrics: suca_obs::Metrics,
 }
 
 /// Handle to one simulation. Cheap to clone; all clones refer to the same
@@ -97,6 +98,8 @@ impl Sim {
     /// `(seed, program)` pair is a complete reproduction recipe.
     pub fn new(seed: u64) -> Self {
         install_quiet_shutdown_hook();
+        let metrics = suca_obs::Metrics::new();
+        metrics.set_meta("seed", seed.to_string());
         Sim {
             inner: Arc::new(SimInner {
                 state: Mutex::new(EngineState {
@@ -107,10 +110,10 @@ impl Sim {
                     cancelled: HashSet::new(),
                     actors: Vec::new(),
                     tracer: Tracer::new(),
-                    counters: Counters::new(),
                     seed,
                     running: false,
                 }),
+                metrics,
             }),
         }
     }
@@ -121,7 +124,11 @@ impl Sim {
     }
 
     /// Schedule `f` to run `delay` after the current instant.
-    pub fn schedule_in(&self, delay: SimDuration, f: impl FnOnce(&Sim) + Send + 'static) -> EventId {
+    pub fn schedule_in(
+        &self,
+        delay: SimDuration,
+        f: impl FnOnce(&Sim) + Send + 'static,
+    ) -> EventId {
         let mut st = self.inner.state.lock();
         let time = st.now + delay;
         Self::push_event(&mut st, time, EventAction::Call(Box::new(f)))
@@ -337,7 +344,11 @@ impl Sim {
         start: SimTime,
         end: SimTime,
     ) {
-        self.inner.state.lock().tracer.span(track, stage, start, end);
+        self.inner
+            .state
+            .lock()
+            .tracer
+            .span(track, stage, start, end);
     }
 
     /// Drain all recorded spans (sorted by start time, then insertion).
@@ -345,19 +356,33 @@ impl Sim {
         self.inner.state.lock().tracer.take()
     }
 
-    /// Increment a named counter.
+    /// The metrics registry for this run. Components register typed
+    /// counters/gauges/histograms here once at construction time and keep
+    /// the handles for lock-cheap hot-path updates.
+    pub fn metrics(&self) -> suca_obs::Metrics {
+        self.inner.metrics.clone()
+    }
+
+    /// Point-in-time copy of every registered instrument; serializes to
+    /// JSON via [`suca_obs::MetricsSnapshot::to_json`].
+    pub fn metrics_snapshot(&self) -> suca_obs::MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// Increment a named counter (name-based compat path; resolves through
+    /// the metrics registry).
     pub fn add_count(&self, name: &str, n: u64) {
-        self.inner.state.lock().counters.add(name, n);
+        self.inner.metrics.add(name, n);
     }
 
     /// Read a named counter (0 if never incremented).
     pub fn get_count(&self, name: &str) -> u64 {
-        self.inner.state.lock().counters.get(name)
+        self.inner.metrics.get(name)
     }
 
     /// Snapshot all counters.
     pub fn counters(&self) -> HashMap<String, u64> {
-        self.inner.state.lock().counters.snapshot()
+        self.inner.metrics.counter_values().into_iter().collect()
     }
 
     /// Derive a deterministic, independent RNG stream for a named component.
@@ -391,7 +416,13 @@ impl Drop for SimInner {
                 let _ = rec.shared.wake_tx.send(WakeMsg::Shutdown);
             }
             if let Some(join) = rec.join.take() {
-                let _ = join.join();
+                // A finishing actor can hold the last `Sim` clone (it
+                // signals the scheduler before its closure unwinds), so
+                // this drop may run *on* an actor thread — joining itself
+                // would be EDEADLK. Let such a thread detach instead.
+                if join.thread().id() != std::thread::current().id() {
+                    let _ = join.join();
+                }
             }
         }
     }
@@ -474,10 +505,7 @@ mod tests {
         }
         sim.run();
         // Same sleep times -> FIFO tie-break: 'a' was spawned first.
-        assert_eq!(
-            *log.lock(),
-            vec!["a0", "b0", "a1", "b1", "a2", "b2"]
-        );
+        assert_eq!(*log.lock(), vec!["a0", "b0", "a1", "b1", "a2", "b2"]);
     }
 
     #[test]

@@ -47,3 +47,7 @@ pub use signal::{Semaphore, Signal};
 pub use stats::{Counters, Samples};
 pub use time::{SimDuration, SimTime};
 pub use trace::{render_gantt, render_timeline, Span};
+
+// Re-export the observability layer so components taking a `Sim` handle can
+// hold typed instrument handles without a separate suca-obs dependency.
+pub use suca_obs::{Counter, Gauge, Histogram, Metrics, MetricsSnapshot};

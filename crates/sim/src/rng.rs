@@ -6,9 +6,12 @@
 //! run is reproducible from `(seed, program)` alone. The fork function is a
 //! hand-rolled FNV-1a/splitmix64 combination rather than `DefaultHasher`
 //! because the latter's output is not guaranteed stable across Rust releases.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator itself is xoshiro256++ (public-domain algorithm by Blackman
+//! and Vigna), implemented locally so the simulator has no dependency on the
+//! `rand` crate — the build environment cannot fetch external crates, and a
+//! self-contained generator also guarantees stream stability across
+//! dependency upgrades forever.
 
 /// FNV-1a over a byte string; stable across platforms and Rust versions.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -28,38 +31,77 @@ fn splitmix64(x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// A seeded RNG stream for one simulation component.
+/// A seeded RNG stream for one simulation component (xoshiro256++ core).
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
     /// Derive a stream from `(master_seed, label)`.
     pub fn fork(master_seed: u64, label: &str) -> Self {
         let mut state = splitmix64(master_seed ^ fnv1a(label.as_bytes()));
-        let mut seed = [0u8; 32];
-        for chunk in seed.chunks_mut(8) {
+        let mut s = [0u64; 4];
+        for w in &mut s {
             state = splitmix64(state);
-            chunk.copy_from_slice(&state.to_le_bytes());
+            *w = state;
         }
-        SimRng {
-            inner: StdRng::from_seed(seed),
+        // xoshiro's all-zero state is a fixed point; splitmix64 cannot
+        // produce four zero words from any input, but belt-and-braces:
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9e37_79b9_7f4a_7c15;
         }
+        SimRng { s }
     }
 
-    /// Uniform `u64`.
+    /// Uniform `u64` (xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
-        RngCore::next_u64(&mut self.inner)
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.s = s;
+        result
     }
 
-    /// Uniform in `[0, n)`. Panics if `n == 0`.
+    /// Uniform `u32`.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with uniform bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+
+    /// Uniform in `[0, n)`, unbiased (rejection sampling). Panics if `n == 0`.
     pub fn below(&mut self, n: u64) -> u64 {
-        self.inner.gen_range(0..n)
+        assert!(n > 0, "SimRng::below(0)");
+        if n == 1 {
+            return 0;
+        }
+        // Reject the biased tail of the 2^64 space.
+        let zone = u64::MAX - (u64::MAX - n + 1) % n;
+        loop {
+            let x = self.next_u64();
+            if x <= zone {
+                return x % n;
+            }
+        }
     }
 
     /// Uniform in `[lo, hi)`. Panics if the range is empty.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
-        self.inner.gen_range(lo..hi)
+        assert!(lo < hi, "SimRng::range empty ({lo}..{hi})");
+        lo + self.below(hi - lo)
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
@@ -70,27 +112,12 @@ impl SimRng {
         if p >= 1.0 {
             return true;
         }
-        self.inner.gen_bool(p)
+        self.unit_f64() < p
     }
 
-    /// Uniform float in `[0, 1)`.
+    /// Uniform float in `[0, 1)` (53-bit mantissa construction).
     pub fn unit_f64(&mut self) -> f64 {
-        self.inner.r#gen::<f64>()
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 }
 
@@ -139,5 +166,30 @@ mod tests {
             let v = r.range(5, 8);
             assert!((5..8).contains(&v));
         }
+    }
+
+    #[test]
+    fn unit_f64_in_unit_interval() {
+        let mut r = SimRng::fork(3, "f");
+        for _ in 0..1000 {
+            let v = r.unit_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_tracks_probability_roughly() {
+        let mut r = SimRng::fork(9, "p");
+        let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "p=0.3 gave {hits}/10000");
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = SimRng::fork(4, "bytes");
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        // Vanishingly unlikely to be all zero if filled.
+        assert!(buf.iter().any(|&b| b != 0));
     }
 }

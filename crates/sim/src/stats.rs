@@ -80,7 +80,10 @@ impl Samples {
         if self.values.is_empty() {
             return 0.0;
         }
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// p-th percentile (0..=100) by nearest-rank; 0 for an empty set.

@@ -130,7 +130,11 @@ pub fn render_gantt(spans: &[Span], width: usize) -> String {
         bar.push_str(&" ".repeat(a));
         bar.push_str(&"#".repeat(b - a));
         bar.push_str(&" ".repeat(width - b));
-        let _ = writeln!(out, "{label:<label_w$} |{bar}| {:.2}us", s.duration().as_us());
+        let _ = writeln!(
+            out,
+            "{label:<label_w$} |{bar}| {:.2}us",
+            s.duration().as_us()
+        );
     }
     out
 }
@@ -188,7 +192,7 @@ mod tests {
         let count = |l: &str| l.matches('#').count();
         let (a, b) = (count(lines[1]), count(lines[2]));
         assert!((a as i64 - b as i64).abs() <= 1, "{a} vs {b}");
-        assert!(a >= 19 && a <= 21);
+        assert!((19..=21).contains(&a));
         // Second bar starts where the first ended.
         assert!(lines[2].find('#').unwrap() >= lines[1].rfind('#').unwrap());
     }

@@ -39,6 +39,9 @@ const BLOCKS: u64 = 64;
 const CLIENTS: u32 = 3;
 const WRITES_PER_CLIENT: u32 = 8;
 
+/// Committed-write log the server fills: `(block, bytes)` pairs.
+type CommitLog = Arc<Mutex<Vec<(u64, Vec<u8>)>>>;
+
 fn block_payload(client: u32, seq: u32) -> Vec<u8> {
     (0..BLOCK)
         .map(|i| (i as u8) ^ (client as u8 * 31) ^ (seq as u8))
@@ -52,7 +55,7 @@ fn main() {
     let down = SimBarrier::new(&sim, CLIENTS + 1);
     let server: Arc<Mutex<Option<ProcAddr>>> = Arc::new(Mutex::new(None));
     // Ground truth of committed writes, filled by the server.
-    let committed: Arc<Mutex<Vec<(u64, Vec<u8>)>>> = Arc::new(Mutex::new(Vec::new()));
+    let committed: CommitLog = Arc::new(Mutex::new(Vec::new()));
 
     // --- the storage server (node 0) ---
     {
@@ -63,7 +66,9 @@ fn main() {
         cluster.spawn_process(0, "blockserver", move |ctx, env| {
             let port = env.open_port(ctx);
             *server.lock() = Some(port.addr());
-            let disk = port.bind_open(ctx, 0, BLOCK * BLOCKS).expect("export device");
+            let disk = port
+                .bind_open(ctx, 0, BLOCK * BLOCKS)
+                .expect("export device");
             // Format: block b filled with b's low byte.
             for b in 0..BLOCKS {
                 port.write_buffer(disk.add(b * BLOCK), &vec![b as u8; BLOCK as usize])
@@ -79,10 +84,11 @@ fn main() {
                 assert!(block < BLOCKS, "server validates block numbers");
                 let data = &req[12..12 + BLOCK as usize];
                 // Commit: land the block in the exported window + remember.
-                port.write_buffer(disk.add(block * BLOCK), data).expect("commit");
+                port.write_buffer(disk.add(block * BLOCK), data)
+                    .expect("commit");
                 committed.lock().push((block, data.to_vec()));
                 ctx.sleep(SimDuration::from_us_f64(2.0)); // metadata update
-                // Ack with the block number.
+                                                          // Ack with the block number.
                 port.send_bytes(ctx, ev.src, ChannelId::SYSTEM, &block.to_le_bytes())
                     .expect("ack");
             }
@@ -114,7 +120,8 @@ fn main() {
                 rpc.extend_from_slice(&c.to_le_bytes());
                 rpc.extend_from_slice(&block.to_le_bytes());
                 rpc.extend_from_slice(&block_payload(c, w));
-                port.send_bytes(ctx, srv, ChannelId::SYSTEM, &rpc).expect("rpc");
+                port.send_bytes(ctx, srv, ChannelId::SYSTEM, &rpc)
+                    .expect("rpc");
                 // Wait for this block's ack (sole outstanding request).
                 loop {
                     let ev = port.wait_recv(ctx);

@@ -60,7 +60,14 @@ fn main() {
         // Two ranks per node: halos cross both the intra-node and the
         // Myrinet path.
         cluster.spawn_process(rank / 2, format!("rank{rank}"), move |ctx, env| {
-            let comm = Comm::init(ctx, &env.node.bcl, &env.proc, uni, rank, MpiConfig::dawning3000());
+            let comm = Comm::init(
+                ctx,
+                &env.node.bcl,
+                &env.proc,
+                uni,
+                rank,
+                MpiConfig::dawning3000(),
+            );
             let me = comm.rank() as usize;
             let mut u: Vec<f64> = (0..CELLS_PER_RANK)
                 .map(|i| initial(me * CELLS_PER_RANK + i))
@@ -103,7 +110,11 @@ fn main() {
                         continue;
                     }
                     let l = if i == 0 { left_halo } else { u[i - 1] };
-                    let r = if i == CELLS_PER_RANK - 1 { right_halo } else { u[i + 1] };
+                    let r = if i == CELLS_PER_RANK - 1 {
+                        right_halo
+                    } else {
+                        u[i + 1]
+                    };
                     next[i] = u[i] + ALPHA * (l - 2.0 * u[i] + r);
                 }
                 u = next;
@@ -113,7 +124,11 @@ fn main() {
                     let local: f64 = u.iter().sum();
                     let total = comm.allreduce_f64(ctx, &[local], ReduceOp::Sum)[0];
                     if me == 0 {
-                        println!("step {:>2}: total heat = {total:.3} (t={})", step + 1, ctx.now());
+                        println!(
+                            "step {:>2}: total heat = {total:.3} (t={})",
+                            step + 1,
+                            ctx.now()
+                        );
                     }
                 }
             }

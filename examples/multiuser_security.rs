@@ -55,8 +55,13 @@ fn main() {
             barrier.wait(ctx);
             let dst = victim_addr.lock().expect("rx ready");
             for i in 0..5 {
-                port.send_bytes(ctx, dst, ChannelId::SYSTEM, format!("payment-{i}").as_bytes())
-                    .expect("send");
+                port.send_bytes(
+                    ctx,
+                    dst,
+                    ChannelId::SYSTEM,
+                    format!("payment-{i}").as_bytes(),
+                )
+                .expect("send");
                 let _ = port.wait_send(ctx);
                 ctx.sleep(SimDuration::from_us(30));
             }
@@ -70,7 +75,10 @@ fn main() {
         let mut rejected = 0;
 
         // 1. Forged buffer pointer (classic DMA-anywhere attack).
-        let dst = ProcAddr { node: NodeId(1), port: PortId(0) };
+        let dst = ProcAddr {
+            node: NodeId(1),
+            port: PortId(0),
+        };
         match port.send(ctx, dst, ChannelId::SYSTEM, VirtAddr(0xDEAD_0000), 512) {
             Err(BclError::BadBuffer { .. }) => {
                 rejected += 1;
@@ -81,7 +89,16 @@ fn main() {
 
         // 2. Nonexistent destination node.
         let buf = port.alloc_buffer(64).expect("buf");
-        match port.send(ctx, ProcAddr { node: NodeId(77), port: PortId(0) }, ChannelId::SYSTEM, buf, 64) {
+        match port.send(
+            ctx,
+            ProcAddr {
+                node: NodeId(77),
+                port: PortId(0),
+            },
+            ChannelId::SYSTEM,
+            buf,
+            64,
+        ) {
             Err(BclError::BadNode(_)) => {
                 rejected += 1;
                 println!("[kernel] rejected bogus destination node");

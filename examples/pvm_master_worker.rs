@@ -25,7 +25,14 @@ fn main() {
     for tid in 0..TASKS {
         let uni = uni.clone();
         cluster.spawn_process(tid % 3, format!("task{tid}"), move |ctx, env| {
-            let task = PvmTask::enroll(ctx, &env.node.bcl, &env.proc, uni, tid, PvmConfig::dawning3000());
+            let task = PvmTask::enroll(
+                ctx,
+                &env.node.bcl,
+                &env.proc,
+                uni,
+                tid,
+                PvmConfig::dawning3000(),
+            );
             if task.tid() == 0 {
                 master(ctx, &task);
             } else {
@@ -42,7 +49,11 @@ fn master(ctx: &mut suca::sim::ActorCtx, task: &PvmTask) {
     // Farm out [start, end) ranges with the interval count.
     for w in 1..=workers {
         let start = chunk * u64::from(w - 1);
-        let end = if w == workers { INTERVALS } else { start + chunk };
+        let end = if w == workers {
+            INTERVALS
+        } else {
+            start + chunk
+        };
         task.initsend()
             .pack_i32(&[start as i32, end as i32])
             .pack_f64(&[INTERVALS as f64]);

@@ -66,12 +66,20 @@ fn main() {
 
         // One-sided read of the server's preloaded table.
         let into = port.alloc_buffer(4096).expect("buf");
-        let id = port.rma_read(ctx, dst, 0, 4096, into, 4096).expect("rma read");
+        let id = port
+            .rma_read(ctx, dst, 0, 4096, into, 4096)
+            .expect("rma read");
         let ev = port.wait_send(ctx);
         assert_eq!((ev.msg_id, ev.status), (id, SendStatus::Ok));
         let table = port.read_buffer(into, 4096).expect("read back");
-        assert!(table.iter().enumerate().all(|(i, &b)| b == (i as u32 * 7 % 256) as u8));
-        println!("[client] one-sided read of 4 KiB table verified at t={}", ctx.now());
+        assert!(table
+            .iter()
+            .enumerate()
+            .all(|(i, &b)| b == (i as u32 * 7 % 256) as u8));
+        println!(
+            "[client] one-sided read of 4 KiB table verified at t={}",
+            ctx.now()
+        );
         done.wait(ctx);
     });
 

@@ -74,7 +74,9 @@ fn main() {
             for p in 0..PAGES_PER_WORKER {
                 let off = my_base + p * PAGE;
                 // Page fault: fetch the page from its home, one-sided.
-                let rid = port.rma_read(ctx, home, 0, off, scratch, PAGE).expect("fetch");
+                let rid = port
+                    .rma_read(ctx, home, 0, off, scratch, PAGE)
+                    .expect("fetch");
                 let ev = port.wait_send(ctx);
                 assert_eq!((ev.msg_id, ev.status), (rid, SendStatus::Ok));
                 // Local compute on the private copy.
@@ -84,8 +86,10 @@ fn main() {
                 }
                 port.write_buffer(scratch, &page).expect("update");
                 ctx.sleep(SimDuration::from_us(3)); // the "compute" phase
-                // Release: write the dirty page home, one-sided.
-                let wid = port.rma_write(ctx, home, 0, off, scratch, PAGE).expect("flush");
+                                                    // Release: write the dirty page home, one-sided.
+                let wid = port
+                    .rma_write(ctx, home, 0, off, scratch, PAGE)
+                    .expect("flush");
                 let ev = port.wait_send(ctx);
                 assert_eq!((ev.msg_id, ev.status), (wid, SendStatus::Ok));
             }

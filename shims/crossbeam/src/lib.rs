@@ -1,0 +1,283 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! The simulation engine only uses `crossbeam::channel::bounded` as a
+//! rendezvous channel (capacity 0) for its scheduler↔actor baton handshake,
+//! so that is what this shim implements, plus small-capacity buffering for
+//! completeness. Both `Sender` and `Receiver` are `Send + Sync`, matching
+//! crossbeam (std mpsc receivers are not `Sync`, which is why the engine
+//! cannot simply use `std::sync::mpsc`).
+
+/// Multi-producer multi-consumer channels (the subset the engine uses).
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// Error returned by [`Sender::send`] when all receivers are gone; the
+    /// unsent message is handed back.
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T: Send> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(PartialEq, Eq, Clone, Copy, Debug)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(PartialEq, Eq, Clone, Copy, Debug)]
+    pub enum TryRecvError {
+        /// Channel currently empty.
+        Empty,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        /// Messages currently handed over but not yet paired (rendezvous
+        /// accounting): a zero-capacity send completes only once a receiver
+        /// has taken the message.
+        pending_rendezvous: usize,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        cap: usize,
+        state: Mutex<State<T>>,
+        /// Signalled when queue space frees up or a rendezvous completes.
+        send_cv: Condvar,
+        /// Signalled when a message arrives or senders disappear.
+        recv_cv: Condvar,
+    }
+
+    /// Sending half of a channel.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Create a bounded channel. Capacity 0 gives rendezvous semantics:
+    /// `send` blocks until a receiver takes the message — the property the
+    /// simulation engine's baton handshake relies on.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            cap,
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                pending_rendezvous: 0,
+                senders: 1,
+                receivers: 1,
+            }),
+            send_cv: Condvar::new(),
+            recv_cv: Condvar::new(),
+        });
+        (Sender { chan: chan.clone() }, Receiver { chan })
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the message is delivered (rendezvous for capacity 0)
+        /// or every receiver is dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let chan = &*self.chan;
+            let mut st = chan.state.lock().unwrap_or_else(|p| p.into_inner());
+            // Wait for room (only relevant for cap > 0; rendezvous sends
+            // queue immediately and then wait to be taken).
+            while chan.cap > 0 && st.queue.len() >= chan.cap {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                st = chan.send_cv.wait(st).unwrap_or_else(|p| p.into_inner());
+            }
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            st.queue.push_back(value);
+            st.pending_rendezvous += 1;
+            chan.recv_cv.notify_one();
+            if chan.cap == 0 {
+                // Rendezvous: block until a receiver has taken *a* message,
+                // i.e. the pending count drops below the queue length plus
+                // handed-over items. With a single logical hand-off slot per
+                // send this reduces to waiting until our message left the
+                // queue or the peer vanished.
+                while !st.queue.is_empty() {
+                    if st.receivers == 0 {
+                        // Undo: reclaim the message if still queued.
+                        return match st.queue.pop_back() {
+                            Some(v) => {
+                                st.pending_rendezvous -= 1;
+                                Err(SendError(v))
+                            }
+                            None => Ok(()), // taken right before disconnect
+                        };
+                    }
+                    st = chan.send_cv.wait(st).unwrap_or_else(|p| p.into_inner());
+                }
+            }
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let chan = &*self.chan;
+            let mut st = chan.state.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    st.pending_rendezvous = st.pending_rendezvous.saturating_sub(1);
+                    chan.send_cv.notify_all();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = chan.recv_cv.wait(st).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let chan = &*self.chan;
+            let mut st = chan.state.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(v) = st.queue.pop_front() {
+                st.pending_rendezvous = st.pending_rendezvous.saturating_sub(1);
+                chan.send_cv.notify_all();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan
+                .state
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .senders += 1;
+            Sender {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().unwrap_or_else(|p| p.into_inner());
+            st.senders -= 1;
+            if st.senders == 0 {
+                self.chan.recv_cv.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan
+                .state
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .receivers += 1;
+            Receiver {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().unwrap_or_else(|p| p.into_inner());
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                self.chan.send_cv.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn rendezvous_blocks_until_taken() {
+            let (tx, rx) = bounded::<u32>(0);
+            let t = std::thread::spawn(move || {
+                tx.send(1).unwrap();
+                tx.send(2).unwrap();
+            });
+            std::thread::sleep(Duration::from_millis(10));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            t.join().unwrap();
+        }
+
+        #[test]
+        fn recv_errs_after_senders_gone() {
+            let (tx, rx) = bounded::<u32>(4);
+            tx.send(9).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(9));
+            assert_eq!(rx.recv(), Err(RecvError));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn send_errs_after_receiver_gone() {
+            let (tx, rx) = bounded::<u32>(0);
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn blocked_rendezvous_send_unblocks_on_receiver_drop() {
+            let (tx, rx) = bounded::<u32>(0);
+            let t = std::thread::spawn(move || tx.send(7));
+            std::thread::sleep(Duration::from_millis(10));
+            drop(rx);
+            assert!(t.join().unwrap().is_err());
+        }
+
+        #[test]
+        fn bounded_buffering_works() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.try_recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+    }
+}

@@ -10,8 +10,8 @@
 
 #![warn(missing_docs)]
 
-pub use suca_bcl as bcl;
 pub use suca_baselines as baselines;
+pub use suca_bcl as bcl;
 pub use suca_cluster as cluster;
 pub use suca_eadi as eadi;
 pub use suca_mem as mem;

@@ -22,7 +22,14 @@ fn mpi_allreduce_job(spec: ClusterSpec, ranks: u32) -> Vec<f64> {
         let uni = uni.clone();
         let out = out.clone();
         cluster.spawn_process(r % nodes, format!("r{r}"), move |ctx, env| {
-            let comm = Comm::init(ctx, &env.node.bcl, &env.proc, uni, r, MpiConfig::dawning3000());
+            let comm = Comm::init(
+                ctx,
+                &env.node.bcl,
+                &env.proc,
+                uni,
+                r,
+                MpiConfig::dawning3000(),
+            );
             let got = comm.allreduce_f64(ctx, &[r as f64, 1.0], ReduceOp::Sum);
             if r == 0 {
                 *out.lock() = got;
@@ -63,7 +70,14 @@ fn mpi_survives_lossy_network() {
         let uni = uni.clone();
         let results = results.clone();
         cluster.spawn_process(r % 3, format!("r{r}"), move |ctx, env| {
-            let comm = Comm::init(ctx, &env.node.bcl, &env.proc, uni, r, MpiConfig::dawning3000());
+            let comm = Comm::init(
+                ctx,
+                &env.node.bcl,
+                &env.proc,
+                uni,
+                r,
+                MpiConfig::dawning3000(),
+            );
             // A chained computation: bcast -> local work -> reduce.
             let mut seed = vec![0u8; 8];
             if r == 2 {
@@ -78,7 +92,10 @@ fn mpi_survives_lossy_network() {
     assert_eq!(sim.run(), RunOutcome::Completed, "lossy MPI job hung");
     let rs = results.lock();
     let expect = 31415.0 * (1..=6).sum::<u64>() as f64;
-    assert!(rs.iter().all(|&v| v == expect), "collective corrupted: {rs:?}");
+    assert!(
+        rs.iter().all(|&v| v == expect),
+        "collective corrupted: {rs:?}"
+    );
     assert!(
         sim.get_count("fabric.dropped") + sim.get_count("fabric.corrupted") > 0,
         "faults never fired; test is vacuous"
@@ -161,8 +178,14 @@ fn deterministic_replay_same_seed_same_world() {
             for r in 0..3u32 {
                 let uni = uni.clone();
                 cluster.spawn_process(r, format!("r{r}"), move |ctx, env| {
-                    let comm =
-                        Comm::init(ctx, &env.node.bcl, &env.proc, uni, r, MpiConfig::dawning3000());
+                    let comm = Comm::init(
+                        ctx,
+                        &env.node.bcl,
+                        &env.proc,
+                        uni,
+                        r,
+                        MpiConfig::dawning3000(),
+                    );
                     let _ = comm.allreduce_f64(ctx, &[f64::from(r)], ReduceOp::Max);
                 });
             }
@@ -191,12 +214,23 @@ fn thirty_two_rank_allreduce_over_sixteen_nodes() {
         let uni = uni.clone();
         let checked = checked.clone();
         cluster.spawn_process(r / 2, format!("r{r}"), move |ctx, env| {
-            let comm = Comm::init(ctx, &env.node.bcl, &env.proc, uni, r, MpiConfig::dawning3000());
+            let comm = Comm::init(
+                ctx,
+                &env.node.bcl,
+                &env.proc,
+                uni,
+                r,
+                MpiConfig::dawning3000(),
+            );
             comm.barrier(ctx);
             let got = comm.allreduce_f64(ctx, &[f64::from(r), 1.0], ReduceOp::Sum);
             assert_eq!(got, vec![f64::from((0..R).sum::<u32>()), f64::from(R)]);
             // And a broadcast from a non-zero root for good measure.
-            let mut blob = if r == 13 { vec![0xCD; 9000] } else { Vec::new() };
+            let mut blob = if r == 13 {
+                vec![0xCD; 9000]
+            } else {
+                Vec::new()
+            };
             comm.bcast(ctx, 13, &mut blob);
             assert_eq!(blob.len(), 9000);
             assert!(blob.iter().all(|b| *b == 0xCD));

@@ -75,8 +75,14 @@ fn roundtrip_payloads(payloads: Vec<Vec<u8>>, fault: FaultPlan, seed: u64) {
         for (i, p) in payloads.iter().enumerate() {
             let buf = port.alloc_buffer(p.len().max(1) as u64).expect("alloc");
             port.write_buffer(buf, p).expect("fill");
-            port.send(ctx, dst, ChannelId::normal((i % 8) as u16), buf, p.len() as u64)
-                .expect("send");
+            port.send(
+                ctx,
+                dst,
+                ChannelId::normal((i % 8) as u16),
+                buf,
+                p.len() as u64,
+            )
+            .expect("send");
             let _ = port.wait_send(ctx); // pace: one in flight per channel lap
         }
     });
@@ -143,6 +149,96 @@ proptest! {
         let (h2, p2) = WireHeader::decode(&encoded).expect("own encoding parses");
         prop_assert_eq!(h2, header);
         prop_assert_eq!(&p2[..], &payload[..]);
+    }
+
+    #[test]
+    fn wire_roundtrip_any_header(
+        kind_idx in 0usize..5,
+        chan_kind_idx in 0usize..3,
+        chan_index in any::<u16>(),
+        src in any::<u16>(),
+        dst in any::<u16>(),
+        msg_id in any::<u32>(),
+        seq in any::<u32>(),
+        offset in any::<u32>(),
+        total_len in any::<u32>(),
+        payload in prop::collection::vec(any::<u8>(), 0..4064),
+    ) {
+        use suca::bcl::wire::WireKind;
+        let kinds = [
+            WireKind::Data,
+            WireKind::Ack,
+            WireKind::Reject,
+            WireKind::RmaReadReq,
+            WireKind::RmaReadData,
+        ];
+        let chan_kinds = [
+            suca::bcl::ChannelId::SYSTEM,
+            suca::bcl::ChannelId::normal(chan_index),
+            suca::bcl::ChannelId::open(chan_index),
+        ];
+        let header = WireHeader {
+            kind: kinds[kind_idx],
+            channel: chan_kinds[chan_kind_idx],
+            src_port: suca::bcl::PortId(src),
+            dst_port: suca::bcl::PortId(dst),
+            msg_id,
+            seq,
+            offset,
+            total_len,
+            frag_len: payload.len() as u32,
+        };
+        let encoded = header.encode(&payload);
+        let (h2, p2) = WireHeader::decode(&encoded).expect("own encoding parses");
+        prop_assert_eq!(h2, header);
+        prop_assert_eq!(&p2[..], &payload[..]);
+    }
+
+    #[test]
+    fn wire_truncation_at_any_point_is_rejected(
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+        cut_seed in any::<usize>(),
+    ) {
+        // Chopping any tail off a valid packet must yield a clean parse
+        // failure — short header and short payload alike.
+        let header = suca::bcl::wire::WireHeader {
+            kind: suca::bcl::wire::WireKind::Data,
+            channel: ChannelId::normal(1),
+            src_port: suca::bcl::PortId(3),
+            dst_port: suca::bcl::PortId(4),
+            msg_id: 9,
+            seq: 17,
+            offset: 0,
+            total_len: payload.len() as u32,
+            frag_len: payload.len() as u32,
+        };
+        let encoded = header.encode(&payload);
+        let cut = cut_seed % encoded.len(); // 0..len, strictly short of full
+        prop_assert!(WireHeader::decode(&encoded.slice(..cut)).is_none());
+    }
+
+    #[test]
+    fn wire_invalid_kind_bytes_are_rejected(
+        bad_kind in 6u8..=255, // 1..=5 are the valid WireKind encodings; 0 too
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let header = suca::bcl::wire::WireHeader {
+            kind: suca::bcl::wire::WireKind::Data,
+            channel: ChannelId::normal(1),
+            src_port: suca::bcl::PortId(3),
+            dst_port: suca::bcl::PortId(4),
+            msg_id: 9,
+            seq: 17,
+            offset: 0,
+            total_len: payload.len() as u32,
+            frag_len: payload.len() as u32,
+        };
+        let mut raw = header.encode(&payload).to_vec();
+        raw[0] = bad_kind;
+        prop_assert!(WireHeader::decode(&Bytes::from(raw.clone())).is_none());
+        // Kind byte 0 is reserved/invalid too.
+        raw[0] = 0;
+        prop_assert!(WireHeader::decode(&Bytes::from(raw)).is_none());
     }
 
     #[test]
