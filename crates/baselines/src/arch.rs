@@ -72,6 +72,15 @@ pub struct ArchModel {
 }
 
 impl ArchModel {
+    /// The causal-chain budget this architecture must satisfy: every traced
+    /// message shows exactly its Table 1 kernel crossings.
+    pub fn chain_policy(&self) -> suca_sim::mtrace::ChainPolicy {
+        suca_sim::mtrace::ChainPolicy::architecture(
+            u64::from(self.send_traps) + u64::from(self.recv_traps),
+            u64::from(self.recv_interrupts),
+        )
+    }
+
     /// Kernel-level networking (TCP/UDP-like): traps on both sides, a copy
     /// on each side, an interrupt plus context switch on receive.
     pub fn kernel_level(os: &OsCostModel) -> ArchModel {

@@ -22,8 +22,9 @@ use parking_lot::Mutex;
 use suca_bcl::reliable::{GbnReceiver, GbnSender, GbnVerdict};
 use suca_bcl::wire::{WireHeader, WireKind, HEADER_BYTES};
 use suca_bcl::{ChannelId, PortId};
-use suca_myrinet::{Fabric, FabricNodeId, FRAMING_BYTES};
+use suca_myrinet::{Fabric, FabricNodeId, PacketTrace, FRAMING_BYTES};
 use suca_os::OsPersonality;
+use suca_sim::mtrace::{stage, TraceEvent, TraceId, TraceLayer};
 use suca_sim::{ActorCtx, EventId, Signal, Sim, SimDuration};
 
 use crate::arch::ArchModel;
@@ -84,7 +85,9 @@ struct EpState {
     gbn_rx: HashMap<u32, GbnReceiver>,
     timers: HashMap<u32, EventId>,
     incoming: HashMap<(u32, u32), InMsg>,
-    ready: VecDeque<(u32, Vec<u8>)>,
+    /// Delivered messages awaiting the application: (src node, msg id,
+    /// payload) — the id lets the receive path attribute its events.
+    ready: VecDeque<(u32, u32, Vec<u8>)>,
     tlb: VecDeque<(u64, u64)>, // LRU of (buffer id, page) for user-level
     next_msg: u32,
 }
@@ -183,6 +186,7 @@ impl Endpoint {
     pub fn send(&self, ctx: &mut ActorCtx, dst: u32, data: &[u8], buf_id: u64) {
         let inner = &self.inner;
         let arch = &inner.arch;
+        let t0 = ctx.now();
         // Critical-path accounting for Table 1.
         if arch.send_traps > 0 {
             ctx.sim().add_count("os.traps", u64::from(arch.send_traps));
@@ -204,7 +208,33 @@ impl Endpoint {
             });
             id
         };
-        let _ = msg_id;
+        let sim = ctx.sim();
+        if sim.msg_trace().enabled() {
+            let tid = TraceId::new(inner.fid.0, msg_id);
+            sim.trace_event(
+                TraceEvent::span(
+                    tid,
+                    inner.fid.0,
+                    TraceLayer::Library,
+                    stage::SEND,
+                    t0.as_ns(),
+                    ctx.now().as_ns(),
+                )
+                .with_bytes(data.len() as u64),
+            );
+            // Each architecture's extra kernel crossings show up in its
+            // chain (Table 1), so the completeness checker can hold every
+            // protocol to its own budget.
+            for _ in 0..arch.send_traps {
+                sim.trace_event(TraceEvent::instant(
+                    tid,
+                    inner.fid.0,
+                    TraceLayer::Kernel,
+                    stage::TRAP,
+                    ctx.now().as_ns(),
+                ));
+            }
+        }
         EpInner::kick(inner);
     }
 
@@ -240,13 +270,33 @@ impl Endpoint {
             // temporary would keep the MutexGuard alive across the sleep
             // below, deadlocking the whole engine.
             let got = inner.state.lock().ready.pop_front();
-            if let Some((src, data)) = got {
+            if let Some((src, msg_id, data)) = got {
                 let arch = &inner.arch;
                 if arch.recv_traps > 0 {
                     ctx.sim().add_count("os.traps", u64::from(arch.recv_traps));
                 }
                 // Per-byte copy costs were paid by the delivery pipeline.
                 ctx.sleep(arch.recv_fixed);
+                let sim = ctx.sim();
+                if sim.msg_trace().enabled() {
+                    let tid = TraceId::new(src, msg_id);
+                    for _ in 0..arch.recv_traps {
+                        sim.trace_event(TraceEvent::instant(
+                            tid,
+                            inner.fid.0,
+                            TraceLayer::Kernel,
+                            stage::TRAP,
+                            ctx.now().as_ns(),
+                        ));
+                    }
+                    sim.trace_event(TraceEvent::instant(
+                        tid,
+                        inner.fid.0,
+                        TraceLayer::Library,
+                        stage::POLL_RECV,
+                        ctx.now().as_ns(),
+                    ));
+                }
                 return (src, data);
             }
             inner.signal.wait(ctx);
@@ -256,8 +306,18 @@ impl Endpoint {
     /// Non-blocking variant of [`Endpoint::recv`].
     pub fn try_recv(&self, ctx: &mut ActorCtx) -> Option<(u32, Vec<u8>)> {
         let got = self.inner.state.lock().ready.pop_front();
-        got.map(|(src, data)| {
+        got.map(|(src, msg_id, data)| {
             ctx.sleep(self.inner.arch.recv_fixed);
+            let sim = ctx.sim();
+            if sim.msg_trace().enabled() {
+                sim.trace_event(TraceEvent::instant(
+                    TraceId::new(src, msg_id),
+                    self.inner.fid.0,
+                    TraceLayer::Library,
+                    stage::POLL_RECV,
+                    ctx.now().as_ns(),
+                ));
+            }
             (src, data)
         })
     }
@@ -291,7 +351,7 @@ impl EpInner {
         enum Work {
             Retx(FabricNodeId, Bytes),
             NewMsg(SimDuration),
-            Frag(FabricNodeId, Bytes),
+            Frag(FabricNodeId, Bytes, u32, u32),
             Idle,
             Stall,
         }
@@ -354,13 +414,13 @@ impl EpInner {
                             st.active = None;
                         }
                         self.arm_timer(&mut st, dst);
-                        Work::Frag(dst, pkt)
+                        Work::Frag(dst, pkt, header.msg_id, header.seq)
                     } else {
                         let pkt = header.encode(&frag);
                         if done {
                             st.active = None;
                         }
-                        Work::Frag(dst, pkt)
+                        Work::Frag(dst, pkt, header.msg_id, header.seq)
                     }
                 }
             }
@@ -371,13 +431,84 @@ impl EpInner {
                 let me = self.clone();
                 self.sim.schedule_in(setup, move |_| me.step());
             }
-            Work::Retx(dst, pkt) | Work::Frag(dst, pkt) => {
+            Work::Retx(dst, pkt) => {
                 let proc = self.arch.nic_per_frag;
                 let tx = self.wire_time(pkt.len());
+                // Recover identity from the wire header so retransmissions
+                // stay attributed to their chain (timeout path only).
+                let mut meta = None;
+                if let Some((h, _)) = WireHeader::decode(&pkt) {
+                    let tid = TraceId::new(self.fid.0, h.msg_id);
+                    if self.sim.msg_trace().enabled() {
+                        let start = self.sim.now();
+                        self.sim.trace_event(
+                            TraceEvent::span(
+                                tid,
+                                self.fid.0,
+                                TraceLayer::Mcp,
+                                stage::RETX,
+                                start.as_ns(),
+                                (start + proc).as_ns(),
+                            )
+                            .with_seq(h.seq)
+                            .with_bytes(h.frag_len as u64),
+                        );
+                    }
+                    meta = Some(PacketTrace {
+                        origin: self.fid.0,
+                        msg_id: h.msg_id,
+                        seq: h.seq,
+                    });
+                }
                 let fabric = self.fabric.clone();
                 let fid = self.fid;
                 self.sim.schedule_in(proc, move |s| {
-                    fabric.inject(s, fid, dst, pkt);
+                    fabric.inject_traced(s, fid, dst, pkt, meta);
+                });
+                let me = self.clone();
+                self.sim.schedule_in(proc + tx, move |_| me.step());
+            }
+            Work::Frag(dst, pkt, msg_id, seq) => {
+                let proc = self.arch.nic_per_frag;
+                let tx = self.wire_time(pkt.len());
+                let meta = if self.sim.msg_trace().enabled() {
+                    let tid = TraceId::new(self.fid.0, msg_id);
+                    let start = self.sim.now();
+                    self.sim.trace_event(
+                        TraceEvent::span(
+                            tid,
+                            self.fid.0,
+                            TraceLayer::Mcp,
+                            stage::INJECT,
+                            start.as_ns(),
+                            (start + proc).as_ns(),
+                        )
+                        .with_seq(seq),
+                    );
+                    self.sim.trace_event(
+                        TraceEvent::span(
+                            tid,
+                            self.fid.0,
+                            TraceLayer::Wire,
+                            stage::WIRE_TX,
+                            (start + proc).as_ns(),
+                            (start + proc + tx).as_ns(),
+                        )
+                        .with_seq(seq)
+                        .with_bytes(pkt.len() as u64),
+                    );
+                    Some(PacketTrace {
+                        origin: self.fid.0,
+                        msg_id,
+                        seq,
+                    })
+                } else {
+                    None
+                };
+                let fabric = self.fabric.clone();
+                let fid = self.fid;
+                self.sim.schedule_in(proc, move |s| {
+                    fabric.inject_traced(s, fid, dst, pkt, meta);
                 });
                 let me = self.clone();
                 self.sim.schedule_in(proc + tx, move |_| me.step());
@@ -421,6 +552,17 @@ impl EpInner {
     fn on_packet(self: &Arc<Self>, sim: &Sim, pkt: suca_myrinet::Packet) {
         if pkt.corrupted {
             sim.add_count("baseline.crc_dropped", 1);
+            if let Some(t) = pkt.trace {
+                if sim.msg_trace().enabled() {
+                    sim.trace_event(TraceEvent::instant(
+                        TraceId::new(t.origin, t.msg_id),
+                        self.fid.0,
+                        TraceLayer::Mcp,
+                        stage::DROP_CRC,
+                        sim.now().as_ns(),
+                    ));
+                }
+            }
             return;
         }
         let Some((header, payload)) = WireHeader::decode(&pkt.payload) else {
@@ -438,6 +580,21 @@ impl EpInner {
             WireKind::Data => {
                 let me = self.clone();
                 let proc = self.arch.recv_per_frag();
+                if sim.msg_trace().enabled() {
+                    let start = sim.now();
+                    sim.trace_event(
+                        TraceEvent::span(
+                            TraceId::new(src.0, header.msg_id),
+                            self.fid.0,
+                            TraceLayer::Mcp,
+                            stage::RX,
+                            start.as_ns(),
+                            (start + proc).as_ns(),
+                        )
+                        .with_seq(header.seq)
+                        .with_bytes(header.frag_len as u64),
+                    );
+                }
                 sim.schedule_in(proc, move |_| me.on_data(src, header, payload));
             }
             _ => sim.add_count("baseline.unexpected_kind", 1),
@@ -508,6 +665,18 @@ impl EpInner {
             if self.arch.recv_interrupts > 0 {
                 self.sim
                     .add_count("os.interrupts", u64::from(self.arch.recv_interrupts));
+                if self.sim.msg_trace().enabled() {
+                    let tid = TraceId::new(src.0, header.msg_id);
+                    for _ in 0..self.arch.recv_interrupts {
+                        self.sim.trace_event(TraceEvent::instant(
+                            tid,
+                            self.fid.0,
+                            TraceLayer::Kernel,
+                            stage::INTERRUPT,
+                            self.sim.now().as_ns(),
+                        ));
+                    }
+                }
             }
             if self.arch.recv_copies > 0 {
                 // The message must be copied out of the bounce buffer before
@@ -522,13 +691,14 @@ impl EpInner {
                 st.copy_busy_until = done_at;
                 let me = self.clone();
                 let src_id = src.0;
+                let msg_id = header.msg_id;
                 drop(st);
                 self.sim.schedule_at(done_at, move |_| {
-                    me.state.lock().ready.push_back((src_id, inc.buf));
+                    me.state.lock().ready.push_back((src_id, msg_id, inc.buf));
                     me.signal.notify();
                 });
             } else {
-                st.ready.push_back((src.0, inc.buf));
+                st.ready.push_back((src.0, header.msg_id, inc.buf));
                 drop(st);
                 self.signal.notify();
             }

@@ -23,6 +23,7 @@ fn main() {
         "overheads",
         "ablations",
         "congestion",
+        "trace_export",
     ];
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin dir");

@@ -15,6 +15,25 @@ pub fn metrics_dir() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("target/metrics"))
 }
 
+/// Directory the harness binaries write Chrome/Perfetto trace files into.
+/// Overridable via `SUCA_TRACES_DIR`; relative paths resolve against the
+/// working directory (the workspace root under `cargo run`).
+pub fn traces_dir() -> PathBuf {
+    std::env::var_os("SUCA_TRACES_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/traces"))
+}
+
+/// Serialize per-message trace events as Chrome/Perfetto JSON to
+/// `<traces_dir>/<run>.json` (loadable at <https://ui.perfetto.dev>).
+pub fn write_trace_json(events: &[suca_sim::TraceEvent], run: &str) -> io::Result<PathBuf> {
+    let dir = traces_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{run}.json"));
+    std::fs::write(&path, suca_sim::mtrace::to_chrome_json(events))?;
+    Ok(path)
+}
+
 /// Serialize `snap` as JSON to `<metrics_dir>/<harness>.json`.
 pub fn write_metrics_json(snap: &MetricsSnapshot, harness: &str) -> io::Result<PathBuf> {
     let dir = metrics_dir();

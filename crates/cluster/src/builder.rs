@@ -162,6 +162,12 @@ impl Cluster {
     pub fn metrics_snapshot(&self) -> suca_sim::MetricsSnapshot {
         self.sim.metrics_snapshot()
     }
+
+    /// All buffered per-message trace events, merged across node rings and
+    /// sorted by time (for Perfetto export and the completeness checker).
+    pub fn trace_events(&self) -> Vec<suca_sim::TraceEvent> {
+        self.sim.trace_events()
+    }
 }
 
 #[cfg(test)]

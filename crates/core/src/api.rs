@@ -18,6 +18,7 @@ use parking_lot::Mutex;
 
 use suca_mem::VirtAddr;
 use suca_os::{NodeOs, OsProcess};
+use suca_sim::mtrace::{stage, TraceEvent, TraceId, TraceLayer};
 use suca_sim::{ActorCtx, Sim};
 
 use crate::config::BclConfig;
@@ -90,6 +91,9 @@ pub struct BclPort {
     /// (the NIC never saw the consumption; re-posts must replace).
     intra_consumed: Mutex<std::collections::HashSet<u16>>,
     intra_msg: Mutex<u32>,
+    // Interned once so hot-path span/event recording never allocates.
+    track_tx: &'static str,
+    track_rx: &'static str,
 }
 
 impl BclPort {
@@ -124,6 +128,8 @@ impl BclPort {
             bound: Mutex::new(HashMap::new()),
             intra_consumed: Mutex::new(std::collections::HashSet::new()),
             intra_msg: Mutex::new(1), // odd ids: intra-node
+            track_tx: suca_sim::intern(&format!("n{}/tx", node.os.node_id.0)),
+            track_rx: suca_sim::intern(&format!("n{}/rx", node.os.node_id.0)),
         })
     }
 
@@ -201,7 +207,7 @@ impl BclPort {
         }
         let start = ctx.now();
         ctx.sim().trace_span(
-            format!("n{}/tx", self.node.os.node_id.0),
+            self.track_tx,
             "library: compose send request",
             start,
             start + self.node.cfg.lib_compose,
@@ -210,9 +216,51 @@ impl BclPort {
         let kmod = self.node.kmod.clone();
         let proc = self.proc.clone();
         let id = self.id;
-        self.node.os.trap(ctx, |ctx| {
+        let msg_id = self.node.os.trap(ctx, |ctx| {
             kmod.ioctl_send(ctx, &proc, id, dst, channel, addr, len)
-        })
+        })?;
+        self.trace_send_span(ctx, msg_id, start, len);
+        Ok(msg_id)
+    }
+
+    /// Record the library-layer send span (compose through trap return) for
+    /// an inter-node message. Intra-node sends (odd ids) are never traced.
+    fn trace_send_span(&self, ctx: &ActorCtx, msg_id: u32, start: suca_sim::SimTime, len: u64) {
+        let sim = ctx.sim();
+        if !sim.msg_trace().enabled() {
+            return;
+        }
+        let node = self.node.os.node_id.0;
+        sim.trace_event(
+            TraceEvent::span(
+                TraceId::new(node, msg_id),
+                node,
+                TraceLayer::Library,
+                stage::SEND,
+                start.as_ns(),
+                ctx.now().as_ns(),
+            )
+            .with_bytes(len),
+        );
+    }
+
+    /// Record the user-space poll instant that closes a traced chain.
+    fn trace_poll(&self, ctx: &ActorCtx, origin: u32, msg_id: u32, stage_name: &'static str) {
+        // Intra-node messages carry odd, node-local ids and are not traced.
+        if !msg_id.is_multiple_of(2) {
+            return;
+        }
+        let sim = ctx.sim();
+        if !sim.msg_trace().enabled() {
+            return;
+        }
+        sim.trace_event(TraceEvent::instant(
+            TraceId::new(origin, msg_id),
+            self.node.os.node_id.0,
+            TraceLayer::Library,
+            stage_name,
+            ctx.now().as_ns(),
+        ));
     }
 
     /// Convenience: allocate a buffer, fill it with `data`, and send it.
@@ -270,6 +318,7 @@ impl BclPort {
     pub fn poll_recv(&self, ctx: &mut ActorCtx) -> Option<RecvEvent> {
         let ev = self.queues.pop_recv()?;
         ctx.sleep(self.node.cfg.poll_recv);
+        self.trace_poll(ctx, ev.src.node.0, ev.msg_id, stage::POLL_RECV);
         Some(ev)
     }
 
@@ -298,12 +347,13 @@ impl BclPort {
         let ev = self.queues.wait_recv(ctx);
         let start = ctx.now();
         ctx.sim().trace_span(
-            format!("n{}/rx", self.node.os.node_id.0),
+            self.track_rx,
             "library: poll completion queue (user space, no trap)",
             start,
             start + self.node.cfg.poll_recv,
         );
         ctx.sleep(self.node.cfg.poll_recv);
+        self.trace_poll(ctx, ev.src.node.0, ev.msg_id, stage::POLL_RECV);
         ev
     }
 
@@ -311,6 +361,7 @@ impl BclPort {
     pub fn poll_send(&self, ctx: &mut ActorCtx) -> Option<SendEvent> {
         let ev = self.queues.pop_send()?;
         ctx.sleep(self.node.cfg.poll_send);
+        self.trace_poll(ctx, self.node.os.node_id.0, ev.msg_id, stage::POLL_SEND);
         Some(ev)
     }
 
@@ -324,6 +375,7 @@ impl BclPort {
     pub fn wait_send(&self, ctx: &mut ActorCtx) -> SendEvent {
         let ev = self.queues.wait_send(ctx);
         ctx.sleep(self.node.cfg.poll_send);
+        self.trace_poll(ctx, self.node.os.node_id.0, ev.msg_id, stage::POLL_SEND);
         ev
     }
 
@@ -395,13 +447,16 @@ impl BclPort {
         addr: VirtAddr,
         len: u64,
     ) -> Result<u32, BclError> {
+        let start = ctx.now();
         ctx.sleep(self.node.cfg.lib_compose);
         let kmod = self.node.kmod.clone();
         let proc = self.proc.clone();
         let id = self.id;
-        self.node.os.trap(ctx, |ctx| {
+        let msg_id = self.node.os.trap(ctx, |ctx| {
             kmod.ioctl_rma_write(ctx, &proc, id, dst, chan, offset, addr, len)
-        })
+        })?;
+        self.trace_send_span(ctx, msg_id, start, len);
+        Ok(msg_id)
     }
 
     /// One-sided read of `len` bytes from `dst`'s open channel `chan` at
@@ -417,13 +472,16 @@ impl BclPort {
         into: VirtAddr,
         len: u64,
     ) -> Result<u32, BclError> {
+        let start = ctx.now();
         ctx.sleep(self.node.cfg.lib_compose);
         let kmod = self.node.kmod.clone();
         let proc = self.proc.clone();
         let id = self.id;
-        self.node.os.trap(ctx, |ctx| {
+        let msg_id = self.node.os.trap(ctx, |ctx| {
             kmod.ioctl_rma_read(ctx, &proc, id, dst, chan, offset, into, len)
-        })
+        })?;
+        self.trace_send_span(ctx, msg_id, start, len);
+        Ok(msg_id)
     }
 
     /// Close the port. One kernel trap.

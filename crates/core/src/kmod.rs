@@ -21,7 +21,8 @@ use parking_lot::Mutex;
 use suca_mem::{PhysAddr, PinDownTable, PinLookup, VirtAddr};
 use suca_myrinet::FabricNodeId;
 use suca_os::{NodeOs, OsProcess, Pid};
-use suca_sim::{ActorCtx, Counter, SimDuration};
+use suca_sim::mtrace::{stage, TraceEvent, TraceId, TraceLayer};
+use suca_sim::{ActorCtx, Counter, SimDuration, SimTime};
 
 use crate::config::BclConfig;
 use crate::error::BclError;
@@ -57,6 +58,8 @@ pub struct BclKmod {
     pin_misses: Counter,
     pin_evictions: Counter,
     pio_descriptors: Counter,
+    // Interned once so per-send span recording never allocates.
+    track_tx: &'static str,
 }
 
 impl BclKmod {
@@ -64,7 +67,9 @@ impl BclKmod {
     pub fn new(os: Arc<NodeOs>, mcp: Mcp, num_nodes: u32, cfg: BclConfig) -> Arc<BclKmod> {
         let pin = PinDownTable::new(cfg.pin_table_pages);
         let metrics = os.sim().metrics();
+        let track_tx = suca_sim::intern(&format!("n{}/tx", os.node_id.0));
         Arc::new(BclKmod {
+            track_tx,
             cfg,
             mcp,
             num_nodes,
@@ -175,7 +180,7 @@ impl BclKmod {
         // One table search per request plus the per-page pin cost on misses.
         let start = ctx.now();
         ctx.sim().trace_span(
-            format!("n{}/tx", self.os.node_id.0),
+            self.track_tx,
             "kernel: pin-down table lookup + translation",
             start,
             start + hit_cost + miss_cost,
@@ -192,7 +197,7 @@ impl BclKmod {
         let start = ctx.now();
         let d = self.cfg.descriptor_pio(segments);
         ctx.sim().trace_span(
-            format!("n{}/tx", self.os.node_id.0),
+            self.track_tx,
             "kernel: fill send descriptor (PIO) + doorbell",
             start,
             start + d,
@@ -205,7 +210,7 @@ impl BclKmod {
         let start = ctx.now();
         let d = self.cfg.copyin_dispatch + self.os.costs.security_check;
         ctx.sim().trace_span(
-            format!("n{}/tx", self.os.node_id.0),
+            self.track_tx,
             "kernel: ioctl dispatch + security checks",
             start,
             start + d,
@@ -348,6 +353,7 @@ impl BclKmod {
         addr: VirtAddr,
         len: u64,
     ) -> Result<u32, BclError> {
+        let trap_entry = ctx.now();
         self.charge_checks(ctx);
         self.check_caller(proc)?;
         {
@@ -389,7 +395,7 @@ impl BclKmod {
             // The table is consulted even for empty payloads.
             let start = ctx.now();
             ctx.sim().trace_span(
-                format!("n{}/tx", self.os.node_id.0),
+                self.track_tx,
                 "kernel: pin-down table lookup + translation",
                 start,
                 start + self.os.costs.pin_lookup_hit,
@@ -399,6 +405,7 @@ impl BclKmod {
         };
         let msg_id = self.alloc_msg_id();
         self.charge_descriptor_pio(ctx, segs.len() as u64);
+        self.trace_send_trap(msg_id, trap_entry, ctx.now(), len);
         self.mcp.post_send(SendJob {
             src_port: port,
             dst_fid: FabricNodeId(dst.node.0),
@@ -427,6 +434,7 @@ impl BclKmod {
         addr: VirtAddr,
         len: u64,
     ) -> Result<u32, BclError> {
+        let trap_entry = ctx.now();
         self.charge_checks(ctx);
         self.check_caller(proc)?;
         {
@@ -441,6 +449,7 @@ impl BclKmod {
         let segs = self.pin_translate(ctx, proc, addr, len)?;
         let msg_id = self.alloc_msg_id();
         self.charge_descriptor_pio(ctx, segs.len() as u64);
+        self.trace_send_trap(msg_id, trap_entry, ctx.now(), len);
         self.mcp.post_send(SendJob {
             src_port: port,
             dst_fid: FabricNodeId(dst.node.0),
@@ -469,6 +478,7 @@ impl BclKmod {
         into: VirtAddr,
         len: u64,
     ) -> Result<u32, BclError> {
+        let trap_entry = ctx.now();
         self.charge_checks(ctx);
         self.check_caller(proc)?;
         {
@@ -483,6 +493,7 @@ impl BclKmod {
         let segs = self.pin_translate(ctx, proc, into, len)?;
         let msg_id = self.alloc_msg_id();
         self.charge_descriptor_pio(ctx, 1);
+        self.trace_send_trap(msg_id, trap_entry, ctx.now(), len);
         self.mcp.post_send(SendJob {
             src_port: port,
             dst_fid: FabricNodeId(dst.node.0),
@@ -503,6 +514,37 @@ impl BclKmod {
         let id = st.next_msg;
         st.next_msg = st.next_msg.wrapping_add(2);
         id
+    }
+
+    /// Per-message trace of the one send trap: a `kernel:trap` instant at
+    /// ioctl entry (the BCL contract allows exactly one per message) plus
+    /// the `kernel:ioctl_send` span covering checks, pin/translate, and
+    /// descriptor PIO.
+    fn trace_send_trap(&self, msg_id: u32, entry: SimTime, exit: SimTime, bytes: u64) {
+        let sim = self.os.sim();
+        if !sim.msg_trace().enabled() {
+            return;
+        }
+        let node = self.os.node_id.0;
+        let trace = TraceId::new(node, msg_id);
+        sim.trace_event(TraceEvent::instant(
+            trace,
+            node,
+            TraceLayer::Kernel,
+            stage::TRAP,
+            entry.as_ns(),
+        ));
+        sim.trace_event(
+            TraceEvent::span(
+                trace,
+                node,
+                TraceLayer::Kernel,
+                stage::IOCTL_SEND,
+                entry.as_ns(),
+                exit.as_ns(),
+            )
+            .with_bytes(bytes),
+        );
     }
 
     /// Kernel-visible cost of one trap round trip (for the harnesses).

@@ -30,9 +30,10 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 
 use suca_mem::{PhysAddr, PhysMemory};
-use suca_myrinet::{Fabric, FabricNodeId, SramLease, SramPool, FRAMING_BYTES};
+use suca_myrinet::{Fabric, FabricNodeId, PacketTrace, SramLease, SramPool, FRAMING_BYTES};
 use suca_os::NodeId;
 use suca_pci::DmaEngine;
+use suca_sim::mtrace::{stage, TraceEvent, TraceId, TraceLayer};
 use suca_sim::{Counter, EventId, Sim, SimDuration};
 
 use crate::config::BclConfig;
@@ -158,12 +159,41 @@ pub(crate) struct McpInner {
     sram_stalls: Counter,
     retx_packets: Counter,
     completion_dmas: Counter,
+    protocol_errors: Counter,
+    // Interned once so hot-path trace recording never allocates.
+    track_tx: &'static str,
+    track_rx: &'static str,
 }
 
 /// Handle to one NIC's firmware.
 #[derive(Clone)]
 pub struct Mcp {
     inner: Arc<McpInner>,
+}
+
+/// One unit of send-engine work, decided under the state lock and executed
+/// outside it.
+enum Work {
+    /// Retransmit an already-encoded packet.
+    Retx { dst: FabricNodeId, pkt: Bytes },
+    /// A new descriptor was activated; charge the fixed cost.
+    NewJob { trace: TraceId },
+    /// Inject one freshly staged fragment.
+    Frag {
+        dst: FabricNodeId,
+        pkt: Bytes,
+        trace: TraceId,
+        seq: u32,
+        bytes: u64,
+    },
+    /// Waiting on the staging DMA.
+    StallStaging,
+    /// Go-back-N window closed.
+    StallWindow,
+    /// Active send abandoned after a protocol error.
+    Dropped,
+    /// Queue empty.
+    Idle,
 }
 
 /// How many fragments the staging engine keeps ahead of injection.
@@ -207,6 +237,9 @@ impl Mcp {
             sram_stalls: metrics.counter("bcl.sram_stall"),
             retx_packets: metrics.counter("bcl.retx_packets"),
             completion_dmas: metrics.counter("mcp.completion_dmas"),
+            protocol_errors: metrics.counter("mcp.protocol_errors"),
+            track_tx: suca_sim::intern(&format!("n{}/tx", node.0)),
+            track_rx: suca_sim::intern(&format!("n{}/rx", node.0)),
             state: Mutex::new(McpState {
                 ports: HashMap::new(),
                 send_queue: VecDeque::new(),
@@ -356,8 +389,73 @@ impl McpInner {
         )
     }
 
-    fn track(&self, dir: &str) -> String {
-        format!("n{}/{dir}", self.node.0)
+    #[inline]
+    fn mt_enabled(&self) -> bool {
+        self.sim.msg_trace().enabled()
+    }
+
+    /// Record an MCP-layer instant on this node's ring.
+    fn mt_instant(&self, trace: TraceId, stage_name: &'static str) {
+        if self.mt_enabled() {
+            self.sim.trace_event(TraceEvent::instant(
+                trace,
+                self.node.0,
+                TraceLayer::Mcp,
+                stage_name,
+                self.sim.now().as_ns(),
+            ));
+        }
+    }
+
+    /// Trace identity of a send job. Read-reply jobs are generated NIC-side
+    /// at the *target*; their chain belongs to the requesting node, which is
+    /// where the reply is headed.
+    fn job_trace(&self, job: &SendJob) -> TraceId {
+        match job.kind {
+            JobKind::RmaReadData => TraceId::new(job.dst_fid.0, job.msg_id),
+            _ => TraceId::new(self.node.0, job.msg_id),
+        }
+    }
+
+    /// Trace identity of a received packet. Read-reply data joins the local
+    /// requester's chain; everything else originates at the sender.
+    fn header_trace(&self, src: FabricNodeId, header: &WireHeader) -> TraceId {
+        match header.kind {
+            WireKind::RmaReadData => TraceId::new(self.node.0, header.msg_id),
+            _ => TraceId::new(src.0, header.msg_id),
+        }
+    }
+
+    /// Per-packet trace metadata riding the fabric, so switches and links
+    /// can attribute hops and faults without parsing protocol headers.
+    fn tx_packet_trace(&self, dst: FabricNodeId, header: &WireHeader) -> PacketTrace {
+        let origin = match header.kind {
+            WireKind::RmaReadData => dst.0,
+            _ => self.node.0,
+        };
+        PacketTrace {
+            origin,
+            msg_id: header.msg_id,
+            seq: header.seq,
+        }
+    }
+
+    /// A protocol-state invariant was violated. The firmware must never
+    /// panic the node: count it, record the event, and dump the flight
+    /// recorder once so the broken run leaves evidence behind.
+    fn protocol_error(&self, trace: TraceId, reason: &'static str) {
+        self.protocol_errors.inc();
+        let mt = self.sim.msg_trace();
+        if mt.enabled() {
+            self.sim.trace_event(TraceEvent::instant(
+                trace,
+                self.node.0,
+                TraceLayer::Mcp,
+                stage::PROTO_ERROR,
+                self.sim.now().as_ns(),
+            ));
+        }
+        mt.dump_once(reason);
     }
 
     // ---------------- send engine ----------------
@@ -382,169 +480,266 @@ impl McpInner {
     /// One step of the LANai send loop. Invariant: `sender_busy` is true and
     /// exactly one chain of `sender_step` events exists while it is.
     fn sender_step(self: &Arc<Self>) {
-        enum Work {
-            Retx(FabricNodeId, Bytes),
-            NewJob,
-            Frag {
-                dst: FabricNodeId,
-                pkt: Bytes,
-                payload_len: usize,
-            },
-            StallStaging,
-            StallWindow,
-            Idle,
-        }
         let work = {
             let mut st = self.state.lock();
-            if let Some((dst, pkt)) = st.retx.pop_front() {
-                Work::Retx(dst, pkt)
-            } else if st.active.is_none() {
-                match st.send_queue.pop_front() {
-                    None => {
-                        st.sender_busy = false;
-                        Work::Idle
-                    }
-                    Some(job) => {
-                        st.active_gen += 1;
-                        let gen = st.active_gen;
-                        let mut active = ActiveSend {
-                            job,
-                            gen,
-                            staged: VecDeque::new(),
-                            stage_next: 0,
-                            staging: false,
-                            injected: 0,
-                        };
-                        // Zero-length messages and read requests still send
-                        // one (empty) fragment.
-                        if active.job.total_len == 0 {
-                            active.staged.push_back((0, Vec::new(), None));
-                            active.stage_next = 0;
-                        }
-                        st.active = Some(active);
-                        self.stage_more(&mut st);
-                        Work::NewJob
-                    }
-                }
-            } else {
-                let dst = st.active.as_ref().unwrap().job.dst_fid;
-                let window = self.cfg.reliability.window;
-                let window_open = st
-                    .gbn_tx
-                    .entry(dst.0)
-                    .or_insert_with(|| GbnSender::new(window))
-                    .can_send();
-                if !window_open {
-                    st.sender_busy = false;
-                    Work::StallWindow
-                } else if let Some((off, data, sram_lease)) =
-                    st.active.as_mut().unwrap().staged.pop_front()
-                {
-                    // The fragment leaves SRAM as it is injected.
-                    drop(sram_lease);
-                    let (mut header, job_done) = {
-                        let a = st.active.as_mut().unwrap();
-                        let h = Self::header_for(&a.job, off, &data);
-                        a.injected += data.len() as u64;
-                        (h, a.injected >= a.job.total_len)
-                    };
-                    let pkt = {
-                        let gbn = st.gbn_tx.get_mut(&dst.0).expect("entry created above");
-                        header.seq = gbn.next_seq();
-                        let pkt = header.encode(&data);
-                        gbn.record_sent(header.seq, pkt.clone());
-                        pkt
-                    };
-                    if job_done {
-                        let a = st.active.take().expect("active checked above");
-                        if a.job.notify_sender {
-                            self.post_send_event(&st, &a.job, SendStatus::Ok);
-                        }
-                        self.remember_completed(&mut st, a.job);
-                        // Next job (if any) starts after this fragment's
-                        // wire time, in the same chain.
-                    } else {
-                        self.stage_more(&mut st);
-                    }
-                    self.arm_timer(&mut st, dst);
-                    let payload_len = pkt.len();
-                    Work::Frag {
-                        dst,
-                        pkt,
-                        payload_len,
-                    }
-                } else {
-                    // Nothing staged yet.
-                    let a = st.active.as_ref().expect("active checked above");
-                    if a.staging || a.stage_next < a.job.total_len {
-                        st.sender_busy = false;
-                        Work::StallStaging
-                    } else {
-                        // All bytes staged & injected but job not closed:
-                        // cannot happen (job closes on last fragment).
-                        unreachable!("send engine inconsistent state");
-                    }
-                }
-            }
+            self.next_work(&mut st)
         };
         match work {
             Work::Idle | Work::StallStaging | Work::StallWindow => {}
-            Work::NewJob => {
+            Work::Dropped => {
+                // A protocol error abandoned the active send; keep the
+                // engine chain alive so queued jobs still go out.
+                let me = self.clone();
+                self.sim
+                    .schedule_in(SimDuration::ZERO, move |_| me.sender_step());
+            }
+            Work::NewJob { trace } => {
                 // Charge the per-message fixed cost (descriptor fetch +
                 // reliable-protocol setup), then continue.
                 let me = self.clone();
                 let start = self.sim.now();
                 let d = self.cfg.mcp.send_fixed;
                 self.sim.trace_span(
-                    self.track("tx"),
+                    self.track_tx,
                     "mcp: descriptor fetch + reliable setup",
                     start,
                     start + d,
                 );
+                if self.mt_enabled() {
+                    self.sim.trace_event(TraceEvent::span(
+                        trace,
+                        self.node.0,
+                        TraceLayer::Mcp,
+                        stage::DESCRIPTOR,
+                        start.as_ns(),
+                        (start + d).as_ns(),
+                    ));
+                }
                 self.sim.schedule_in(d, move |_| me.sender_step());
             }
-            Work::Retx(dst, pkt) => {
+            Work::Retx { dst, pkt } => {
                 self.retx_packets.inc();
                 let proc = self.cfg.mcp.send_per_frag;
                 let tx = self.wire_time(pkt.len());
-                let me = self.clone();
+                // Attribute the retransmission: the retx queue stores
+                // already-encoded packets, so recover identity from the
+                // wire header (only runs after a timeout — off the common
+                // path).
+                let mut meta = None;
+                if let Some((h, _)) = WireHeader::decode(&pkt) {
+                    let pt = self.tx_packet_trace(dst, &h);
+                    if self.mt_enabled() {
+                        let start = self.sim.now();
+                        let tid = TraceId::new(pt.origin, pt.msg_id);
+                        self.sim.trace_event(
+                            TraceEvent::span(
+                                tid,
+                                self.node.0,
+                                TraceLayer::Mcp,
+                                stage::RETX,
+                                start.as_ns(),
+                                (start + proc).as_ns(),
+                            )
+                            .with_seq(h.seq)
+                            .with_bytes(h.frag_len as u64),
+                        );
+                        self.sim.trace_event(
+                            TraceEvent::span(
+                                tid,
+                                self.node.0,
+                                TraceLayer::Wire,
+                                stage::WIRE_TX,
+                                (start + proc).as_ns(),
+                                (start + proc + tx).as_ns(),
+                            )
+                            .with_seq(h.seq)
+                            .with_bytes(pkt.len() as u64),
+                        );
+                    }
+                    meta = Some(pt);
+                }
                 let fabric = self.fabric.clone();
                 let fid = self.fid;
                 self.sim.schedule_in(proc, move |s| {
-                    fabric.inject(s, fid, dst, pkt);
+                    fabric.inject_traced(s, fid, dst, pkt, meta);
                 });
-                let me2 = me;
-                self.sim.schedule_in(proc + tx, move |_| me2.sender_step());
+                let me = self.clone();
+                self.sim.schedule_in(proc + tx, move |_| me.sender_step());
             }
             Work::Frag {
                 dst,
                 pkt,
-                payload_len,
+                trace,
+                seq,
+                bytes,
             } => {
                 let proc = self.cfg.mcp.send_per_frag;
-                let tx = self.wire_time(payload_len);
+                let tx = self.wire_time(pkt.len());
                 let start = self.sim.now();
+                self.sim
+                    .trace_span(self.track_tx, "mcp: fragment process", start, start + proc);
                 self.sim.trace_span(
-                    self.track("tx"),
-                    "mcp: fragment process",
-                    start,
-                    start + proc,
-                );
-                self.sim.trace_span(
-                    self.track("tx"),
+                    self.track_tx,
                     "wire: inject + transmit",
                     start + proc,
                     start + proc + tx,
                 );
+                let meta = if self.mt_enabled() {
+                    self.sim.trace_event(
+                        TraceEvent::span(
+                            trace,
+                            self.node.0,
+                            TraceLayer::Mcp,
+                            stage::INJECT,
+                            start.as_ns(),
+                            (start + proc).as_ns(),
+                        )
+                        .with_seq(seq)
+                        .with_bytes(bytes),
+                    );
+                    self.sim.trace_event(
+                        TraceEvent::span(
+                            trace,
+                            self.node.0,
+                            TraceLayer::Wire,
+                            stage::WIRE_TX,
+                            (start + proc).as_ns(),
+                            (start + proc + tx).as_ns(),
+                        )
+                        .with_seq(seq)
+                        .with_bytes(pkt.len() as u64),
+                    );
+                    Some(PacketTrace {
+                        origin: trace.origin,
+                        msg_id: trace.msg_id,
+                        seq,
+                    })
+                } else {
+                    None
+                };
                 let fabric = self.fabric.clone();
                 let fid = self.fid;
                 self.sim.schedule_in(proc, move |s| {
-                    fabric.inject(s, fid, dst, pkt);
+                    fabric.inject_traced(s, fid, dst, pkt, meta);
                 });
                 let me = self.clone();
                 self.sim.schedule_in(proc + tx, move |_| me.sender_step());
             }
         }
+    }
+
+    /// Pick the next unit of send-engine work. Lock held. Any violated
+    /// protocol-state invariant becomes a counted [`Work::Dropped`] (with a
+    /// flight-recorder dump) instead of a firmware panic.
+    fn next_work(self: &Arc<Self>, st: &mut McpState) -> Work {
+        if let Some((dst, pkt)) = st.retx.pop_front() {
+            return Work::Retx { dst, pkt };
+        }
+        let Some(dst) = st.active.as_ref().map(|a| a.job.dst_fid) else {
+            // No active send: start the next queued job, if any.
+            match st.send_queue.pop_front() {
+                None => {
+                    st.sender_busy = false;
+                    return Work::Idle;
+                }
+                Some(job) => {
+                    st.active_gen += 1;
+                    let gen = st.active_gen;
+                    let trace = self.job_trace(&job);
+                    let mut active = ActiveSend {
+                        job,
+                        gen,
+                        staged: VecDeque::new(),
+                        stage_next: 0,
+                        staging: false,
+                        injected: 0,
+                    };
+                    // Zero-length messages and read requests still send
+                    // one (empty) fragment.
+                    if active.job.total_len == 0 {
+                        active.staged.push_back((0, Vec::new(), None));
+                        active.stage_next = 0;
+                    }
+                    st.active = Some(active);
+                    self.stage_more(st);
+                    return Work::NewJob { trace };
+                }
+            }
+        };
+        let window = self.cfg.reliability.window;
+        let window_open = st
+            .gbn_tx
+            .entry(dst.0)
+            .or_insert_with(|| GbnSender::new(window))
+            .can_send();
+        if !window_open {
+            st.sender_busy = false;
+            return Work::StallWindow;
+        }
+        let Some(a) = st.active.as_mut() else {
+            return self.protocol_drop(st, "active send vanished mid-step");
+        };
+        let Some((off, data, sram_lease)) = a.staged.pop_front() else {
+            // Nothing staged yet.
+            if a.staging || a.stage_next < a.job.total_len {
+                st.sender_busy = false;
+                return Work::StallStaging;
+            }
+            // All bytes staged & injected but the job never closed: a
+            // protocol-state inconsistency, not a reason to kill the node.
+            return self.protocol_drop(st, "send engine inconsistent: open job, nothing staged");
+        };
+        // The fragment leaves SRAM as it is injected.
+        drop(sram_lease);
+        let mut header = Self::header_for(&a.job, off, &data);
+        a.injected += data.len() as u64;
+        let job_done = a.injected >= a.job.total_len;
+        let trace = self.job_trace(&a.job);
+        let bytes = data.len() as u64;
+        let Some(gbn) = st.gbn_tx.get_mut(&dst.0) else {
+            return self.protocol_drop(st, "go-back-N sender missing for active destination");
+        };
+        header.seq = gbn.next_seq();
+        let pkt = header.encode(&data);
+        gbn.record_sent(header.seq, pkt.clone());
+        if job_done {
+            if let Some(a) = st.active.take() {
+                if a.job.notify_sender {
+                    self.post_send_event(st, &a.job, SendStatus::Ok);
+                }
+                self.remember_completed(st, a.job);
+            }
+            // Next job (if any) starts after this fragment's wire time,
+            // in the same chain.
+        } else {
+            self.stage_more(st);
+        }
+        self.arm_timer(st, dst);
+        Work::Frag {
+            dst,
+            pkt,
+            trace,
+            seq: header.seq,
+            bytes,
+        }
+    }
+
+    /// Abandon the active send after a protocol-state violation: the sender
+    /// (if it asked) learns via a Rejected completion, the error is counted
+    /// and the flight recorder dumped. Lock held.
+    fn protocol_drop(self: &Arc<Self>, st: &mut McpState, reason: &'static str) -> Work {
+        let trace = match st.active.take() {
+            Some(a) => {
+                let t = self.job_trace(&a.job);
+                if a.job.notify_sender {
+                    self.post_send_event(st, &a.job, SendStatus::Rejected);
+                }
+                t
+            }
+            None => TraceId::NONE,
+        };
+        self.protocol_error(trace, reason);
+        Work::Dropped
     }
 
     fn header_for(job: &SendJob, frag_off: u64, data: &[u8]) -> WireHeader {
@@ -612,14 +807,27 @@ impl McpInner {
     }
 
     /// DMA a send-completion event into the owner's user-space queue.
-    fn post_send_event(&self, st: &McpState, job: &SendJob, status: SendStatus) {
+    fn post_send_event(self: &Arc<Self>, st: &McpState, job: &SendJob, status: SendStatus) {
         let Some(port) = st.ports.get(&job.src_port.0) else {
             return; // port closed meanwhile
         };
         let queues = port.queues.clone();
         let msg_id = job.msg_id;
+        let trace = self.job_trace(job);
+        let t0 = self.sim.now();
+        let me = self.clone();
         self.completion_dmas.inc();
         self.host_dma.submit(self.cfg.mcp.event_bytes, move |_| {
+            if me.mt_enabled() {
+                me.sim.trace_event(TraceEvent::span(
+                    trace,
+                    me.node.0,
+                    TraceLayer::Dma,
+                    stage::DMA_CQ,
+                    t0.as_ns(),
+                    me.sim.now().as_ns(),
+                ));
+            }
             queues.push_send(SendEvent { msg_id, status });
         });
     }
@@ -664,6 +872,9 @@ impl McpInner {
     fn on_packet(self: &Arc<Self>, sim: &Sim, pkt: suca_myrinet::Packet) {
         if pkt.corrupted {
             sim.add_count("bcl.crc_dropped", 1);
+            if let Some(t) = pkt.trace {
+                self.mt_instant(TraceId::new(t.origin, t.msg_id), stage::DROP_CRC);
+            }
             return; // CRC check fails; go-back-N recovers via timeout
         }
         let Some((header, payload)) = WireHeader::decode(&pkt.payload) else {
@@ -688,12 +899,21 @@ impl McpInner {
                 let me = self.clone();
                 let proc = self.cfg.mcp.recv_per_frag;
                 let start = sim.now();
-                sim.trace_span(
-                    self.track("rx"),
-                    "mcp: receive process",
-                    start,
-                    start + proc,
-                );
+                sim.trace_span(self.track_rx, "mcp: receive process", start, start + proc);
+                if self.mt_enabled() {
+                    sim.trace_event(
+                        TraceEvent::span(
+                            self.header_trace(src, &header),
+                            self.node.0,
+                            TraceLayer::Mcp,
+                            stage::RX,
+                            start.as_ns(),
+                            (start + proc).as_ns(),
+                        )
+                        .with_seq(header.seq)
+                        .with_bytes(header.frag_len as u64),
+                    );
+                }
                 sim.schedule_in(proc, move |_| {
                     me.on_data(src, header, payload);
                 });
@@ -727,8 +947,7 @@ impl McpInner {
             let mut st = self.state.lock();
             // Find the job: active, queued, or recently completed.
             let job = if st.active.as_ref().is_some_and(|a| a.job.msg_id == msg_id) {
-                let a = st.active.take().unwrap();
-                Some(a.job)
+                st.active.take().map(|a| a.job)
             } else if let Some(pos) = st.send_queue.iter().position(|j| j.msg_id == msg_id) {
                 st.send_queue.remove(pos)
             } else {
@@ -742,6 +961,7 @@ impl McpInner {
                     job.retries += 1;
                     if fatal || job.retries > self.cfg.reliability.max_message_retries {
                         self.sim.add_count("bcl.msg_failed", 1);
+                        self.mt_instant(self.job_trace(&job), stage::MSG_FAILED);
                         if let JobKind::RmaReadReq { .. } = job.kind {
                             st.pending_reads.remove(&msg_id);
                         }
@@ -749,6 +969,7 @@ impl McpInner {
                         None
                     } else {
                         self.sim.add_count("bcl.msg_retries", 1);
+                        self.mt_instant(self.job_trace(&job), stage::MSG_RETRY);
                         // The first injection already posted an Ok
                         // completion; retries are silent (only a final
                         // failure produces another event).
@@ -817,6 +1038,7 @@ impl McpInner {
                 GbnVerdict::Accept => {}
                 GbnVerdict::Duplicate | GbnVerdict::OutOfOrder => {
                     self.sim.add_count("bcl.rx_discarded", 1);
+                    self.mt_instant(self.header_trace(src, &header), stage::RX_DISCARD);
                     drop(st);
                     self.send_control(src, Self::ack_header(cum));
                     return;
@@ -845,7 +1067,14 @@ impl McpInner {
             },
             WireKind::RmaReadReq => self.rma_read_request(st, src, header),
             WireKind::RmaReadData => self.rma_read_data(st, src, header, payload),
-            _ => unreachable!("control kinds handled earlier"),
+            _ => {
+                // Control kinds are dispatched before accept_data; reaching
+                // here means the demux and the GBN accept path disagree.
+                self.protocol_error(
+                    self.header_trace(src, &header),
+                    "control packet reached the data-accept path",
+                );
+            }
         }
     }
 
@@ -857,6 +1086,7 @@ impl McpInner {
         payload: Bytes,
     ) {
         let key = (src.0, header.msg_id);
+        let trace = TraceId::new(src.0, header.msg_id);
         if st.rejected.contains(&key) {
             if header.offset as u64 + payload.len() as u64 >= header.total_len as u64 {
                 st.rejected.remove(&key); // last fragment seen; forget
@@ -867,6 +1097,7 @@ impl McpInner {
             // First fragment: find a destination buffer.
             let Some(port) = st.ports.get_mut(&header.dst_port.0) else {
                 self.sim.add_count("bcl.rx_no_port", 1);
+                self.mt_instant(trace, stage::DROP_NO_PORT);
                 return;
             };
             let (target, loc) = match header.channel.kind {
@@ -879,6 +1110,7 @@ impl McpInner {
                         // Paper §2.2: "The incoming message will be discarded
                         // if there is no free buffer in the pool."
                         self.sim.add_count("bcl.sys_pool_discard", 1);
+                        self.mt_instant(trace, stage::DROP_NO_BUFFER);
                         if header.total_len as u64 > payload.len() as u64 {
                             st.rejected.insert(key);
                         }
@@ -891,6 +1123,7 @@ impl McpInner {
                         // Rendezvous violated: tell the sender to retry.
                         self.sim.add_count("bcl.rx_not_ready", 1);
                         self.sim.add_count("mcp.rejects_sent", 1);
+                        self.mt_instant(trace, stage::REJECT_SENT);
                         if header.total_len as u64 > payload.len() as u64 {
                             st.rejected.insert(key);
                         }
@@ -904,6 +1137,7 @@ impl McpInner {
                 // Message longer than the receive buffer: refuse (fatal).
                 self.sim.add_count("bcl.rx_too_big", 1);
                 self.sim.add_count("mcp.rejects_sent", 1);
+                self.mt_instant(trace, stage::REJECT_SENT);
                 if header.total_len as u64 > payload.len() as u64 {
                     st.rejected.insert(key);
                 }
@@ -925,6 +1159,7 @@ impl McpInner {
         }
         let Some(inc) = st.incoming.get(&key) else {
             self.sim.add_count("bcl.rx_orphan_frag", 1);
+            self.mt_instant(trace, stage::RX_DISCARD);
             return;
         };
         // DMA the fragment into its place in the user buffer.
@@ -932,15 +1167,37 @@ impl McpInner {
         let off = header.offset as u64;
         let me = self.clone();
         let len = payload.len() as u64;
+        let seq = header.seq;
+        let t0 = self.sim.now();
         self.host_dma.submit(len, move |_| {
             write_sg(&me.mem, &segs, off, &payload).expect("recv DMA faulted");
+            if me.mt_enabled() {
+                me.sim.trace_event(
+                    TraceEvent::span(
+                        trace,
+                        me.node.0,
+                        TraceLayer::Dma,
+                        stage::DMA_DATA,
+                        t0.as_ns(),
+                        me.sim.now().as_ns(),
+                    )
+                    .with_seq(seq)
+                    .with_bytes(len),
+                );
+            }
             let mut st = me.state.lock();
-            let Some(inc) = st.incoming.get_mut(&key) else {
-                return;
+            let done = {
+                let Some(inc) = st.incoming.get_mut(&key) else {
+                    return;
+                };
+                inc.received += len;
+                inc.received >= inc.total
             };
-            inc.received += len;
-            if inc.received >= inc.total {
-                let inc = st.incoming.remove(&key).expect("present above");
+            if done {
+                let Some(inc) = st.incoming.remove(&key) else {
+                    me.protocol_error(trace, "incoming message vanished mid-DMA");
+                    return;
+                };
                 me.post_recv_event(&st, src, header.msg_id, inc);
             }
         });
@@ -972,13 +1229,25 @@ impl McpInner {
         let d = SimDuration::for_bytes(self.cfg.mcp.event_bytes, self.cfg.pci.dma_bytes_per_sec)
             + self.cfg.pci.dma_setup;
         self.sim.trace_span(
-            self.track("rx"),
+            self.track_rx,
             "dma: completion event to user queue",
             start,
             start + d,
         );
         self.completion_dmas.inc();
+        let trace = TraceId::new(src.0, msg_id);
+        let me = self.clone();
         self.host_dma.submit(self.cfg.mcp.event_bytes, move |_| {
+            if me.mt_enabled() {
+                me.sim.trace_event(TraceEvent::span(
+                    trace,
+                    me.node.0,
+                    TraceLayer::Dma,
+                    stage::DMA_CQ,
+                    start.as_ns(),
+                    me.sim.now().as_ns(),
+                ));
+            }
             queues.push_recv(ev);
         });
     }
@@ -986,12 +1255,13 @@ impl McpInner {
     fn rma_write(
         self: &Arc<Self>,
         st: &mut McpState,
-        _src: FabricNodeId,
+        src: FabricNodeId,
         header: WireHeader,
         payload: Bytes,
     ) {
         let Some(port) = st.ports.get(&header.dst_port.0) else {
             self.sim.add_count("bcl.rx_no_port", 1);
+            self.mt_instant(TraceId::new(src.0, header.msg_id), stage::DROP_NO_PORT);
             return;
         };
         let Some(segs) = port.open.get(&header.channel.index) else {
@@ -1008,8 +1278,26 @@ impl McpInner {
         let segs = segs.clone();
         let me = self.clone();
         let off = header.offset as u64;
-        self.host_dma.submit(payload.len() as u64, move |_| {
+        let len = payload.len() as u64;
+        let trace = TraceId::new(src.0, header.msg_id);
+        let seq = header.seq;
+        let t0 = self.sim.now();
+        self.host_dma.submit(len, move |_| {
             write_sg(&me.mem, &segs, off, &payload).expect("RMA write DMA faulted");
+            if me.mt_enabled() {
+                me.sim.trace_event(
+                    TraceEvent::span(
+                        trace,
+                        me.node.0,
+                        TraceLayer::Dma,
+                        stage::DMA_DATA,
+                        t0.as_ns(),
+                        me.sim.now().as_ns(),
+                    )
+                    .with_seq(seq)
+                    .with_bytes(len),
+                );
+            }
         });
     }
 
@@ -1063,26 +1351,65 @@ impl McpInner {
         payload: Bytes,
     ) {
         let msg_id = header.msg_id;
+        // The read reply joins the requesting chain, which is this node's.
+        let trace = TraceId::new(self.node.0, msg_id);
         let Some(pr) = st.pending_reads.get(&msg_id) else {
+            // A reply with no matching outstanding read request: the
+            // firmware's request/reply bookkeeping is out of sync.
             self.sim.add_count("bcl.rx_orphan_read_data", 1);
+            self.protocol_error(trace, "read-reply data with no pending read request");
             return;
         };
         let segs = pr.segments.clone();
         let off = header.offset as u64;
         let len = payload.len() as u64;
+        let seq = header.seq;
+        let t0 = self.sim.now();
         let me = self.clone();
         self.host_dma.submit(len, move |_| {
             write_sg(&me.mem, &segs, off, &payload).expect("read-reply DMA faulted");
+            if me.mt_enabled() {
+                me.sim.trace_event(
+                    TraceEvent::span(
+                        trace,
+                        me.node.0,
+                        TraceLayer::Dma,
+                        stage::DMA_DATA,
+                        t0.as_ns(),
+                        me.sim.now().as_ns(),
+                    )
+                    .with_seq(seq)
+                    .with_bytes(len),
+                );
+            }
             let mut st = me.state.lock();
-            let Some(pr) = st.pending_reads.get_mut(&msg_id) else {
-                return;
+            let done = {
+                let Some(pr) = st.pending_reads.get_mut(&msg_id) else {
+                    return;
+                };
+                pr.received += len;
+                pr.received >= pr.total
             };
-            pr.received += len;
-            if pr.received >= pr.total {
-                let pr = st.pending_reads.remove(&msg_id).unwrap();
+            if done {
+                let Some(pr) = st.pending_reads.remove(&msg_id) else {
+                    me.protocol_error(trace, "pending read vanished mid-DMA");
+                    return;
+                };
                 if let Some(port) = st.ports.get(&pr.port.0) {
                     let queues = port.queues.clone();
+                    let me2 = me.clone();
+                    let t1 = me.sim.now();
                     me.host_dma.submit(me.cfg.mcp.event_bytes, move |_| {
+                        if me2.mt_enabled() {
+                            me2.sim.trace_event(TraceEvent::span(
+                                trace,
+                                me2.node.0,
+                                TraceLayer::Dma,
+                                stage::DMA_CQ,
+                                t1.as_ns(),
+                                me2.sim.now().as_ns(),
+                            ));
+                        }
                         queues.push_send(SendEvent {
                             msg_id,
                             status: SendStatus::Ok,

@@ -277,6 +277,17 @@ impl Fabric for Mesh {
     }
 
     fn inject(&self, sim: &Sim, src: FabricNodeId, dst: FabricNodeId, payload: bytes::Bytes) {
+        self.inject_traced(sim, src, dst, payload, None);
+    }
+
+    fn inject_traced(
+        &self,
+        sim: &Sim,
+        src: FabricNodeId,
+        dst: FabricNodeId,
+        payload: bytes::Bytes,
+        trace: Option<suca_myrinet::PacketTrace>,
+    ) {
         assert!(
             payload.len() <= self.cfg.mtu,
             "packet of {} B exceeds mesh MTU {}",
@@ -291,6 +302,7 @@ impl Fabric for Mesh {
             corrupted: false,
             route: self.route(src, dst),
             route_pos: 0,
+            trace,
         };
         self.uplinks[src.0 as usize].send(sim, pkt);
     }

@@ -18,6 +18,20 @@ use suca_sim::Sim;
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct FabricNodeId(pub u32);
 
+/// Per-message trace identity carried alongside a packet so switches and
+/// links — which never parse protocol headers, matching the hardware — can
+/// still attribute hop/drop events to the message. This is simulator
+/// metadata, not wire bytes: it does not count toward `wire_len`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PacketTrace {
+    /// Node that originated the traced message.
+    pub origin: u32,
+    /// Message id allocated by the origin.
+    pub msg_id: u32,
+    /// Fragment sequence number.
+    pub seq: u32,
+}
+
 /// One packet in flight.
 #[derive(Clone, Debug)]
 pub struct Packet {
@@ -34,6 +48,9 @@ pub struct Packet {
     pub route: Vec<u8>,
     /// Next hop to consume from `route`.
     pub route_pos: usize,
+    /// Trace identity for per-message causal tracing (`None` for untraced
+    /// traffic). Survives corruption so damaged packets stay attributable.
+    pub trace: Option<PacketTrace>,
 }
 
 impl Packet {
@@ -93,4 +110,20 @@ pub trait Fabric: Send + Sync {
     /// survives). Panics if `payload` exceeds the MTU — fragmentation is the
     /// protocol's job and an oversized packet is a protocol bug.
     fn inject(&self, sim: &Sim, src: FabricNodeId, dst: FabricNodeId, payload: Bytes);
+
+    /// [`Fabric::inject`] with per-message trace identity attached. The
+    /// default implementation discards the metadata so fabrics that predate
+    /// tracing keep working; fabrics that model hops override it to tag the
+    /// packet.
+    fn inject_traced(
+        &self,
+        sim: &Sim,
+        src: FabricNodeId,
+        dst: FabricNodeId,
+        payload: Bytes,
+        trace: Option<PacketTrace>,
+    ) {
+        let _ = trace;
+        self.inject(sim, src, dst, payload);
+    }
 }

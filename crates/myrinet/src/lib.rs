@@ -16,7 +16,7 @@ pub mod sram;
 pub mod switch;
 pub mod topology;
 
-pub use fabric::{Fabric, FabricNodeId, FaultPlan, Packet, RxHandler, FRAMING_BYTES};
+pub use fabric::{Fabric, FabricNodeId, FaultPlan, Packet, PacketTrace, RxHandler, FRAMING_BYTES};
 pub use link::{Link, PacketSink};
 pub use sram::{SramLease, SramPool};
 pub use switch::Switch;

@@ -9,6 +9,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use suca_sim::mtrace::stage as trace_stage;
 use suca_sim::{Counter, Sim, SimDuration, SimRng, SimTime};
 
 use crate::fabric::{FaultPlan, Packet};
@@ -88,12 +89,14 @@ impl Link {
             if st.rng.chance(self.fault.drop_prob) {
                 st.dropped += 1;
                 self.drops.inc();
+                crate::switch::trace_wire_instant(sim, &pkt, trace_stage::DROP_LINK);
                 return; // the wire time is still consumed (damaged in flight)
             }
             if st.rng.chance(self.fault.corrupt_prob) {
                 st.corrupted += 1;
                 self.corruptions.inc();
                 pkt.corrupted = true;
+                crate::switch::trace_wire_instant(sim, &pkt, trace_stage::CORRUPT);
             }
             start + tx + self.propagation
         };
@@ -139,6 +142,7 @@ mod tests {
             corrupted: false,
             route: vec![],
             route_pos: 0,
+            trace: None,
         }
     }
 

@@ -9,10 +9,32 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use suca_sim::mtrace::{stage, TraceEvent, TraceId, TraceLayer};
 use suca_sim::{Counter, Sim, SimDuration};
 
 use crate::fabric::Packet;
 use crate::link::{Link, PacketSink};
+
+/// Record a wire-layer instant for a packet carrying trace identity. The
+/// event lands on the *origin* node's ring so a message's whole journey
+/// stays together even when it crosses many switches.
+pub(crate) fn trace_wire_instant(sim: &Sim, pkt: &Packet, stage_name: &'static str) {
+    let Some(t) = pkt.trace else { return };
+    if !sim.msg_trace().enabled() {
+        return;
+    }
+    sim.trace_event(
+        TraceEvent::instant(
+            TraceId::new(t.origin, t.msg_id),
+            t.origin,
+            TraceLayer::Wire,
+            stage_name,
+            sim.now().as_ns(),
+        )
+        .with_seq(t.seq)
+        .with_bytes(pkt.wire_len()),
+    );
+}
 
 /// One crossbar switch with up to `radix` output ports.
 pub struct Switch {
@@ -67,6 +89,7 @@ impl PacketSink for Switch {
         // (go-back-N in the MCP) recovers it like any other loss.
         if pkt.route_pos >= pkt.route.len() {
             self.route_exhausted_drops.inc();
+            trace_wire_instant(sim, &pkt, stage::DROP_ROUTE);
             return;
         }
         let port = pkt.route[pkt.route_pos] as usize;
@@ -77,10 +100,12 @@ impl PacketSink for Switch {
                 Some(link) => link.clone(),
                 None => {
                     self.unwired_drops.inc();
+                    trace_wire_instant(sim, &pkt, stage::DROP_ROUTE);
                     return;
                 }
             }
         };
+        trace_wire_instant(sim, &pkt, stage::HOP);
         let cut = self.cut_through;
         sim.schedule_in(cut, move |s| link.send(s, pkt));
     }
@@ -120,6 +145,7 @@ mod tests {
             corrupted: false,
             route: vec![3],
             route_pos: 0,
+            trace: None,
         };
         sw.deliver(&sim, pkt);
         sim.run();
@@ -137,6 +163,7 @@ mod tests {
             corrupted: false,
             route: vec![5],
             route_pos: 0,
+            trace: None,
         };
         sw.deliver(&sim, pkt);
         sim.run();
@@ -156,6 +183,7 @@ mod tests {
             corrupted: false,
             route: vec![200],
             route_pos: 0,
+            trace: None,
         };
         sw.deliver(&sim, pkt);
         sim.run();
@@ -173,6 +201,7 @@ mod tests {
             corrupted: false,
             route: vec![],
             route_pos: 0,
+            trace: None,
         };
         sw.deliver(&sim, pkt);
         sim.run();

@@ -12,7 +12,7 @@ use parking_lot::Mutex;
 
 use suca_sim::{Sim, SimDuration};
 
-use crate::fabric::{Fabric, FabricNodeId, FaultPlan, Packet, RxHandler};
+use crate::fabric::{Fabric, FabricNodeId, FaultPlan, Packet, PacketTrace, RxHandler};
 use crate::link::{Link, PacketSink};
 use crate::switch::Switch;
 
@@ -211,6 +211,17 @@ impl Fabric for Myrinet {
     }
 
     fn inject(&self, sim: &Sim, src: FabricNodeId, dst: FabricNodeId, payload: bytes::Bytes) {
+        self.inject_traced(sim, src, dst, payload, None);
+    }
+
+    fn inject_traced(
+        &self,
+        sim: &Sim,
+        src: FabricNodeId,
+        dst: FabricNodeId,
+        payload: bytes::Bytes,
+        trace: Option<PacketTrace>,
+    ) {
         assert!(
             payload.len() <= self.cfg.mtu,
             "packet of {} B exceeds MTU {} — fragmentation is the protocol's job",
@@ -225,6 +236,7 @@ impl Fabric for Myrinet {
             corrupted: false,
             route: self.route(src, dst),
             route_pos: 0,
+            trace,
         };
         self.uplinks[src.0 as usize].send(sim, pkt);
     }

@@ -29,6 +29,10 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+pub mod trace;
+
+pub use trace::intern;
+
 /// A monotonically increasing counter. Cloning shares the underlying cell.
 #[derive(Clone)]
 pub struct Counter(Arc<AtomicU64>);
@@ -330,6 +334,51 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimated quantile `q` in `[0, 1]`, interpolated linearly inside
+    /// the containing log2 bucket (bucket `k` spans `[2^(k-1), 2^k)`) and
+    /// clamped to the observed `[min, max]` so single-valued histograms
+    /// report exact quantiles. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0.0;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let c = c as f64;
+            if cum + c >= rank {
+                let (lo, hi) = if k == 0 {
+                    (0.0, 0.0)
+                } else {
+                    (2f64.powi(k as i32 - 1), 2f64.powi(k as i32))
+                };
+                let frac = ((rank - cum) / c).clamp(0.0, 1.0);
+                let v = lo + frac * (hi - lo);
+                return v.clamp(self.min as f64, self.max as f64);
+            }
+            cum += c;
+        }
+        self.max as f64
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
 }
 
 /// A full registry snapshot: metadata plus every instrument, sorted by
@@ -347,7 +396,7 @@ pub struct MetricsSnapshot {
 }
 
 /// Escape a string for inclusion in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -408,11 +457,15 @@ impl MetricsSnapshot {
             let buckets: Vec<String> = h.buckets[..top].iter().map(|b| b.to_string()).collect();
             let _ = write!(
                 out,
-                "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"log2_buckets\": [{}]}}",
+                "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}, \"log2_buckets\": [{}]}}",
                 h.count,
                 h.sum,
                 h.min,
                 h.max,
+                h.p50(),
+                h.p95(),
+                h.p99(),
                 buckets.join(", ")
             );
         });
@@ -494,6 +547,55 @@ mod tests {
         assert_eq!(s.buckets[3], 1); // 4
         assert_eq!(s.buckets[10], 1); // 1000 in [512, 1024)
         assert!((s.mean() - 1010.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let m = Metrics::new();
+        let h = m.histogram("lat");
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snap();
+        // Log2 interpolation is coarse but must bracket the true value
+        // within the containing power-of-two bucket.
+        let p50 = s.p50();
+        assert!((256.0..=512.0).contains(&p50), "p50 = {p50}");
+        let p99 = s.p99();
+        assert!((512.0..=1000.0).contains(&p99), "p99 = {p99}");
+        assert!(s.p50() <= s.p95() && s.p95() <= s.p99());
+        assert!(s.quantile(1.0) <= s.max as f64);
+    }
+
+    #[test]
+    fn quantiles_clamp_to_observed_range() {
+        let m = Metrics::new();
+        let h = m.histogram("lat");
+        for _ in 0..10 {
+            h.record(100);
+        }
+        let s = h.snap();
+        // All mass in one bucket, min == max: every quantile is exact.
+        assert_eq!(s.p50(), 100.0);
+        assert_eq!(s.p99(), 100.0);
+        assert_eq!(s.quantile(0.0), 100.0);
+    }
+
+    #[test]
+    fn quantiles_of_empty_histogram_are_zero() {
+        let m = Metrics::new();
+        let s = m.histogram("empty").snap();
+        assert_eq!(s.p50(), 0.0);
+        assert_eq!(s.p99(), 0.0);
+    }
+
+    #[test]
+    fn json_includes_quantiles() {
+        let m = Metrics::new();
+        m.histogram("sz").record(100);
+        let j = m.snapshot().to_json();
+        assert!(j.contains("\"p50\": 100.0"), "{j}");
+        assert!(j.contains("\"p99\": 100.0"));
     }
 
     #[test]

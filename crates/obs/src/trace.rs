@@ -1,0 +1,1124 @@
+//! Per-message causal tracing.
+//!
+//! The paper's headline claims are *path-shape* claims: exactly one trap on
+//! send, zero kernel crossings and zero interrupts on receive, go-back-N
+//! retransmission on the wire. Aggregate counters can only check those in
+//! bulk; this module threads a [`TraceId`] through the full semi-user-level
+//! path — `BclPort::send` → kmod trap → MCP descriptor + fragmentation →
+//! each (re)transmission → per-hop switch traversal → remote MCP rx → data
+//! DMA → completion-queue DMA → user poll — so the contract becomes a
+//! per-message invariant.
+//!
+//! Pieces:
+//!
+//! * [`TraceEvent`] — one typed record (span with begin/end, or instant)
+//!   tagged with layer, node, message identity, sequence number and bytes.
+//! * [`MsgTracer`] — bounded per-node ring buffers holding the most recent
+//!   events. Always armed (cheap: one atomic load when disabled, one short
+//!   uncontended mutex per event when enabled) so it doubles as a *flight
+//!   recorder*: [`MsgTracer::dump_once`] prints the rings to stderr on the
+//!   first sim panic or protocol error.
+//! * [`to_chrome_json`] — Chrome trace-event / Perfetto JSON exporter, one
+//!   process per node and one thread per layer.
+//! * [`check_completeness`] — walks every message's causal chain and
+//!   asserts it is *closed*: the send reaches a completion poll or a
+//!   counted drop, every retransmission is attributed to a previously
+//!   injected fragment, and the per-architecture trap/interrupt budget
+//!   ([`ChainPolicy`]) holds.
+//! * [`record_stage_histograms`] — derives per-stage latency histograms
+//!   (trap, inject, wire, dma, cq-wait) from a trace and feeds them into a
+//!   [`Metrics`] registry for the latency-breakdown table.
+//!
+//! Times are plain nanosecond `u64`s: this crate sits *below* the simulator
+//! so it cannot name `SimTime`; the engine converts at the recording site.
+
+use std::borrow::Cow;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::{json_escape, Metrics};
+
+/// Identity of one traced message: the node that originated the send plus
+/// the kernel-assigned message id. The pair is unique cluster-wide because
+/// msg ids are allocated per origin node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId {
+    /// Node that originated the send (for RMA read *data* packets this is
+    /// the requester, not the responder, so the reply joins the request's
+    /// chain).
+    pub origin: u32,
+    /// Message id as allocated by the origin's kernel module.
+    pub msg_id: u32,
+}
+
+impl TraceId {
+    /// Sentinel for events that cannot be attributed to any message
+    /// (e.g. a protocol-error marker for an undecodable packet). The
+    /// completeness checker skips these chains.
+    pub const NONE: TraceId = TraceId {
+        origin: u32::MAX,
+        msg_id: 0,
+    };
+
+    /// Build a trace id.
+    pub const fn new(origin: u32, msg_id: u32) -> Self {
+        TraceId { origin, msg_id }
+    }
+
+    /// True for the [`TraceId::NONE`] sentinel.
+    pub fn is_none(&self) -> bool {
+        *self == Self::NONE
+    }
+}
+
+/// Which layer of the stack emitted an event. Doubles as the Perfetto
+/// thread id so each node's tracks render in stack order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TraceLayer {
+    /// User-space BCL library (`BclPort`).
+    Library,
+    /// Kernel module (the one trap) / kernel-level baselines.
+    Kernel,
+    /// NIC control program (firmware).
+    Mcp,
+    /// Links and switches.
+    Wire,
+    /// Data and completion-queue DMA engines.
+    Dma,
+}
+
+impl TraceLayer {
+    /// Stable display name (Perfetto thread name).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TraceLayer::Library => "library",
+            TraceLayer::Kernel => "kernel",
+            TraceLayer::Mcp => "mcp",
+            TraceLayer::Wire => "wire",
+            TraceLayer::Dma => "dma",
+        }
+    }
+
+    /// Stable small integer (Perfetto tid within the node's process).
+    pub fn index(&self) -> u32 {
+        match self {
+            TraceLayer::Library => 0,
+            TraceLayer::Kernel => 1,
+            TraceLayer::Mcp => 2,
+            TraceLayer::Wire => 3,
+            TraceLayer::Dma => 4,
+        }
+    }
+}
+
+/// Event shape: a span carries both begin and end; an instant is a point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TracePhase {
+    /// `start_ns..end_ns` duration event.
+    Span,
+    /// Point event at `start_ns` (`end_ns == start_ns`).
+    Instant,
+}
+
+/// Canonical stage names. Keeping them `&'static str` constants means
+/// recording a stage never allocates and the completeness checker can
+/// match by pointer-stable names.
+pub mod stage {
+    /// Library composes the send descriptor and traps (span, tx node).
+    pub const SEND: &str = "api:send";
+    /// Library consumed a receive-completion event (instant, rx node).
+    pub const POLL_RECV: &str = "api:poll_recv";
+    /// Library consumed a send-completion event (instant, tx node).
+    pub const POLL_SEND: &str = "api:poll_send";
+    /// One user→kernel trap (instant). The BCL contract: exactly 1 per
+    /// inter-node send, 0 on receive.
+    pub const TRAP: &str = "kernel:trap";
+    /// Kernel send path: check + pin + translate + descriptor PIO (span).
+    pub const IOCTL_SEND: &str = "kernel:ioctl_send";
+    /// One NIC interrupt taken for this message (instant). BCL budget: 0.
+    pub const INTERRUPT: &str = "kernel:interrupt";
+    /// MCP fetched the descriptor and set up reliable state (span).
+    pub const DESCRIPTOR: &str = "mcp:descriptor";
+    /// MCP processed + injected one fragment (span; `seq`, `bytes` set).
+    pub const INJECT: &str = "mcp:inject";
+    /// Go-back-N retransmission of a previously injected fragment (span).
+    pub const RETX: &str = "mcp:retx";
+    /// Remote MCP accepted a data fragment (span; `seq` set).
+    pub const RX: &str = "mcp:rx";
+    /// Remote MCP discarded a duplicate/out-of-order fragment (instant).
+    pub const RX_DISCARD: &str = "mcp:rx_discard";
+    /// Receiver sent a Reject back to the source (instant).
+    pub const REJECT_SENT: &str = "mcp:reject_sent";
+    /// Sender will retry the whole message after a non-fatal Reject
+    /// (instant).
+    pub const MSG_RETRY: &str = "mcp:msg_retry";
+    /// Sender gave up on the message — terminal (instant).
+    pub const MSG_FAILED: &str = "mcp:msg_failed";
+    /// Message dropped at the receiver for lack of buffer — terminal
+    /// counted drop (instant).
+    pub const DROP_NO_BUFFER: &str = "mcp:drop_no_buffer";
+    /// Message dropped: destination port not open — terminal counted drop
+    /// (instant).
+    pub const DROP_NO_PORT: &str = "mcp:drop_no_port";
+    /// Fragment dropped by receiver CRC check (instant).
+    pub const DROP_CRC: &str = "mcp:drop_crc";
+    /// Firmware protocol-state inconsistency (instant; may be
+    /// [`super::TraceId::NONE`]).
+    pub const PROTO_ERROR: &str = "mcp:protocol_error";
+    /// Wire occupancy of one fragment on the source link (span).
+    pub const WIRE_TX: &str = "wire:tx";
+    /// Cut-through traversal of one switch (instant per hop).
+    pub const HOP: &str = "wire:hop";
+    /// Fragment dropped by link fault injection (instant).
+    pub const DROP_LINK: &str = "wire:drop";
+    /// Fragment corrupted by link fault injection (instant).
+    pub const CORRUPT: &str = "wire:corrupt";
+    /// Fragment dropped in the switching fabric (no route / unwired port)
+    /// (instant).
+    pub const DROP_ROUTE: &str = "wire:drop_route";
+    /// Payload DMA from NIC SRAM to the user receive buffer (span).
+    pub const DMA_DATA: &str = "dma:data";
+    /// Completion-record DMA into the user-mapped queue (span).
+    pub const DMA_CQ: &str = "dma:cq";
+}
+
+/// One trace record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Message this event belongs to.
+    pub trace: TraceId,
+    /// Node the event happened on.
+    pub node: u32,
+    /// Stack layer that emitted it.
+    pub layer: TraceLayer,
+    /// Stage name (one of [`stage`]'s constants on the built-in paths).
+    pub stage: Cow<'static, str>,
+    /// Span or instant.
+    pub phase: TracePhase,
+    /// Begin time, nanoseconds of virtual time.
+    pub start_ns: u64,
+    /// End time (== `start_ns` for instants).
+    pub end_ns: u64,
+    /// Fragment sequence number, when the event is per-fragment.
+    pub seq: u32,
+    /// Payload bytes carried, when meaningful.
+    pub bytes: u64,
+}
+
+impl TraceEvent {
+    /// A duration event.
+    pub fn span(
+        trace: TraceId,
+        node: u32,
+        layer: TraceLayer,
+        stage: impl Into<Cow<'static, str>>,
+        start_ns: u64,
+        end_ns: u64,
+    ) -> Self {
+        TraceEvent {
+            trace,
+            node,
+            layer,
+            stage: stage.into(),
+            phase: TracePhase::Span,
+            start_ns,
+            end_ns: end_ns.max(start_ns),
+            seq: 0,
+            bytes: 0,
+        }
+    }
+
+    /// A point event.
+    pub fn instant(
+        trace: TraceId,
+        node: u32,
+        layer: TraceLayer,
+        stage: impl Into<Cow<'static, str>>,
+        at_ns: u64,
+    ) -> Self {
+        TraceEvent {
+            trace,
+            node,
+            layer,
+            stage: stage.into(),
+            phase: TracePhase::Instant,
+            start_ns: at_ns,
+            end_ns: at_ns,
+            seq: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Attach a fragment sequence number.
+    pub fn with_seq(mut self, seq: u32) -> Self {
+        self.seq = seq;
+        self
+    }
+
+    /// Attach a byte count.
+    pub fn with_bytes(mut self, bytes: u64) -> Self {
+        self.bytes = bytes;
+        self
+    }
+
+    /// Span duration (0 for instants).
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+#[derive(Default)]
+struct NodeRing {
+    events: VecDeque<TraceEvent>,
+    evicted: u64,
+    recorded: u64,
+}
+
+struct TracerInner {
+    enabled: AtomicBool,
+    capacity: AtomicUsize,
+    dumped: AtomicBool,
+    rings: Mutex<Vec<NodeRing>>,
+}
+
+/// Default ring capacity per node. Sized so a small debugging run keeps its
+/// whole history while a bandwidth sweep stays bounded (~8k events × ~100
+/// bytes ≈ 1 MB per active node).
+pub const DEFAULT_RING_CAPACITY: usize = 8192;
+
+/// Bounded per-node ring buffers of [`TraceEvent`]s. Cloning shares the
+/// underlying rings. Enabled by default so the flight recorder is always
+/// armed; disable for perf-sensitive sweeps with [`MsgTracer::set_enabled`].
+#[derive(Clone)]
+pub struct MsgTracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Default for MsgTracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MsgTracer {
+    /// Tracer with [`DEFAULT_RING_CAPACITY`] events per node.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// Tracer keeping the last `capacity` events per node.
+    pub fn with_capacity(capacity: usize) -> Self {
+        MsgTracer {
+            inner: Arc::new(TracerInner {
+                enabled: AtomicBool::new(true),
+                capacity: AtomicUsize::new(capacity.max(1)),
+                dumped: AtomicBool::new(false),
+                rings: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Is recording on? Hot paths check this before building an event.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn recording on/off (rings are kept either way).
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Per-node ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Resize the per-node rings (existing rings are trimmed from the
+    /// oldest end).
+    pub fn set_capacity(&self, capacity: usize) {
+        let capacity = capacity.max(1);
+        self.inner.capacity.store(capacity, Ordering::Relaxed);
+        let mut rings = self.inner.rings.lock().expect("tracer poisoned");
+        for ring in rings.iter_mut() {
+            while ring.events.len() > capacity {
+                ring.events.pop_front();
+                ring.evicted += 1;
+            }
+        }
+    }
+
+    /// Record one event into its node's ring, evicting the oldest entry
+    /// when full. No-op while disabled.
+    pub fn record(&self, ev: TraceEvent) {
+        if !self.enabled() {
+            return;
+        }
+        let capacity = self.capacity();
+        let idx = ev.node as usize;
+        let mut rings = self.inner.rings.lock().expect("tracer poisoned");
+        if rings.len() <= idx {
+            rings.resize_with(idx + 1, NodeRing::default);
+        }
+        let ring = &mut rings[idx];
+        ring.recorded += 1;
+        if ring.events.len() >= capacity {
+            ring.events.pop_front();
+            ring.evicted += 1;
+        }
+        ring.events.push_back(ev);
+    }
+
+    /// Snapshot of every ring, merged and sorted by start time.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let rings = self.inner.rings.lock().expect("tracer poisoned");
+        let mut all: Vec<TraceEvent> = rings
+            .iter()
+            .flat_map(|r| r.events.iter().cloned())
+            .collect();
+        all.sort_by_key(|e| (e.start_ns, e.end_ns, e.node));
+        all
+    }
+
+    /// Drain every ring, returning the merged sorted events.
+    pub fn take_events(&self) -> Vec<TraceEvent> {
+        let mut all: Vec<TraceEvent> = {
+            let mut rings = self.inner.rings.lock().expect("tracer poisoned");
+            rings
+                .iter_mut()
+                .flat_map(|r| std::mem::take(&mut r.events))
+                .collect()
+        };
+        all.sort_by_key(|e| (e.start_ns, e.end_ns, e.node));
+        all
+    }
+
+    /// Drop all buffered events (counts are kept).
+    pub fn clear(&self) {
+        let mut rings = self.inner.rings.lock().expect("tracer poisoned");
+        for ring in rings.iter_mut() {
+            ring.events.clear();
+        }
+    }
+
+    /// Total events ever recorded (including since-evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        let rings = self.inner.rings.lock().expect("tracer poisoned");
+        rings.iter().map(|r| r.recorded).sum()
+    }
+
+    /// Events evicted from full rings.
+    pub fn total_evicted(&self) -> u64 {
+        let rings = self.inner.rings.lock().expect("tracer poisoned");
+        rings.iter().map(|r| r.evicted).sum()
+    }
+
+    /// Has [`MsgTracer::dump_once`] fired?
+    pub fn has_dumped(&self) -> bool {
+        self.inner.dumped.load(Ordering::Relaxed)
+    }
+
+    /// Render the flight-recorder contents: the last `max_per_node` events
+    /// of every node's ring, newest last.
+    pub fn dump(&self, max_per_node: usize) -> String {
+        let rings = self.inner.rings.lock().expect("tracer poisoned");
+        let mut out = String::new();
+        for (node, ring) in rings.iter().enumerate() {
+            if ring.recorded == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "node {node}: {} events recorded, {} evicted, showing last {}",
+                ring.recorded,
+                ring.evicted,
+                ring.events.len().min(max_per_node)
+            );
+            let skip = ring.events.len().saturating_sub(max_per_node);
+            for ev in ring.events.iter().skip(skip) {
+                let _ = writeln!(
+                    out,
+                    "  [{:>12} ns] {:<7} {:<18} msg=({},{}) seq={} bytes={} dur={} ns",
+                    ev.start_ns,
+                    ev.layer.as_str(),
+                    ev.stage,
+                    ev.trace.origin,
+                    ev.trace.msg_id,
+                    ev.seq,
+                    ev.bytes,
+                    ev.duration_ns(),
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("flight recorder is empty\n");
+        }
+        out
+    }
+
+    /// Flight-recorder trigger: on the first call, print the rings to
+    /// stderr under a banner naming `reason` and return `true`; later
+    /// calls are no-ops returning `false`. One dump per run keeps a
+    /// cascade of failures from flooding the log.
+    pub fn dump_once(&self, reason: &str) -> bool {
+        if self.inner.dumped.swap(true, Ordering::SeqCst) {
+            return false;
+        }
+        eprintln!("==== flight recorder dump: {reason} ====");
+        eprint!("{}", self.dump(64));
+        eprintln!("==== end flight recorder dump ====");
+        true
+    }
+}
+
+/// Intern a string, returning a `&'static str` that is pointer-stable for
+/// the life of the process. Components intern their per-node track names
+/// once at construction so per-event recording never allocates.
+pub fn intern(s: &str) -> &'static str {
+    static POOL: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let pool = POOL.get_or_init(|| Mutex::new(BTreeSet::new()));
+    let mut set = pool.lock().expect("intern pool poisoned");
+    if let Some(&hit) = set.get(s) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+/// Serialize events in Chrome trace-event JSON (the format Perfetto and
+/// `chrome://tracing` load): one process per node, one thread per layer,
+/// timestamps in microseconds of virtual time.
+pub fn to_chrome_json(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, line: &str| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str(line);
+    };
+
+    // Metadata: name each node's process and each layer's thread so the
+    // Perfetto track list reads "node 0 / library", "node 0 / kernel", …
+    let mut tracks: BTreeSet<(u32, TraceLayer)> = BTreeSet::new();
+    for ev in events {
+        tracks.insert((ev.node, ev.layer));
+    }
+    let nodes: BTreeSet<u32> = tracks.iter().map(|(n, _)| *n).collect();
+    for node in &nodes {
+        push(
+            &mut out,
+            &mut first,
+            &format!(
+                "  {{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": {node}, \"tid\": 0, \
+                 \"args\": {{\"name\": \"node {node}\"}}}}"
+            ),
+        );
+    }
+    for (node, layer) in &tracks {
+        push(
+            &mut out,
+            &mut first,
+            &format!(
+                "  {{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": {node}, \"tid\": {tid}, \
+                 \"args\": {{\"name\": \"{name}\"}}}}",
+                tid = layer.index(),
+                name = layer.as_str()
+            ),
+        );
+        push(
+            &mut out,
+            &mut first,
+            &format!(
+                "  {{\"ph\": \"M\", \"name\": \"thread_sort_index\", \"pid\": {node}, \
+                 \"tid\": {tid}, \"args\": {{\"sort_index\": {tid}}}}}",
+                tid = layer.index()
+            ),
+        );
+    }
+
+    for ev in events {
+        let args = format!(
+            "\"args\": {{\"origin\": {}, \"msg\": {}, \"seq\": {}, \"bytes\": {}}}",
+            ev.trace.origin, ev.trace.msg_id, ev.seq, ev.bytes
+        );
+        let common = format!(
+            "\"name\": \"{}\", \"pid\": {}, \"tid\": {}, \"ts\": {:.3}",
+            json_escape(&ev.stage),
+            ev.node,
+            ev.layer.index(),
+            ev.start_ns as f64 / 1000.0
+        );
+        let line = match ev.phase {
+            TracePhase::Span => format!(
+                "  {{\"ph\": \"X\", {common}, \"dur\": {:.3}, {args}}}",
+                ev.duration_ns() as f64 / 1000.0
+            ),
+            TracePhase::Instant => {
+                format!("  {{\"ph\": \"i\", {common}, \"s\": \"t\", {args}}}")
+            }
+        };
+        push(&mut out, &mut first, &line);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Per-architecture causal-chain budget. The completeness checker applies
+/// it to every chain that actually put traffic on the wire.
+#[derive(Clone, Debug)]
+pub struct ChainPolicy {
+    /// Exact number of [`stage::TRAP`] events each inter-node message must
+    /// show (`None` = don't check).
+    pub traps_per_msg: Option<u64>,
+    /// Exact number of [`stage::INTERRUPT`] events (`None` = don't check).
+    pub interrupts_per_msg: Option<u64>,
+    /// Flag chains that injected fragments without a recorded
+    /// [`stage::SEND`] (catches broken TraceId propagation).
+    pub require_send: bool,
+}
+
+impl ChainPolicy {
+    /// The paper's BCL contract: exactly 1 trap, 0 interrupts.
+    pub fn bcl() -> Self {
+        ChainPolicy {
+            traps_per_msg: Some(1),
+            interrupts_per_msg: Some(0),
+            require_send: true,
+        }
+    }
+
+    /// A Table 1 comparator architecture with its own crossing budget.
+    pub fn architecture(traps: u64, interrupts: u64) -> Self {
+        ChainPolicy {
+            traps_per_msg: Some(traps),
+            interrupts_per_msg: Some(interrupts),
+            require_send: true,
+        }
+    }
+
+    /// Structural checks only (closure + retransmission attribution).
+    pub fn lenient() -> Self {
+        ChainPolicy {
+            traps_per_msg: None,
+            interrupts_per_msg: None,
+            require_send: false,
+        }
+    }
+}
+
+/// What the checker learned about one message's chain.
+#[derive(Clone, Debug)]
+pub struct ChainSummary {
+    /// The message.
+    pub trace: TraceId,
+    /// Events observed for it.
+    pub events: usize,
+    /// A [`stage::SEND`] was recorded.
+    pub has_send: bool,
+    /// First-transmission fragments injected.
+    pub injects: usize,
+    /// Go-back-N retransmissions.
+    pub retransmissions: usize,
+    /// Switch hops traversed (all fragments).
+    pub hops: usize,
+    /// [`stage::TRAP`] events.
+    pub traps: u64,
+    /// [`stage::INTERRUPT`] events.
+    pub interrupts: u64,
+    /// Stage that closed the chain, when closed.
+    pub terminal: Option<Cow<'static, str>>,
+}
+
+impl ChainSummary {
+    /// Did the chain reach a completion or a counted drop?
+    pub fn closed(&self) -> bool {
+        self.terminal.is_some()
+    }
+}
+
+/// Result of [`check_completeness`]: per-chain summaries plus human-readable
+/// violations. An empty violation list means every chain is closed and
+/// within policy.
+#[derive(Clone, Debug, Default)]
+pub struct CompletenessReport {
+    /// One summary per traced message, ordered by [`TraceId`].
+    pub chains: Vec<ChainSummary>,
+    /// Everything that failed, one line each.
+    pub violations: Vec<String>,
+}
+
+impl CompletenessReport {
+    /// No violations?
+    pub fn is_closed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Total retransmissions across all chains.
+    pub fn total_retransmissions(&self) -> usize {
+        self.chains.iter().map(|c| c.retransmissions).sum()
+    }
+
+    /// Summary for one message.
+    pub fn chain(&self, trace: TraceId) -> Option<&ChainSummary> {
+        self.chains.iter().find(|c| c.trace == trace)
+    }
+}
+
+/// Stages that close a chain: the sender or receiver consumed a completion
+/// event, the sender gave up after exhausting retries, or the receiver
+/// dropped the message as a *counted* drop.
+fn is_terminal(stage_name: &str) -> bool {
+    matches!(
+        stage_name,
+        stage::POLL_RECV
+            | stage::POLL_SEND
+            | stage::MSG_FAILED
+            | stage::DROP_NO_BUFFER
+            | stage::DROP_NO_PORT
+    )
+}
+
+/// Walk each message's causal chain and check it is closed and within the
+/// architecture's crossing budget. Chains tagged [`TraceId::NONE`] are
+/// skipped (they are unattributable by construction). Trap/interrupt
+/// budgets apply only to chains that injected fragments — purely
+/// intra-node messages never trap by design.
+pub fn check_completeness(events: &[TraceEvent], policy: &ChainPolicy) -> CompletenessReport {
+    let mut chains: BTreeMap<TraceId, Vec<&TraceEvent>> = BTreeMap::new();
+    for ev in events {
+        if ev.trace.is_none() {
+            continue;
+        }
+        chains.entry(ev.trace).or_default().push(ev);
+    }
+
+    let mut report = CompletenessReport::default();
+    for (trace, evs) in chains {
+        let mut summary = ChainSummary {
+            trace,
+            events: evs.len(),
+            has_send: false,
+            injects: 0,
+            retransmissions: 0,
+            hops: 0,
+            traps: 0,
+            interrupts: 0,
+            terminal: None,
+        };
+        let mut inject_seqs: BTreeSet<u32> = BTreeSet::new();
+        let mut retx_seqs: Vec<u32> = Vec::new();
+        let mut send_start: Option<u64> = None;
+        let mut first_inject: Option<u64> = None;
+        for ev in &evs {
+            match ev.stage.as_ref() {
+                stage::SEND => {
+                    summary.has_send = true;
+                    send_start = Some(send_start.map_or(ev.start_ns, |t| t.min(ev.start_ns)));
+                }
+                stage::INJECT => {
+                    summary.injects += 1;
+                    inject_seqs.insert(ev.seq);
+                    first_inject = Some(first_inject.map_or(ev.start_ns, |t| t.min(ev.start_ns)));
+                }
+                stage::RETX => {
+                    summary.retransmissions += 1;
+                    retx_seqs.push(ev.seq);
+                }
+                stage::HOP => summary.hops += 1,
+                stage::TRAP => summary.traps += 1,
+                stage::INTERRUPT => summary.interrupts += 1,
+                _ => {}
+            }
+            if summary.terminal.is_none() && is_terminal(ev.stage.as_ref()) {
+                summary.terminal = Some(ev.stage.clone());
+            }
+        }
+
+        let tag = format!("msg (origin {}, id {})", trace.origin, trace.msg_id);
+        if summary.has_send && summary.terminal.is_none() {
+            report.violations.push(format!(
+                "{tag}: chain never closed — send without completion, failure, or counted drop"
+            ));
+        }
+        if policy.require_send && !summary.has_send && summary.injects > 0 {
+            report.violations.push(format!(
+                "{tag}: {} fragments on the wire but no api:send recorded",
+                summary.injects
+            ));
+        }
+        for seq in &retx_seqs {
+            if !inject_seqs.contains(seq) {
+                report.violations.push(format!(
+                    "{tag}: retransmission of seq {seq} never attributed to an injected fragment"
+                ));
+            }
+        }
+        if let (Some(send), Some(inject)) = (send_start, first_inject) {
+            if inject < send {
+                report.violations.push(format!(
+                    "{tag}: first inject at {inject} ns precedes send at {send} ns"
+                ));
+            }
+        }
+        if summary.has_send && summary.injects > 0 {
+            if let Some(budget) = policy.traps_per_msg {
+                if summary.traps != budget {
+                    report.violations.push(format!(
+                        "{tag}: {} trap events, architecture budget is {budget}",
+                        summary.traps
+                    ));
+                }
+            }
+            if let Some(budget) = policy.interrupts_per_msg {
+                if summary.interrupts != budget {
+                    report.violations.push(format!(
+                        "{tag}: {} interrupt events, architecture budget is {budget}",
+                        summary.interrupts
+                    ));
+                }
+            }
+        }
+        report.chains.push(summary);
+    }
+    report
+}
+
+/// Histogram names fed by [`record_stage_histograms`].
+pub const STAGE_HISTOGRAMS: [&str; 5] = [
+    "trace.trap_ns",
+    "trace.inject_ns",
+    "trace.wire_ns",
+    "trace.dma_ns",
+    "trace.cq_wait_ns",
+];
+
+/// Derive per-stage latency histograms from a trace: for every inter-node
+/// chain, total time in the kernel send path (`trace.trap_ns`), MCP
+/// fragment processing (`trace.inject_ns`), wire occupancy
+/// (`trace.wire_ns`), DMA (`trace.dma_ns`), and the gap between the
+/// completion-queue DMA finishing and the user poll consuming it
+/// (`trace.cq_wait_ns`). Returns the number of chains measured.
+pub fn record_stage_histograms(events: &[TraceEvent], metrics: &Metrics) -> usize {
+    let mut chains: BTreeMap<TraceId, Vec<&TraceEvent>> = BTreeMap::new();
+    for ev in events {
+        if !ev.trace.is_none() {
+            chains.entry(ev.trace).or_default().push(ev);
+        }
+    }
+    let trap = metrics.histogram("trace.trap_ns");
+    let inject = metrics.histogram("trace.inject_ns");
+    let wire = metrics.histogram("trace.wire_ns");
+    let dma = metrics.histogram("trace.dma_ns");
+    let cq_wait = metrics.histogram("trace.cq_wait_ns");
+
+    let mut measured = 0usize;
+    for evs in chains.values() {
+        let has_send = evs.iter().any(|e| e.stage == stage::SEND);
+        let injects = evs.iter().any(|e| e.stage == stage::INJECT);
+        if !has_send || !injects {
+            continue;
+        }
+        measured += 1;
+        let sum_of = |name: &str| -> u64 {
+            evs.iter()
+                .filter(|e| e.stage == name)
+                .map(|e| e.duration_ns())
+                .sum()
+        };
+        let trap_ns = sum_of(stage::IOCTL_SEND);
+        if trap_ns > 0 {
+            trap.record(trap_ns);
+        }
+        inject.record(sum_of(stage::INJECT));
+        wire.record(sum_of(stage::WIRE_TX));
+        dma.record(sum_of(stage::DMA_DATA) + sum_of(stage::DMA_CQ));
+        let cq_done = evs
+            .iter()
+            .filter(|e| e.stage == stage::DMA_CQ && e.node != e.trace.origin)
+            .map(|e| e.end_ns)
+            .max();
+        let polled = evs
+            .iter()
+            .filter(|e| e.stage == stage::POLL_RECV)
+            .map(|e| e.start_ns)
+            .min();
+        if let (Some(done), Some(poll)) = (cq_done, polled) {
+            cq_wait.record(poll.saturating_sub(done));
+        }
+    }
+    measured
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(msg: u32) -> TraceId {
+        TraceId::new(0, msg)
+    }
+
+    /// A minimal closed BCL chain for msg `m`: send, trap, inject, hop,
+    /// rx, dma, cq, poll.
+    fn closed_chain(m: u32) -> Vec<TraceEvent> {
+        let t = id(m);
+        vec![
+            TraceEvent::span(t, 0, TraceLayer::Library, stage::SEND, 0, 100).with_bytes(512),
+            TraceEvent::instant(t, 0, TraceLayer::Kernel, stage::TRAP, 10),
+            TraceEvent::span(t, 0, TraceLayer::Kernel, stage::IOCTL_SEND, 10, 90),
+            TraceEvent::span(t, 0, TraceLayer::Mcp, stage::INJECT, 100, 150).with_seq(0),
+            TraceEvent::span(t, 0, TraceLayer::Wire, stage::WIRE_TX, 150, 400).with_seq(0),
+            TraceEvent::instant(t, 0, TraceLayer::Wire, stage::HOP, 200).with_seq(0),
+            TraceEvent::span(t, 1, TraceLayer::Mcp, stage::RX, 400, 450).with_seq(0),
+            TraceEvent::span(t, 1, TraceLayer::Dma, stage::DMA_DATA, 450, 600),
+            TraceEvent::span(t, 1, TraceLayer::Dma, stage::DMA_CQ, 600, 700),
+            TraceEvent::instant(t, 1, TraceLayer::Library, stage::POLL_RECV, 900),
+        ]
+    }
+
+    #[test]
+    fn ring_wraps_and_counts_evictions() {
+        let tr = MsgTracer::with_capacity(4);
+        for i in 0..10u64 {
+            tr.record(TraceEvent::instant(
+                id(2),
+                0,
+                TraceLayer::Mcp,
+                stage::HOP,
+                i,
+            ));
+        }
+        let evs = tr.events();
+        assert_eq!(evs.len(), 4);
+        // The *last* four survive.
+        assert_eq!(evs[0].start_ns, 6);
+        assert_eq!(evs[3].start_ns, 9);
+        assert_eq!(tr.total_recorded(), 10);
+        assert_eq!(tr.total_evicted(), 6);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tr = MsgTracer::new();
+        tr.set_enabled(false);
+        tr.record(TraceEvent::instant(
+            id(2),
+            0,
+            TraceLayer::Mcp,
+            stage::HOP,
+            1,
+        ));
+        assert!(tr.events().is_empty());
+        assert_eq!(tr.total_recorded(), 0);
+    }
+
+    #[test]
+    fn events_merge_sorted_across_nodes() {
+        let tr = MsgTracer::new();
+        tr.record(TraceEvent::instant(
+            id(2),
+            1,
+            TraceLayer::Mcp,
+            stage::RX,
+            50,
+        ));
+        tr.record(TraceEvent::instant(
+            id(2),
+            0,
+            TraceLayer::Mcp,
+            stage::HOP,
+            10,
+        ));
+        let evs = tr.take_events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].start_ns, 10);
+        assert!(tr.take_events().is_empty(), "drained");
+    }
+
+    #[test]
+    fn dump_once_fires_exactly_once() {
+        let tr = MsgTracer::new();
+        tr.record(TraceEvent::instant(
+            id(2),
+            0,
+            TraceLayer::Mcp,
+            stage::HOP,
+            1,
+        ));
+        assert!(!tr.has_dumped());
+        assert!(tr.dump_once("unit test"));
+        assert!(tr.has_dumped());
+        assert!(!tr.dump_once("again"), "second dump suppressed");
+        let text = tr.dump(16);
+        assert!(text.contains("mcp"));
+        assert!(text.contains("msg=(0,2)"));
+    }
+
+    #[test]
+    fn set_capacity_trims_existing_rings() {
+        let tr = MsgTracer::with_capacity(8);
+        for i in 0..8u64 {
+            tr.record(TraceEvent::instant(
+                id(2),
+                0,
+                TraceLayer::Mcp,
+                stage::HOP,
+                i,
+            ));
+        }
+        tr.set_capacity(2);
+        let evs = tr.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].start_ns, 6);
+    }
+
+    #[test]
+    fn chrome_json_is_balanced_and_typed() {
+        let j = to_chrome_json(&closed_chain(2));
+        assert!(j.contains("\"traceEvents\""));
+        assert!(j.contains("\"ph\": \"X\""));
+        assert!(j.contains("\"ph\": \"i\""));
+        assert!(j.contains("\"process_name\""));
+        assert!(j.contains("\"name\": \"node 0\""));
+        assert!(j.contains("\"name\": \"api:send\""));
+        let depth = j.chars().fold(0i32, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn checker_accepts_closed_bcl_chain() {
+        let report = check_completeness(&closed_chain(2), &ChainPolicy::bcl());
+        assert!(report.is_closed(), "{:?}", report.violations);
+        let chain = report.chain(id(2)).expect("chain present");
+        assert_eq!(chain.traps, 1);
+        assert_eq!(chain.interrupts, 0);
+        assert_eq!(chain.injects, 1);
+        assert_eq!(chain.hops, 1);
+        assert_eq!(chain.terminal.as_deref(), Some(stage::POLL_RECV));
+    }
+
+    #[test]
+    fn checker_flags_unclosed_chain() {
+        let mut evs = closed_chain(2);
+        evs.retain(|e| e.stage != stage::POLL_RECV);
+        let report = check_completeness(&evs, &ChainPolicy::bcl());
+        assert!(!report.is_closed());
+        assert!(report.violations[0].contains("never closed"));
+    }
+
+    #[test]
+    fn checker_flags_extra_trap_and_interrupt() {
+        let mut evs = closed_chain(2);
+        evs.push(TraceEvent::instant(
+            id(2),
+            0,
+            TraceLayer::Kernel,
+            stage::TRAP,
+            20,
+        ));
+        evs.push(TraceEvent::instant(
+            id(2),
+            1,
+            TraceLayer::Kernel,
+            stage::INTERRUPT,
+            500,
+        ));
+        let report = check_completeness(&evs, &ChainPolicy::bcl());
+        assert_eq!(report.violations.len(), 2, "{:?}", report.violations);
+        // The same chain passes under a 2-trap/1-interrupt architecture.
+        let report = check_completeness(&evs, &ChainPolicy::architecture(2, 1));
+        assert!(report.is_closed(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn checker_attributes_retransmissions() {
+        let mut evs = closed_chain(2);
+        evs.push(TraceEvent::span(id(2), 0, TraceLayer::Mcp, stage::RETX, 700, 750).with_seq(0));
+        let report = check_completeness(&evs, &ChainPolicy::bcl());
+        assert!(report.is_closed(), "{:?}", report.violations);
+        assert_eq!(report.total_retransmissions(), 1);
+        // A retransmission of a seq that was never injected is a violation.
+        evs.push(TraceEvent::span(id(2), 0, TraceLayer::Mcp, stage::RETX, 800, 850).with_seq(9));
+        let report = check_completeness(&evs, &ChainPolicy::bcl());
+        assert!(report.violations.iter().any(|v| v.contains("seq 9")));
+    }
+
+    #[test]
+    fn checker_flags_wire_traffic_without_send() {
+        let mut evs = closed_chain(2);
+        evs.retain(|e| e.stage != stage::SEND);
+        let report = check_completeness(&evs, &ChainPolicy::bcl());
+        assert!(report.violations.iter().any(|v| v.contains("no api:send")));
+        assert!(check_completeness(&evs, &ChainPolicy::lenient()).is_closed());
+    }
+
+    #[test]
+    fn checker_skips_unattributable_events() {
+        let evs = [TraceEvent::instant(
+            TraceId::NONE,
+            0,
+            TraceLayer::Mcp,
+            stage::PROTO_ERROR,
+            5,
+        )];
+        let report = check_completeness(&evs, &ChainPolicy::bcl());
+        assert!(report.chains.is_empty());
+        assert!(report.is_closed());
+    }
+
+    #[test]
+    fn terminal_failure_and_drop_close_chains() {
+        for terminal in [
+            stage::MSG_FAILED,
+            stage::DROP_NO_BUFFER,
+            stage::DROP_NO_PORT,
+        ] {
+            let mut evs = closed_chain(2);
+            evs.retain(|e| e.stage != stage::POLL_RECV);
+            evs.push(TraceEvent::instant(
+                id(2),
+                1,
+                TraceLayer::Mcp,
+                terminal,
+                950,
+            ));
+            let report = check_completeness(&evs, &ChainPolicy::bcl());
+            assert!(report.is_closed(), "{terminal}: {:?}", report.violations);
+            assert_eq!(
+                report.chain(id(2)).unwrap().terminal.as_deref(),
+                Some(terminal)
+            );
+        }
+    }
+
+    #[test]
+    fn stage_histograms_measure_chains() {
+        let m = Metrics::new();
+        let n = record_stage_histograms(&closed_chain(2), &m);
+        assert_eq!(n, 1);
+        let snap = m.snapshot();
+        assert_eq!(snap.histograms["trace.trap_ns"].count, 1);
+        assert_eq!(snap.histograms["trace.trap_ns"].max, 80);
+        assert_eq!(snap.histograms["trace.inject_ns"].max, 50);
+        assert_eq!(snap.histograms["trace.wire_ns"].max, 250);
+        assert_eq!(snap.histograms["trace.dma_ns"].max, 250);
+        // cq DMA ends at 700, poll at 900.
+        assert_eq!(snap.histograms["trace.cq_wait_ns"].max, 200);
+    }
+
+    #[test]
+    fn intern_returns_pointer_stable_strings() {
+        let a = intern("unit-test-track/n0");
+        let b = intern(&String::from("unit-test-track/n0"));
+        assert_eq!(a.as_ptr(), b.as_ptr());
+        assert_eq!(a, "unit-test-track/n0");
+    }
+}

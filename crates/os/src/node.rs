@@ -57,6 +57,8 @@ pub struct NodeOs {
     traps_node: Counter,
     interrupts: Counter,
     interrupts_node: Counter,
+    // Interned once so per-trap span recording never allocates.
+    track_tx: &'static str,
 }
 
 impl NodeOs {
@@ -83,6 +85,7 @@ impl NodeOs {
             traps_node: metrics.counter(&format!("os.traps.n{}", node_id.0)),
             interrupts: metrics.counter("os.interrupts"),
             interrupts_node: metrics.counter(&format!("os.interrupts.n{}", node_id.0)),
+            track_tx: suca_sim::intern(&format!("n{}/tx", node_id.0)),
         })
     }
 
@@ -130,10 +133,10 @@ impl NodeOs {
     pub fn trap<R>(&self, ctx: &mut ActorCtx, f: impl FnOnce(&mut ActorCtx) -> R) -> R {
         self.traps.inc();
         self.traps_node.inc();
-        let track = format!("n{}/tx", self.node_id.0);
+        let track = self.track_tx;
         let start = ctx.now();
         self.sim.trace_span(
-            &track,
+            track,
             "kernel: trap enter",
             start,
             start + self.costs.trap_enter,
@@ -142,7 +145,7 @@ impl NodeOs {
         let r = f(ctx);
         let start = ctx.now();
         self.sim.trace_span(
-            &track,
+            track,
             "kernel: trap exit",
             start,
             start + self.costs.trap_exit,

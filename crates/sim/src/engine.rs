@@ -83,6 +83,9 @@ pub(crate) struct SimInner {
     /// Metrics registry lives *outside* the engine mutex: bumping a counter
     /// from inside an event handler must not touch the scheduler lock.
     metrics: suca_obs::Metrics,
+    /// Per-message causal tracer / flight recorder. Also outside the engine
+    /// mutex so protocol code can record events from anywhere.
+    mtrace: suca_obs::trace::MsgTracer,
 }
 
 /// Handle to one simulation. Cheap to clone; all clones refer to the same
@@ -114,6 +117,7 @@ impl Sim {
                     running: false,
                 }),
                 metrics,
+                mtrace: suca_obs::trace::MsgTracer::new(),
             }),
         }
     }
@@ -265,7 +269,15 @@ impl Sim {
 
     fn dispatch(&self, e: EventEntry) {
         match e.action {
-            EventAction::Call(f) => f(self),
+            EventAction::Call(f) => {
+                // Flight recorder: a panicking hardware-model handler dumps
+                // the per-message trace rings before the panic propagates.
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(self)));
+                if let Err(payload) = r {
+                    self.inner.mtrace.dump_once("sim event handler panicked");
+                    std::panic::resume_unwind(payload);
+                }
+            }
             EventAction::Wake(id, gen) => {
                 let shared = {
                     let mut st = self.inner.state.lock();
@@ -294,6 +306,11 @@ impl Sim {
                         };
                         // Mark done so teardown does not try to shut it down.
                         self.inner.state.lock().actors[id.0 as usize].status = ActorStatus::Done;
+                        // Actor panics include failed harness assertions:
+                        // dump the flight recorder before propagating.
+                        self.inner
+                            .mtrace
+                            .dump_once(&format!("sim actor '{name}' panicked: {msg}"));
                         panic!("sim actor '{name}' panicked: {msg}");
                     }
                 }
@@ -337,10 +354,12 @@ impl Sim {
     }
 
     /// Record a named span on a track. No-op while tracing is disabled.
+    /// Pass `&'static str` (or interned) names to avoid allocating on the
+    /// per-fragment path; `String` still works for dynamic names.
     pub fn trace_span(
         &self,
-        track: impl Into<String>,
-        stage: impl Into<String>,
+        track: impl Into<std::borrow::Cow<'static, str>>,
+        stage: impl Into<std::borrow::Cow<'static, str>>,
         start: SimTime,
         end: SimTime,
     ) {
@@ -354,6 +373,24 @@ impl Sim {
     /// Drain all recorded spans (sorted by start time, then insertion).
     pub fn take_spans(&self) -> Vec<Span> {
         self.inner.state.lock().tracer.take()
+    }
+
+    /// The per-message causal tracer (always-armed flight recorder). Hot
+    /// paths check [`suca_obs::trace::MsgTracer::enabled`] before building
+    /// an event.
+    pub fn msg_trace(&self) -> &suca_obs::trace::MsgTracer {
+        &self.inner.mtrace
+    }
+
+    /// Record one per-message trace event.
+    pub fn trace_event(&self, ev: suca_obs::trace::TraceEvent) {
+        self.inner.mtrace.record(ev);
+    }
+
+    /// Snapshot of all buffered per-message trace events, merged across
+    /// node rings and sorted by start time.
+    pub fn trace_events(&self) -> Vec<suca_obs::trace::TraceEvent> {
+        self.inner.mtrace.events()
     }
 
     /// The metrics registry for this run. Components register typed

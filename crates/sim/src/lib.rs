@@ -51,3 +51,10 @@ pub use trace::{render_gantt, render_timeline, Span};
 // Re-export the observability layer so components taking a `Sim` handle can
 // hold typed instrument handles without a separate suca-obs dependency.
 pub use suca_obs::{Counter, Gauge, Histogram, Metrics, MetricsSnapshot};
+
+// Per-message causal tracing (see `suca_obs::trace`): the event model, the
+// flight-recorder ring, and the string interner components use for
+// allocation-free track names.
+pub use suca_obs::intern;
+pub use suca_obs::trace as mtrace;
+pub use suca_obs::trace::{MsgTracer, TraceEvent, TraceId, TraceLayer, TracePhase};

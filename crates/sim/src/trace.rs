@@ -5,15 +5,22 @@
 //! per stage on a named track (e.g. `"node0/send"`); the figure harnesses
 //! drain the spans and print the same breakdowns the paper shows.
 
+use std::borrow::Cow;
+
 use crate::time::{SimDuration, SimTime};
 
 /// One traced stage.
+///
+/// `track` and `stage` are `Cow<'static, str>` so the per-fragment hot
+/// path records spans without allocating: protocol components intern their
+/// per-node track names once at construction ([`suca_obs::intern`]) and
+/// stage names are string literals.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Span {
     /// Grouping key, typically `"<node>/<direction>"`.
-    pub track: String,
+    pub track: Cow<'static, str>,
     /// Stage name, e.g. `"trap+check+translate"`.
-    pub stage: String,
+    pub stage: Cow<'static, str>,
     /// Stage start (virtual time).
     pub start: SimTime,
     /// Stage end (virtual time).
@@ -48,8 +55,8 @@ impl Tracer {
 
     pub(crate) fn span(
         &mut self,
-        track: impl Into<String>,
-        stage: impl Into<String>,
+        track: impl Into<Cow<'static, str>>,
+        stage: impl Into<Cow<'static, str>>,
         start: SimTime,
         end: SimTime,
     ) {
