@@ -24,6 +24,7 @@ fn main() {
         "ablations",
         "congestion",
         "trace_export",
+        "telemetry",
     ];
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin dir");

@@ -24,6 +24,15 @@ pub fn traces_dir() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("target/traces"))
 }
 
+/// Directory the harness binaries write telemetry timeseries JSON into.
+/// Overridable via `SUCA_TIMESERIES_DIR`; relative paths resolve against
+/// the working directory (the workspace root under `cargo run`).
+pub fn timeseries_dir() -> PathBuf {
+    std::env::var_os("SUCA_TIMESERIES_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/timeseries"))
+}
+
 /// Serialize per-message trace events as Chrome/Perfetto JSON to
 /// `<traces_dir>/<run>.json` (loadable at <https://ui.perfetto.dev>).
 pub fn write_trace_json(events: &[suca_sim::TraceEvent], run: &str) -> io::Result<PathBuf> {
@@ -31,6 +40,34 @@ pub fn write_trace_json(events: &[suca_sim::TraceEvent], run: &str) -> io::Resul
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{run}.json"));
     std::fs::write(&path, suca_sim::mtrace::to_chrome_json(events))?;
+    Ok(path)
+}
+
+/// Serialize `sim`'s telemetry snapshot (every probe's sampled ring) as
+/// deterministic JSON to `<timeseries_dir>/<run>.json`.
+pub fn write_timeseries_json(sim: &Sim, run: &str) -> io::Result<PathBuf> {
+    let dir = timeseries_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{run}.json"));
+    std::fs::write(&path, sim.timeseries().snapshot().to_json())?;
+    Ok(path)
+}
+
+/// Like [`write_trace_json`], but merges `sim`'s telemetry rings in as
+/// Perfetto counter tracks so queue depths and occupancies render alongside
+/// the per-message spans.
+pub fn write_trace_json_with_counters(
+    events: &[suca_sim::TraceEvent],
+    sim: &Sim,
+    run: &str,
+) -> io::Result<PathBuf> {
+    let dir = traces_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{run}.json"));
+    std::fs::write(
+        &path,
+        suca_sim::mtrace::to_chrome_json_with_counters(events, &sim.timeseries().snapshot()),
+    )?;
     Ok(path)
 }
 

@@ -6,7 +6,7 @@ use suca_bcl::BclConfig;
 use suca_mesh::{Mesh, MeshConfig};
 use suca_myrinet::{Fabric, Myrinet, MyrinetConfig};
 use suca_os::{NodeId, OsCostModel, OsPersonality};
-use suca_sim::{ActorCtx, ActorId, Sim};
+use suca_sim::{ActorCtx, ActorId, Sim, TelemetryConfig};
 
 use crate::node::{ClusterNode, ProcessEnv};
 
@@ -50,6 +50,10 @@ pub struct ClusterSpec {
     pub cpus: u32,
     /// Master RNG seed.
     pub seed: u64,
+    /// Telemetry sampling period and stall-watchdog thresholds. Armed in
+    /// [`ClusterSpec::build`] for every cluster, so all harnesses get the
+    /// sampler and the watchdog without opting in.
+    pub telemetry: TelemetryConfig,
 }
 
 impl ClusterSpec {
@@ -65,6 +69,7 @@ impl ClusterSpec {
             mem_bytes: 64 << 20, // plenty for the experiments; real nodes had GBs
             cpus: 4,
             seed: 0xDA3000,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -91,6 +96,13 @@ impl ClusterSpec {
     /// Override the BCL config (for ablations).
     pub fn with_bcl(mut self, bcl: BclConfig) -> Self {
         self.bcl = bcl;
+        self
+    }
+
+    /// Override the telemetry/watchdog configuration (fault-injection tests
+    /// tighten the thresholds to trip the watchdog within a short run).
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -128,6 +140,9 @@ impl ClusterSpec {
                 )
             })
             .collect();
+        // Every layer has registered its probes by now; arm the sampler and
+        // the stall watchdog.
+        sim.start_telemetry(self.telemetry.clone());
         Cluster { sim, nodes, fabric }
     }
 }

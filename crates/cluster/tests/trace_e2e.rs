@@ -51,7 +51,7 @@ fn two_proc(
     cluster
 }
 
-fn stages_of<'a>(evs: &'a [TraceEvent], trace: suca_sim::TraceId) -> Vec<&'a TraceEvent> {
+fn stages_of(evs: &[TraceEvent], trace: suca_sim::TraceId) -> Vec<&TraceEvent> {
     evs.iter().filter(|e| e.trace == trace).collect()
 }
 

@@ -224,16 +224,19 @@ impl BclPort {
     }
 
     /// Record the library-layer send span (compose through trap return) for
-    /// an inter-node message. Intra-node sends (odd ids) are never traced.
+    /// an inter-node message, plus the `api:compose` sub-stage the
+    /// critical-path analyzer attributes. Intra-node sends (odd ids) are
+    /// never traced.
     fn trace_send_span(&self, ctx: &ActorCtx, msg_id: u32, start: suca_sim::SimTime, len: u64) {
         let sim = ctx.sim();
         if !sim.msg_trace().enabled() {
             return;
         }
         let node = self.node.os.node_id.0;
+        let trace = TraceId::new(node, msg_id);
         sim.trace_event(
             TraceEvent::span(
-                TraceId::new(node, msg_id),
+                trace,
                 node,
                 TraceLayer::Library,
                 stage::SEND,
@@ -242,6 +245,14 @@ impl BclPort {
             )
             .with_bytes(len),
         );
+        sim.trace_event(TraceEvent::span(
+            trace,
+            node,
+            TraceLayer::Library,
+            stage::COMPOSE,
+            start.as_ns(),
+            start.as_ns() + self.node.cfg.lib_compose.as_ns(),
+        ));
     }
 
     /// Record the user-space poll instant that closes a traced chain.

@@ -18,11 +18,11 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use suca_mem::{PhysAddr, PinDownTable, PinLookup, VirtAddr};
+use suca_mem::{PhysAddr, PinDownTable, PinLookup, VirtAddr, PAGE_SIZE};
 use suca_myrinet::FabricNodeId;
 use suca_os::{NodeOs, OsProcess, Pid};
 use suca_sim::mtrace::{stage, TraceEvent, TraceId, TraceLayer};
-use suca_sim::{ActorCtx, Counter, SimDuration, SimTime};
+use suca_sim::{ActorCtx, Counter, Gauge, SimDuration, SimTime};
 
 use crate::config::BclConfig;
 use crate::error::BclError;
@@ -42,6 +42,10 @@ struct KmodState {
     /// Evictions already folded into the `kmod.pin_evictions` counter; the
     /// pin table reports a lifetime total, we publish deltas.
     evictions_seen: u64,
+    /// Pinned-page level last published to the shared `kmod.pinned_bytes`
+    /// gauge (the cell is cluster-wide, so this module adds/subtracts
+    /// deltas instead of storing absolute levels).
+    pinned_pages_published: u64,
 }
 
 /// One node's BCL kernel module.
@@ -58,6 +62,7 @@ pub struct BclKmod {
     pin_misses: Counter,
     pin_evictions: Counter,
     pio_descriptors: Counter,
+    pinned_bytes: Gauge,
     // Interned once so per-send span recording never allocates.
     track_tx: &'static str,
 }
@@ -66,9 +71,10 @@ impl BclKmod {
     /// Load the module on a node.
     pub fn new(os: Arc<NodeOs>, mcp: Mcp, num_nodes: u32, cfg: BclConfig) -> Arc<BclKmod> {
         let pin = PinDownTable::new(cfg.pin_table_pages);
+        let pin_table_pages = cfg.pin_table_pages as u64;
         let metrics = os.sim().metrics();
         let track_tx = suca_sim::intern(&format!("n{}/tx", os.node_id.0));
-        Arc::new(BclKmod {
+        let kmod = Arc::new(BclKmod {
             track_tx,
             cfg,
             mcp,
@@ -79,6 +85,7 @@ impl BclKmod {
                 next_port: 0,
                 next_msg: 2, // even ids: kernel-assigned; odd: intra-node lib
                 evictions_seen: 0,
+                pinned_pages_published: 0,
             }),
             ioctls: metrics.counter("kmod.ioctls"),
             security_rejects: metrics.counter("kmod.security_rejects"),
@@ -86,8 +93,28 @@ impl BclKmod {
             pin_misses: metrics.counter("kmod.pin_misses"),
             pin_evictions: metrics.counter("kmod.pin_evictions"),
             pio_descriptors: metrics.counter("kmod.pio_descriptors"),
+            pinned_bytes: metrics.gauge("kmod.pinned_bytes"),
             os,
-        })
+        });
+        // Telemetry probes: host-resident pin-down table occupancy. This is
+        // the paper's scalability story made visible — pinned host memory
+        // grows with the working set while NIC SRAM stays bounded.
+        let sim = kmod.os.sim();
+        let ts = sim.timeseries();
+        let n = kmod.os.node_id.0;
+        let w = Arc::downgrade(&kmod);
+        ts.register(
+            format!("n{n}.kmod.pinned_pages"),
+            n,
+            Some(pin_table_pages),
+            move |_| w.upgrade().map_or(0, |k| k.state.lock().pin.len() as u64),
+        );
+        let w = Arc::downgrade(&kmod);
+        ts.register(format!("n{n}.kmod.pinned_bytes"), n, None, move |_| {
+            w.upgrade()
+                .map_or(0, |k| k.state.lock().pin.len() as u64 * PAGE_SIZE)
+        });
+        kmod
     }
 
     /// The NIC firmware handle (for layers that need stats).
@@ -98,6 +125,24 @@ impl BclKmod {
     /// Pin-down table statistics `(hits, misses, evictions)`.
     pub fn pin_stats(&self) -> (u64, u64, u64) {
         self.state.lock().pin.stats()
+    }
+
+    /// Pages currently cached in the pin-down table.
+    pub fn pinned_pages(&self) -> usize {
+        self.state.lock().pin.len()
+    }
+
+    /// Fold the pin table's current level into the shared `kmod.pinned_bytes`
+    /// gauge. Delta-published: the cell aggregates every node's module.
+    fn publish_pin_level(&self, st: &mut KmodState) {
+        let cur = st.pin.len() as u64;
+        let prev = st.pinned_pages_published;
+        if cur > prev {
+            self.pinned_bytes.add((cur - prev) * PAGE_SIZE);
+        } else if prev > cur {
+            self.pinned_bytes.sub((prev - cur) * PAGE_SIZE);
+        }
+        st.pinned_pages_published = cur;
     }
 
     // ---- shared kernel-side checks ----
@@ -172,6 +217,7 @@ impl BclKmod {
             let (_, _, evictions) = st.pin.stats();
             self.pin_evictions.add(evictions - st.evictions_seen);
             st.evictions_seen = evictions;
+            self.publish_pin_level(&mut st);
             (
                 self.os.costs.pin_lookup_hit,
                 self.os.costs.pin_miss_per_page * misses,
@@ -276,6 +322,7 @@ impl BclKmod {
             self.check_owner(&st, port, proc.pid)?;
             st.ports.remove(&port.0);
             st.pin.purge_asid(proc.space.asid());
+            self.publish_pin_level(&mut st);
         }
         self.charge_descriptor_pio(ctx, 0);
         self.mcp.unregister_port(port);
@@ -355,6 +402,7 @@ impl BclKmod {
     ) -> Result<u32, BclError> {
         let trap_entry = ctx.now();
         self.charge_checks(ctx);
+        let dispatch_done = ctx.now();
         self.check_caller(proc)?;
         {
             let st = self.state.lock();
@@ -403,9 +451,10 @@ impl BclKmod {
             ctx.sleep(self.os.costs.pin_lookup_hit);
             Vec::new()
         };
+        let pin_done = ctx.now();
         let msg_id = self.alloc_msg_id();
         self.charge_descriptor_pio(ctx, segs.len() as u64);
-        self.trace_send_trap(msg_id, trap_entry, ctx.now(), len);
+        self.trace_send_trap(msg_id, trap_entry, dispatch_done, pin_done, ctx.now(), len);
         self.mcp.post_send(SendJob {
             src_port: port,
             dst_fid: FabricNodeId(dst.node.0),
@@ -436,6 +485,7 @@ impl BclKmod {
     ) -> Result<u32, BclError> {
         let trap_entry = ctx.now();
         self.charge_checks(ctx);
+        let dispatch_done = ctx.now();
         self.check_caller(proc)?;
         {
             let st = self.state.lock();
@@ -447,9 +497,10 @@ impl BclKmod {
         }
         self.check_buffer(proc, addr, len)?;
         let segs = self.pin_translate(ctx, proc, addr, len)?;
+        let pin_done = ctx.now();
         let msg_id = self.alloc_msg_id();
         self.charge_descriptor_pio(ctx, segs.len() as u64);
-        self.trace_send_trap(msg_id, trap_entry, ctx.now(), len);
+        self.trace_send_trap(msg_id, trap_entry, dispatch_done, pin_done, ctx.now(), len);
         self.mcp.post_send(SendJob {
             src_port: port,
             dst_fid: FabricNodeId(dst.node.0),
@@ -480,6 +531,7 @@ impl BclKmod {
     ) -> Result<u32, BclError> {
         let trap_entry = ctx.now();
         self.charge_checks(ctx);
+        let dispatch_done = ctx.now();
         self.check_caller(proc)?;
         {
             let st = self.state.lock();
@@ -491,9 +543,10 @@ impl BclKmod {
         }
         self.check_buffer(proc, into, len)?;
         let segs = self.pin_translate(ctx, proc, into, len)?;
+        let pin_done = ctx.now();
         let msg_id = self.alloc_msg_id();
         self.charge_descriptor_pio(ctx, 1);
-        self.trace_send_trap(msg_id, trap_entry, ctx.now(), len);
+        self.trace_send_trap(msg_id, trap_entry, dispatch_done, pin_done, ctx.now(), len);
         self.mcp.post_send(SendJob {
             src_port: port,
             dst_fid: FabricNodeId(dst.node.0),
@@ -517,10 +570,23 @@ impl BclKmod {
     }
 
     /// Per-message trace of the one send trap: a `kernel:trap` instant at
-    /// ioctl entry (the BCL contract allows exactly one per message) plus
-    /// the `kernel:ioctl_send` span covering checks, pin/translate, and
-    /// descriptor PIO.
-    fn trace_send_trap(&self, msg_id: u32, entry: SimTime, exit: SimTime, bytes: u64) {
+    /// ioctl entry (the BCL contract allows exactly one per message), the
+    /// `kernel:ioctl_send` span covering checks, pin/translate, and
+    /// descriptor PIO, plus the kernel sub-stage spans the critical-path
+    /// analyzer attributes (Fig. 5/7 stage breakdowns).
+    ///
+    /// The OS charges the mode-switch costs *around* the ioctl body, so the
+    /// trap enter/exit spans are reconstructed from the cost model on either
+    /// side of `[entry, exit]` rather than observed here.
+    fn trace_send_trap(
+        &self,
+        msg_id: u32,
+        entry: SimTime,
+        dispatch_done: SimTime,
+        pin_done: SimTime,
+        exit: SimTime,
+        bytes: u64,
+    ) {
         let sim = self.os.sim();
         if !sim.msg_trace().enabled() {
             return;
@@ -545,6 +611,30 @@ impl BclKmod {
             )
             .with_bytes(bytes),
         );
+        let (entry, dispatch_done, pin_done, exit) = (
+            entry.as_ns(),
+            dispatch_done.as_ns(),
+            pin_done.as_ns(),
+            exit.as_ns(),
+        );
+        let enter_ns = self.os.costs.trap_enter.as_ns();
+        let exit_ns = self.os.costs.trap_exit.as_ns();
+        for (st, lo, hi) in [
+            (stage::K_TRAP_ENTER, entry.saturating_sub(enter_ns), entry),
+            (stage::K_DISPATCH, entry, dispatch_done),
+            (stage::K_PIN, dispatch_done, pin_done),
+            (stage::K_PIO, pin_done, exit),
+            (stage::K_TRAP_EXIT, exit, exit + exit_ns),
+        ] {
+            sim.trace_event(TraceEvent::span(
+                trace,
+                node,
+                TraceLayer::Kernel,
+                st,
+                lo,
+                hi,
+            ));
+        }
     }
 
     /// Kernel-visible cost of one trap round trip (for the harnesses).

@@ -224,6 +224,8 @@ impl Mcp {
             "NIC SRAM must hold at least one fragment or staging deadlocks"
         );
         let metrics = sim.metrics();
+        let send_ring = cfg.limits.send_ring as u64;
+        sram.attach_gauge(metrics.gauge("nic.sram_used"));
         let inner = Arc::new(McpInner {
             sim: sim.clone(),
             cfg,
@@ -265,6 +267,61 @@ impl Mcp {
                     McpInner::on_packet(&inner, sim, pkt);
                 }
             }),
+        );
+        // Continuous-telemetry probes: NIC-side queue depths and SRAM
+        // occupancy, sampled by the sim-clock telemetry tick. Weak handles
+        // keep the registry from pinning the firmware alive.
+        let ts = sim.timeseries();
+        let n = node.0;
+        let w = Arc::downgrade(&inner);
+        ts.register(
+            format!("n{n}.mcp.send_queue"),
+            n,
+            Some(send_ring),
+            move |_| {
+                w.upgrade()
+                    .map_or(0, |i| i.state.lock().send_queue.len() as u64)
+            },
+        );
+        let w = Arc::downgrade(&inner);
+        ts.register(format!("n{n}.mcp.gbn_inflight"), n, None, move |_| {
+            w.upgrade().map_or(0, |i| {
+                i.state
+                    .lock()
+                    .gbn_tx
+                    .values()
+                    .map(|g| g.in_flight() as u64)
+                    .sum()
+            })
+        });
+        let w = Arc::downgrade(&inner);
+        ts.register(format!("n{n}.mcp.cq_recv"), n, None, move |_| {
+            w.upgrade().map_or(0, |i| {
+                i.state
+                    .lock()
+                    .ports
+                    .values()
+                    .map(|p| p.queues.depths().0 as u64)
+                    .sum()
+            })
+        });
+        let w = Arc::downgrade(&inner);
+        ts.register(format!("n{n}.mcp.cq_send"), n, None, move |_| {
+            w.upgrade().map_or(0, |i| {
+                i.state
+                    .lock()
+                    .ports
+                    .values()
+                    .map(|p| p.queues.depths().1 as u64)
+                    .sum()
+            })
+        });
+        let pool = inner.sram.clone();
+        ts.register(
+            format!("n{n}.nic.sram_used"),
+            n,
+            Some(pool.capacity()),
+            move |_| pool.used(),
         );
         Mcp { inner }
     }
@@ -801,7 +858,16 @@ impl McpInner {
         st.completed_order.push_back(job.msg_id);
         st.completed.insert(job.msg_id, job);
         while st.completed_order.len() > COMPLETED_CAP {
-            let old = st.completed_order.pop_front().unwrap();
+            // The ring and the map are maintained together; an empty ring
+            // while over capacity means they diverged. Evidence over panic:
+            // count it and trip the flight recorder.
+            let Some(old) = st.completed_order.pop_front() else {
+                self.protocol_error(
+                    TraceId::NONE,
+                    "completed-order ring empty while over capacity",
+                );
+                break;
+            };
             st.completed.remove(&old);
         }
     }

@@ -24,6 +24,7 @@ struct LinkState {
     busy_until: SimTime,
     rng: SimRng,
     sent: u64,
+    sent_bytes: u64,
     dropped: u64,
     corrupted: u64,
 }
@@ -57,7 +58,7 @@ impl Link {
         let label = label.into();
         let rng = sim.fork_rng(&format!("link:{label}"));
         let metrics = sim.metrics();
-        Arc::new(Link {
+        let link = Arc::new(Link {
             label,
             bytes_per_sec,
             propagation,
@@ -70,10 +71,47 @@ impl Link {
                 busy_until: SimTime::ZERO,
                 rng,
                 sent: 0,
+                sent_bytes: 0,
                 dropped: 0,
                 corrupted: 0,
             }),
-        })
+        });
+        // Per-link telemetry probes. Bytes-in-flight is derived from the
+        // serialization backlog (busy_until - now) at line rate; a switch
+        // output port's queue depth is exactly its outgoing link's backlog in
+        // this cut-through model, so these three probes also cover per-port
+        // switch occupancy.
+        let ts = sim.timeseries();
+        let w = Arc::downgrade(&link);
+        ts.register(
+            format!("link.{}.backlog_bytes", link.label),
+            suca_sim::FABRIC_NODE,
+            None,
+            move |now_ns| {
+                w.upgrade().map_or(0, |l| {
+                    let ahead = l.state.lock().busy_until.as_ns().saturating_sub(now_ns);
+                    ahead * l.bytes_per_sec / 1_000_000_000
+                })
+            },
+        );
+        let w = Arc::downgrade(&link);
+        ts.register(
+            format!("link.{}.tx_bytes", link.label),
+            suca_sim::FABRIC_NODE,
+            None,
+            move |_| w.upgrade().map_or(0, |l| l.state.lock().sent_bytes),
+        );
+        let w = Arc::downgrade(&link);
+        ts.register(
+            format!("link.{}.busy", link.label),
+            suca_sim::FABRIC_NODE,
+            None,
+            move |now_ns| {
+                w.upgrade()
+                    .map_or(0, |l| u64::from(l.state.lock().busy_until.as_ns() > now_ns))
+            },
+        );
+        link
     }
 
     /// Transmit a packet: seize the wire for `wire_len / bandwidth`, then
@@ -86,6 +124,7 @@ impl Link {
             let start = st.busy_until.max(sim.now());
             st.busy_until = start + tx;
             st.sent += 1;
+            st.sent_bytes += pkt.wire_len();
             if st.rng.chance(self.fault.drop_prob) {
                 st.dropped += 1;
                 self.drops.inc();

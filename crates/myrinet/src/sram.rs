@@ -10,10 +10,13 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use suca_sim::Gauge;
+
 struct PoolInner {
     capacity: u64,
     used: u64,
     high_water: u64,
+    gauge: Option<Gauge>,
 }
 
 /// Byte-granular SRAM allocator. Clones share the pool.
@@ -37,8 +40,18 @@ impl SramPool {
                 capacity,
                 used: 0,
                 high_water: 0,
+                gauge: None,
             })),
         }
+    }
+
+    /// Mirror the pool's occupancy (and hence its high-water mark) into a
+    /// registry gauge. The gauge cell may be shared cluster-wide, so the
+    /// pool publishes add/sub deltas rather than absolute levels.
+    pub fn attach_gauge(&self, gauge: Gauge) {
+        let mut st = self.inner.lock();
+        gauge.add(st.used);
+        st.gauge = Some(gauge);
     }
 
     /// Try to lease `len` bytes; `None` if the pool cannot satisfy it.
@@ -49,6 +62,9 @@ impl SramPool {
         }
         st.used += len;
         st.high_water = st.high_water.max(st.used);
+        if let Some(g) = &st.gauge {
+            g.add(len);
+        }
         Some(SramLease {
             pool: self.clone(),
             len,
@@ -85,7 +101,11 @@ impl SramLease {
 
 impl Drop for SramLease {
     fn drop(&mut self) {
-        self.pool.inner.lock().used -= self.len;
+        let mut st = self.pool.inner.lock();
+        st.used -= self.len;
+        if let Some(g) = &st.gauge {
+            g.sub(self.len);
+        }
     }
 }
 

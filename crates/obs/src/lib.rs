@@ -29,7 +29,10 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+pub mod critpath;
+pub mod timeseries;
 pub mod trace;
+pub mod watchdog;
 
 pub use trace::intern;
 
@@ -587,6 +590,47 @@ mod tests {
         let s = m.histogram("empty").snap();
         assert_eq!(s.p50(), 0.0);
         assert_eq!(s.p99(), 0.0);
+        assert_eq!(s.quantile(0.0), 0.0);
+        assert_eq!(s.quantile(1.0), 0.0);
+    }
+
+    #[test]
+    fn quantiles_of_single_sample_are_exact() {
+        let m = Metrics::new();
+        let h = m.histogram("lat");
+        h.record(777);
+        let s = h.snap();
+        // One sample: min == max == 777, so the bucket interpolation must
+        // clamp every quantile to the observed value.
+        for q in [0.0, 0.01, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 777.0, "q = {q}");
+        }
+        // A zero-valued single sample exercises bucket 0's (0, 0) range.
+        let z = m.histogram("zero");
+        z.record(0);
+        let s = z.snap();
+        assert_eq!(s.p50(), 0.0);
+        assert_eq!(s.p99(), 0.0);
+    }
+
+    #[test]
+    fn p99_of_two_samples_lands_on_the_larger() {
+        let m = Metrics::new();
+        let h = m.histogram("lat");
+        h.record(1);
+        h.record(1000);
+        let s = h.snap();
+        // rank = 0.99 × 2 = 1.98 falls in the second sample's bucket
+        // [512, 1024); interpolation then clamps to the observed max.
+        assert_eq!(s.p99(), 1000.0);
+        assert_eq!(s.quantile(1.0), 1000.0);
+        // The low quantiles stay inside the smaller sample's bucket and
+        // never exceed the larger sample.
+        assert!(s.p50() >= s.min as f64 && s.p50() <= s.max as f64);
+        assert!(s.p50() <= s.p99());
+        // Out-of-range q is clamped, not extrapolated.
+        assert_eq!(s.quantile(2.0), 1000.0);
+        assert!(s.quantile(-1.0) >= s.min as f64);
     }
 
     #[test]

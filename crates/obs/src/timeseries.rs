@@ -1,0 +1,444 @@
+//! Continuous resource telemetry: sampled occupancy series on the sim clock.
+//!
+//! Counters ([`crate::Metrics`]) aggregate over a whole run and the tracer
+//! ([`crate::trace`]) follows individual messages; neither shows how
+//! *occupancy* — queue depths, go-back-N windows, NIC SRAM, pinned host
+//! memory, link backlog — evolves **during** a run. This module adds that
+//! time dimension:
+//!
+//! * Components register [`Probe`]s at construction time: a name, the node
+//!   it belongs to, an optional capacity, and a sampling closure.
+//! * A driver (the simulator's telemetry tick — this crate sits below the
+//!   engine and never schedules anything itself) calls
+//!   [`TimeSeries::sample_all`] at a fixed virtual-time period; every probe
+//!   is read and the `(t_ns, value)` point lands in a bounded per-probe
+//!   ring.
+//! * Snapshots serialize to deterministic JSON (probes sorted by name,
+//!   virtual timestamps only) so fixed seeds produce byte-identical files,
+//!   and feed Perfetto counter tracks
+//!   ([`crate::trace::to_chrome_json_with_counters`]).
+//! * Probes with a declared capacity track how many *consecutive* samples
+//!   sat at or above it — the stall watchdog's "pegged" signal
+//!   ([`crate::watchdog`]).
+//!
+//! Sampling closures run under the registry lock and must not call back
+//! into the [`TimeSeries`] they are registered with.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use crate::json_escape;
+
+/// Pseudo-node id for fabric-wide probes (per-link backlog, trunk
+/// utilization) that belong to no single host. Rendered as node `-1` in
+/// JSON and grouped under a synthetic "fabric" process in Perfetto.
+pub const FABRIC_NODE: u32 = u32::MAX;
+
+/// Default bound on each probe's sample ring. At the default 10 µs sampling
+/// period this keeps ~41 ms of history per probe.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+type SampleFn = Box<dyn Fn(u64) -> u64 + Send + Sync>;
+
+struct Probe {
+    name: String,
+    node: u32,
+    capacity: Option<u64>,
+    sample: SampleFn,
+    ring: VecDeque<(u64, u64)>,
+    evicted: u64,
+    /// Consecutive samples at/above `capacity` (0 when capacity is None).
+    pegged_streak: u32,
+    /// The watchdog already reported this probe as pegged.
+    pegged_flagged: bool,
+}
+
+struct Inner {
+    probes: Vec<Probe>,
+    ring_capacity: usize,
+    samples_taken: u64,
+    last_sample_ns: u64,
+}
+
+/// The probe registry plus the bounded sample rings. One per simulation,
+/// held (like [`crate::Metrics`]) outside the engine lock.
+pub struct TimeSeries {
+    inner: Mutex<Inner>,
+}
+
+impl Default for TimeSeries {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeSeries {
+    /// Empty registry with [`DEFAULT_RING_CAPACITY`] samples per probe.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// Empty registry keeping the last `ring_capacity` samples per probe.
+    pub fn with_capacity(ring_capacity: usize) -> Self {
+        TimeSeries {
+            inner: Mutex::new(Inner {
+                probes: Vec::new(),
+                ring_capacity: ring_capacity.max(1),
+                samples_taken: 0,
+                last_sample_ns: 0,
+            }),
+        }
+    }
+
+    /// Register a probe. `sample` is called with the current virtual time
+    /// in nanoseconds at every sampling tick and must be cheap and
+    /// side-effect-free. `capacity` (when known) declares the level at
+    /// which the resource is *full*, enabling pegged-at-capacity detection.
+    ///
+    /// Panics on a duplicate name: probe names are the JSON identity and
+    /// must be unique per run.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        node: u32,
+        capacity: Option<u64>,
+        sample: impl Fn(u64) -> u64 + Send + Sync + 'static,
+    ) {
+        let name = name.into();
+        let mut inner = self.inner.lock().expect("timeseries poisoned");
+        assert!(
+            !inner.probes.iter().any(|p| p.name == name),
+            "duplicate telemetry probe {name:?}"
+        );
+        let cap = inner.ring_capacity;
+        inner.probes.push(Probe {
+            name,
+            node,
+            capacity,
+            sample: Box::new(sample),
+            ring: VecDeque::with_capacity(cap.min(1024)),
+            evicted: 0,
+            pegged_streak: 0,
+            pegged_flagged: false,
+        });
+    }
+
+    /// Number of registered probes.
+    pub fn probe_count(&self) -> usize {
+        self.inner.lock().expect("timeseries poisoned").probes.len()
+    }
+
+    /// Sorted names of every registered probe.
+    pub fn probe_names(&self) -> Vec<String> {
+        let inner = self.inner.lock().expect("timeseries poisoned");
+        let mut names: Vec<String> = inner.probes.iter().map(|p| p.name.clone()).collect();
+        names.sort();
+        names
+    }
+
+    /// Sampling ticks taken so far.
+    pub fn samples_taken(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("timeseries poisoned")
+            .samples_taken
+    }
+
+    /// Read every probe at virtual time `now_ns` and append the points to
+    /// the rings (evicting the oldest points when full). Called by the
+    /// simulator's telemetry tick; probes are visited in registration
+    /// order, which is deterministic under a fixed seed.
+    pub fn sample_all(&self, now_ns: u64) {
+        let mut inner = self.inner.lock().expect("timeseries poisoned");
+        let ring_capacity = inner.ring_capacity;
+        inner.samples_taken += 1;
+        inner.last_sample_ns = now_ns;
+        for p in inner.probes.iter_mut() {
+            let v = (p.sample)(now_ns);
+            if p.ring.len() >= ring_capacity {
+                p.ring.pop_front();
+                p.evicted += 1;
+            }
+            p.ring.push_back((now_ns, v));
+            match p.capacity {
+                Some(cap) if cap > 0 && v >= cap => {
+                    p.pegged_streak = p.pegged_streak.saturating_add(1)
+                }
+                _ => {
+                    p.pegged_streak = 0;
+                    p.pegged_flagged = false;
+                }
+            }
+        }
+    }
+
+    /// Probes that have now been at/above their declared capacity for at
+    /// least `min_samples` consecutive samples and were not yet reported.
+    /// Each probe is returned once per continuous pegged episode (the flag
+    /// rearms when the probe drops below capacity). Returns
+    /// `(name, capacity, streak)` tuples.
+    pub fn newly_pegged(&self, min_samples: u32) -> Vec<(String, u64, u32)> {
+        let mut inner = self.inner.lock().expect("timeseries poisoned");
+        let mut out = Vec::new();
+        for p in inner.probes.iter_mut() {
+            if !p.pegged_flagged && p.capacity.is_some() && p.pegged_streak >= min_samples.max(1) {
+                p.pegged_flagged = true;
+                out.push((p.name.clone(), p.capacity.unwrap_or(0), p.pegged_streak));
+            }
+        }
+        out
+    }
+
+    /// Point-in-time copy of every probe's ring, sorted by probe name.
+    pub fn snapshot(&self) -> TimeSeriesSnapshot {
+        let inner = self.inner.lock().expect("timeseries poisoned");
+        let mut series: Vec<SeriesSnapshot> = inner
+            .probes
+            .iter()
+            .map(|p| SeriesSnapshot {
+                name: p.name.clone(),
+                node: p.node,
+                capacity: p.capacity,
+                evicted: p.evicted,
+                points: p.ring.iter().copied().collect(),
+            })
+            .collect();
+        series.sort_by(|a, b| a.name.cmp(&b.name));
+        TimeSeriesSnapshot {
+            samples_taken: inner.samples_taken,
+            series,
+        }
+    }
+
+    /// Render the last `max_points` samples of every probe — the telemetry
+    /// window the stall watchdog dumps to stderr next to the flight
+    /// recorder.
+    pub fn render_last_window(&self, max_points: usize) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        for s in &snap.series {
+            let skip = s.points.len().saturating_sub(max_points);
+            let _ = write!(out, "  {}", s.name);
+            if let Some(cap) = s.capacity {
+                let _ = write!(out, " (cap {cap})");
+            }
+            out.push_str(": ");
+            for (i, (t, v)) in s.points.iter().skip(skip).enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{v}@{t}ns");
+            }
+            if s.points.is_empty() {
+                out.push_str("(no samples)");
+            }
+            out.push('\n');
+        }
+        if out.is_empty() {
+            out.push_str("  (no probes registered)\n");
+        }
+        out
+    }
+}
+
+/// One probe's sampled history.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeriesSnapshot {
+    /// Probe name (unique per run).
+    pub name: String,
+    /// Owning node, or [`FABRIC_NODE`] for fabric-wide probes.
+    pub node: u32,
+    /// Declared capacity, when the resource has one.
+    pub capacity: Option<u64>,
+    /// Points evicted from the bounded ring before this snapshot.
+    pub evicted: u64,
+    /// `(t_ns, value)` samples, oldest first, strictly increasing in time.
+    pub points: Vec<(u64, u64)>,
+}
+
+/// A full registry snapshot: every probe's ring, sorted by name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimeSeriesSnapshot {
+    /// Sampling ticks taken over the whole run (≥ points kept per ring).
+    pub samples_taken: u64,
+    /// Per-probe series, sorted by probe name.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+impl TimeSeriesSnapshot {
+    /// No probes registered?
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Series by probe name.
+    pub fn series(&self, name: &str) -> Option<&SeriesSnapshot> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Serialize as deterministic JSON: probes sorted by name, points in
+    /// time order, no floats, no wall-clock anywhere — fixed seeds produce
+    /// byte-identical output. Fabric-wide probes render `"node": -1`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"samples_taken\": {},\n  \"series\": [",
+            self.samples_taken
+        );
+        for (i, s) in self.series.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let node = if s.node == FABRIC_NODE {
+                "-1".to_string()
+            } else {
+                s.node.to_string()
+            };
+            let cap = s
+                .capacity
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "null".to_string());
+            let _ = write!(
+                out,
+                "    {{\"name\": \"{}\", \"node\": {node}, \"capacity\": {cap}, \
+                 \"evicted\": {}, \"points\": [",
+                json_escape(&s.name),
+                s.evicted
+            );
+            for (j, (t, v)) in s.points.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "[{t}, {v}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str(if self.series.is_empty() {
+            "]\n}\n"
+        } else {
+            "\n  ]\n}\n"
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probes_sample_in_time_order() {
+        let ts = TimeSeries::new();
+        ts.register("a.depth", 0, Some(4), |_| 2);
+        ts.register("b.level", 1, None, |now| now / 10);
+        ts.sample_all(0);
+        ts.sample_all(10);
+        ts.sample_all(20);
+        let snap = ts.snapshot();
+        assert_eq!(snap.samples_taken, 3);
+        let a = snap.series("a.depth").expect("probe a");
+        assert_eq!(a.points, vec![(0, 2), (10, 2), (20, 2)]);
+        assert_eq!(a.capacity, Some(4));
+        let b = snap.series("b.level").expect("probe b");
+        assert_eq!(b.points, vec![(0, 0), (10, 1), (20, 2)]);
+        assert!(b.capacity.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate telemetry probe")]
+    fn duplicate_probe_names_panic() {
+        let ts = TimeSeries::new();
+        ts.register("x", 0, None, |_| 0);
+        ts.register("x", 0, None, |_| 0);
+    }
+
+    #[test]
+    fn rings_are_bounded() {
+        let ts = TimeSeries::with_capacity(3);
+        ts.register("q", 0, None, |now| now);
+        for t in 0..10 {
+            ts.sample_all(t);
+        }
+        let s = ts.snapshot();
+        let q = s.series("q").unwrap();
+        assert_eq!(q.points, vec![(7, 7), (8, 8), (9, 9)]);
+        assert_eq!(q.evicted, 7);
+        assert_eq!(s.samples_taken, 10);
+    }
+
+    #[test]
+    fn pegged_detection_requires_consecutive_samples() {
+        let ts = TimeSeries::new();
+        let level = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(8));
+        let l2 = level.clone();
+        ts.register("full", 0, Some(8), move |_| {
+            l2.load(std::sync::atomic::Ordering::Relaxed)
+        });
+        ts.sample_all(0);
+        ts.sample_all(1);
+        assert!(ts.newly_pegged(3).is_empty(), "streak of 2 < 3");
+        // A dip resets the streak.
+        level.store(0, std::sync::atomic::Ordering::Relaxed);
+        ts.sample_all(2);
+        level.store(9, std::sync::atomic::Ordering::Relaxed);
+        ts.sample_all(3);
+        ts.sample_all(4);
+        assert!(ts.newly_pegged(3).is_empty(), "streak restarted after dip");
+        ts.sample_all(5);
+        let pegged = ts.newly_pegged(3);
+        assert_eq!(pegged.len(), 1);
+        assert_eq!(pegged[0].0, "full");
+        assert_eq!(pegged[0].1, 8);
+        assert_eq!(pegged[0].2, 3);
+        // Reported once per episode.
+        ts.sample_all(6);
+        assert!(ts.newly_pegged(3).is_empty());
+    }
+
+    #[test]
+    fn json_is_sorted_and_deterministic() {
+        let build = || {
+            let ts = TimeSeries::new();
+            ts.register("z.last", 1, None, |_| 7);
+            ts.register("a.first", 0, Some(10), |_| 3);
+            ts.register("fabric.link", FABRIC_NODE, None, |_| 1);
+            ts.sample_all(100);
+            ts.sample_all(200);
+            ts.snapshot().to_json()
+        };
+        let j1 = build();
+        let j2 = build();
+        assert_eq!(j1, j2, "same construction ⇒ byte-identical JSON");
+        let a = j1.find("a.first").expect("a.first present");
+        let f = j1.find("fabric.link").expect("fabric.link present");
+        let z = j1.find("z.last").expect("z.last present");
+        assert!(a < f && f < z, "series sorted by name");
+        assert!(j1.contains("\"node\": -1"), "fabric node renders as -1");
+        assert!(j1.contains("\"capacity\": null"));
+        assert!(j1.contains("\"capacity\": 10"));
+        assert!(j1.contains("[100, 3], [200, 3]"));
+        let depth = j1.chars().fold(0i32, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0, "balanced JSON");
+    }
+
+    #[test]
+    fn empty_registry_serializes() {
+        let j = TimeSeries::new().snapshot().to_json();
+        assert!(j.contains("\"series\": []"));
+    }
+
+    #[test]
+    fn last_window_renders_capacity_and_values() {
+        let ts = TimeSeries::new();
+        ts.register("n0.q", 0, Some(4), |_| 4);
+        ts.sample_all(10);
+        ts.sample_all(20);
+        let w = ts.render_last_window(1);
+        assert!(w.contains("n0.q (cap 4): 4@20ns"), "{w}");
+        assert!(!w.contains("4@10ns"), "window bounded: {w}");
+    }
+}

@@ -128,6 +128,21 @@ pub enum TracePhase {
 pub mod stage {
     /// Library composes the send descriptor and traps (span, tx node).
     pub const SEND: &str = "api:send";
+    /// Library-side request composition before the trap (span, tx node;
+    /// nested inside [`SEND`]).
+    pub const COMPOSE: &str = "api:compose";
+    /// Kernel entry cost of the one send trap (span, tx node).
+    pub const K_TRAP_ENTER: &str = "kernel:trap_enter";
+    /// Kernel send dispatch + security checks — the copyin/validate half
+    /// of the paper's "filling sending request" (span, tx node).
+    pub const K_DISPATCH: &str = "kernel:dispatch";
+    /// Pin-down page-table lookup / pin of the user buffer (span, tx node).
+    pub const K_PIN: &str = "kernel:pin";
+    /// Descriptor PIO fill + doorbell — the other half of the request fill
+    /// (span, tx node).
+    pub const K_PIO: &str = "kernel:pio";
+    /// Kernel exit cost of the send trap (span, tx node).
+    pub const K_TRAP_EXIT: &str = "kernel:trap_exit";
     /// Library consumed a receive-completion event (instant, rx node).
     pub const POLL_RECV: &str = "api:poll_recv";
     /// Library consumed a send-completion event (instant, tx node).
@@ -492,6 +507,27 @@ pub fn intern(s: &str) -> &'static str {
 /// `chrome://tracing` load): one process per node, one thread per layer,
 /// timestamps in microseconds of virtual time.
 pub fn to_chrome_json(events: &[TraceEvent]) -> String {
+    to_chrome_json_with_counters(
+        events,
+        &crate::timeseries::TimeSeriesSnapshot {
+            samples_taken: 0,
+            series: Vec::new(),
+        },
+    )
+}
+
+/// Perfetto pid hosting fabric-wide counter tracks (probes registered under
+/// [`crate::timeseries::FABRIC_NODE`]).
+pub const FABRIC_PID: u32 = 9999;
+
+/// Like [`to_chrome_json`], but merges sampled telemetry in as Perfetto
+/// counter tracks (`"ph": "C"`), one per probe, so occupancy curves render
+/// beneath the message spans of the node they belong to. Fabric-wide
+/// probes land in a synthetic "fabric" process ([`FABRIC_PID`]).
+pub fn to_chrome_json_with_counters(
+    events: &[TraceEvent],
+    counters: &crate::timeseries::TimeSeriesSnapshot,
+) -> String {
     let mut out = String::from("{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n");
     let mut first = true;
     let push = |out: &mut String, first: &mut bool, line: &str| {
@@ -508,7 +544,15 @@ pub fn to_chrome_json(events: &[TraceEvent]) -> String {
     for ev in events {
         tracks.insert((ev.node, ev.layer));
     }
-    let nodes: BTreeSet<u32> = tracks.iter().map(|(n, _)| *n).collect();
+    let mut nodes: BTreeSet<u32> = tracks.iter().map(|(n, _)| *n).collect();
+    let mut fabric_counters = false;
+    for s in &counters.series {
+        if s.node == crate::timeseries::FABRIC_NODE {
+            fabric_counters = true;
+        } else {
+            nodes.insert(s.node);
+        }
+    }
     for node in &nodes {
         push(
             &mut out,
@@ -516,6 +560,16 @@ pub fn to_chrome_json(events: &[TraceEvent]) -> String {
             &format!(
                 "  {{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": {node}, \"tid\": 0, \
                  \"args\": {{\"name\": \"node {node}\"}}}}"
+            ),
+        );
+    }
+    if fabric_counters {
+        push(
+            &mut out,
+            &mut first,
+            &format!(
+                "  {{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": {FABRIC_PID}, \
+                 \"tid\": 0, \"args\": {{\"name\": \"fabric\"}}}}"
             ),
         );
     }
@@ -563,6 +617,28 @@ pub fn to_chrome_json(events: &[TraceEvent]) -> String {
             }
         };
         push(&mut out, &mut first, &line);
+    }
+
+    // Telemetry probes as counter tracks, one per probe, under the pid of
+    // the node they belong to.
+    for s in &counters.series {
+        let pid = if s.node == crate::timeseries::FABRIC_NODE {
+            FABRIC_PID
+        } else {
+            s.node
+        };
+        let name = json_escape(&s.name);
+        for &(t, v) in &s.points {
+            push(
+                &mut out,
+                &mut first,
+                &format!(
+                    "  {{\"ph\": \"C\", \"name\": \"{name}\", \"pid\": {pid}, \"tid\": 0, \
+                     \"ts\": {:.3}, \"args\": {{\"value\": {v}}}}}",
+                    t as f64 / 1000.0
+                ),
+            );
+        }
     }
     out.push_str("\n]}\n");
     out
@@ -672,7 +748,7 @@ impl CompletenessReport {
 /// Stages that close a chain: the sender or receiver consumed a completion
 /// event, the sender gave up after exhausting retries, or the receiver
 /// dropped the message as a *counted* drop.
-fn is_terminal(stage_name: &str) -> bool {
+pub fn is_terminal(stage_name: &str) -> bool {
     matches!(
         stage_name,
         stage::POLL_RECV
@@ -985,6 +1061,38 @@ mod tests {
         assert!(j.contains("\"process_name\""));
         assert!(j.contains("\"name\": \"node 0\""));
         assert!(j.contains("\"name\": \"api:send\""));
+        let depth = j.chars().fold(0i32, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn chrome_json_merges_counter_tracks() {
+        let ts = crate::timeseries::TimeSeries::new();
+        ts.register("n0.mcp.send_queue", 0, Some(64), |_| 3);
+        ts.register(
+            "link.sw0->n1.backlog_bytes",
+            crate::timeseries::FABRIC_NODE,
+            None,
+            |_| 4096,
+        );
+        ts.sample_all(1_000);
+        ts.sample_all(2_000);
+        let j = to_chrome_json_with_counters(&closed_chain(2), &ts.snapshot());
+        assert!(j.contains("\"ph\": \"C\""), "counter events present");
+        assert!(j.contains("\"name\": \"n0.mcp.send_queue\""));
+        assert!(
+            j.contains(&format!("\"pid\": {FABRIC_PID}")),
+            "fabric probe under the fabric pseudo-process"
+        );
+        assert!(j.contains("\"name\": \"fabric\""));
+        assert!(j.contains("\"ts\": 1.000"), "sample at 1 us");
+        assert!(j.contains("\"args\": {\"value\": 4096}"));
+        // Still a balanced document with the span events intact.
+        assert!(j.contains("\"ph\": \"X\""));
         let depth = j.chars().fold(0i32, |d, c| match c {
             '{' | '[' => d + 1,
             '}' | ']' => d - 1,

@@ -1,0 +1,280 @@
+//! Stall watchdog: turns "the simulation silently degraded" into a
+//! first-class, dumped, counted event.
+//!
+//! Two stall signals, both checked from the simulator's telemetry tick:
+//!
+//! 1. **Open chain over budget** — a traced message recorded an
+//!    [`stage::SEND`](crate::trace::stage::SEND) but no terminal stage, and
+//!    its newest event is older than a configurable sim-time budget. A
+//!    wedged retransmission loop keeps generating events, so the chain
+//!    stays in the ring while never closing — exactly the livelock shape a
+//!    deadlock detector misses.
+//! 2. **Probe pegged at capacity** — a telemetry probe with a declared
+//!    capacity sat at/above it for M consecutive samples
+//!    ([`TimeSeries::newly_pegged`]).
+//!
+//! On the first stall the watchdog dumps the flight recorder
+//! ([`MsgTracer::dump_once`]) and the last telemetry window to stderr;
+//! every distinct stalled chain/probe increments the `watchdog.stalls`
+//! counter exactly once, so clean runs can assert `watchdog.stalls == 0`.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::timeseries::TimeSeries;
+use crate::trace::{is_terminal, stage, MsgTracer, TraceId};
+use crate::{Counter, Metrics};
+
+/// Stall thresholds. The defaults are deliberately generous: they must stay
+/// silent across every clean harness (including 128 KB bandwidth sweeps
+/// where a single message legitimately lives for ~1 ms of virtual time)
+/// while still firing within a bounded sim-time on a genuinely wedged run.
+#[derive(Clone, Debug)]
+pub struct WatchdogConfig {
+    /// Flag a chain whose newest event is older than this and which never
+    /// reached a terminal stage (virtual nanoseconds).
+    pub chain_budget_ns: u64,
+    /// Flag a probe at/above its capacity for this many consecutive
+    /// samples.
+    pub pegged_samples: u32,
+    /// Run the (comparatively expensive) checks every N sampling ticks.
+    pub check_every: u32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            // 250 ms of virtual time: ~250× the longest clean message
+            // lifetime observed across the repro harnesses.
+            chain_budget_ns: 250_000_000,
+            // At the default 10 µs period: ~5 ms continuously full.
+            pegged_samples: 512,
+            check_every: 50,
+        }
+    }
+}
+
+struct WatchState {
+    flagged_chains: std::collections::BTreeSet<(u32, u32)>,
+    telemetry_dumped: bool,
+}
+
+/// The stall detector. One per simulation, driven by the telemetry tick.
+pub struct Watchdog {
+    cfg: WatchdogConfig,
+    stalls: Counter,
+    state: Mutex<WatchState>,
+}
+
+impl Watchdog {
+    /// Build a watchdog and register its `watchdog.stalls` counter (so the
+    /// zero shows up in every snapshot — "0 stalls" is the clean-run
+    /// claim).
+    pub fn new(cfg: WatchdogConfig, metrics: &Metrics) -> Self {
+        Watchdog {
+            cfg,
+            stalls: metrics.counter("watchdog.stalls"),
+            state: Mutex::new(WatchState {
+                flagged_chains: std::collections::BTreeSet::new(),
+                telemetry_dumped: false,
+            }),
+        }
+    }
+
+    /// Configured thresholds.
+    pub fn config(&self) -> &WatchdogConfig {
+        &self.cfg
+    }
+
+    /// Stalls counted so far.
+    pub fn stalls(&self) -> u64 {
+        self.stalls.get()
+    }
+
+    /// Run both stall checks at virtual time `now_ns`. Returns the number
+    /// of *new* stalls (each distinct chain/probe is counted once).
+    pub fn check(&self, now_ns: u64, tracer: &MsgTracer, series: &TimeSeries) -> u32 {
+        let mut new_stalls = 0u32;
+
+        // Signal 1: open chains over budget. A chain whose SEND survives in
+        // the bounded ring is by construction recent enough to judge; once
+        // the SEND is evicted the chain is skipped (eviction is
+        // oldest-first, so a terminal can never be evicted before its
+        // send).
+        let events = tracer.events();
+        let mut chains: BTreeMap<TraceId, (bool, bool, u64)> = BTreeMap::new();
+        for ev in &events {
+            if ev.trace.is_none() {
+                continue;
+            }
+            let e = chains.entry(ev.trace).or_insert((false, false, 0));
+            if ev.stage.as_ref() == stage::SEND {
+                e.0 = true;
+            }
+            if is_terminal(ev.stage.as_ref()) {
+                e.1 = true;
+            }
+            e.2 = e.2.max(ev.end_ns);
+        }
+        for (trace, (has_send, closed, last_ns)) in chains {
+            if !has_send || closed {
+                continue;
+            }
+            let age = now_ns.saturating_sub(last_ns);
+            if age <= self.cfg.chain_budget_ns {
+                continue;
+            }
+            let fresh = {
+                let mut st = self.state.lock().expect("watchdog poisoned");
+                st.flagged_chains.insert((trace.origin, trace.msg_id))
+            };
+            if fresh {
+                self.stalls.inc();
+                new_stalls += 1;
+                self.trip(
+                    &format!(
+                        "watchdog: chain (origin {}, msg {}) open for {age} ns \
+                         (budget {} ns) at t={now_ns} ns",
+                        trace.origin, trace.msg_id, self.cfg.chain_budget_ns
+                    ),
+                    tracer,
+                    series,
+                );
+            }
+        }
+
+        // Signal 2: probes pegged at capacity. `newly_pegged` reports each
+        // probe once per continuous episode.
+        for (name, cap, streak) in series.newly_pegged(self.cfg.pegged_samples) {
+            self.stalls.inc();
+            new_stalls += 1;
+            self.trip(
+                &format!(
+                    "watchdog: probe {name} pegged at capacity {cap} for \
+                     {streak} consecutive samples at t={now_ns} ns"
+                ),
+                tracer,
+                series,
+            );
+        }
+        new_stalls
+    }
+
+    /// Stall response: one flight-recorder dump per run (the tracer's
+    /// one-shot), one telemetry-window dump per run, and a stderr line per
+    /// stall.
+    fn trip(&self, reason: &str, tracer: &MsgTracer, series: &TimeSeries) {
+        eprintln!("[watchdog] {reason}");
+        tracer.dump_once(reason);
+        let dump_window = {
+            let mut st = self.state.lock().expect("watchdog poisoned");
+            !std::mem::replace(&mut st.telemetry_dumped, true)
+        };
+        if dump_window {
+            eprintln!("==== telemetry window (last 16 samples per probe) ====");
+            eprint!("{}", series.render_last_window(16));
+            eprintln!("==== end telemetry window ====");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceEvent, TraceLayer};
+
+    fn open_chain(tracer: &MsgTracer, msg: u32, at_ns: u64) {
+        let t = TraceId::new(0, msg);
+        tracer.record(TraceEvent::span(
+            t,
+            0,
+            TraceLayer::Library,
+            stage::SEND,
+            at_ns,
+            at_ns + 100,
+        ));
+        tracer.record(
+            TraceEvent::span(
+                t,
+                0,
+                TraceLayer::Mcp,
+                stage::INJECT,
+                at_ns + 100,
+                at_ns + 150,
+            )
+            .with_seq(0),
+        );
+    }
+
+    #[test]
+    fn open_chain_over_budget_counts_once() {
+        let m = Metrics::new();
+        let tracer = MsgTracer::new();
+        let ts = TimeSeries::new();
+        let wd = Watchdog::new(
+            WatchdogConfig {
+                chain_budget_ns: 1_000,
+                pegged_samples: 4,
+                check_every: 1,
+            },
+            &m,
+        );
+        open_chain(&tracer, 2, 0);
+        assert_eq!(wd.check(500, &tracer, &ts), 0, "within budget");
+        assert_eq!(wd.check(5_000, &tracer, &ts), 1, "over budget");
+        assert_eq!(wd.check(9_000, &tracer, &ts), 0, "same chain not recounted");
+        assert_eq!(wd.stalls(), 1);
+        assert_eq!(m.get("watchdog.stalls"), 1);
+        assert!(tracer.has_dumped(), "flight recorder tripped");
+    }
+
+    #[test]
+    fn closed_chain_never_stalls() {
+        let m = Metrics::new();
+        let tracer = MsgTracer::new();
+        let ts = TimeSeries::new();
+        let wd = Watchdog::new(
+            WatchdogConfig {
+                chain_budget_ns: 1_000,
+                pegged_samples: 4,
+                check_every: 1,
+            },
+            &m,
+        );
+        open_chain(&tracer, 2, 0);
+        tracer.record(TraceEvent::instant(
+            TraceId::new(0, 2),
+            1,
+            TraceLayer::Library,
+            stage::POLL_RECV,
+            400,
+        ));
+        assert_eq!(wd.check(1_000_000, &tracer, &ts), 0);
+        assert_eq!(wd.stalls(), 0);
+        assert!(!tracer.has_dumped());
+    }
+
+    #[test]
+    fn pegged_probe_counts_as_stall() {
+        let m = Metrics::new();
+        let tracer = MsgTracer::new();
+        let ts = TimeSeries::new();
+        ts.register("n0.sram", 0, Some(8), |_| 8);
+        let wd = Watchdog::new(
+            WatchdogConfig {
+                chain_budget_ns: 1_000_000,
+                pegged_samples: 3,
+                check_every: 1,
+            },
+            &m,
+        );
+        for t in 0..3u64 {
+            ts.sample_all(t * 10);
+        }
+        assert_eq!(wd.check(30, &tracer, &ts), 1);
+        assert_eq!(wd.stalls(), 1);
+        // Still pegged — but the episode was already reported.
+        ts.sample_all(40);
+        assert_eq!(wd.check(50, &tracer, &ts), 0);
+    }
+}

@@ -86,6 +86,12 @@ pub(crate) struct SimInner {
     /// Per-message causal tracer / flight recorder. Also outside the engine
     /// mutex so protocol code can record events from anywhere.
     mtrace: suca_obs::trace::MsgTracer,
+    /// Continuous-telemetry probe registry (sim-clock sampled rings). Also
+    /// outside the engine mutex: probes are registered at construction time
+    /// and sampled only from the telemetry tick.
+    timeseries: suca_obs::timeseries::TimeSeries,
+    /// Guard so `start_telemetry` arms exactly one sampler per run.
+    pub(crate) telemetry_started: std::sync::atomic::AtomicBool,
 }
 
 /// Handle to one simulation. Cheap to clone; all clones refer to the same
@@ -118,6 +124,8 @@ impl Sim {
                 }),
                 metrics,
                 mtrace: suca_obs::trace::MsgTracer::new(),
+                timeseries: suca_obs::timeseries::TimeSeries::new(),
+                telemetry_started: std::sync::atomic::AtomicBool::new(false),
             }),
         }
     }
@@ -438,6 +446,29 @@ impl Sim {
     /// diagnosis).
     pub fn events_dispatched(&self) -> u64 {
         self.inner.state.lock().dispatched
+    }
+
+    /// The continuous-telemetry probe registry. Components register named
+    /// probes at construction time; the telemetry tick (see
+    /// [`Sim::start_telemetry`](crate::telemetry)) samples them on the sim
+    /// clock.
+    pub fn timeseries(&self) -> &suca_obs::timeseries::TimeSeries {
+        &self.inner.timeseries
+    }
+
+    /// Number of live (non-cancelled) events still in the queue. Used by the
+    /// telemetry sampler to decide whether to reschedule itself: when the
+    /// tick is the only thing left, the run is over and the sampler stops.
+    pub fn pending_events(&self) -> usize {
+        let st = self.inner.state.lock();
+        st.queue
+            .iter()
+            .filter(|Reverse(e)| !st.cancelled.contains(&e.seq))
+            .count()
+    }
+
+    pub(crate) fn inner(&self) -> &SimInner {
+        &self.inner
     }
 }
 

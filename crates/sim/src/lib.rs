@@ -37,6 +37,7 @@ mod engine;
 mod rng;
 mod signal;
 mod stats;
+mod telemetry;
 mod time;
 mod trace;
 
@@ -45,6 +46,7 @@ pub use engine::{EventId, RunOutcome, Sim};
 pub use rng::SimRng;
 pub use signal::{Semaphore, Signal};
 pub use stats::{Counters, Samples};
+pub use telemetry::TelemetryConfig;
 pub use time::{SimDuration, SimTime};
 pub use trace::{render_gantt, render_timeline, Span};
 
@@ -58,3 +60,10 @@ pub use suca_obs::{Counter, Gauge, Histogram, Metrics, MetricsSnapshot};
 pub use suca_obs::intern;
 pub use suca_obs::trace as mtrace;
 pub use suca_obs::trace::{MsgTracer, TraceEvent, TraceId, TraceLayer, TracePhase};
+
+// Continuous telemetry (probe rings), per-message critical-path analysis,
+// and the stall watchdog (see the matching suca-obs modules).
+pub use suca_obs::critpath;
+pub use suca_obs::timeseries;
+pub use suca_obs::timeseries::{TimeSeries, TimeSeriesSnapshot, FABRIC_NODE};
+pub use suca_obs::watchdog::{Watchdog, WatchdogConfig};
