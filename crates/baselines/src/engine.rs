@@ -708,7 +708,10 @@ impl EpInner {
 
 fn gbn_encode_and_record(gbn: &mut GbnSender, header: WireHeader, frag: &Bytes) -> Bytes {
     let pkt = header.encode(frag);
-    gbn.record_sent(header.seq, pkt.clone());
+    // `header.seq` was stamped from `next_seq()` under window admission,
+    // so the record cannot be rejected.
+    gbn.record_sent(header.seq, pkt.clone())
+        .expect("seq stamped from next_seq() under window admission");
     pkt
 }
 

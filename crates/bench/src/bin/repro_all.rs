@@ -25,6 +25,7 @@ fn main() {
         "congestion",
         "trace_export",
         "telemetry",
+        "rpc_slo",
     ];
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin dir");

@@ -1,0 +1,389 @@
+//! Service-level benchmark for the RPC layer: a sharded KV service under
+//! closed-loop, overload, and lossy-fabric workloads, on both SANs.
+//!
+//! Three variants, each on Myrinet and the nwrc mesh:
+//!
+//! * **clean** — 32 nodes: 24 client actors multiplexing 2,016 closed-loop
+//!   simulated users over 8 KV shards. Every request must complete; the
+//!   SLO report at a fixed seed is byte-identical across runs (checked by
+//!   running the Myrinet variant twice).
+//! * **overload** — 8 nodes: 6 open-loop arrival processes overdrive 2
+//!   shards well past their service capacity. Admission control must shed
+//!   (bounded queues, counted `Shed` replies) instead of wedging
+//!   go-back-N: the run completes, queues stay within the bound, and the
+//!   watchdog stays silent.
+//! * **loss5** — 4 nodes with 5% per-link packet drop. Go-back-N absorbs
+//!   the loss (counted retransmissions); every request still resolves
+//!   exactly once and the latency tail inflates instead of anything
+//!   hanging.
+//!
+//! Reports land in `target/slo/{variant}_{fabric}.json`; the overload run
+//! also exports its Perfetto trace (RPC spans joined to BCL chains) and
+//! the queue-depth/in-flight timeseries.
+
+use std::sync::{Arc, Mutex};
+
+use suca_bcl::ProcAddr;
+use suca_bench::report::{emit_metrics, write_timeseries_json, write_trace_json_with_counters};
+use suca_cluster::{Cluster, ClusterSpec, SanKind, SimBarrier};
+use suca_load::{
+    run_closed_loop, run_open_loop, ClosedLoopCfg, KvCosts, KvService, LatencyHists, LoadStats,
+    Mix, OpenLoopCfg, SloReport,
+};
+use suca_mesh::MeshConfig;
+use suca_myrinet::{FaultPlan, MyrinetConfig};
+use suca_rpc::{RpcClient, RpcClientConfig, RpcServer, RpcServerConfig};
+use suca_sim::{ActorCtx, RunOutcome, SimDuration};
+
+const SEED: u64 = 0x51_0BEE;
+
+fn spec_for(fabric: &str, nodes: u32, drop_prob: f64) -> ClusterSpec {
+    let fault = FaultPlan {
+        drop_prob,
+        corrupt_prob: 0.0,
+    };
+    let san = match fabric {
+        "myrinet" => {
+            let mut cfg = MyrinetConfig::dawning3000();
+            cfg.fault = fault;
+            SanKind::Myrinet(cfg)
+        }
+        "mesh" => {
+            let mut cfg = MeshConfig::dawning3000();
+            cfg.fault = fault;
+            SanKind::Mesh(cfg)
+        }
+        other => panic!("unknown fabric {other}"),
+    };
+    ClusterSpec::dawning3000(nodes)
+        .with_san(san)
+        .with_seed(SEED)
+}
+
+/// Spread `n_servers` shard nodes evenly across `[0, nodes)`. Both SAN
+/// models reward locality (Myrinet is a linear switch array; the mesh is
+/// a grid), so clumping every server at one end funnels the whole
+/// cluster's traffic through one bisection trunk — interleaving spreads
+/// it over every segment.
+fn interleave_servers(nodes: u32, n_servers: u32) -> Vec<u32> {
+    (0..n_servers).map(|s| s * nodes / n_servers).collect()
+}
+
+/// Shared scaffolding: spawn one KV shard per `server_nodes` entry and
+/// one client actor per remaining node, barrier-synced so no server's
+/// idle clock starts before every client's arena is pinned.
+fn run_cluster(
+    spec: ClusterSpec,
+    server_nodes: &[u32],
+    server_cfg: RpcServerConfig,
+    client_cfg: RpcClientConfig,
+    costs: KvCosts,
+    drive: impl Fn(&mut ActorCtx, &mut RpcClient, &[ProcAddr], u32) -> LoadStats + Send + Sync + 'static,
+) -> (Cluster, LoadStats) {
+    let nodes = spec.nodes;
+    let n_servers = server_nodes.len() as u32;
+    assert!(n_servers < nodes);
+    let cluster = spec.build();
+    let sim = cluster.sim.clone();
+    let barrier = SimBarrier::new(&sim, nodes);
+    let addrs: Arc<Mutex<Vec<Option<ProcAddr>>>> =
+        Arc::new(Mutex::new(vec![None; n_servers as usize]));
+    let totals: Arc<Mutex<LoadStats>> = Arc::new(Mutex::new(LoadStats::default()));
+    for (s, &node) in server_nodes.iter().enumerate() {
+        let (b, a, scfg) = (barrier.clone(), addrs.clone(), server_cfg.clone());
+        cluster.spawn_process(node, "kv-shard", move |ctx, env| {
+            let port = env.open_port(ctx);
+            a.lock().unwrap()[s] = Some(port.addr());
+            let mut srv = RpcServer::new(ctx, port, scfg).expect("shard up");
+            let mut svc = KvService::new(costs);
+            b.wait(ctx);
+            srv.serve_until_idle(ctx, &mut |ctx: &mut ActorCtx, op: u8, req: &[u8]| {
+                svc.handle(ctx, op, req)
+            });
+        });
+    }
+    let drive = Arc::new(drive);
+    let client_nodes: Vec<u32> = (0..nodes).filter(|n| !server_nodes.contains(n)).collect();
+    for (c, &node) in client_nodes.iter().enumerate() {
+        let (b, a, t) = (barrier.clone(), addrs.clone(), totals.clone());
+        let (ccfg, drive) = (client_cfg.clone(), drive.clone());
+        let c = c as u32;
+        cluster.spawn_process(node, "load-client", move |ctx, env| {
+            let port = env.open_port(ctx);
+            let mut cli = RpcClient::new(ctx, port, ccfg).expect("client up");
+            b.wait(ctx);
+            let servers: Vec<ProcAddr> = a
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|x| x.expect("shard ready"))
+                .collect();
+            let stats = drive(ctx, &mut cli, &servers, c);
+            t.lock().unwrap().merge(&stats);
+        });
+    }
+    assert_eq!(sim.run(), RunOutcome::Completed, "rpc_slo workload hung");
+    let stats = *totals.lock().unwrap();
+    (cluster, stats)
+}
+
+const CLEAN_CLIENTS: u32 = 24;
+const CLEAN_USERS_PER_CLIENT: u32 = 84; // 24 x 84 = 2,016 simulated users
+
+fn env_u32(name: &str, default: u32) -> u32 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn run_clean(fabric: &str) -> (Cluster, SloReport) {
+    let n_clients = env_u32("SUCA_RPC_SLO_CLIENTS", CLEAN_CLIENTS);
+    let n_servers = env_u32("SUCA_RPC_SLO_SERVERS", 8);
+    let users_per = env_u32("SUCA_RPC_SLO_USERS", CLEAN_USERS_PER_CLIENT);
+    let nodes = n_clients + n_servers;
+    let server_cfg = RpcServerConfig {
+        queue_cap: 1024,
+        idle_timeout: SimDuration::from_ms(5),
+        ..RpcServerConfig::default()
+    };
+    let client_cfg = RpcClientConfig {
+        timeout: SimDuration::from_ms(5),
+        max_attempts: 3,
+        backoff: SimDuration::from_us(200),
+        arena_slots: users_per,
+        slot_bytes: suca_load::SCAN_BYTES as u64,
+    };
+    let (cluster, stats) = run_cluster(
+        spec_for(fabric, nodes, 0.0),
+        &interleave_servers(nodes, n_servers),
+        server_cfg,
+        client_cfg,
+        KvCosts::default(),
+        move |ctx, cli, servers, actor| {
+            // Think 4–12 ms keeps each shard near 10% utilization and the
+            // fabric's trunk links comfortably underloaded — "clean" must
+            // mean the service layer is the bottleneck nowhere.
+            let cfg = ClosedLoopCfg {
+                users: users_per,
+                ops_per_user: 2,
+                think_min: SimDuration::from_ms(4),
+                think_max: SimDuration::from_ms(12),
+                mix: Mix::default(),
+                user_base: u64::from(actor) * u64::from(users_per),
+            };
+            let mut rng = ctx.sim().fork_rng(&format!("load.clean.client{actor}"));
+            let hists = LatencyHists::new(&ctx.sim().metrics());
+            run_closed_loop(ctx, cli, servers, &mut rng, &cfg, &hists)
+        },
+    );
+    let users = u64::from(n_clients) * u64::from(users_per);
+    let report = SloReport::gather(&cluster.sim, "clean", fabric, nodes, users, &stats);
+    assert!(report.accounted(), "clean/{fabric}: requests leaked");
+    assert_eq!(
+        report.completed, report.issued,
+        "clean/{fabric}: every request must complete (no shed/timeout)"
+    );
+    assert_eq!(report.watchdog_stalls, 0, "clean/{fabric}: watchdog fired");
+    assert_eq!(stats.bad_payloads, 0, "clean/{fabric}: payload corruption");
+    (cluster, report)
+}
+
+fn run_overload(fabric: &str) -> (Cluster, SloReport) {
+    let server_cfg = RpcServerConfig {
+        queue_cap: 16,
+        idle_timeout: SimDuration::from_ms(2),
+        ..RpcServerConfig::default()
+    };
+    // Timeout must outlive the worst admission-queue delay (16 deep at
+    // ~35 µs effective service) so admitted requests complete and overload
+    // resolves through *sheds*, not timeouts.
+    let client_cfg = RpcClientConfig {
+        timeout: SimDuration::from_ms(2),
+        max_attempts: 2,
+        backoff: SimDuration::from_us(100),
+        arena_slots: 32,
+        slot_bytes: suca_load::SCAN_BYTES as u64,
+    };
+    // Overdrive the *service*, not the admission path: 25 µs ops push a
+    // shard's capacity to ~28k ops/s (service + per-message overhead),
+    // while 6 clients x 1/(80 µs) = 75k arrivals/s — amplified further by
+    // shed-retries — offer well past 2 shards' worth. Admission
+    // (~8 µs/arrival) keeps draining at wire pace, so overload resolves
+    // through counted sheds instead of buffer-pool attrition.
+    let costs = KvCosts {
+        get: SimDuration::from_us(25),
+        put: SimDuration::from_us(25),
+        scan: SimDuration::from_us(25),
+    };
+    let (cluster, stats) = run_cluster(
+        spec_for(fabric, 8, 0.0),
+        &interleave_servers(8, 2),
+        server_cfg,
+        client_cfg,
+        costs,
+        |ctx, cli, servers, actor| {
+            let cfg = OpenLoopCfg {
+                mean_interarrival: SimDuration::from_us(80),
+                duration: SimDuration::from_ms(3),
+                users: 50,
+                mix: Mix {
+                    scan_ratio: 0.0, // uniform service time for the capacity math
+                    ..Mix::default()
+                },
+                user_base: u64::from(actor) * 50,
+            };
+            let mut rng = ctx.sim().fork_rng(&format!("load.overload.client{actor}"));
+            let hists = LatencyHists::new(&ctx.sim().metrics());
+            run_open_loop(ctx, cli, servers, &mut rng, &cfg, &hists)
+        },
+    );
+    let report = SloReport::gather(&cluster.sim, "overload", fabric, 8, 300, &stats);
+    assert!(report.accounted(), "overload/{fabric}: requests leaked");
+    assert!(
+        report.srv_sheds > 0,
+        "overload/{fabric}: admission control never shed"
+    );
+    assert!(
+        report.srv_queue_high_water <= 16,
+        "overload/{fabric}: queue bound violated ({})",
+        report.srv_queue_high_water
+    );
+    assert_eq!(
+        report.watchdog_stalls, 0,
+        "overload/{fabric}: overload must degrade, not stall"
+    );
+    (cluster, report)
+}
+
+fn run_loss(fabric: &str) -> (Cluster, SloReport) {
+    let server_cfg = RpcServerConfig {
+        queue_cap: 256,
+        idle_timeout: SimDuration::from_ms(20),
+        ..RpcServerConfig::default()
+    };
+    let client_cfg = RpcClientConfig {
+        timeout: SimDuration::from_ms(10),
+        max_attempts: 3,
+        backoff: SimDuration::from_us(200),
+        arena_slots: 20,
+        slot_bytes: suca_load::SCAN_BYTES as u64,
+    };
+    let (cluster, stats) = run_cluster(
+        spec_for(fabric, 4, 0.05),
+        &interleave_servers(4, 2),
+        server_cfg,
+        client_cfg,
+        KvCosts::default(),
+        |ctx, cli, servers, actor| {
+            let cfg = ClosedLoopCfg {
+                users: 20,
+                ops_per_user: 2,
+                think_min: SimDuration::from_us(300),
+                think_max: SimDuration::from_us(900),
+                mix: Mix::default(),
+                user_base: u64::from(actor) * 20,
+            };
+            let mut rng = ctx.sim().fork_rng(&format!("load.loss.client{actor}"));
+            let hists = LatencyHists::new(&ctx.sim().metrics());
+            run_closed_loop(ctx, cli, servers, &mut rng, &cfg, &hists)
+        },
+    );
+    let report = SloReport::gather(&cluster.sim, "loss5", fabric, 4, 40, &stats);
+    assert!(report.accounted(), "loss5/{fabric}: requests leaked");
+    assert!(
+        cluster.sim.get_count("bcl.retx_packets") > 0,
+        "loss5/{fabric}: 5% drop must force retransmissions"
+    );
+    assert_eq!(
+        report.watchdog_stalls, 0,
+        "loss5/{fabric}: loss must not stall the pipeline"
+    );
+    (cluster, report)
+}
+
+fn main() {
+    println!("-- RPC service layer under load: SLO reports per variant x fabric\n");
+
+    if let Ok(v) = std::env::var("SUCA_RPC_SLO_DEBUG") {
+        let (_c, r) = match v.as_str() {
+            "clean_myrinet" => run_clean("myrinet"),
+            "clean_mesh" => run_clean("mesh"),
+            "overload_myrinet" => run_overload("myrinet"),
+            "loss5_myrinet" => run_loss("myrinet"),
+            other => panic!("unknown debug variant {other}"),
+        };
+        println!("{}", r.to_json());
+        return;
+    }
+
+    let mut summaries = Vec::new();
+    for fabric in ["myrinet", "mesh"] {
+        let (clean_cluster, clean) = run_clean(fabric);
+        clean.write().expect("write clean report");
+        if fabric == "myrinet" {
+            // Determinism: the same seed must reproduce the report
+            // byte-for-byte.
+            let (_, rerun) = run_clean(fabric);
+            rerun
+                .write_named("clean_myrinet_rerun")
+                .expect("write rerun report");
+            assert_eq!(
+                clean.to_json(),
+                rerun.to_json(),
+                "clean/myrinet: SLO report not deterministic at fixed seed"
+            );
+            write_timeseries_json(&clean_cluster.sim, "rpc_slo_clean_myrinet")
+                .expect("write timeseries");
+        }
+        emit_metrics(&clean_cluster.sim, &format!("rpc_slo_clean_{fabric}"));
+        summaries.push(clean);
+
+        let (over_cluster, over) = run_overload(fabric);
+        over.write().expect("write overload report");
+        if fabric == "myrinet" {
+            write_trace_json_with_counters(
+                &over_cluster.trace_events(),
+                &over_cluster.sim,
+                "rpc_slo_overload_myrinet",
+            )
+            .expect("write trace");
+            write_timeseries_json(&over_cluster.sim, "rpc_slo_overload_myrinet")
+                .expect("write timeseries");
+        }
+        emit_metrics(&over_cluster.sim, &format!("rpc_slo_overload_{fabric}"));
+        summaries.push(over);
+
+        let (loss_cluster, loss) = run_loss(fabric);
+        loss.write().expect("write loss report");
+        emit_metrics(&loss_cluster.sim, &format!("rpc_slo_loss5_{fabric}"));
+        summaries.push(loss);
+    }
+
+    println!("variant    fabric   issued completed  shed t/out srv_shed qmax  goodput/s");
+    for r in &summaries {
+        println!(
+            "{:<10} {:<8} {:>6} {:>9} {:>5} {:>5} {:>8} {:>4} {:>10.0}",
+            r.variant,
+            r.fabric,
+            r.issued,
+            r.completed,
+            r.shed,
+            r.timed_out,
+            r.srv_sheds,
+            r.srv_queue_high_water,
+            r.goodput_ops_per_s
+        );
+    }
+    for r in &summaries {
+        for c in &r.classes {
+            println!(
+                "  {}/{} {:<5} p50 {:>8.1} us  p95 {:>8.1} us  p99 {:>8.1} us  p99.9 {:>8.1} us",
+                r.variant, r.fabric, c.name, c.p50_us, c.p95_us, c.p99_us, c.p999_us
+            );
+        }
+    }
+    println!(
+        "\nrpc_slo OK: all variants accounted, deterministic, shedding bounded, watchdog silent"
+    );
+}

@@ -390,6 +390,35 @@ impl BclPort {
         ev
     }
 
+    /// Block until a send event arrives or `timeout` elapses. The
+    /// backpressure twin of [`BclPort::wait_recv_timeout`]: callers that
+    /// hit [`crate::BclError::RingFull`] can park here without risking an
+    /// unbounded stall when completions stop flowing.
+    pub fn wait_send_timeout(
+        &self,
+        ctx: &mut ActorCtx,
+        timeout: suca_sim::SimDuration,
+    ) -> Option<SendEvent> {
+        let deadline = ctx.now() + timeout;
+        loop {
+            if let Some(ev) = self.poll_send(ctx) {
+                return Some(ev);
+            }
+            if ctx.now() >= deadline {
+                return None;
+            }
+            self.queues
+                .send_signal
+                .wait_timeout(ctx, deadline.since(ctx.now()));
+        }
+    }
+
+    /// Completion events currently queued as `(recv, send)` — the
+    /// in-flight backlog an upper layer sees without consuming anything.
+    pub fn queue_depths(&self) -> (usize, usize) {
+        self.queues.depths()
+    }
+
     /// Fetch the payload of a receive event and recycle its buffer.
     pub fn recv_bytes(&self, ctx: &mut ActorCtx, ev: &RecvEvent) -> Result<Vec<u8>, BclError> {
         match &ev.data {

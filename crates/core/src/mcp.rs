@@ -758,7 +758,11 @@ impl McpInner {
         };
         header.seq = gbn.next_seq();
         let pkt = header.encode(&data);
-        gbn.record_sent(header.seq, pkt.clone());
+        if let Err(e) = gbn.record_sent(header.seq, pkt.clone()) {
+            // The window was checked open above, so any failure here is a
+            // firmware-state inconsistency — counted, not fatal.
+            return self.protocol_drop(st, e.reason());
+        }
         if job_done {
             if let Some(a) = st.active.take() {
                 if a.job.notify_sender {

@@ -27,6 +27,37 @@ fn seq_before(a: u32, b: u32) -> bool {
     (a.wrapping_sub(b) as i32) < 0
 }
 
+/// A violated go-back-N sender invariant. The firmware never panics on
+/// these: `mcp.rs` converts them into counted protocol errors that trip
+/// the flight recorder and abandon the offending send (the same treatment
+/// the MCP state machine gives its own inconsistencies).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GbnError {
+    /// `record_sent` was handed a sequence number other than
+    /// [`GbnSender::next_seq`].
+    OutOfOrderSeq {
+        /// The sequence number the stream expected next.
+        expected: u32,
+        /// The sequence number actually recorded.
+        got: u32,
+    },
+    /// `record_sent` was called with the window already full.
+    WindowOverflow {
+        /// The configured window size (packets).
+        window: u32,
+    },
+}
+
+impl GbnError {
+    /// Stable reason string for counters / flight-recorder banners.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            GbnError::OutOfOrderSeq { .. } => "go-back-N sender: out-of-order record_sent",
+            GbnError::WindowOverflow { .. } => "go-back-N sender: window overflow",
+        }
+    }
+}
+
 /// Sender half of one NIC-pair stream.
 ///
 /// ```
@@ -36,7 +67,7 @@ fn seq_before(a: u32, b: u32) -> bool {
 /// let mut tx = GbnSender::new(4);
 /// let mut rx = GbnReceiver::new();
 /// let seq = tx.next_seq();
-/// tx.record_sent(seq, Bytes::from_static(b"frag"));
+/// tx.record_sent(seq, Bytes::from_static(b"frag")).expect("in window");
 /// assert_eq!(rx.on_data(seq), GbnVerdict::Accept);
 /// assert_eq!(tx.on_ack(rx.cum_ack()), 1); // window slot freed
 /// ```
@@ -69,12 +100,24 @@ impl GbnSender {
     }
 
     /// Record a packet as sent (it must carry [`GbnSender::next_seq`]).
-    /// The encoded bytes are retained for retransmission.
-    pub fn record_sent(&mut self, seq: u32, pkt: Bytes) {
-        assert_eq!(seq, self.next_seq, "out-of-order record_sent");
-        assert!(self.can_send(), "window overflow");
+    /// The encoded bytes are retained for retransmission. A violated
+    /// precondition is reported instead of panicking, so firmware can turn
+    /// it into a counted protocol error.
+    pub fn record_sent(&mut self, seq: u32, pkt: Bytes) -> Result<(), GbnError> {
+        if seq != self.next_seq {
+            return Err(GbnError::OutOfOrderSeq {
+                expected: self.next_seq,
+                got: seq,
+            });
+        }
+        if !self.can_send() {
+            return Err(GbnError::WindowOverflow {
+                window: self.window,
+            });
+        }
         self.inflight.push_back((seq, pkt));
         self.next_seq = self.next_seq.wrapping_add(1);
+        Ok(())
     }
 
     /// Process a cumulative ACK (`cum_ack` = receiver's next expected seq).
@@ -158,24 +201,52 @@ mod tests {
         Bytes::from(i.to_le_bytes().to_vec())
     }
 
+    /// Decode a test packet's payload without slice-length unwraps.
+    fn val(b: &Bytes) -> u32 {
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }
+
     #[test]
     fn window_limits_inflight() {
         let mut s = GbnSender::new(2);
         assert!(s.can_send());
-        s.record_sent(0, pkt(0));
-        s.record_sent(1, pkt(1));
+        s.record_sent(0, pkt(0)).expect("in window");
+        s.record_sent(1, pkt(1)).expect("in window");
         assert!(!s.can_send());
         assert_eq!(s.on_ack(1), 1); // acks seq 0
         assert!(s.can_send());
-        s.record_sent(2, pkt(2));
+        s.record_sent(2, pkt(2)).expect("in window");
         assert_eq!(s.in_flight(), 2);
+    }
+
+    #[test]
+    fn record_sent_reports_violations_instead_of_panicking() {
+        let mut s = GbnSender::new(1);
+        assert_eq!(
+            s.record_sent(5, pkt(5)),
+            Err(GbnError::OutOfOrderSeq {
+                expected: 0,
+                got: 5
+            })
+        );
+        s.record_sent(0, pkt(0)).expect("in window");
+        assert_eq!(
+            s.record_sent(1, pkt(1)),
+            Err(GbnError::WindowOverflow { window: 1 })
+        );
+        // A failed record leaves the stream state untouched.
+        assert_eq!(s.in_flight(), 1);
+        assert_eq!(s.next_seq(), 1);
+        assert!(GbnError::WindowOverflow { window: 1 }
+            .reason()
+            .contains("window overflow"));
     }
 
     #[test]
     fn cumulative_ack_frees_prefix() {
         let mut s = GbnSender::new(8);
         for i in 0..5 {
-            s.record_sent(i, pkt(i));
+            s.record_sent(i, pkt(i)).expect("in window");
         }
         assert_eq!(s.on_ack(3), 3);
         assert_eq!(s.in_flight(), 2);
@@ -189,13 +260,10 @@ mod tests {
     fn unacked_returns_retransmission_set_in_order() {
         let mut s = GbnSender::new(8);
         for i in 0..4 {
-            s.record_sent(i, pkt(i));
+            s.record_sent(i, pkt(i)).expect("in window");
         }
         s.on_ack(2);
-        let set: Vec<u32> = s
-            .unacked()
-            .map(|b| u32::from_le_bytes(b[..4].try_into().unwrap()))
-            .collect();
+        let set: Vec<u32> = s.unacked().map(val).collect();
         assert_eq!(set, vec![2, 3]);
     }
 
@@ -222,8 +290,8 @@ mod tests {
     fn wraparound_sequences() {
         let mut s = GbnSender::new(4);
         s.next_seq = u32::MAX;
-        s.record_sent(u32::MAX, pkt(1));
-        s.record_sent(0, pkt(2));
+        s.record_sent(u32::MAX, pkt(1)).expect("in window");
+        s.record_sent(0, pkt(2)).expect("in window");
         assert_eq!(s.in_flight(), 2);
         assert_eq!(s.on_ack(1), 2, "ack past the wrap frees both");
 
@@ -247,17 +315,17 @@ mod tests {
             steps += 1;
             assert!(steps < 10_000, "no progress");
             // Fill window.
-            while s.can_send() && !to_send.is_empty() {
-                let v = to_send.pop_front().unwrap();
+            while s.can_send() {
+                let Some(v) = to_send.pop_front() else { break };
                 let seq = s.next_seq();
-                s.record_sent(seq, pkt(v));
+                s.record_sent(seq, pkt(v)).expect("in window");
             }
             // "Transmit" the whole unacked window (models a timeout burst);
             // drop some deterministically.
             let window: Vec<(u32, u32)> = s
                 .unacked()
                 .enumerate()
-                .map(|(i, b)| (i as u32, u32::from_le_bytes(b[..4].try_into().unwrap())))
+                .map(|(i, b)| (i as u32, val(b)))
                 .collect();
             // First unacked seq = next_seq - inflight.
             let base = s.next_seq().wrapping_sub(s.in_flight() as u32);
@@ -278,7 +346,7 @@ mod tests {
 
     mod props {
         use super::super::{seq_before, GbnReceiver, GbnSender, GbnVerdict};
-        use super::pkt;
+        use super::{pkt, val};
         use proptest::prelude::*;
 
         proptest! {
@@ -321,7 +389,7 @@ mod tests {
                     prop_assert!(rounds < 10_000, "no progress");
                     while tx.can_send() && (next_to_queue as usize) < n {
                         let seq = tx.next_seq();
-                        tx.record_sent(seq, pkt(next_to_queue));
+                        tx.record_sent(seq, pkt(next_to_queue)).expect("in window");
                         next_to_queue += 1;
                     }
                     // Timeout burst: retransmit the whole unacked window,
@@ -330,10 +398,7 @@ mod tests {
                     let window: Vec<(u32, u32)> = tx
                         .unacked()
                         .enumerate()
-                        .map(|(i, b)| (
-                            base.wrapping_add(i as u32),
-                            u32::from_le_bytes(b[..4].try_into().expect("4")),
-                        ))
+                        .map(|(i, b)| (base.wrapping_add(i as u32), val(b)))
                         .collect();
                     for (seq, val) in window {
                         if losses.next().unwrap_or(false) {

@@ -1,0 +1,363 @@
+//! Deterministic open- and closed-loop load generators.
+//!
+//! Each generator runs inside one simulation actor and drives one
+//! [`RpcClient`], multiplexing many simulated users over it. All
+//! randomness comes from a caller-supplied [`SimRng`] fork, so a fixed
+//! master seed reproduces arrivals, op mixes, and key choices exactly.
+
+use suca_bcl::ProcAddr;
+use suca_rpc::{RpcClient, RpcCompletion, RpcStatus};
+use suca_sim::{ActorCtx, Histogram, Metrics, SimDuration, SimRng, SimTime};
+
+use crate::kv::{enc_get, enc_put, enc_scan, value_for, OP_GET, OP_PUT, OP_SCAN};
+
+/// Operation mix and key-space shape shared by both generators.
+#[derive(Clone, Copy, Debug)]
+pub struct Mix {
+    /// Probability an op is a SCAN (large RMA-delivered response).
+    pub scan_ratio: f64,
+    /// Probability an op is a PUT (the rest are GETs).
+    pub put_ratio: f64,
+    /// Keys per user; user `i` owns `[i * keys_per_user, (i+1) * ...)`,
+    /// so verification never races another user's PUT.
+    pub keys_per_user: u64,
+}
+
+impl Default for Mix {
+    fn default() -> Self {
+        Mix {
+            scan_ratio: 0.05,
+            put_ratio: 0.25,
+            keys_per_user: 64,
+        }
+    }
+}
+
+/// Per-actor outcome tallies. `completed + shed + timed_out == issued`
+/// must hold once the generator returns — every request is accounted for
+/// exactly once.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LoadStats {
+    /// Requests handed to the RPC layer.
+    pub issued: u64,
+    /// Requests that got a response.
+    pub completed: u64,
+    /// Requests shed by server admission control (after retries).
+    pub shed: u64,
+    /// Requests that timed out on their final attempt.
+    pub timed_out: u64,
+    /// Open-loop arrivals dropped *client-side* (no free arena slot).
+    pub client_shed: u64,
+    /// GET/SCAN responses whose payload failed verification.
+    pub bad_payloads: u64,
+}
+
+impl LoadStats {
+    /// Fold another actor's tallies into this one.
+    pub fn merge(&mut self, o: &LoadStats) {
+        self.issued += o.issued;
+        self.completed += o.completed;
+        self.shed += o.shed;
+        self.timed_out += o.timed_out;
+        self.client_shed += o.client_shed;
+        self.bad_payloads += o.bad_payloads;
+    }
+
+    /// True when every issued request resolved exactly once.
+    pub fn accounted(&self) -> bool {
+        self.completed + self.shed + self.timed_out == self.issued
+    }
+}
+
+/// Shared per-op-class latency histograms (`rpc.lat.*`, nanoseconds).
+#[derive(Clone)]
+pub struct LatencyHists {
+    get: Histogram,
+    put: Histogram,
+    scan: Histogram,
+    other: Histogram,
+}
+
+impl LatencyHists {
+    /// Resolve (or create) the histograms in `m` — all actors share them.
+    pub fn new(m: &Metrics) -> Self {
+        LatencyHists {
+            get: m.histogram("rpc.lat.get"),
+            put: m.histogram("rpc.lat.put"),
+            scan: m.histogram("rpc.lat.scan"),
+            other: m.histogram("rpc.lat.other"),
+        }
+    }
+
+    /// Record one completed-op latency.
+    pub fn record(&self, op: u8, ns: u64) {
+        match op {
+            OP_GET => self.get.record(ns),
+            OP_PUT => self.put.record(ns),
+            OP_SCAN => self.scan.record(ns),
+            _ => self.other.record(ns),
+        }
+    }
+}
+
+/// Draw one op for `user`: `(op_class, key, request payload)`.
+fn pick_op(rng: &mut SimRng, mix: &Mix, user: u64) -> (u8, u64, Vec<u8>) {
+    let key = user * mix.keys_per_user + rng.below(mix.keys_per_user);
+    let r = rng.unit_f64();
+    if r < mix.scan_ratio {
+        (OP_SCAN, key, enc_scan(key))
+    } else if r < mix.scan_ratio + mix.put_ratio {
+        (OP_PUT, key, enc_put(key, &value_for(key)))
+    } else {
+        (OP_GET, key, enc_get(key))
+    }
+}
+
+/// Key-sharded server choice — PUT and later GET of one key always land
+/// on the same shard.
+fn shard(servers: &[ProcAddr], key: u64) -> ProcAddr {
+    servers[(key % servers.len() as u64) as usize]
+}
+
+/// Verify a successful response against the deterministic value model.
+/// PUTs always pass (the ack echoes the key); a GET of a key this run may
+/// have PUT is also always `value_for(key)` since PUTs store exactly that.
+fn payload_ok(c: &RpcCompletion) -> bool {
+    match c.op_class {
+        OP_GET => c.payload.len() == crate::kv::VALUE_BYTES,
+        OP_SCAN => c.payload.len() == crate::kv::SCAN_BYTES,
+        _ => true,
+    }
+}
+
+fn absorb(
+    now: SimTime,
+    comps: Vec<RpcCompletion>,
+    stats: &mut LoadStats,
+    hists: &LatencyHists,
+    mut on_done: impl FnMut(u64, SimTime),
+) {
+    for c in comps {
+        match c.status {
+            RpcStatus::Ok => {
+                stats.completed += 1;
+                hists.record(c.op_class, c.latency.as_ns());
+                if !payload_ok(&c) {
+                    stats.bad_payloads += 1;
+                }
+            }
+            RpcStatus::Shed => stats.shed += 1,
+            RpcStatus::TimedOut => stats.timed_out += 1,
+        }
+        on_done(c.token, now);
+    }
+}
+
+/// Closed-loop generator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ClosedLoopCfg {
+    /// Simulated users multiplexed over this actor's client.
+    pub users: u32,
+    /// Requests each user issues before finishing.
+    pub ops_per_user: u32,
+    /// Think-time bounds (uniform draw between them, exclusive of max).
+    pub think_min: SimDuration,
+    /// See `think_min`.
+    pub think_max: SimDuration,
+    /// Op mix.
+    pub mix: Mix,
+    /// First user index on this actor (keeps key spaces cluster-unique).
+    pub user_base: u64,
+}
+
+fn think(rng: &mut SimRng, min: SimDuration, max: SimDuration) -> SimDuration {
+    SimDuration::from_ns(rng.range(min.as_ns(), max.as_ns()))
+}
+
+/// Run `cfg.users` closed-loop users to completion: each user thinks,
+/// issues one request, waits for its resolution, and repeats
+/// `ops_per_user` times. Returns this actor's tallies.
+pub fn run_closed_loop(
+    ctx: &mut ActorCtx,
+    client: &mut RpcClient,
+    servers: &[ProcAddr],
+    rng: &mut SimRng,
+    cfg: &ClosedLoopCfg,
+    hists: &LatencyHists,
+) -> LoadStats {
+    assert!(!servers.is_empty(), "closed loop needs servers");
+    assert!(
+        cfg.think_min < cfg.think_max,
+        "think_min must be < think_max"
+    );
+    struct User {
+        ready_at: SimTime,
+        done: u32,
+        waiting: bool,
+    }
+    let start = ctx.now();
+    let mut users: Vec<User> = (0..cfg.users)
+        .map(|_| User {
+            // Stagger starts across one think window so 2k users don't
+            // stampede the fabric at t=0.
+            ready_at: start + think(rng, cfg.think_min, cfg.think_max),
+            done: 0,
+            waiting: false,
+        })
+        .collect();
+    let mut stats = LoadStats::default();
+    let mut remaining = u64::from(cfg.users) * u64::from(cfg.ops_per_user);
+    while remaining > 0 || client.in_flight() > 0 {
+        let now = ctx.now();
+        let mut progressed = false;
+        for (i, u) in users.iter_mut().enumerate() {
+            if u.waiting || u.done >= cfg.ops_per_user || u.ready_at > now {
+                continue;
+            }
+            if !client.can_issue() {
+                break;
+            }
+            let user_id = cfg.user_base + i as u64;
+            let (op, key, payload) = pick_op(rng, &cfg.mix, user_id);
+            match client.issue(ctx, shard(servers, key), op, &payload, i as u64) {
+                Ok(_) => {
+                    stats.issued += 1;
+                    u.waiting = true;
+                    progressed = true;
+                }
+                Err(_) => {
+                    // Transport refused outright (not RingFull — that is
+                    // retried inside issue). Nothing entered the RPC
+                    // layer, so this op counts only as a client-side drop.
+                    stats.client_shed += 1;
+                    u.done += 1;
+                    remaining -= 1;
+                    u.ready_at = now + think(rng, cfg.think_min, cfg.think_max);
+                }
+            }
+        }
+        let comps = client.advance(ctx);
+        progressed |= !comps.is_empty();
+        absorb(ctx.now(), comps, &mut stats, hists, |tok, at| {
+            let u = &mut users[tok as usize];
+            u.waiting = false;
+            u.done += 1;
+            remaining -= 1;
+            u.ready_at = at + think(rng, cfg.think_min, cfg.think_max);
+        });
+        if remaining == 0 && client.in_flight() == 0 {
+            break;
+        }
+        if !progressed {
+            // Sleep until the next user wakes (if a slot is free for it)
+            // or an RPC deadline/response needs attention.
+            let mut wait = SimDuration::from_us(500);
+            if client.can_issue() {
+                if let Some(t) = users
+                    .iter()
+                    .filter(|u| !u.waiting && u.done < cfg.ops_per_user)
+                    .map(|u| u.ready_at)
+                    .min()
+                {
+                    let now = ctx.now();
+                    wait = if t <= now {
+                        SimDuration::from_ns(1)
+                    } else {
+                        wait.min(t.since(now))
+                    };
+                }
+            }
+            let comps = client.pump(ctx, wait);
+            absorb(ctx.now(), comps, &mut stats, hists, |tok, at| {
+                let u = &mut users[tok as usize];
+                u.waiting = false;
+                u.done += 1;
+                remaining -= 1;
+                u.ready_at = at + think(rng, cfg.think_min, cfg.think_max);
+            });
+        }
+    }
+    client.quiesce(ctx, cfg.think_max);
+    stats
+}
+
+/// Open-loop generator configuration: arrivals keep coming regardless of
+/// outstanding work (the overload instrument).
+#[derive(Clone, Copy, Debug)]
+pub struct OpenLoopCfg {
+    /// Mean inter-arrival gap (exponential draws ⇒ Poisson-like process).
+    pub mean_interarrival: SimDuration,
+    /// How long to generate arrivals for.
+    pub duration: SimDuration,
+    /// Simulated-user population arrivals are attributed to.
+    pub users: u32,
+    /// Op mix.
+    pub mix: Mix,
+    /// First user index on this actor.
+    pub user_base: u64,
+}
+
+fn exp_gap(rng: &mut SimRng, mean: SimDuration) -> SimDuration {
+    let u = rng.unit_f64();
+    SimDuration::from_ns(((-(1.0 - u).ln()) * mean.as_ns() as f64).round().max(1.0) as u64)
+}
+
+/// Run an open-loop arrival process for `cfg.duration`, then drain. When
+/// the client's arena is exhausted the arrival is dropped client-side and
+/// counted (`client_shed`) — open loops do not queue unboundedly.
+pub fn run_open_loop(
+    ctx: &mut ActorCtx,
+    client: &mut RpcClient,
+    servers: &[ProcAddr],
+    rng: &mut SimRng,
+    cfg: &OpenLoopCfg,
+    hists: &LatencyHists,
+) -> LoadStats {
+    assert!(!servers.is_empty(), "open loop needs servers");
+    let c_client_shed = ctx.sim().metrics().counter("rpc.cli_client_shed");
+    let start = ctx.now();
+    let stop = start + cfg.duration;
+    let mut next_arrival = start + exp_gap(rng, cfg.mean_interarrival);
+    let mut stats = LoadStats::default();
+    loop {
+        let now = ctx.now();
+        if now >= stop {
+            break;
+        }
+        if next_arrival <= now {
+            next_arrival += exp_gap(rng, cfg.mean_interarrival);
+            let user = cfg.user_base + rng.below(u64::from(cfg.users.max(1)));
+            let (op, key, payload) = pick_op(rng, &cfg.mix, user);
+            if client.can_issue() {
+                if client
+                    .issue(ctx, shard(servers, key), op, &payload, user)
+                    .is_ok()
+                {
+                    stats.issued += 1;
+                } else {
+                    stats.client_shed += 1;
+                    c_client_shed.inc();
+                }
+            } else {
+                stats.client_shed += 1;
+                c_client_shed.inc();
+            }
+            // When the issue cost itself exceeds the inter-arrival gap the
+            // loop never reaches the pump below — absorb completions and
+            // expire deadlines here so responses are not discovered only
+            // after the arrival window closes.
+            let comps = client.advance(ctx);
+            absorb(ctx.now(), comps, &mut stats, hists, |_, _| {});
+            continue;
+        }
+        let wait = next_arrival.since(now).min(stop.since(now));
+        let comps = client.pump(ctx, wait);
+        absorb(ctx.now(), comps, &mut stats, hists, |_, _| {});
+    }
+    while client.in_flight() > 0 {
+        let comps = client.pump(ctx, SimDuration::from_us(500));
+        absorb(ctx.now(), comps, &mut stats, hists, |_, _| {});
+    }
+    client.quiesce(ctx, cfg.mean_interarrival * 4);
+    stats
+}

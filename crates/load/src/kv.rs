@@ -1,0 +1,175 @@
+//! Reference in-memory KV service driven through the RPC layer.
+//!
+//! Values are *deterministic functions of the key* (materialized on first
+//! read), so a client can verify any GET or SCAN response byte-for-byte
+//! without coordinating prior PUTs — essential when thousands of users
+//! hit sharded servers in arbitrary completion order.
+
+use std::collections::HashMap;
+
+use suca_sim::{ActorCtx, SimDuration};
+
+/// GET op class: request is an 8-byte LE key, response is the value.
+pub const OP_GET: u8 = 0;
+/// PUT op class: request is key + new value, response echoes the key.
+pub const OP_PUT: u8 = 1;
+/// SCAN op class: request is an 8-byte LE key; the response is
+/// [`SCAN_BYTES`] long — deliberately larger than a system-channel pool
+/// buffer so it exercises the RMA response path.
+pub const OP_SCAN: u8 = 2;
+
+/// Bytes in a generated value.
+pub const VALUE_BYTES: usize = 32;
+/// Bytes in a SCAN response (> 4 KB ⇒ RMA-delivered).
+pub const SCAN_BYTES: usize = 8 * 1024;
+
+/// Human name of an op class (histogram/report labels).
+pub fn op_name(op: u8) -> &'static str {
+    match op {
+        OP_GET => "get",
+        OP_PUT => "put",
+        OP_SCAN => "scan",
+        _ => "other",
+    }
+}
+
+fn mix64(mut x: u64) -> u64 {
+    // splitmix64 finalizer — the same mixing the sim RNG builds on.
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// The canonical value for `key` (what a GET returns before any PUT).
+pub fn value_for(key: u64) -> Vec<u8> {
+    det_bytes(key, VALUE_BYTES)
+}
+
+/// The canonical SCAN payload for `key`.
+pub fn scan_for(key: u64) -> Vec<u8> {
+    det_bytes(key ^ 0x5CA7, SCAN_BYTES)
+}
+
+fn det_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut i = 0u64;
+    while out.len() < len {
+        out.extend_from_slice(&mix64(seed.wrapping_add(i)).to_le_bytes());
+        i += 1;
+    }
+    out.truncate(len);
+    out
+}
+
+/// Encode a GET request for `key`.
+pub fn enc_get(key: u64) -> Vec<u8> {
+    key.to_le_bytes().to_vec()
+}
+
+/// Encode a PUT request storing `value` at `key`.
+pub fn enc_put(key: u64, value: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + value.len());
+    out.extend_from_slice(&key.to_le_bytes());
+    out.extend_from_slice(value);
+    out
+}
+
+/// Encode a SCAN request starting at `key`.
+pub fn enc_scan(key: u64) -> Vec<u8> {
+    key.to_le_bytes().to_vec()
+}
+
+/// Virtual service time per op class (the handler sleeps this long,
+/// modeling CPU + storage work; the RPC/BCL costs come on top).
+#[derive(Clone, Copy, Debug)]
+pub struct KvCosts {
+    /// GET service time.
+    pub get: SimDuration,
+    /// PUT service time.
+    pub put: SimDuration,
+    /// SCAN service time.
+    pub scan: SimDuration,
+}
+
+impl Default for KvCosts {
+    fn default() -> Self {
+        KvCosts {
+            get: SimDuration::from_ns(1_500),
+            put: SimDuration::from_ns(2_500),
+            scan: SimDuration::from_us(12),
+        }
+    }
+}
+
+/// One server shard's state + service-cost model. Plug into
+/// [`suca_rpc::RpcServer::serve_until_idle`] as
+/// `&mut |ctx, op, req| svc.handle(ctx, op, req)`.
+pub struct KvService {
+    store: HashMap<u64, Vec<u8>>,
+    costs: KvCosts,
+}
+
+impl KvService {
+    /// Empty store with the given cost model.
+    pub fn new(costs: KvCosts) -> Self {
+        KvService {
+            store: HashMap::new(),
+            costs,
+        }
+    }
+
+    /// Keys explicitly PUT so far.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// True when no PUT has landed yet.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Execute one request. Malformed requests get an empty response (the
+    /// client treats a wrong-length payload as a failed verification, not
+    /// a protocol error — the RPC layer already counted the frame good).
+    pub fn handle(&mut self, ctx: &mut ActorCtx, op: u8, req: &[u8]) -> Vec<u8> {
+        if req.len() < 8 {
+            return Vec::new();
+        }
+        let key = u64::from_le_bytes([
+            req[0], req[1], req[2], req[3], req[4], req[5], req[6], req[7],
+        ]);
+        match op {
+            OP_GET => {
+                ctx.sleep(self.costs.get);
+                self.store
+                    .get(&key)
+                    .cloned()
+                    .unwrap_or_else(|| value_for(key))
+            }
+            OP_PUT => {
+                ctx.sleep(self.costs.put);
+                self.store.insert(key, req[8..].to_vec());
+                key.to_le_bytes().to_vec()
+            }
+            OP_SCAN => {
+                ctx.sleep(self.costs.scan);
+                scan_for(key)
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_are_deterministic_and_sized() {
+        assert_eq!(value_for(7), value_for(7));
+        assert_ne!(value_for(7), value_for(8));
+        assert_eq!(value_for(7).len(), VALUE_BYTES);
+        assert_eq!(scan_for(7).len(), SCAN_BYTES);
+        assert_eq!(scan_for(7), scan_for(7));
+    }
+}

@@ -1,0 +1,255 @@
+//! Deterministic SLO reports: per-op-class latency percentiles, goodput,
+//! and full request accounting, serialized as stable JSON under
+//! `target/slo/` (override with `SUCA_SLO_DIR`).
+//!
+//! The JSON is hand-rolled with a fixed key order and `{:.3}` floats so a
+//! fixed-seed run is byte-identical — CI diffs two runs of the clean
+//! variant to prove it.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use suca_sim::Sim;
+
+use crate::gen::LoadStats;
+use crate::kv::op_name;
+use crate::kv::{OP_GET, OP_PUT, OP_SCAN};
+
+/// Where SLO reports land: `$SUCA_SLO_DIR` or `target/slo`.
+pub fn slo_dir() -> PathBuf {
+    std::env::var_os("SUCA_SLO_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/slo"))
+}
+
+/// Latency summary for one op class (microseconds).
+#[derive(Clone, Debug)]
+pub struct ClassSlo {
+    /// Op-class label (`get` / `put` / `scan`).
+    pub name: String,
+    /// Completed ops in this class.
+    pub count: u64,
+    /// Mean latency.
+    pub mean_us: f64,
+    /// Median.
+    pub p50_us: f64,
+    /// 95th percentile.
+    pub p95_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// 99.9th percentile — the report's tail bucket.
+    pub p999_us: f64,
+    /// Worst observed.
+    pub max_us: f64,
+}
+
+/// One run variant's service-level report.
+#[derive(Clone, Debug)]
+pub struct SloReport {
+    /// Variant label (`clean` / `overload` / `loss5`).
+    pub variant: String,
+    /// Fabric label (`myrinet` / `mesh`).
+    pub fabric: String,
+    /// Cluster size.
+    pub nodes: u32,
+    /// Simulated-user population.
+    pub users: u64,
+    /// Requests entering the RPC layer.
+    pub issued: u64,
+    /// Requests that got responses.
+    pub completed: u64,
+    /// Requests shed by server admission control (final outcome).
+    pub shed: u64,
+    /// Requests that timed out (final outcome).
+    pub timed_out: u64,
+    /// Arrivals dropped client-side before entering the RPC layer.
+    pub client_shed: u64,
+    /// Retry attempts beyond first sends.
+    pub retries: u64,
+    /// Late/duplicate responses discarded by clients.
+    pub late_responses: u64,
+    /// Shed replies sent by servers (larger than `shed`: retries may
+    /// later succeed).
+    pub srv_sheds: u64,
+    /// Highest admission-queue depth any server saw (must stay ≤ the
+    /// configured bound — this is the boundedness proof).
+    pub srv_queue_high_water: u64,
+    /// Watchdog stalls during the run (0 for healthy variants).
+    pub watchdog_stalls: u64,
+    /// Virtual wall-clock of the whole run.
+    pub elapsed_us: f64,
+    /// Completed requests per virtual second.
+    pub goodput_ops_per_s: f64,
+    /// Per-op-class latency summaries (fixed get/put/scan order).
+    pub classes: Vec<ClassSlo>,
+}
+
+impl SloReport {
+    /// Assemble a report from the sim's metrics registry plus the
+    /// generators' aggregated tallies.
+    pub fn gather(
+        sim: &Sim,
+        variant: &str,
+        fabric: &str,
+        nodes: u32,
+        users: u64,
+        stats: &LoadStats,
+    ) -> SloReport {
+        let snap = sim.metrics().snapshot();
+        let elapsed_ns = sim.now().as_ns();
+        let elapsed_us = elapsed_ns as f64 / 1_000.0;
+        let goodput = if elapsed_ns == 0 {
+            0.0
+        } else {
+            stats.completed as f64 / (elapsed_ns as f64 / 1e9)
+        };
+        let mut classes = Vec::new();
+        for op in [OP_GET, OP_PUT, OP_SCAN] {
+            let name = op_name(op);
+            if let Some(h) = snap.histograms.get(&format!("rpc.lat.{name}")) {
+                if h.count > 0 {
+                    classes.push(ClassSlo {
+                        name: name.to_string(),
+                        count: h.count,
+                        mean_us: h.mean() / 1_000.0,
+                        p50_us: h.p50() / 1_000.0,
+                        p95_us: h.p95() / 1_000.0,
+                        p99_us: h.p99() / 1_000.0,
+                        p999_us: h.p999() / 1_000.0,
+                        max_us: h.max as f64 / 1_000.0,
+                    });
+                }
+            }
+        }
+        SloReport {
+            variant: variant.to_string(),
+            fabric: fabric.to_string(),
+            nodes,
+            users,
+            issued: stats.issued,
+            completed: stats.completed,
+            shed: stats.shed,
+            timed_out: stats.timed_out,
+            client_shed: stats.client_shed,
+            retries: snap.counter("rpc.cli_retries"),
+            late_responses: snap.counter("rpc.cli_late_responses"),
+            srv_sheds: snap.counter("rpc.srv_sheds"),
+            srv_queue_high_water: snap
+                .gauges
+                .get("rpc.srv_queue_depth")
+                .map(|g| g.high_water)
+                .unwrap_or(0),
+            watchdog_stalls: snap.counter("watchdog.stalls"),
+            elapsed_us,
+            goodput_ops_per_s: goodput,
+            classes,
+        }
+    }
+
+    /// True when every issued request resolved exactly once.
+    pub fn accounted(&self) -> bool {
+        self.completed + self.shed + self.timed_out == self.issued
+    }
+
+    /// Stable JSON (fixed key order, `{:.3}` floats, trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut o = String::new();
+        o.push_str("{\n");
+        let _ = writeln!(o, "  \"variant\": \"{}\",", self.variant);
+        let _ = writeln!(o, "  \"fabric\": \"{}\",", self.fabric);
+        let _ = writeln!(o, "  \"nodes\": {},", self.nodes);
+        let _ = writeln!(o, "  \"users\": {},", self.users);
+        let _ = writeln!(o, "  \"issued\": {},", self.issued);
+        let _ = writeln!(o, "  \"completed\": {},", self.completed);
+        let _ = writeln!(o, "  \"shed\": {},", self.shed);
+        let _ = writeln!(o, "  \"timed_out\": {},", self.timed_out);
+        let _ = writeln!(o, "  \"client_shed\": {},", self.client_shed);
+        let _ = writeln!(o, "  \"retries\": {},", self.retries);
+        let _ = writeln!(o, "  \"late_responses\": {},", self.late_responses);
+        let _ = writeln!(o, "  \"srv_sheds\": {},", self.srv_sheds);
+        let _ = writeln!(
+            o,
+            "  \"srv_queue_high_water\": {},",
+            self.srv_queue_high_water
+        );
+        let _ = writeln!(o, "  \"watchdog_stalls\": {},", self.watchdog_stalls);
+        let _ = writeln!(o, "  \"elapsed_us\": {:.3},", self.elapsed_us);
+        let _ = writeln!(o, "  \"goodput_ops_per_s\": {:.3},", self.goodput_ops_per_s);
+        o.push_str("  \"classes\": [");
+        for (i, c) in self.classes.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push_str("\n    ");
+            let _ = write!(
+                o,
+                "{{\"name\": \"{}\", \"count\": {}, \"mean_us\": {:.3}, \"p50_us\": {:.3}, \
+                 \"p95_us\": {:.3}, \"p99_us\": {:.3}, \"p999_us\": {:.3}, \"max_us\": {:.3}}}",
+                c.name, c.count, c.mean_us, c.p50_us, c.p95_us, c.p99_us, c.p999_us, c.max_us
+            );
+        }
+        if !self.classes.is_empty() {
+            o.push_str("\n  ");
+        }
+        o.push_str("]\n}\n");
+        o
+    }
+
+    /// Write to `slo_dir()/{file_stem}.json` and return the path.
+    pub fn write_named(&self, file_stem: &str) -> std::io::Result<PathBuf> {
+        let dir = slo_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{file_stem}.json"));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Write to the canonical `{variant}_{fabric}.json` name.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let stem = format!("{}_{}", self.variant, self.fabric);
+        self.write_named(&stem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_stable_and_parsable_shape() {
+        let r = SloReport {
+            variant: "clean".into(),
+            fabric: "myrinet".into(),
+            nodes: 4,
+            users: 100,
+            issued: 10,
+            completed: 9,
+            shed: 1,
+            timed_out: 0,
+            client_shed: 0,
+            retries: 2,
+            late_responses: 0,
+            srv_sheds: 3,
+            srv_queue_high_water: 16,
+            watchdog_stalls: 0,
+            elapsed_us: 1234.5,
+            goodput_ops_per_s: 7293.4567,
+            classes: vec![ClassSlo {
+                name: "get".into(),
+                count: 9,
+                mean_us: 12.0,
+                p50_us: 10.0,
+                p95_us: 20.0,
+                p99_us: 30.0,
+                p999_us: 40.0,
+                max_us: 41.0,
+            }],
+        };
+        assert!(r.accounted());
+        let j = r.to_json();
+        assert_eq!(j, r.to_json());
+        assert!(j.contains("\"goodput_ops_per_s\": 7293.457,"));
+        assert!(j.contains("\"p999_us\": 40.000"));
+        assert!(j.ends_with("}\n"));
+    }
+}

@@ -382,6 +382,11 @@ impl HistogramSnapshot {
     pub fn p99(&self) -> f64 {
         self.quantile(0.99)
     }
+
+    /// 99.9th-percentile estimate (the SLO-report tail bucket).
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
 }
 
 /// A full registry snapshot: metadata plus every instrument, sorted by

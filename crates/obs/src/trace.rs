@@ -87,6 +87,10 @@ pub enum TraceLayer {
     Wire,
     /// Data and completion-queue DMA engines.
     Dma,
+    /// Request/response service layer riding on BCL (`suca-rpc`). RPC spans
+    /// join the chain of the *request* message, so one trace id stitches
+    /// the application-level call to every packet it caused.
+    Rpc,
 }
 
 impl TraceLayer {
@@ -98,6 +102,7 @@ impl TraceLayer {
             TraceLayer::Mcp => "mcp",
             TraceLayer::Wire => "wire",
             TraceLayer::Dma => "dma",
+            TraceLayer::Rpc => "rpc",
         }
     }
 
@@ -109,6 +114,7 @@ impl TraceLayer {
             TraceLayer::Mcp => 2,
             TraceLayer::Wire => 3,
             TraceLayer::Dma => 4,
+            TraceLayer::Rpc => 5,
         }
     }
 }
@@ -197,6 +203,22 @@ pub mod stage {
     pub const DMA_DATA: &str = "dma:data";
     /// Completion-record DMA into the user-mapped queue (span).
     pub const DMA_CQ: &str = "dma:cq";
+    /// One client-side RPC: issue through final outcome (span, client
+    /// node; joins the request message's chain). Not a terminal stage —
+    /// the underlying messages still close through the BCL terminals.
+    pub const RPC_CALL: &str = "rpc:call";
+    /// Server-side dispatch of one request: dequeue through response send
+    /// (span, server node; joins the request message's chain).
+    pub const RPC_SERVE: &str = "rpc:serve";
+    /// Admission control shed a request at the server's bounded queue
+    /// (instant, server node).
+    pub const RPC_SHED: &str = "rpc:shed";
+    /// Client re-issued a request after a shed reply or an attempt timeout
+    /// (instant, client node; attributed to the first attempt's chain).
+    pub const RPC_RETRY: &str = "rpc:retry";
+    /// Client gave up on a request after exhausting its retry budget
+    /// (instant, client node).
+    pub const RPC_TIMEOUT: &str = "rpc:timeout";
 }
 
 /// One trace record.

@@ -1,0 +1,163 @@
+//! RPC framing: a fixed 16-byte header carried inside BCL payloads.
+//!
+//! Requests and inline responses travel on the system channel (so they are
+//! bounded by the 4 KB pool buffer); large responses are RMA-written into
+//! the client's response arena and announced by an `RmaResponse` frame
+//! whose header names the arena offset and length.
+
+/// Open-channel index every RPC client binds its response arena to. A
+/// fixed convention keeps the request frame small: servers only need the
+/// arena *offset*, not a channel id.
+pub const ARENA_CHANNEL: u16 = 0;
+
+/// Encoded header length.
+pub const FRAME_BYTES: usize = 16;
+
+/// Frame magic ("RC" + version 1). A decode failure is counted by the
+/// receiver, never panicked on — ports are a user-facing surface.
+pub const MAGIC: u16 = 0x52C1;
+
+/// What a frame is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RpcKind {
+    /// Client → server: please execute `op_class` on the inline payload.
+    Request,
+    /// Server → client: inline response payload follows the header.
+    Response,
+    /// Server → client: the response payload was RMA-written into the
+    /// client's arena at `arena_off` (`len` bytes); nothing follows.
+    RmaResponse,
+    /// Server → client: admission control rejected the request (bounded
+    /// queue full). No payload.
+    Shed,
+}
+
+impl RpcKind {
+    fn to_wire(self) -> u8 {
+        match self {
+            RpcKind::Request => 0,
+            RpcKind::Response => 1,
+            RpcKind::RmaResponse => 2,
+            RpcKind::Shed => 3,
+        }
+    }
+
+    fn from_wire(b: u8) -> Option<RpcKind> {
+        match b {
+            0 => Some(RpcKind::Request),
+            1 => Some(RpcKind::Response),
+            2 => Some(RpcKind::RmaResponse),
+            3 => Some(RpcKind::Shed),
+            _ => None,
+        }
+    }
+}
+
+/// One RPC frame header.
+///
+/// Layout (little-endian): `magic u16 | kind u8 | op_class u8 | req_id u32
+/// | arena_off u32 | len u32`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RpcFrame {
+    /// Frame type.
+    pub kind: RpcKind,
+    /// Application operation class (dispatched by the server handler; also
+    /// the latency-histogram bucket).
+    pub op_class: u8,
+    /// Client-port-unique request id; responses echo it.
+    pub req_id: u32,
+    /// Byte offset of this request's slot in the client's response arena
+    /// (requests name it, responses echo it).
+    pub arena_off: u32,
+    /// Payload length: inline bytes following the header for `Request` /
+    /// `Response`, arena bytes for `RmaResponse`, 0 for `Shed`.
+    pub len: u32,
+}
+
+impl RpcFrame {
+    /// Encode the header followed by `payload` (which must match
+    /// `self.len` for inline kinds).
+    pub fn encode(&self, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(FRAME_BYTES + payload.len());
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.push(self.kind.to_wire());
+        out.push(self.op_class);
+        out.extend_from_slice(&self.req_id.to_le_bytes());
+        out.extend_from_slice(&self.arena_off.to_le_bytes());
+        out.extend_from_slice(&self.len.to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    /// Decode a header and return it with the inline payload that follows.
+    /// `None` on short buffers, bad magic, or unknown kinds.
+    pub fn decode(buf: &[u8]) -> Option<(RpcFrame, &[u8])> {
+        if buf.len() < FRAME_BYTES {
+            return None;
+        }
+        if u16::from_le_bytes([buf[0], buf[1]]) != MAGIC {
+            return None;
+        }
+        let kind = RpcKind::from_wire(buf[2])?;
+        let frame = RpcFrame {
+            kind,
+            op_class: buf[3],
+            req_id: u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]),
+            arena_off: u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]),
+            len: u32::from_le_bytes([buf[12], buf[13], buf[14], buf[15]]),
+        };
+        Some((frame, &buf[FRAME_BYTES..]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        for kind in [
+            RpcKind::Request,
+            RpcKind::Response,
+            RpcKind::RmaResponse,
+            RpcKind::Shed,
+        ] {
+            let f = RpcFrame {
+                kind,
+                op_class: 2,
+                req_id: 0xDEAD_BEEF,
+                arena_off: 8192,
+                len: 3,
+            };
+            let wire = f.encode(b"abc");
+            let (back, payload) = RpcFrame::decode(&wire).expect("decodes");
+            assert_eq!(back, f);
+            assert_eq!(payload, b"abc");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(RpcFrame::decode(b"short").is_none());
+        let mut wire = RpcFrame {
+            kind: RpcKind::Request,
+            op_class: 0,
+            req_id: 1,
+            arena_off: 0,
+            len: 0,
+        }
+        .encode(b"");
+        wire[0] ^= 0xFF; // bad magic
+        assert!(RpcFrame::decode(&wire).is_none());
+        let mut wire2 = RpcFrame {
+            kind: RpcKind::Request,
+            op_class: 0,
+            req_id: 1,
+            arena_off: 0,
+            len: 0,
+        }
+        .encode(b"");
+        wire2[2] = 9; // unknown kind
+        assert!(RpcFrame::decode(&wire2).is_none());
+    }
+}

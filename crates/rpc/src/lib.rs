@@ -1,0 +1,41 @@
+//! # suca-rpc — request/response service layer over BCL
+//!
+//! The paper positions BCL as a *substrate*: EADI-2, MPI, and PVM all ride
+//! on it. This crate adds the service-oriented upper layer the ROADMAP's
+//! north star ("serve heavy traffic from millions of users") needs — a
+//! classic request/response protocol with the failure semantics BCL
+//! actually provides:
+//!
+//! * **Request-id matching** ([`client::RpcClient`]) — many logical
+//!   callers multiplex over one [`suca_bcl::BclPort`]; responses complete
+//!   out of order and are matched by a per-port request id.
+//! * **Explicit timeouts** — BCL's system channel *silently discards* a
+//!   message when the receiver's buffer pool is empty (paper §2.2), so a
+//!   request can vanish with a successful send completion. Every pending
+//!   request carries a deadline enforced via
+//!   [`suca_bcl::BclPort::wait_recv_timeout`].
+//! * **Admission control** ([`server::RpcServer`]) — a bounded server-side
+//!   request queue; arrivals beyond the bound are answered with a counted
+//!   `Shed` reply instead of being left to wedge go-back-N behind a
+//!   stalled receiver. Clients back off and retry a bounded number of
+//!   times, so overload degrades into counted sheds rather than livelock.
+//! * **RMA responses** — replies too large for the system channel are
+//!   one-sided-written into a per-request slot of the client's response
+//!   arena (an open channel), then announced with a small completion
+//!   frame; fragment ordering within a NIC pair guarantees the data is in
+//!   host memory before the announcement's completion event.
+//!
+//! Every RPC joins the per-message causal trace: client and server record
+//! [`suca_sim::TraceLayer::Rpc`] spans against the *request message's*
+//! [`suca_sim::TraceId`], so one id stitches the application-level call to
+//! every packet, retransmission, and DMA it caused.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod server;
+
+pub use client::{RpcClient, RpcClientConfig, RpcCompletion, RpcStatus};
+pub use frame::{RpcFrame, RpcKind, ARENA_CHANNEL, FRAME_BYTES};
+pub use server::{RpcServer, RpcServerConfig};

@@ -257,7 +257,8 @@ proptest! {
             prop_assert!(rounds < 10_000, "no progress");
             while tx.can_send() && (next_to_queue as usize) < n {
                 let seq = tx.next_seq();
-                tx.record_sent(seq, Bytes::copy_from_slice(&next_to_queue.to_le_bytes()));
+                tx.record_sent(seq, Bytes::copy_from_slice(&next_to_queue.to_le_bytes()))
+                    .expect("seq from next_seq() under can_send()");
                 next_to_queue += 1;
             }
             // "Transmit" the window; some packets get lost.
