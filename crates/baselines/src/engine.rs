@@ -405,6 +405,7 @@ impl EpInner {
                         offset: off as u32,
                         total_len: total as u32,
                         frag_len: frag.len() as u32,
+                        epoch: 0,
                     };
                     if self.arch.reliable {
                         let gbn = st.gbn_tx.get_mut(&dst.0).expect("created above");
@@ -638,6 +639,7 @@ impl EpInner {
                 offset: 0,
                 total_len: 0,
                 frag_len: 0,
+                epoch: 0,
             };
             let fabric = self.fabric.clone();
             let fid = self.fid;

@@ -1,0 +1,308 @@
+//! Chaos harness: the sharded KV service of `rpc_slo` running on a
+//! 32-node **dual-rail** cluster (Myrinet primary + nwrc mesh secondary)
+//! while a scripted fault storm tears at rail 0 mid-run — a link flap, a
+//! permanent switch-port death, a NIC reset that wipes MCP SRAM, and a
+//! whole-node crash/restart.
+//!
+//! Two variants at the same fixed seed:
+//!
+//! * **chaos_clean** — the dual-rail cluster with no faults: the SLO
+//!   baseline the storm is compared against.
+//! * **chaos_storm** — the same workload under the storm. Recovery must go
+//!   through the full machinery (retransmission exhaustion → path death →
+//!   rail failover → epoch resync), and at the end the books must balance:
+//!   `completed + shed + timed_out == issued`, no chain stuck (the armed
+//!   stall watchdog stays silent), and both the SLO and chaos reports are
+//!   byte-identical across a rerun at the same seed.
+//!
+//! Reports land in `target/chaos/`: `slo_{variant}.json` plus the chaos
+//! report `chaos_storm.json` (fault + recovery counters, recovery-latency
+//! percentiles).
+
+use std::sync::{Arc, Mutex};
+
+use suca_bcl::ProcAddr;
+use suca_bench::report::emit_metrics;
+use suca_chaos::{chaos_dir, ChaosController, ChaosPlan, ChaosReport, Fault};
+use suca_cluster::{Cluster, ClusterSpec, SanKind, SimBarrier};
+use suca_load::{
+    run_closed_loop, ClosedLoopCfg, KvCosts, KvService, LatencyHists, LoadStats, Mix, SloReport,
+};
+use suca_mesh::MeshConfig;
+use suca_rpc::{RpcClient, RpcClientConfig, RpcServer, RpcServerConfig};
+use suca_sim::{ActorCtx, RunOutcome, SimDuration, SimTime, TelemetryConfig, WatchdogConfig};
+
+const SEED: u64 = 0xC4A05;
+const NODES: u32 = 32;
+const N_SERVERS: u32 = 8;
+const USERS_PER_CLIENT: u32 = 8;
+const OPS_PER_USER: u32 = 4;
+
+/// 32 nodes, Myrinet rail 0 + mesh rail 1, path-death detection armed, and
+/// the stall watchdog running with a budget far above recovery latency so
+/// a stuck chain — not a slow one — is what trips it.
+fn dual_rail_spec() -> ClusterSpec {
+    let mut spec = ClusterSpec::dawning3000(NODES)
+        .with_seed(SEED)
+        .with_second_san(SanKind::Mesh(MeshConfig::dawning3000()))
+        .with_telemetry(TelemetryConfig {
+            sample_period: SimDuration::from_us(100),
+            watchdog: WatchdogConfig {
+                chain_budget_ns: 5_000_000, // 5 ms >> path-death + resync
+                ..WatchdogConfig::default()
+            },
+        });
+    spec.bcl.reliability.max_path_timeouts = 3;
+    spec
+}
+
+/// Spread the shards evenly (same policy as `rpc_slo`).
+fn interleave_servers(nodes: u32, n_servers: u32) -> Vec<u32> {
+    (0..n_servers).map(|s| s * nodes / n_servers).collect()
+}
+
+/// The scripted storm, all on rail 0 and all aimed at client nodes (the
+/// shards stay up; what is under test is the *path* recovery machinery).
+/// Every fault kind from the taxonomy appears at least once.
+fn storm() -> ChaosPlan {
+    let mut plan = ChaosPlan::new();
+    // t=1 ms: node 5's rail-0 cable flaps for 2 ms.
+    plan.push(
+        SimTime::from_ns(1_000_000),
+        Fault::LinkFlap {
+            rail: 0,
+            node: 5,
+            down_for: SimDuration::from_ms(2),
+        },
+    );
+    // t=1.5 ms: the rail-0 switch port feeding node 9 dies permanently
+    // (Myrinet: 6 hosts per switch, so node 9 is switch 1, port 3).
+    plan.push(
+        SimTime::from_ns(1_500_000),
+        Fault::SwitchPortDeath {
+            rail: 0,
+            switch: 1,
+            port: 3,
+        },
+    );
+    // t=2 ms: node 13's NIC resets, wiping its MCP SRAM.
+    plan.push(SimTime::from_ns(2_000_000), Fault::NicReset { node: 13 });
+    // t=2.5 ms: node 21 crashes whole, restarting 1 ms later.
+    plan.push(
+        SimTime::from_ns(2_500_000),
+        Fault::NodeCrash {
+            node: 21,
+            down_for: SimDuration::from_ms(1),
+        },
+    );
+    plan
+}
+
+/// Spawn shards + closed-loop clients (the `rpc_slo` scaffolding), with an
+/// optional fault storm installed before the first actor runs.
+fn run_kv(plan: Option<&ChaosPlan>) -> (Cluster, LoadStats) {
+    let spec = dual_rail_spec();
+    let server_nodes = interleave_servers(NODES, N_SERVERS);
+    let cluster = spec.build();
+    let sim = cluster.sim.clone();
+    if let Some(plan) = plan {
+        ChaosController::install(&cluster, plan);
+    }
+    let server_cfg = RpcServerConfig {
+        queue_cap: 1024,
+        idle_timeout: SimDuration::from_ms(5),
+        ..RpcServerConfig::default()
+    };
+    // The client timeout must comfortably cover a full recovery
+    // (3 x 300 us retransmission exhaustion + resync), so storm-time
+    // requests ride through failover instead of burning attempts.
+    let client_cfg = RpcClientConfig {
+        timeout: SimDuration::from_ms(5),
+        max_attempts: 3,
+        backoff: SimDuration::from_us(200),
+        arena_slots: USERS_PER_CLIENT,
+        slot_bytes: suca_load::SCAN_BYTES as u64,
+    };
+    let barrier = SimBarrier::new(&sim, NODES);
+    let addrs: Arc<Mutex<Vec<Option<ProcAddr>>>> =
+        Arc::new(Mutex::new(vec![None; N_SERVERS as usize]));
+    let totals: Arc<Mutex<LoadStats>> = Arc::new(Mutex::new(LoadStats::default()));
+    for (s, &node) in server_nodes.iter().enumerate() {
+        let (b, a, scfg) = (barrier.clone(), addrs.clone(), server_cfg.clone());
+        cluster.spawn_process(node, "kv-shard", move |ctx, env| {
+            let port = env.open_port(ctx);
+            a.lock().unwrap()[s] = Some(port.addr());
+            let mut srv = RpcServer::new(ctx, port, scfg).expect("shard up");
+            let mut svc = KvService::new(KvCosts::default());
+            b.wait(ctx);
+            srv.serve_until_idle(ctx, &mut |ctx: &mut ActorCtx, op: u8, req: &[u8]| {
+                svc.handle(ctx, op, req)
+            });
+        });
+    }
+    let client_nodes: Vec<u32> = (0..NODES).filter(|n| !server_nodes.contains(n)).collect();
+    for (c, &node) in client_nodes.iter().enumerate() {
+        let (b, a, t) = (barrier.clone(), addrs.clone(), totals.clone());
+        let ccfg = client_cfg.clone();
+        let c = c as u32;
+        cluster.spawn_process(node, "load-client", move |ctx, env| {
+            let port = env.open_port(ctx);
+            let mut cli = RpcClient::new(ctx, port, ccfg).expect("client up");
+            b.wait(ctx);
+            let servers: Vec<ProcAddr> = a
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|x| x.expect("shard ready"))
+                .collect();
+            // Think 0.5-1.5 ms x 4 ops keeps every client live through the
+            // whole storm window (1-3.5 ms).
+            let cfg = ClosedLoopCfg {
+                users: USERS_PER_CLIENT,
+                ops_per_user: OPS_PER_USER,
+                think_min: SimDuration::from_us(500),
+                think_max: SimDuration::from_us(1_500),
+                mix: Mix::default(),
+                user_base: u64::from(c) * u64::from(USERS_PER_CLIENT),
+            };
+            let mut rng = ctx.sim().fork_rng(&format!("load.chaos.client{c}"));
+            let hists = LatencyHists::new(&ctx.sim().metrics());
+            let stats = run_closed_loop(ctx, &mut cli, &servers, &mut rng, &cfg, &hists);
+            t.lock().unwrap().merge(&stats);
+        });
+    }
+    assert_eq!(sim.run(), RunOutcome::Completed, "chaos_slo workload hung");
+    let stats = *totals.lock().unwrap();
+    (cluster, stats)
+}
+
+fn gather_slo(cluster: &Cluster, stats: &LoadStats, variant: &str) -> SloReport {
+    let users = u64::from(NODES - N_SERVERS) * u64::from(USERS_PER_CLIENT);
+    let report = SloReport::gather(&cluster.sim, variant, "dual", NODES, users, stats);
+    // The accounting identity is the core chaos invariant: every issued
+    // request resolves exactly one way, faults or not.
+    assert!(report.accounted(), "{variant}: requests leaked");
+    assert_eq!(report.watchdog_stalls, 0, "{variant}: a chain stuck");
+    assert_eq!(stats.bad_payloads, 0, "{variant}: payload corruption");
+    report
+}
+
+/// Write an SLO report into `target/chaos/` (next to the chaos report),
+/// not the default `target/slo/`.
+fn write_slo_to_chaos_dir(report: &SloReport, stem: &str) -> std::path::PathBuf {
+    let dir = chaos_dir();
+    std::fs::create_dir_all(&dir).expect("create chaos dir");
+    let path = dir.join(format!("{stem}.json"));
+    std::fs::write(&path, report.to_json()).expect("write SLO report");
+    path
+}
+
+fn main() {
+    println!("-- chaos_slo: 32-node dual-rail KV service under a fault storm\n");
+
+    // Baseline: same cluster, same seed, no faults.
+    let (clean_cluster, clean_stats) = run_kv(None);
+    let clean = gather_slo(&clean_cluster, &clean_stats, "chaos_clean");
+    assert_eq!(
+        clean.completed, clean.issued,
+        "chaos_clean: every request must complete without faults"
+    );
+    assert_eq!(
+        clean_cluster.sim.get_count("chaos.faults"),
+        0,
+        "chaos_clean: no fault may be injected in the baseline"
+    );
+    write_slo_to_chaos_dir(&clean, "slo_chaos_clean");
+    emit_metrics(&clean_cluster.sim, "chaos_slo_clean");
+
+    // The storm.
+    let plan = storm();
+    let (flaps, ports, resets, crashes) = plan.kind_counts();
+    assert!(
+        flaps >= 1 && ports >= 1 && resets >= 1 && crashes >= 1,
+        "storm must cover the whole fault taxonomy"
+    );
+    let (storm_cluster, storm_stats) = run_kv(Some(&plan));
+    let slo = gather_slo(&storm_cluster, &storm_stats, "chaos_storm");
+    let report = ChaosReport::gather(&storm_cluster.sim, "chaos_storm", SEED);
+    assert_eq!(
+        report.injected as usize,
+        plan.events.len(),
+        "every scheduled fault must inject (none skipped)"
+    );
+    assert_eq!(report.skipped, 0, "no fault may target missing hardware");
+    assert!(
+        report.path_deaths >= 1,
+        "the storm must trip retransmission exhaustion"
+    );
+    assert!(
+        report.rail_failovers >= 1,
+        "dual-rail nodes must fail over to rail 1"
+    );
+    assert!(
+        report.epoch_resyncs >= 1,
+        "recovery must complete an epoch resync handshake"
+    );
+    assert_eq!(report.node_restarts, 1, "the crashed node must restart");
+
+    // Determinism: the same seed reproduces both reports byte-for-byte.
+    let (rerun_cluster, rerun_stats) = run_kv(Some(&plan));
+    let slo_rerun = gather_slo(&rerun_cluster, &rerun_stats, "chaos_storm");
+    let report_rerun = ChaosReport::gather(&rerun_cluster.sim, "chaos_storm", SEED);
+    assert_eq!(
+        slo.to_json(),
+        slo_rerun.to_json(),
+        "chaos_storm: SLO report not deterministic at fixed seed"
+    );
+    assert_eq!(
+        report.to_json(),
+        report_rerun.to_json(),
+        "chaos_storm: chaos report not deterministic at fixed seed"
+    );
+
+    write_slo_to_chaos_dir(&slo, "slo_chaos_storm");
+    report
+        .write_named("chaos_storm")
+        .expect("write chaos report");
+    emit_metrics(&storm_cluster.sim, "chaos_slo_storm");
+
+    println!("variant      issued completed  shed t/out dead_dest  goodput/s");
+    for r in [&clean, &slo] {
+        println!(
+            "{:<12} {:>6} {:>9} {:>5} {:>5} {:>9} {:>10.0}",
+            r.variant,
+            r.issued,
+            r.completed,
+            r.shed,
+            r.timed_out,
+            r.dead_dests,
+            r.goodput_ops_per_s
+        );
+    }
+    for r in [&clean, &slo] {
+        for c in &r.classes {
+            println!(
+                "  {}/{:<5} p50 {:>8.1} us  p95 {:>8.1} us  p99 {:>8.1} us  p99.9 {:>8.1} us",
+                r.variant, c.name, c.p50_us, c.p95_us, c.p99_us, c.p999_us
+            );
+        }
+    }
+    println!(
+        "\nfaults: {} injected ({} flap, {} port, {} reset, {} crash) | \
+         path_deaths {} | failovers {} | resyncs {} | stale drops {}",
+        report.injected,
+        report.link_down,
+        report.port_dead,
+        report.nic_resets,
+        report.node_crashes,
+        report.path_deaths,
+        report.rail_failovers,
+        report.epoch_resyncs,
+        report.stale_epoch_drops,
+    );
+    println!(
+        "recovery latency: p50 {:.1} us  p99 {:.1} us  max {:.1} us",
+        report.recovery_p50_us, report.recovery_p99_us, report.recovery_max_us
+    );
+    println!("\nchaos_slo OK: accounted under storm, watchdog silent, reports deterministic");
+}

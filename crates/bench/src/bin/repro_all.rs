@@ -26,6 +26,7 @@ fn main() {
         "trace_export",
         "telemetry",
         "rpc_slo",
+        "chaos_slo",
     ];
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin dir");

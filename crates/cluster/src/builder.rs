@@ -38,6 +38,10 @@ pub struct ClusterSpec {
     pub nodes: u32,
     /// Network choice.
     pub san: SanKind,
+    /// Optional second rail: every NIC also attaches to this fabric and
+    /// fails over to it when the MCP declares a path dead. `None` (the
+    /// default) keeps the classic single-rail machine byte-identical.
+    pub san2: Option<SanKind>,
     /// Host OS flavor.
     pub personality: OsPersonality,
     /// Kernel cost model.
@@ -63,6 +67,7 @@ impl ClusterSpec {
         ClusterSpec {
             nodes,
             san: SanKind::Myrinet(MyrinetConfig::dawning3000()),
+            san2: None,
             personality: OsPersonality::AIX,
             os_costs: OsCostModel::aix_power3(),
             bcl: BclConfig::dawning3000(),
@@ -90,6 +95,16 @@ impl ClusterSpec {
     /// Override the SAN.
     pub fn with_san(mut self, san: SanKind) -> Self {
         self.san = san;
+        self
+    }
+
+    /// Attach a second rail (dual-fabric nodes for chaos/failover runs).
+    /// Use a *different* fabric kind than the primary — per-link telemetry
+    /// probe names are derived from link labels, and two fabrics of the same
+    /// kind would collide. Heterogeneous rails are also the paper's story:
+    /// the same binary runs over Myrinet or the nwrc mesh.
+    pub fn with_second_san(mut self, san: SanKind) -> Self {
+        self.san2 = Some(san);
         self
     }
 
@@ -121,16 +136,23 @@ impl ClusterSpec {
                 SanKind::Mesh(_) => "mesh",
             },
         );
-        let fabric: Arc<dyn Fabric> = match &self.san {
-            SanKind::Myrinet(cfg) => Myrinet::build(&sim, self.nodes, cfg.clone()),
-            SanKind::Mesh(cfg) => Mesh::build_square(&sim, self.nodes, cfg.clone()),
+        let build_san = |san: &SanKind| -> Arc<dyn Fabric> {
+            match san {
+                SanKind::Myrinet(cfg) => Myrinet::build(&sim, self.nodes, cfg.clone()),
+                SanKind::Mesh(cfg) => Mesh::build_square(&sim, self.nodes, cfg.clone()),
+            }
         };
+        let fabric = build_san(&self.san);
+        let mut rails = vec![fabric.clone()];
+        if let Some(san2) = &self.san2 {
+            rails.push(build_san(san2));
+        }
         let nodes = (0..self.nodes)
             .map(|i| {
                 ClusterNode::new(
                     &sim,
                     NodeId(i),
-                    fabric.clone(),
+                    rails.clone(),
                     self.nodes,
                     self.mem_bytes,
                     self.cpus,
@@ -143,7 +165,12 @@ impl ClusterSpec {
         // Every layer has registered its probes by now; arm the sampler and
         // the stall watchdog.
         sim.start_telemetry(self.telemetry.clone());
-        Cluster { sim, nodes, fabric }
+        Cluster {
+            sim,
+            nodes,
+            fabric,
+            rails,
+        }
     }
 }
 
@@ -153,8 +180,10 @@ pub struct Cluster {
     pub sim: Sim,
     /// All nodes, indexed by node id.
     pub nodes: Vec<Arc<ClusterNode>>,
-    /// The SAN.
+    /// The primary SAN (rail 0).
     pub fabric: Arc<dyn Fabric>,
+    /// Every rail, primary first. Single-rail clusters have one entry.
+    pub rails: Vec<Arc<dyn Fabric>>,
 }
 
 impl Cluster {

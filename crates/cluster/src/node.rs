@@ -19,12 +19,13 @@ pub struct ClusterNode {
 }
 
 impl ClusterNode {
-    /// Assemble a node attached to `fabric` at position `id`.
+    /// Assemble a node attached to every rail in `rails` at position `id`
+    /// (all current harnesses pass one rail; chaos harnesses pass two).
     #[allow(clippy::too_many_arguments)] // one knob per hardware subsystem
     pub fn new(
         sim: &Sim,
         id: NodeId,
-        fabric: Arc<dyn Fabric>,
+        rails: Vec<Arc<dyn Fabric>>,
         num_nodes: u32,
         mem_bytes: u64,
         n_cpus: u32,
@@ -34,7 +35,7 @@ impl ClusterNode {
     ) -> Arc<ClusterNode> {
         let mem = PhysMemory::new(mem_bytes);
         let os = NodeOs::new(sim, id, mem.clone(), personality, os_costs);
-        let mcp = Mcp::new(sim, id, FabricNodeId(id.0), fabric, mem, bcl_cfg.clone());
+        let mcp = Mcp::new_multi_rail(sim, id, FabricNodeId(id.0), rails, mem, bcl_cfg.clone());
         let bcl = BclNode::new(sim, os.clone(), mcp, num_nodes, bcl_cfg);
         Arc::new(ClusterNode {
             os,

@@ -270,6 +270,7 @@ fn orphan_read_reply_counts_protocol_error_and_dumps_flight_recorder() {
             offset: 0,
             total_len: 64,
             frag_len: 64,
+            epoch: 0,
         };
         fabric.inject(
             ctx.sim(),

@@ -55,6 +55,14 @@ pub struct ReliabilityConfig {
     pub reject_retry_delay: SimDuration,
     /// Retries before a rejected message completes with an error event.
     pub max_message_retries: u32,
+    /// Consecutive retransmission timeouts (no ack progress) to the same
+    /// destination before the kernel declares the path dead: dual-rail
+    /// nodes fail the connection over to the other rail; single-rail nodes
+    /// refuse new sends to the destination while go-back-N keeps probing
+    /// underneath (ack progress revives the path). `0` disables detection
+    /// entirely — the calibrated DAWNING-3000 profile keeps it off so the
+    /// paper-identity harnesses are untouched; chaos/fault harnesses opt in.
+    pub max_path_timeouts: u32,
 }
 
 /// System-channel buffer pool (small-message FIFO, paper §2.2).
@@ -179,6 +187,7 @@ impl BclConfig {
                 retransmit_timeout: SimDuration::from_us(300),
                 reject_retry_delay: SimDuration::from_us(50),
                 max_message_retries: 200,
+                max_path_timeouts: 0,
             },
             system_pool: SystemPoolConfig {
                 buffers: 64,

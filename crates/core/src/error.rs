@@ -56,6 +56,10 @@ pub enum BclError {
     },
     /// Send-request ring is full (back-pressure; retry after completions).
     RingFull,
+    /// The NIC declared every path to this node dead (retransmission
+    /// exhaustion on all rails). Terminal for new sends until the firmware
+    /// sees ack progress again; callers should re-home the work.
+    PathDead(NodeId),
     /// A normal channel was posted twice without being consumed.
     ChannelBusy(ChannelId),
     /// RMA access outside the bound open-channel buffer.
@@ -97,6 +101,7 @@ impl core::fmt::Display for BclError {
                 write!(f, "{len} B does not fit a {max} B system buffer")
             }
             BclError::RingFull => write!(f, "send request ring full"),
+            BclError::PathDead(n) => write!(f, "every path to node {n:?} is dead"),
             BclError::ChannelBusy(c) => write!(f, "channel {c:?} already posted"),
             BclError::RmaOutOfRange { end, len } => {
                 write!(

@@ -431,6 +431,12 @@ impl BclKmod {
                 max: self.cfg.limits.max_message_bytes,
             }));
         }
+        if self.mcp.path_is_dead(FabricNodeId(dst.node.0)) {
+            // The NIC exhausted retransmission on every rail; refusing here
+            // (kernel-side, per the trust model) lets callers re-home work
+            // instead of feeding a black hole.
+            return Err(BclError::PathDead(dst.node));
+        }
         if self.mcp.queue_depth() >= self.cfg.limits.send_ring {
             return Err(BclError::RingFull);
         }
@@ -492,6 +498,9 @@ impl BclKmod {
             self.check_owner(&st, port, proc.pid)?;
         }
         self.check_dest(dst)?;
+        if self.mcp.path_is_dead(FabricNodeId(dst.node.0)) {
+            return Err(BclError::PathDead(dst.node));
+        }
         if chan >= self.cfg.limits.open_channels {
             return Err(self.reject(BclError::BadChannel(ChannelId::open(chan))));
         }
@@ -538,6 +547,9 @@ impl BclKmod {
             self.check_owner(&st, port, proc.pid)?;
         }
         self.check_dest(dst)?;
+        if self.mcp.path_is_dead(FabricNodeId(dst.node.0)) {
+            return Err(BclError::PathDead(dst.node));
+        }
         if chan >= self.cfg.limits.open_channels {
             return Err(self.reject(BclError::BadChannel(ChannelId::open(chan))));
         }

@@ -34,14 +34,14 @@ use suca_myrinet::{Fabric, FabricNodeId, PacketTrace, SramLease, SramPool, FRAMI
 use suca_os::NodeId;
 use suca_pci::DmaEngine;
 use suca_sim::mtrace::{stage, TraceEvent, TraceId, TraceLayer};
-use suca_sim::{Counter, EventId, Sim, SimDuration};
+use suca_sim::{Counter, EventId, Histogram, Sim, SimDuration, SimTime};
 
 use crate::config::BclConfig;
 use crate::port::{
     ChannelId, ChannelKind, PortId, ProcAddr, RecvDataLoc, RecvEvent, SendEvent, SendStatus,
 };
 use crate::queues::{SystemPool, UserQueues};
-use crate::reliable::{GbnReceiver, GbnSender, GbnVerdict};
+use crate::reliable::{EpochReceiver, EpochSender, EpochVerdict, GbnVerdict};
 use crate::sg::{read_sg, sg_total, write_sg};
 use crate::wire::{WireHeader, WireKind, HEADER_BYTES};
 
@@ -134,14 +134,32 @@ struct McpState {
     active: Option<ActiveSend>,
     active_gen: u64,
     sender_busy: bool,
-    gbn_tx: HashMap<u32, GbnSender>,
-    gbn_rx: HashMap<u32, GbnReceiver>,
+    gbn_tx: HashMap<u32, EpochSender>,
+    gbn_rx: HashMap<u32, EpochReceiver>,
     timers: HashMap<u32, EventId>,
     incoming: HashMap<(u32, u32), Incoming>,
     rejected: HashSet<(u32, u32)>,
     pending_reads: HashMap<u32, PendingRead>,
     completed: HashMap<u32, SendJob>,
     completed_order: VecDeque<u32>,
+    /// Active rail per destination (index into `fabrics`); absent = rail 0.
+    rail_for: HashMap<u32, usize>,
+    /// Consecutive retransmission timeouts per destination with no ack
+    /// progress in between — the paper's kernel-side path-death detector.
+    consec_timeouts: HashMap<u32, u32>,
+    /// Rail failovers per destination since the last ack progress. Once it
+    /// reaches the rail count, the destination is advisorily dead.
+    failovers_no_progress: HashMap<u32, u32>,
+    /// Destinations declared unreachable on every rail. The kernel refuses
+    /// *new* sends ([`crate::BclError::PathDead`]); the firmware keeps
+    /// retrying underneath so a revived path clears itself.
+    dead_paths: HashSet<u32>,
+    /// When the in-progress epoch resync per destination started (for the
+    /// recovery-latency histogram).
+    sync_started: HashMap<u32, SimTime>,
+    /// Chaos: while set and in the future, the whole node is crashed — the
+    /// send engine stalls and every arriving packet is a counted drop.
+    down_until: Option<SimTime>,
 }
 
 pub(crate) struct McpInner {
@@ -149,7 +167,9 @@ pub(crate) struct McpInner {
     cfg: BclConfig,
     node: NodeId,
     fid: FabricNodeId,
-    fabric: Arc<dyn Fabric>,
+    /// All rails this NIC is attached to. Single-rail clusters have one
+    /// entry; dual-fabric nodes fail over between entries on path death.
+    fabrics: Vec<Arc<dyn Fabric>>,
     mem: PhysMemory,
     host_dma: DmaEngine,
     sram: SramPool,
@@ -160,6 +180,12 @@ pub(crate) struct McpInner {
     retx_packets: Counter,
     completion_dmas: Counter,
     protocol_errors: Counter,
+    path_deaths: Counter,
+    rail_failovers: Counter,
+    nic_resets: Counter,
+    stale_epoch_drops: Counter,
+    node_down_drops: Counter,
+    recovery_ns: Histogram,
     // Interned once so hot-path trace recording never allocates.
     track_tx: &'static str,
     track_rx: &'static str,
@@ -175,7 +201,11 @@ pub struct Mcp {
 /// outside it.
 enum Work {
     /// Retransmit an already-encoded packet.
-    Retx { dst: FabricNodeId, pkt: Bytes },
+    Retx {
+        dst: FabricNodeId,
+        pkt: Bytes,
+        rail: usize,
+    },
     /// A new descriptor was activated; charge the fixed cost.
     NewJob { trace: TraceId },
     /// Inject one freshly staged fragment.
@@ -185,6 +215,7 @@ enum Work {
         trace: TraceId,
         seq: u32,
         bytes: u64,
+        rail: usize,
     },
     /// Waiting on the staging DMA.
     StallStaging,
@@ -213,9 +244,27 @@ impl Mcp {
         mem: PhysMemory,
         cfg: BclConfig,
     ) -> Mcp {
+        Self::new_multi_rail(sim, node, fid, vec![fabric], mem, cfg)
+    }
+
+    /// Boot the firmware attached to several rails at once (dual-fabric
+    /// nodes). Rail 0 is the initial path to every destination; the others
+    /// are failover targets. Every rail must expose this node at `fid`.
+    pub fn new_multi_rail(
+        sim: &Sim,
+        node: NodeId,
+        fid: FabricNodeId,
+        fabrics: Vec<Arc<dyn Fabric>>,
+        mem: PhysMemory,
+        cfg: BclConfig,
+    ) -> Mcp {
+        assert!(!fabrics.is_empty(), "a NIC needs at least one rail");
         let host_dma = DmaEngine::from_pci(sim, "host", &cfg.pci);
         let sram = SramPool::new(cfg.nic_sram_bytes);
-        let frag_cap = (fabric.mtu() as u64)
+        // Fragments must fit every rail, so a message resynced onto the
+        // other fabric never needs re-fragmenting.
+        let min_mtu = fabrics.iter().map(|f| f.mtu()).min().unwrap_or(0);
+        let frag_cap = (min_mtu as u64)
             .saturating_sub(HEADER_BYTES as u64)
             .min(4096);
         assert!(frag_cap > 0, "MTU too small for the BCL header");
@@ -231,7 +280,7 @@ impl Mcp {
             cfg,
             node,
             fid,
-            fabric: fabric.clone(),
+            fabrics: fabrics.clone(),
             mem,
             host_dma,
             sram,
@@ -240,6 +289,12 @@ impl Mcp {
             retx_packets: metrics.counter("bcl.retx_packets"),
             completion_dmas: metrics.counter("mcp.completion_dmas"),
             protocol_errors: metrics.counter("mcp.protocol_errors"),
+            path_deaths: metrics.counter("mcp.path_deaths"),
+            rail_failovers: metrics.counter("mcp.rail_failovers"),
+            nic_resets: metrics.counter("mcp.nic_resets"),
+            stale_epoch_drops: metrics.counter("mcp.stale_epoch_drops"),
+            node_down_drops: metrics.counter("mcp.node_down_drops"),
+            recovery_ns: metrics.histogram("chaos.recovery_ns"),
             track_tx: suca_sim::intern(&format!("n{}/tx", node.0)),
             track_rx: suca_sim::intern(&format!("n{}/rx", node.0)),
             state: Mutex::new(McpState {
@@ -257,17 +312,25 @@ impl Mcp {
                 pending_reads: HashMap::new(),
                 completed: HashMap::new(),
                 completed_order: VecDeque::new(),
+                rail_for: HashMap::new(),
+                consec_timeouts: HashMap::new(),
+                failovers_no_progress: HashMap::new(),
+                dead_paths: HashSet::new(),
+                sync_started: HashMap::new(),
+                down_until: None,
             }),
         });
-        let weak = Arc::downgrade(&inner);
-        fabric.attach(
-            fid,
-            Box::new(move |sim, pkt| {
-                if let Some(inner) = weak.upgrade() {
-                    McpInner::on_packet(&inner, sim, pkt);
-                }
-            }),
-        );
+        for (rail, fabric) in fabrics.iter().enumerate() {
+            let weak = Arc::downgrade(&inner);
+            fabric.attach(
+                fid,
+                Box::new(move |sim, pkt| {
+                    if let Some(inner) = weak.upgrade() {
+                        McpInner::on_packet(&inner, sim, pkt, rail);
+                    }
+                }),
+            );
+        }
         // Continuous-telemetry probes: NIC-side queue depths and SRAM
         // occupancy, sampled by the sim-clock telemetry tick. Weak handles
         // keep the registry from pinning the firmware alive.
@@ -436,14 +499,71 @@ impl Mcp {
             self.inner.sram.capacity(),
         )
     }
+
+    /// Kernel module: is `dst` currently declared unreachable on every rail?
+    /// Advisory — the firmware keeps retrying underneath, and ack progress
+    /// clears the mark; but the kernel refuses *new* sends meanwhile.
+    pub fn path_is_dead(&self, dst: FabricNodeId) -> bool {
+        self.inner.state.lock().dead_paths.contains(&dst.0)
+    }
+
+    /// The rail currently carrying traffic to `dst` (observability/tests).
+    pub fn active_rail(&self, dst: FabricNodeId) -> usize {
+        *self.inner.state.lock().rail_for.get(&dst.0).unwrap_or(&0)
+    }
+
+    /// Number of rails this NIC is attached to.
+    pub fn num_rails(&self) -> usize {
+        self.inner.fabrics.len()
+    }
+
+    /// Chaos: a NIC reset wipes all MCP SRAM state — send queue, staging,
+    /// go-back-N streams, reassembly and read bookkeeping. Senders that
+    /// asked for completions get `Rejected` events so no chain wedges.
+    /// Epochs live host-side and survive: every tx stream restarts one past
+    /// its old epoch, so peers adopt the fresh streams instead of mixing
+    /// them with pre-reset sequence numbers.
+    pub fn chaos_reset(&self) {
+        self.inner.nic_resets.inc();
+        self.inner.mt_instant(TraceId::NONE, stage::CHAOS_NIC_RESET);
+        McpInner::wipe_sram_state(&self.inner);
+        McpInner::kick_sender(&self.inner);
+    }
+
+    /// Chaos: crash the whole node for `down_for`. The SRAM wipe of a reset
+    /// plus a dead window: arriving packets are counted drops and the send
+    /// engine stalls until the restart, which is counted and traced.
+    pub fn chaos_crash(&self, down_for: SimDuration) {
+        let inner = &self.inner;
+        inner.sim.add_count("mcp.node_crashes", 1);
+        inner.mt_instant(TraceId::NONE, stage::CHAOS_NODE_CRASH);
+        McpInner::wipe_sram_state(inner);
+        inner.state.lock().down_until = Some(inner.sim.now() + down_for);
+        let me = inner.clone();
+        inner.sim.schedule_in(down_for, move |s| {
+            s.add_count("mcp.node_restarts", 1);
+            me.mt_instant(TraceId::NONE, stage::CHAOS_NODE_RESTART);
+            me.kick_sender();
+        });
+    }
 }
 
 impl McpInner {
-    fn wire_time(&self, payload_len: usize) -> SimDuration {
+    fn wire_time(&self, rail: usize, payload_len: usize) -> SimDuration {
         SimDuration::for_bytes(
             payload_len as u64 + FRAMING_BYTES,
-            self.fabric.link_bytes_per_sec(),
+            self.fabrics[rail].link_bytes_per_sec(),
         )
+    }
+
+    /// Active rail toward `dst`. Lock held by the caller.
+    fn rail_of(&self, st: &McpState, dst: FabricNodeId) -> usize {
+        *st.rail_for.get(&dst.0).unwrap_or(&0)
+    }
+
+    /// True while a chaos crash holds the node down. Lock held.
+    fn is_down(&self, st: &McpState) -> bool {
+        st.down_until.is_some_and(|t| self.sim.now() < t)
     }
 
     #[inline]
@@ -574,10 +694,10 @@ impl McpInner {
                 }
                 self.sim.schedule_in(d, move |_| me.sender_step());
             }
-            Work::Retx { dst, pkt } => {
+            Work::Retx { dst, pkt, rail } => {
                 self.retx_packets.inc();
                 let proc = self.cfg.mcp.send_per_frag;
-                let tx = self.wire_time(pkt.len());
+                let tx = self.wire_time(rail, pkt.len());
                 // Attribute the retransmission: the retx queue stores
                 // already-encoded packets, so recover identity from the
                 // wire header (only runs after a timeout — off the common
@@ -615,7 +735,7 @@ impl McpInner {
                     }
                     meta = Some(pt);
                 }
-                let fabric = self.fabric.clone();
+                let fabric = self.fabrics[rail].clone();
                 let fid = self.fid;
                 self.sim.schedule_in(proc, move |s| {
                     fabric.inject_traced(s, fid, dst, pkt, meta);
@@ -629,9 +749,10 @@ impl McpInner {
                 trace,
                 seq,
                 bytes,
+                rail,
             } => {
                 let proc = self.cfg.mcp.send_per_frag;
-                let tx = self.wire_time(pkt.len());
+                let tx = self.wire_time(rail, pkt.len());
                 let start = self.sim.now();
                 self.sim
                     .trace_span(self.track_tx, "mcp: fragment process", start, start + proc);
@@ -674,7 +795,7 @@ impl McpInner {
                 } else {
                     None
                 };
-                let fabric = self.fabric.clone();
+                let fabric = self.fabrics[rail].clone();
                 let fid = self.fid;
                 self.sim.schedule_in(proc, move |s| {
                     fabric.inject_traced(s, fid, dst, pkt, meta);
@@ -689,8 +810,14 @@ impl McpInner {
     /// protocol-state invariant becomes a counted [`Work::Dropped`] (with a
     /// flight-recorder dump) instead of a firmware panic.
     fn next_work(self: &Arc<Self>, st: &mut McpState) -> Work {
+        if self.is_down(st) {
+            // Node crashed: the engine stalls; the restart event re-kicks.
+            st.sender_busy = false;
+            return Work::Idle;
+        }
         if let Some((dst, pkt)) = st.retx.pop_front() {
-            return Work::Retx { dst, pkt };
+            let rail = self.rail_of(st, dst);
+            return Work::Retx { dst, pkt, rail };
         }
         let Some(dst) = st.active.as_ref().map(|a| a.job.dst_fid) else {
             // No active send: start the next queued job, if any.
@@ -727,9 +854,11 @@ impl McpInner {
         let window_open = st
             .gbn_tx
             .entry(dst.0)
-            .or_insert_with(|| GbnSender::new(window))
+            .or_insert_with(|| EpochSender::new(window))
             .can_send();
         if !window_open {
+            // Closed window or an epoch resync in flight; the ack (or the
+            // sync-ack) re-kicks the engine.
             st.sender_busy = false;
             return Work::StallWindow;
         }
@@ -757,6 +886,7 @@ impl McpInner {
             return self.protocol_drop(st, "go-back-N sender missing for active destination");
         };
         header.seq = gbn.next_seq();
+        header.epoch = gbn.epoch();
         let pkt = header.encode(&data);
         if let Err(e) = gbn.record_sent(header.seq, pkt.clone()) {
             // The window was checked open above, so any failure here is a
@@ -776,12 +906,14 @@ impl McpInner {
             self.stage_more(st);
         }
         self.arm_timer(st, dst);
+        let rail = self.rail_of(st, dst);
         Work::Frag {
             dst,
             pkt,
             trace,
             seq: header.seq,
             bytes,
+            rail,
         }
     }
 
@@ -816,7 +948,8 @@ impl McpInner {
             src_port: job.src_port,
             dst_port: job.dst_port,
             msg_id: job.msg_id,
-            seq: 0, // stamped by the caller
+            seq: 0,   // stamped by the caller
+            epoch: 0, // stamped by the caller
             offset: offset as u32,
             total_len: total as u32,
             frag_len: data.len() as u32,
@@ -902,6 +1035,75 @@ impl McpInner {
         });
     }
 
+    // ---------------- chaos: NIC reset / node crash ----------------
+
+    /// Discard every piece of MCP SRAM state: the send queue, staging
+    /// buffers, go-back-N streams, reassembly and read-reply bookkeeping.
+    /// Senders that asked for completions get `Rejected` events so no user
+    /// chain wedges on a message the dead NIC forgot. Tx epochs are host
+    /// state: each stream restarts one *past* its old epoch, so peers adopt
+    /// the fresh streams instead of mixing them with pre-reset sequence
+    /// numbers.
+    fn wipe_sram_state(self: &Arc<Self>) {
+        let mut st = self.state.lock();
+        for (_, timer) in st.timers.drain() {
+            self.sim.cancel(timer);
+        }
+        // Reject in-progress and queued sends (their payload staging died
+        // with the SRAM). Bumping the generation orphans in-flight staging
+        // DMA callbacks.
+        st.active_gen += 1;
+        if let Some(a) = st.active.take() {
+            if a.job.notify_sender {
+                self.post_send_event(&st, &a.job, SendStatus::Rejected);
+            }
+        }
+        let queued: Vec<SendJob> = st.send_queue.drain(..).collect();
+        for job in &queued {
+            if job.notify_sender {
+                self.post_send_event(&st, job, SendStatus::Rejected);
+            }
+        }
+        // Outstanding one-sided reads will never match a reply now; their
+        // owners learn through a Rejected completion.
+        let pending: Vec<(u32, PortId)> = st
+            .pending_reads
+            .drain()
+            .map(|(msg_id, pr)| (msg_id, pr.port))
+            .collect();
+        for (msg_id, port) in pending {
+            let Some(p) = st.ports.get(&port.0) else {
+                continue;
+            };
+            let queues = p.queues.clone();
+            self.completion_dmas.inc();
+            self.host_dma.submit(self.cfg.mcp.event_bytes, move |_| {
+                queues.push_send(SendEvent {
+                    msg_id,
+                    status: SendStatus::Rejected,
+                });
+            });
+        }
+        st.retx.clear();
+        let window = self.cfg.reliability.window;
+        let old_epochs: Vec<(u32, u16)> =
+            st.gbn_tx.iter().map(|(dst, g)| (*dst, g.epoch())).collect();
+        st.gbn_tx.clear();
+        for (dst, epoch) in old_epochs {
+            st.gbn_tx
+                .insert(dst, EpochSender::with_epoch(window, epoch.wrapping_add(1)));
+        }
+        st.gbn_rx.clear();
+        st.incoming.clear();
+        st.rejected.clear();
+        st.completed.clear();
+        st.completed_order.clear();
+        st.consec_timeouts.clear();
+        st.failovers_no_progress.clear();
+        st.dead_paths.clear();
+        st.sync_started.clear();
+    }
+
     // ---------------- timers / retransmission ----------------
 
     fn arm_timer(self: &Arc<Self>, st: &mut McpState, dst: FabricNodeId) {
@@ -921,14 +1123,43 @@ impl McpInner {
         {
             let mut st = self.state.lock();
             st.timers.remove(&dst.0);
-            let Some(gbn) = st.gbn_tx.get(&dst.0) else {
-                return;
+            if self.is_down(&st) {
+                return; // crashed node: timers die with the firmware
+            }
+            let (syncing, in_flight, epoch, parked) = match st.gbn_tx.get(&dst.0) {
+                Some(gbn) => (
+                    gbn.is_syncing(),
+                    gbn.in_flight(),
+                    gbn.epoch(),
+                    gbn.parked_epoch(),
+                ),
+                None => return,
             };
-            if gbn.in_flight() == 0 {
+            if !syncing && in_flight == 0 {
+                st.consec_timeouts.remove(&dst.0);
                 return;
             }
             self.sim.add_count("bcl.timeouts", 1);
-            let packets: Vec<Bytes> = gbn.unacked().cloned().collect();
+            let consec = st.consec_timeouts.entry(dst.0).or_insert(0);
+            *consec += 1;
+            let exhausted = *consec;
+            let threshold = self.cfg.reliability.max_path_timeouts;
+            if threshold > 0 && exhausted >= threshold {
+                // Retransmission exhausted: the kernel-side trust model says
+                // the NIC — not user code — declares the path dead.
+                self.declare_path_dead(&mut st, dst);
+                self.arm_timer(&mut st, dst);
+                return;
+            }
+            if syncing {
+                // The EpochSync itself was lost; re-offer it on the current
+                // rail and keep the timer running.
+                let rail = self.rail_of(&st, dst);
+                self.send_control(rail, dst, Self::sync_header(epoch, parked));
+                self.arm_timer(&mut st, dst);
+                return;
+            }
+            let packets: Vec<Bytes> = st.gbn_tx[&dst.0].unacked().cloned().collect();
             for p in packets {
                 st.retx.push_back((dst, p));
             }
@@ -937,9 +1168,52 @@ impl McpInner {
         self.kick_sender();
     }
 
+    /// Consecutive-retransmission exhaustion tripped for `dst`: count it,
+    /// fail over to the next rail (dual-fabric nodes), and start the
+    /// epoch-stamped resync handshake. Once every rail has been tried with
+    /// no ack progress the destination is advisorily dead. Lock held.
+    fn declare_path_dead(self: &Arc<Self>, st: &mut McpState, dst: FabricNodeId) {
+        self.path_deaths.inc();
+        self.mt_instant(TraceId::NONE, stage::PATH_DEAD);
+        st.consec_timeouts.remove(&dst.0);
+        let tried = st.failovers_no_progress.entry(dst.0).or_insert(0);
+        *tried += 1;
+        if *tried as usize >= self.fabrics.len() {
+            st.dead_paths.insert(dst.0);
+        }
+        if self.fabrics.len() > 1 {
+            let next = (self.rail_of(st, dst) + 1) % self.fabrics.len();
+            st.rail_for.insert(dst.0, next);
+            self.rail_failovers.inc();
+            self.mt_instant(TraceId::NONE, stage::RAIL_FAILOVER);
+        }
+        let Some(gbn) = st.gbn_tx.get_mut(&dst.0) else {
+            return;
+        };
+        let epoch = gbn.begin_resync();
+        let parked = gbn.parked_epoch();
+        st.sync_started.entry(dst.0).or_insert(self.sim.now());
+        // Old-epoch packets queued for retransmission would only be counted
+        // stale drops at the receiver; the parked stream replays the
+        // undelivered tail after the handshake instead.
+        st.retx.retain(|(d, _)| *d != dst);
+        let rail = self.rail_of(st, dst);
+        self.send_control(rail, dst, Self::sync_header(epoch, parked));
+    }
+
     // ---------------- receive engine ----------------
 
-    fn on_packet(self: &Arc<Self>, sim: &Sim, pkt: suca_myrinet::Packet) {
+    fn on_packet(self: &Arc<Self>, sim: &Sim, pkt: suca_myrinet::Packet, rail: usize) {
+        if self.is_down(&self.state.lock()) {
+            // Crashed node: the NIC is off the bus; every arrival is a
+            // counted drop until the restart.
+            self.node_down_drops.inc();
+            let trace = pkt
+                .trace
+                .map_or(TraceId::NONE, |t| TraceId::new(t.origin, t.msg_id));
+            self.mt_instant(trace, stage::DROP_NODE_DOWN);
+            return;
+        }
         if pkt.corrupted {
             sim.add_count("bcl.crc_dropped", 1);
             if let Some(t) = pkt.trace {
@@ -956,13 +1230,26 @@ impl McpInner {
             WireKind::Ack => {
                 let me = self.clone();
                 sim.schedule_in(self.cfg.mcp.ack_process, move |_| {
-                    me.on_ack(src, header.seq);
+                    me.on_ack(src, header.epoch, header.seq);
                 });
             }
             WireKind::Reject => {
                 let me = self.clone();
                 sim.schedule_in(self.cfg.mcp.ack_process, move |_| {
                     me.on_reject(header.msg_id, header.offset == 1);
+                });
+            }
+            WireKind::EpochSync => {
+                let me = self.clone();
+                sim.schedule_in(self.cfg.mcp.ack_process, move |_| {
+                    // msg_id carries the epoch of the stream the peer parked.
+                    me.on_epoch_sync(src, header.epoch, header.msg_id as u16, rail);
+                });
+            }
+            WireKind::EpochSyncAck => {
+                let me = self.clone();
+                sim.schedule_in(self.cfg.mcp.ack_process, move |_| {
+                    me.on_epoch_sync_ack(src, header.epoch, header.seq);
                 });
             }
             WireKind::Data | WireKind::RmaReadReq | WireKind::RmaReadData => {
@@ -985,23 +1272,34 @@ impl McpInner {
                     );
                 }
                 sim.schedule_in(proc, move |_| {
-                    me.on_data(src, header, payload);
+                    me.on_data(src, header, payload, rail);
                 });
             }
         }
     }
 
-    fn on_ack(self: &Arc<Self>, src: FabricNodeId, cum: u32) {
+    fn on_ack(self: &Arc<Self>, src: FabricNodeId, epoch: u16, cum: u32) {
         {
             let mut st = self.state.lock();
             let Some(gbn) = st.gbn_tx.get_mut(&src.0) else {
                 return;
             };
-            let freed = gbn.on_ack(cum);
+            let Some(freed) = gbn.on_ack(epoch, cum) else {
+                // Ack for a stream we already abandoned (or one we are mid-
+                // resync on): counted and dropped, never applied.
+                self.stale_epoch_drops.inc();
+                self.mt_instant(TraceId::NONE, stage::DROP_STALE_EPOCH);
+                return;
+            };
             if freed == 0 {
                 return;
             }
-            let empty = gbn.in_flight() == 0;
+            // Ack progress: the path works again; clear the health counters
+            // and any advisory dead mark.
+            st.consec_timeouts.remove(&src.0);
+            st.failovers_no_progress.remove(&src.0);
+            st.dead_paths.remove(&src.0);
+            let empty = st.gbn_tx[&src.0].in_flight() == 0;
             if let Some(timer) = st.timers.remove(&src.0) {
                 self.sim.cancel(timer);
             }
@@ -1010,6 +1308,98 @@ impl McpInner {
             }
         }
         self.kick_sender(); // window may have opened
+    }
+
+    /// A peer began an epoch resync toward us: adopt the new epoch (capture
+    /// the old stream's cumulative ack first) and reply with the cum of the
+    /// stream the peer *parked* (`parked` names its epoch) so the peer can
+    /// replay exactly the undelivered tail. Duplicate syncs replay the same
+    /// captured ack; stale ones are counted drops.
+    fn on_epoch_sync(self: &Arc<Self>, src: FabricNodeId, epoch: u16, parked: u16, rail: usize) {
+        let reply = {
+            let mut st = self.state.lock();
+            if self.is_down(&st) {
+                return;
+            }
+            let rx = st.gbn_rx.entry(src.0).or_default();
+            match rx.on_sync(epoch, parked) {
+                Some(old_cum) => {
+                    self.mt_instant(TraceId::NONE, stage::EPOCH_RESYNC);
+                    Some(old_cum)
+                }
+                None => {
+                    self.stale_epoch_drops.inc();
+                    self.mt_instant(TraceId::NONE, stage::DROP_STALE_EPOCH);
+                    None
+                }
+            }
+        };
+        if let Some(old_cum) = reply {
+            // Answer on the rail the sync arrived on: that is the rail the
+            // peer failed over to, and the one it is listening on.
+            self.send_control(rail, src, Self::sync_ack_header(epoch, old_cum));
+        }
+    }
+
+    /// The peer acknowledged our epoch resync with the old stream's
+    /// cumulative ack: prune what was delivered, re-stamp the undelivered
+    /// tail onto the fresh stream, and resume. This is the moment a failover
+    /// recovers — the latency since path death goes into the histogram.
+    fn on_epoch_sync_ack(self: &Arc<Self>, src: FabricNodeId, epoch: u16, old_cum: u32) {
+        {
+            let mut st = self.state.lock();
+            if self.is_down(&st) {
+                return;
+            }
+            let tail = {
+                let Some(gbn) = st.gbn_tx.get_mut(&src.0) else {
+                    return;
+                };
+                match gbn.on_sync_ack(epoch, old_cum) {
+                    Some(tail) => tail,
+                    None => {
+                        self.stale_epoch_drops.inc();
+                        self.mt_instant(TraceId::NONE, stage::DROP_STALE_EPOCH);
+                        return;
+                    }
+                }
+            };
+            for pkt in tail {
+                let Some((mut h, payload)) = WireHeader::decode(&pkt) else {
+                    self.protocol_error(TraceId::NONE, "parked resync packet fails to decode");
+                    continue;
+                };
+                let Some(gbn) = st.gbn_tx.get_mut(&src.0) else {
+                    return;
+                };
+                h.seq = gbn.next_seq();
+                h.epoch = gbn.epoch();
+                let enc = h.encode(&payload);
+                if gbn.record_sent(h.seq, enc.clone()).is_err() {
+                    // The tail is at most one window, so this cannot close;
+                    // evidence over panic if the invariant ever breaks.
+                    self.protocol_error(TraceId::NONE, "resync tail overflows fresh window");
+                    continue;
+                }
+                st.retx.push_back((src, enc));
+            }
+            self.mt_instant(TraceId::NONE, stage::EPOCH_RESYNC);
+            st.consec_timeouts.remove(&src.0);
+            st.failovers_no_progress.remove(&src.0);
+            st.dead_paths.remove(&src.0);
+            if let Some(t0) = st.sync_started.remove(&src.0) {
+                self.recovery_ns
+                    .record(self.sim.now().as_ns().saturating_sub(t0.as_ns()));
+            }
+            if let Some(timer) = st.timers.remove(&src.0) {
+                self.sim.cancel(timer);
+            }
+            let in_flight = st.gbn_tx.get(&src.0).is_some_and(|g| g.in_flight() > 0);
+            if in_flight || !st.retx.is_empty() {
+                self.arm_timer(&mut st, src);
+            }
+        }
+        self.kick_sender(); // data sends were paused during the handshake
     }
 
     fn on_reject(self: &Arc<Self>, msg_id: u32, fatal: bool) {
@@ -1061,63 +1451,96 @@ impl McpInner {
         }
     }
 
-    fn send_control(self: &Arc<Self>, dst: FabricNodeId, header: WireHeader) {
+    fn send_control(self: &Arc<Self>, rail: usize, dst: FabricNodeId, header: WireHeader) {
         let pkt = header.encode(b"");
-        let fabric = self.fabric.clone();
+        let fabric = self.fabrics[rail].clone();
         let fid = self.fid;
         self.sim.schedule_in(self.cfg.mcp.ack_send, move |s| {
             fabric.inject(s, fid, dst, pkt);
         });
     }
 
-    fn ack_header(cum: u32) -> WireHeader {
+    fn control_header(
+        kind: WireKind,
+        epoch: u16,
+        msg_id: u32,
+        seq: u32,
+        offset: u32,
+    ) -> WireHeader {
         WireHeader {
-            kind: WireKind::Ack,
-            channel: ChannelId::SYSTEM,
-            src_port: PortId(0),
-            dst_port: PortId(0),
-            msg_id: 0,
-            seq: cum,
-            offset: 0,
-            total_len: 0,
-            frag_len: 0,
-        }
-    }
-
-    fn reject_header(msg_id: u32, fatal: bool) -> WireHeader {
-        WireHeader {
-            kind: WireKind::Reject,
+            kind,
             channel: ChannelId::SYSTEM,
             src_port: PortId(0),
             dst_port: PortId(0),
             msg_id,
-            seq: 0,
-            offset: u32::from(fatal),
+            seq,
+            epoch,
+            offset,
             total_len: 0,
             frag_len: 0,
         }
     }
 
-    fn on_data(self: &Arc<Self>, src: FabricNodeId, header: WireHeader, payload: Bytes) {
-        let cum = {
+    /// Cumulative ack, stamped with the receive stream's epoch so a sender
+    /// mid-resync never applies it to the wrong stream.
+    fn ack_header(epoch: u16, cum: u32) -> WireHeader {
+        Self::control_header(WireKind::Ack, epoch, 0, cum, 0)
+    }
+
+    fn reject_header(msg_id: u32, fatal: bool) -> WireHeader {
+        Self::control_header(WireKind::Reject, 0, msg_id, 0, u32::from(fatal))
+    }
+
+    /// Failover handshake: "I am restarting our stream at `epoch`; tell me
+    /// how much of the stream I parked at epoch `parked` (carried in
+    /// `msg_id`) you actually delivered".
+    fn sync_header(epoch: u16, parked: u16) -> WireHeader {
+        Self::control_header(WireKind::EpochSync, epoch, u32::from(parked), 0, 0)
+    }
+
+    /// Handshake reply: `seq` carries the *old* stream's cumulative ack so
+    /// the sender replays exactly the undelivered tail.
+    fn sync_ack_header(epoch: u16, old_cum: u32) -> WireHeader {
+        Self::control_header(WireKind::EpochSyncAck, epoch, 0, old_cum, 0)
+    }
+
+    fn on_data(
+        self: &Arc<Self>,
+        src: FabricNodeId,
+        header: WireHeader,
+        payload: Bytes,
+        rail: usize,
+    ) {
+        let (epoch, cum) = {
             let mut st = self.state.lock();
             let rx = st.gbn_rx.entry(src.0).or_default();
-            let verdict = rx.on_data(header.seq);
+            // Data from a *newer* epoch adopts it implicitly (the peer's NIC
+            // was reset and restarted its stream); older epochs are counted
+            // stale drops with no ack — the peer is already past them.
+            let verdict = rx.on_data(header.epoch, header.seq);
+            let epoch = rx.epoch();
             let cum = rx.cum_ack();
             match verdict {
-                GbnVerdict::Accept => {}
-                GbnVerdict::Duplicate | GbnVerdict::OutOfOrder => {
+                EpochVerdict::Gbn(GbnVerdict::Accept) => {}
+                EpochVerdict::Gbn(GbnVerdict::Duplicate | GbnVerdict::OutOfOrder) => {
                     self.sim.add_count("bcl.rx_discarded", 1);
                     self.mt_instant(self.header_trace(src, &header), stage::RX_DISCARD);
                     drop(st);
-                    self.send_control(src, Self::ack_header(cum));
+                    self.send_control(rail, src, Self::ack_header(epoch, cum));
+                    return;
+                }
+                EpochVerdict::Stale => {
+                    self.stale_epoch_drops.inc();
+                    self.mt_instant(self.header_trace(src, &header), stage::DROP_STALE_EPOCH);
                     return;
                 }
             }
-            self.accept_data(&mut st, src, header, payload);
-            cum
+            self.accept_data(&mut st, src, header, payload, rail);
+            (epoch, cum)
         };
-        self.send_control(src, Self::ack_header(cum));
+        // Ack on the arrival rail so the reverse path mirrors the one the
+        // sender actually used (its old rail may be dark).
+        self.send_control(rail, src, Self::ack_header(epoch, cum));
     }
 
     /// Handle an accepted, in-order data packet. Lock held.
@@ -1127,15 +1550,16 @@ impl McpInner {
         src: FabricNodeId,
         header: WireHeader,
         payload: Bytes,
+        rail: usize,
     ) {
         match header.kind {
             WireKind::Data => match header.channel.kind {
                 ChannelKind::System | ChannelKind::Normal => {
-                    self.deliver_message(st, src, header, payload)
+                    self.deliver_message(st, src, header, payload, rail)
                 }
                 ChannelKind::Open => self.rma_write(st, src, header, payload),
             },
-            WireKind::RmaReadReq => self.rma_read_request(st, src, header),
+            WireKind::RmaReadReq => self.rma_read_request(st, src, header, rail),
             WireKind::RmaReadData => self.rma_read_data(st, src, header, payload),
             _ => {
                 // Control kinds are dispatched before accept_data; reaching
@@ -1154,6 +1578,7 @@ impl McpInner {
         src: FabricNodeId,
         header: WireHeader,
         payload: Bytes,
+        rail: usize,
     ) {
         let key = (src.0, header.msg_id);
         let trace = TraceId::new(src.0, header.msg_id);
@@ -1197,7 +1622,7 @@ impl McpInner {
                         if header.total_len as u64 > payload.len() as u64 {
                             st.rejected.insert(key);
                         }
-                        self.send_control(src, Self::reject_header(header.msg_id, false));
+                        self.send_control(rail, src, Self::reject_header(header.msg_id, false));
                         return;
                     }
                 },
@@ -1211,7 +1636,7 @@ impl McpInner {
                 if header.total_len as u64 > payload.len() as u64 {
                     st.rejected.insert(key);
                 }
-                self.send_control(src, Self::reject_header(header.msg_id, true));
+                self.send_control(rail, src, Self::reject_header(header.msg_id, true));
                 return;
             }
             st.incoming.insert(
@@ -1376,22 +1801,23 @@ impl McpInner {
         st: &mut McpState,
         src: FabricNodeId,
         header: WireHeader,
+        rail: usize,
     ) {
         let Some(port) = st.ports.get(&header.dst_port.0) else {
             self.sim.add_count("bcl.rx_no_port", 1);
-            self.send_control(src, Self::reject_header(header.msg_id, true));
+            self.send_control(rail, src, Self::reject_header(header.msg_id, true));
             return;
         };
         let Some(segs) = port.open.get(&header.channel.index) else {
             self.sim.add_count("bcl.rma_bad_channel", 1);
-            self.send_control(src, Self::reject_header(header.msg_id, true));
+            self.send_control(rail, src, Self::reject_header(header.msg_id, true));
             return;
         };
         let offset = header.offset as u64;
         let len = header.total_len as u64;
         if offset + len > sg_total(segs) {
             self.sim.add_count("bcl.rma_oob", 1);
-            self.send_control(src, Self::reject_header(header.msg_id, true));
+            self.send_control(rail, src, Self::reject_header(header.msg_id, true));
             return;
         }
         let reply_segs = crate::sg::slice_sg(segs, offset, len);

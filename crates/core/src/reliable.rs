@@ -193,6 +193,252 @@ impl Default for GbnReceiver {
     }
 }
 
+/// Serial comparison on the 16-bit epoch space: true when `a` is a *newer*
+/// epoch than `b`. Epochs only ever step forward by one per failover or NIC
+/// reset, so the half-space contract of serial arithmetic is never close to
+/// violated.
+#[inline]
+pub fn epoch_after(a: u16, b: u16) -> bool {
+    (a.wrapping_sub(b) as i16) > 0
+}
+
+/// Sender half of an *epoch-stamped* go-back-N stream.
+///
+/// The epoch names one incarnation of the stream. When the kernel fails a
+/// connection over to the other rail (or re-initializes a reset NIC) it
+/// bumps the epoch and runs a resync handshake before any data moves again:
+///
+/// 1. [`EpochSender::begin_resync`] parks the old stream and opens a fresh
+///    one under `epoch + 1`; the caller transmits an `EpochSync` control
+///    packet and pauses data until the handshake completes.
+/// 2. The receiver adopts the new epoch and answers with its cumulative ack
+///    for the *old* stream ([`EpochReceiver::on_sync`]).
+/// 3. [`EpochSender::on_sync_ack`] drops every packet that ack covers and
+///    hands back only the genuinely undelivered tail, which the caller
+///    re-stamps with fresh sequence numbers under the new epoch.
+///
+/// Because the receiver reports exactly what it delivered, nothing is sent
+/// twice and nothing is skipped — exactly-once delivery holds across the
+/// cutover (property-tested in `tests/proptests.rs`).
+pub struct EpochSender {
+    epoch: u16,
+    gbn: GbnSender,
+    window: u32,
+    /// The pre-resync stream, kept until the handshake tells us which of
+    /// its packets were actually delivered.
+    pending: Option<GbnSender>,
+    /// Epoch the parked stream was live under — carried in `EpochSync` so
+    /// the receiver reconciles *that* stream, not whatever interim epoch it
+    /// happens to have adopted (repeated failovers with a lost sync-ack
+    /// would otherwise replay already-delivered packets).
+    parked_epoch: u16,
+}
+
+impl EpochSender {
+    /// New stream at epoch 0.
+    pub fn new(window: u32) -> Self {
+        Self::with_epoch(window, 0)
+    }
+
+    /// New stream at a given epoch — used when the kernel re-creates NIC
+    /// state after a reset: connection epochs live host-side (the paper's
+    /// trust model keeps connection state in the OS), so they survive the
+    /// SRAM wipe and restart one past their old value.
+    pub fn with_epoch(window: u32, epoch: u16) -> Self {
+        EpochSender {
+            epoch,
+            gbn: GbnSender::new(window),
+            window,
+            pending: None,
+            parked_epoch: epoch,
+        }
+    }
+
+    /// Current epoch (stamped into every outgoing header).
+    pub fn epoch(&self) -> u16 {
+        self.epoch
+    }
+
+    /// True while a resync handshake is outstanding — no data may be sent.
+    pub fn is_syncing(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// True if the window has room and no handshake is outstanding.
+    pub fn can_send(&self) -> bool {
+        !self.is_syncing() && self.gbn.can_send()
+    }
+
+    /// Sequence number the next packet must carry.
+    pub fn next_seq(&self) -> u32 {
+        self.gbn.next_seq()
+    }
+
+    /// Record a packet as sent on the current epoch's stream.
+    pub fn record_sent(&mut self, seq: u32, pkt: Bytes) -> Result<(), GbnError> {
+        self.gbn.record_sent(seq, pkt)
+    }
+
+    /// Process a cumulative ACK stamped with `epoch`. Returns the number of
+    /// packets freed, or `None` when the ack belongs to a stale epoch (the
+    /// caller counts and drops it).
+    pub fn on_ack(&mut self, epoch: u16, cum_ack: u32) -> Option<usize> {
+        if epoch != self.epoch || self.is_syncing() {
+            return None;
+        }
+        Some(self.gbn.on_ack(cum_ack))
+    }
+
+    /// Open a new epoch: park the current stream for reconciliation and
+    /// start a fresh one. Returns the new epoch to carry in the `EpochSync`
+    /// packet. Calling this while a handshake is already outstanding keeps
+    /// the originally parked stream (the interim stream is empty — data is
+    /// paused during a handshake) and just bumps the epoch again.
+    pub fn begin_resync(&mut self) -> u16 {
+        let old_epoch = self.epoch;
+        self.epoch = self.epoch.wrapping_add(1);
+        let fresh = GbnSender::new(self.window);
+        let old = std::mem::replace(&mut self.gbn, fresh);
+        if self.pending.is_none() {
+            self.pending = Some(old);
+            self.parked_epoch = old_epoch;
+        }
+        self.epoch
+    }
+
+    /// Epoch of the parked stream — stamp this into the `EpochSync` packet
+    /// so the receiver answers with the right stream's cumulative ack.
+    pub fn parked_epoch(&self) -> u16 {
+        self.parked_epoch
+    }
+
+    /// Complete the handshake: the receiver delivered everything before
+    /// `old_cum` on the parked stream. Returns the undelivered packets (in
+    /// order, still carrying their *old* headers — the caller re-stamps seq
+    /// and epoch and records them on the fresh stream), or `None` when the
+    /// ack is stale. A duplicate sync-ack returns `Some(empty)`.
+    pub fn on_sync_ack(&mut self, epoch: u16, old_cum: u32) -> Option<Vec<Bytes>> {
+        if epoch != self.epoch {
+            return None;
+        }
+        let Some(mut old) = self.pending.take() else {
+            return Some(Vec::new()); // duplicate ack: already reconciled
+        };
+        old.on_ack(old_cum);
+        Some(old.unacked().cloned().collect())
+    }
+
+    /// Packets currently unacknowledged on the live stream (oldest first).
+    pub fn unacked(&self) -> impl Iterator<Item = &Bytes> + '_ {
+        self.gbn.unacked()
+    }
+
+    /// Number of unacked packets on the live stream.
+    pub fn in_flight(&self) -> usize {
+        self.gbn.in_flight()
+    }
+}
+
+/// Receiver verdict for an epoch-stamped data packet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EpochVerdict {
+    /// Packet belongs to the current epoch: the inner go-back-N verdict.
+    Gbn(GbnVerdict),
+    /// Packet carries an epoch older than the adopted one: count and drop
+    /// (it was in flight on a path that has since been failed over).
+    Stale,
+}
+
+/// How many abandoned-stream cumulative acks an [`EpochReceiver`] keeps.
+/// One handshake is outstanding per peer at a time, so a handful covers
+/// even pathological flap storms.
+const ABANDONED_CAP: usize = 8;
+
+/// Receiver half of an epoch-stamped go-back-N stream.
+pub struct EpochReceiver {
+    epoch: u16,
+    gbn: GbnReceiver,
+    /// Cumulative acks of streams abandoned at epoch adoptions, newest
+    /// last, keyed by the epoch each ran under. An `EpochSync` names the
+    /// epoch of the stream the sender parked; answering with *that*
+    /// stream's cum — not whichever interim epoch we last abandoned —
+    /// keeps repeated failovers with lost sync-acks from replaying
+    /// already-delivered packets or freeing undelivered ones.
+    abandoned: Vec<(u16, u32)>,
+}
+
+impl EpochReceiver {
+    /// New stream at epoch 0.
+    pub fn new() -> Self {
+        EpochReceiver {
+            epoch: 0,
+            gbn: GbnReceiver::new(),
+            abandoned: Vec::new(),
+        }
+    }
+
+    /// Current epoch (stamped into outgoing ACKs).
+    pub fn epoch(&self) -> u16 {
+        self.epoch
+    }
+
+    /// Classify an arriving data packet. A *newer* epoch on a data packet
+    /// adopts it implicitly (a reset NIC restarts its stream from seq 0
+    /// with no unacked backlog to reconcile, so it never sends `EpochSync`);
+    /// an older epoch is stale.
+    pub fn on_data(&mut self, epoch: u16, seq: u32) -> EpochVerdict {
+        if epoch == self.epoch {
+            return EpochVerdict::Gbn(self.gbn.on_data(seq));
+        }
+        if epoch_after(epoch, self.epoch) {
+            self.adopt(epoch);
+            return EpochVerdict::Gbn(self.gbn.on_data(seq));
+        }
+        EpochVerdict::Stale
+    }
+
+    /// Process an `EpochSync` request asking to reconcile the stream that
+    /// ran under epoch `parked`. Returns that stream's cumulative ack to
+    /// put in the `EpochSyncAck`, or `None` when the request itself is
+    /// stale. A retransmitted request (same epoch) replays the original
+    /// answer; a parked epoch we never saw data in answers 0 (nothing was
+    /// delivered, so the sender replays its whole tail).
+    pub fn on_sync(&mut self, epoch: u16, parked: u16) -> Option<u32> {
+        if epoch_after(epoch, self.epoch) {
+            self.adopt(epoch);
+        } else if epoch != self.epoch {
+            return None;
+        }
+        Some(
+            self.abandoned
+                .iter()
+                .rev()
+                .find(|(e, _)| *e == parked)
+                .map_or(0, |(_, cum)| *cum),
+        )
+    }
+
+    fn adopt(&mut self, epoch: u16) {
+        self.abandoned.push((self.epoch, self.gbn.cum_ack()));
+        if self.abandoned.len() > ABANDONED_CAP {
+            self.abandoned.remove(0);
+        }
+        self.epoch = epoch;
+        self.gbn = GbnReceiver::new();
+    }
+
+    /// Cumulative ACK value for the current epoch's stream.
+    pub fn cum_ack(&self) -> u32 {
+        self.gbn.cum_ack()
+    }
+}
+
+impl Default for EpochReceiver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,6 +588,132 @@ mod tests {
             s.on_ack(r.cum_ack());
         }
         assert_eq!(delivered, (0..20).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn epoch_after_is_serial() {
+        assert!(epoch_after(1, 0));
+        assert!(!epoch_after(0, 1));
+        assert!(!epoch_after(7, 7));
+        assert!(epoch_after(0, u16::MAX), "wraps");
+    }
+
+    #[test]
+    fn epoch_resync_retransmits_only_the_undelivered_tail() {
+        let mut tx = EpochSender::new(8);
+        let mut rx = EpochReceiver::new();
+        // Send 5 packets; receiver gets the first 3, the ack is "lost".
+        for i in 0..5 {
+            let seq = tx.next_seq();
+            tx.record_sent(seq, pkt(i)).expect("in window");
+            if i < 3 {
+                assert_eq!(rx.on_data(0, seq), EpochVerdict::Gbn(GbnVerdict::Accept));
+            }
+        }
+        // Failover: handshake tells the sender packets 0..3 were delivered.
+        let e = tx.begin_resync();
+        assert!(tx.is_syncing() && !tx.can_send());
+        let cum = rx.on_sync(e, tx.parked_epoch()).expect("fresh sync");
+        assert_eq!(cum, 3);
+        let resend = tx.on_sync_ack(e, cum).expect("matching epoch");
+        assert_eq!(resend.iter().map(val).collect::<Vec<_>>(), vec![3, 4]);
+        assert!(!tx.is_syncing() && tx.can_send());
+        // Re-stamp under the new epoch; the receiver's fresh stream accepts.
+        for (i, p) in resend.into_iter().enumerate() {
+            let seq = tx.next_seq();
+            tx.record_sent(seq, p).expect("fits: old tail <= window");
+            assert_eq!(rx.on_data(e, seq), EpochVerdict::Gbn(GbnVerdict::Accept));
+            assert_eq!(rx.cum_ack(), i as u32 + 1);
+        }
+        assert_eq!(tx.on_ack(e, rx.cum_ack()), Some(2));
+        assert_eq!(tx.in_flight(), 0);
+    }
+
+    #[test]
+    fn stale_epoch_traffic_is_flagged_not_processed() {
+        let mut tx = EpochSender::new(4);
+        let mut rx = EpochReceiver::new();
+        let seq = tx.next_seq();
+        tx.record_sent(seq, pkt(0)).expect("in window");
+        let e = tx.begin_resync();
+        let cum = rx.on_sync(e, tx.parked_epoch()).expect("adopts");
+        // Old-epoch data and acks floating on the dead rail are stale now.
+        assert_eq!(rx.on_data(0, 99), EpochVerdict::Stale);
+        assert_eq!(tx.on_ack(0, 1), None, "stale ack while syncing");
+        assert_eq!(tx.on_sync_ack(0, 0), None, "stale sync-ack");
+        let resend = tx.on_sync_ack(e, cum).expect("real sync-ack");
+        assert_eq!(resend.len(), 1);
+        assert_eq!(tx.on_ack(0, 1), None, "stale ack after resync");
+        // A duplicate sync-ack is idempotent.
+        assert_eq!(tx.on_sync_ack(e, cum), Some(Vec::new()));
+    }
+
+    #[test]
+    fn retransmitted_sync_replays_the_original_answer() {
+        let mut rx = EpochReceiver::new();
+        for s in 0..4 {
+            rx.on_data(0, s);
+        }
+        assert_eq!(rx.on_sync(1, 0), Some(4));
+        // New-epoch traffic lands before the duplicate sync arrives.
+        assert_eq!(rx.on_data(1, 0), EpochVerdict::Gbn(GbnVerdict::Accept));
+        assert_eq!(rx.on_sync(1, 0), Some(4), "replayed, not re-captured");
+        assert_eq!(rx.on_sync(0, 0), None, "stale sync");
+    }
+
+    #[test]
+    fn lost_sync_ack_then_second_failover_still_reconciles_the_parked_stream() {
+        // Receiver saw 3 of 5 packets on epoch 0. Failover 1: the sync
+        // arrives (rx adopts epoch 1) but the sync-ack is lost. Failover 2
+        // before recovery: the sync for epoch 2 names the *parked* epoch 0,
+        // so the receiver must answer with epoch 0's cum (3), not the empty
+        // interim epoch-1 stream's 0 — otherwise packets 0..3 re-deliver.
+        let mut tx = EpochSender::new(8);
+        let mut rx = EpochReceiver::new();
+        for i in 0..5 {
+            let seq = tx.next_seq();
+            tx.record_sent(seq, pkt(i)).expect("in window");
+            if i < 3 {
+                rx.on_data(0, seq);
+            }
+        }
+        let e1 = tx.begin_resync();
+        assert_eq!(rx.on_sync(e1, tx.parked_epoch()), Some(3)); // ack lost
+        let e2 = tx.begin_resync();
+        assert_eq!(tx.parked_epoch(), 0, "original stream stays parked");
+        let cum = rx.on_sync(e2, tx.parked_epoch()).expect("adopts e2");
+        assert_eq!(cum, 3, "answers for the parked stream, not the interim");
+        let resend = tx.on_sync_ack(e2, cum).expect("completes");
+        assert_eq!(resend.iter().map(val).collect::<Vec<_>>(), vec![3, 4]);
+    }
+
+    #[test]
+    fn reset_nic_stream_is_adopted_implicitly_by_data() {
+        let mut rx = EpochReceiver::new();
+        for s in 0..7 {
+            rx.on_data(2, s); // mid-stream at epoch 2
+        }
+        // Sender NIC reset: kernel restarts the stream at epoch 3, seq 0.
+        let mut tx = EpochSender::with_epoch(4, 3);
+        assert_eq!(tx.epoch(), 3);
+        let seq = tx.next_seq();
+        tx.record_sent(seq, pkt(0)).expect("in window");
+        assert_eq!(rx.on_data(3, seq), EpochVerdict::Gbn(GbnVerdict::Accept));
+        assert_eq!(tx.on_ack(3, rx.cum_ack()), Some(1));
+    }
+
+    #[test]
+    fn double_failover_while_syncing_keeps_the_parked_stream() {
+        let mut tx = EpochSender::new(4);
+        for i in 0..3 {
+            let seq = tx.next_seq();
+            tx.record_sent(seq, pkt(i)).expect("in window");
+        }
+        let e1 = tx.begin_resync();
+        let e2 = tx.begin_resync(); // second failover before the ack
+        assert_eq!(e2, e1 + 1);
+        let resend = tx.on_sync_ack(e2, 1).expect("matches current epoch");
+        assert_eq!(resend.iter().map(val).collect::<Vec<_>>(), vec![1, 2]);
     }
 
     mod props {

@@ -13,6 +13,10 @@ use crate::port::{ChannelId, ChannelKind, PortId};
 /// Serialized header size.
 pub const HEADER_BYTES: usize = 32;
 
+/// Header magic (low half of the old 32-bit magic word; the high half now
+/// carries the go-back-N stream epoch).
+pub const WIRE_MAGIC: u16 = 0xB0C1;
+
 /// Packet type.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum WireKind {
@@ -28,6 +32,14 @@ pub enum WireKind {
     RmaReadReq,
     /// RMA read response fragment; `msg_id` matches the original request.
     RmaReadData,
+    /// Epoch resync request: the sender opens a new go-back-N stream epoch
+    /// (rail failover, NIC reset). The receiver must adopt the epoch, reset
+    /// its receive stream, and answer with [`WireKind::EpochSyncAck`].
+    EpochSync,
+    /// Epoch resync reply; `seq` carries the receiver's cumulative ack for
+    /// the *previous* epoch's stream so the sender retransmits only what was
+    /// genuinely undelivered.
+    EpochSyncAck,
 }
 
 impl WireKind {
@@ -38,6 +50,8 @@ impl WireKind {
             WireKind::Reject => 3,
             WireKind::RmaReadReq => 4,
             WireKind::RmaReadData => 5,
+            WireKind::EpochSync => 6,
+            WireKind::EpochSyncAck => 7,
         }
     }
     fn from_wire(b: u8) -> Option<Self> {
@@ -47,6 +61,8 @@ impl WireKind {
             3 => Some(WireKind::Reject),
             4 => Some(WireKind::RmaReadReq),
             5 => Some(WireKind::RmaReadData),
+            6 => Some(WireKind::EpochSync),
+            7 => Some(WireKind::EpochSyncAck),
             _ => None,
         }
     }
@@ -74,6 +90,10 @@ pub struct WireHeader {
     pub total_len: u32,
     /// Payload bytes following the header in this packet.
     pub frag_len: u32,
+    /// Go-back-N stream epoch: bumped by the sending kernel on rail failover
+    /// or NIC reset so both ends can resync without losing or duplicating
+    /// messages. Packets carrying a stale epoch are counted and dropped.
+    pub epoch: u16,
 }
 
 impl WireHeader {
@@ -91,7 +111,8 @@ impl WireHeader {
         b.put_u32_le(self.offset);
         b.put_u32_le(self.total_len);
         b.put_u32_le(self.frag_len);
-        b.put_u32_le(0xB0C1_B0C1); // magic/pad to 32 bytes
+        b.put_u16_le(WIRE_MAGIC);
+        b.put_u16_le(self.epoch);
         debug_assert_eq!(b.len(), HEADER_BYTES);
         b.put_slice(payload);
         b.freeze()
@@ -122,8 +143,9 @@ impl WireHeader {
             offset: u32le(16),
             total_len: u32le(20),
             frag_len: u32le(24),
+            epoch: u16le(30),
         };
-        if u32le(28) != 0xB0C1_B0C1 {
+        if u16le(28) != WIRE_MAGIC {
             return None;
         }
         if packet.len() != HEADER_BYTES + header.frag_len as usize {
@@ -148,6 +170,7 @@ mod tests {
             offset: 8192,
             total_len: 10_000,
             frag_len: 5,
+            epoch: 3,
         }
     }
 
@@ -169,12 +192,24 @@ mod tests {
             WireKind::Reject,
             WireKind::RmaReadReq,
             WireKind::RmaReadData,
+            WireKind::EpochSync,
+            WireKind::EpochSyncAck,
         ] {
             let mut h = sample();
             h.kind = kind;
             h.frag_len = 0;
             let (h2, _) = WireHeader::decode(&h.encode(b"")).unwrap();
             assert_eq!(h2.kind, kind);
+        }
+    }
+
+    #[test]
+    fn epoch_roundtrips_through_the_magic_word() {
+        for epoch in [0u16, 1, 0x7FFF, u16::MAX] {
+            let mut h = sample();
+            h.epoch = epoch;
+            let (h2, _) = WireHeader::decode(&h.encode(b"hello")).unwrap();
+            assert_eq!(h2.epoch, epoch);
         }
     }
 

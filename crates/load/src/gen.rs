@@ -5,7 +5,7 @@
 //! randomness comes from a caller-supplied [`SimRng`] fork, so a fixed
 //! master seed reproduces arrivals, op mixes, and key choices exactly.
 
-use suca_bcl::ProcAddr;
+use suca_bcl::{BclError, ProcAddr};
 use suca_rpc::{RpcClient, RpcCompletion, RpcStatus};
 use suca_sim::{ActorCtx, Histogram, Metrics, SimDuration, SimRng, SimTime};
 
@@ -50,6 +50,12 @@ pub struct LoadStats {
     pub client_shed: u64,
     /// GET/SCAN responses whose payload failed verification.
     pub bad_payloads: u64,
+    /// Ops that hit a dead destination: in-flight ones also count in
+    /// `timed_out` and issue-time refusals in `client_shed`, so the
+    /// accounting identity is unchanged by chaos runs.
+    pub dead_dest: u64,
+    /// Shard re-homings performed after dead destinations.
+    pub re_homed: u64,
 }
 
 impl LoadStats {
@@ -61,6 +67,8 @@ impl LoadStats {
         self.timed_out += o.timed_out;
         self.client_shed += o.client_shed;
         self.bad_payloads += o.bad_payloads;
+        self.dead_dest += o.dead_dest;
+        self.re_homed += o.re_homed;
     }
 
     /// True when every issued request resolved exactly once.
@@ -113,10 +121,48 @@ fn pick_op(rng: &mut SimRng, mix: &Mix, user: u64) -> (u8, u64, Vec<u8>) {
     }
 }
 
-/// Key-sharded server choice — PUT and later GET of one key always land
-/// on the same shard.
-fn shard(servers: &[ProcAddr], key: u64) -> ProcAddr {
-    servers[(key % servers.len() as u64) as usize]
+/// Key-sharded routing with replica failover. Shard `s` (= `key % n`)
+/// starts on `servers[s]`; when the RPC layer reports a destination dead
+/// every shard homed there moves to the next server in ring order (its
+/// replica), so subsequent ops route around the dead node. With no
+/// failures the mapping is exactly the classic `key % n` choice, keeping
+/// clean runs byte-identical.
+pub struct ShardMap {
+    servers: Vec<ProcAddr>,
+    primary: Vec<usize>,
+}
+
+impl ShardMap {
+    /// One shard per server, each initially homed to itself.
+    pub fn new(servers: Vec<ProcAddr>) -> ShardMap {
+        assert!(!servers.is_empty(), "shard map needs servers");
+        let n = servers.len();
+        ShardMap {
+            servers,
+            primary: (0..n).collect(),
+        }
+    }
+
+    /// Current home of `key`'s shard.
+    pub fn addr_for(&self, key: u64) -> ProcAddr {
+        let s = (key % self.servers.len() as u64) as usize;
+        self.servers[self.primary[s]]
+    }
+
+    /// Move every shard homed on `dead` to its ring successor. Returns the
+    /// number of shards moved (0 when a racing completion already moved
+    /// them). A dead replica just re-homes again on the next report.
+    pub fn re_home_away_from(&mut self, dead: ProcAddr) -> u64 {
+        let n = self.servers.len();
+        let mut moved = 0;
+        for p in &mut self.primary {
+            if self.servers[*p] == dead {
+                *p = (*p + 1) % n;
+                moved += 1;
+            }
+        }
+        moved
+    }
 }
 
 /// Verify a successful response against the deterministic value model.
@@ -135,6 +181,7 @@ fn absorb(
     comps: Vec<RpcCompletion>,
     stats: &mut LoadStats,
     hists: &LatencyHists,
+    shards: &mut ShardMap,
     mut on_done: impl FnMut(u64, SimTime),
 ) {
     for c in comps {
@@ -148,6 +195,14 @@ fn absorb(
             }
             RpcStatus::Shed => stats.shed += 1,
             RpcStatus::TimedOut => stats.timed_out += 1,
+            RpcStatus::DeadDestination => {
+                // Counted inside `timed_out` so the accounting identity
+                // (`completed + shed + timed_out == issued`) is chaos-proof;
+                // tracked separately so reports can show failover work.
+                stats.timed_out += 1;
+                stats.dead_dest += 1;
+                stats.re_homed += shards.re_home_away_from(c.dst);
+            }
         }
         on_done(c.token, now);
     }
@@ -206,6 +261,7 @@ pub fn run_closed_loop(
         })
         .collect();
     let mut stats = LoadStats::default();
+    let mut shards = ShardMap::new(servers.to_vec());
     let mut remaining = u64::from(cfg.users) * u64::from(cfg.ops_per_user);
     while remaining > 0 || client.in_flight() > 0 {
         let now = ctx.now();
@@ -219,16 +275,21 @@ pub fn run_closed_loop(
             }
             let user_id = cfg.user_base + i as u64;
             let (op, key, payload) = pick_op(rng, &cfg.mix, user_id);
-            match client.issue(ctx, shard(servers, key), op, &payload, i as u64) {
+            let dst = shards.addr_for(key);
+            match client.issue(ctx, dst, op, &payload, i as u64) {
                 Ok(_) => {
                     stats.issued += 1;
                     u.waiting = true;
                     progressed = true;
                 }
-                Err(_) => {
+                Err(e) => {
                     // Transport refused outright (not RingFull — that is
                     // retried inside issue). Nothing entered the RPC
                     // layer, so this op counts only as a client-side drop.
+                    if matches!(e, BclError::PathDead(_)) {
+                        stats.dead_dest += 1;
+                        stats.re_homed += shards.re_home_away_from(dst);
+                    }
                     stats.client_shed += 1;
                     u.done += 1;
                     remaining -= 1;
@@ -238,13 +299,20 @@ pub fn run_closed_loop(
         }
         let comps = client.advance(ctx);
         progressed |= !comps.is_empty();
-        absorb(ctx.now(), comps, &mut stats, hists, |tok, at| {
-            let u = &mut users[tok as usize];
-            u.waiting = false;
-            u.done += 1;
-            remaining -= 1;
-            u.ready_at = at + think(rng, cfg.think_min, cfg.think_max);
-        });
+        absorb(
+            ctx.now(),
+            comps,
+            &mut stats,
+            hists,
+            &mut shards,
+            |tok, at| {
+                let u = &mut users[tok as usize];
+                u.waiting = false;
+                u.done += 1;
+                remaining -= 1;
+                u.ready_at = at + think(rng, cfg.think_min, cfg.think_max);
+            },
+        );
         if remaining == 0 && client.in_flight() == 0 {
             break;
         }
@@ -268,13 +336,20 @@ pub fn run_closed_loop(
                 }
             }
             let comps = client.pump(ctx, wait);
-            absorb(ctx.now(), comps, &mut stats, hists, |tok, at| {
-                let u = &mut users[tok as usize];
-                u.waiting = false;
-                u.done += 1;
-                remaining -= 1;
-                u.ready_at = at + think(rng, cfg.think_min, cfg.think_max);
-            });
+            absorb(
+                ctx.now(),
+                comps,
+                &mut stats,
+                hists,
+                &mut shards,
+                |tok, at| {
+                    let u = &mut users[tok as usize];
+                    u.waiting = false;
+                    u.done += 1;
+                    remaining -= 1;
+                    u.ready_at = at + think(rng, cfg.think_min, cfg.think_max);
+                },
+            );
         }
     }
     client.quiesce(ctx, cfg.think_max);
@@ -319,6 +394,7 @@ pub fn run_open_loop(
     let stop = start + cfg.duration;
     let mut next_arrival = start + exp_gap(rng, cfg.mean_interarrival);
     let mut stats = LoadStats::default();
+    let mut shards = ShardMap::new(servers.to_vec());
     loop {
         let now = ctx.now();
         if now >= stop {
@@ -329,14 +405,17 @@ pub fn run_open_loop(
             let user = cfg.user_base + rng.below(u64::from(cfg.users.max(1)));
             let (op, key, payload) = pick_op(rng, &cfg.mix, user);
             if client.can_issue() {
-                if client
-                    .issue(ctx, shard(servers, key), op, &payload, user)
-                    .is_ok()
-                {
-                    stats.issued += 1;
-                } else {
-                    stats.client_shed += 1;
-                    c_client_shed.inc();
+                let dst = shards.addr_for(key);
+                match client.issue(ctx, dst, op, &payload, user) {
+                    Ok(_) => stats.issued += 1,
+                    Err(e) => {
+                        if matches!(e, BclError::PathDead(_)) {
+                            stats.dead_dest += 1;
+                            stats.re_homed += shards.re_home_away_from(dst);
+                        }
+                        stats.client_shed += 1;
+                        c_client_shed.inc();
+                    }
                 }
             } else {
                 stats.client_shed += 1;
@@ -347,16 +426,16 @@ pub fn run_open_loop(
             // expire deadlines here so responses are not discovered only
             // after the arrival window closes.
             let comps = client.advance(ctx);
-            absorb(ctx.now(), comps, &mut stats, hists, |_, _| {});
+            absorb(ctx.now(), comps, &mut stats, hists, &mut shards, |_, _| {});
             continue;
         }
         let wait = next_arrival.since(now).min(stop.since(now));
         let comps = client.pump(ctx, wait);
-        absorb(ctx.now(), comps, &mut stats, hists, |_, _| {});
+        absorb(ctx.now(), comps, &mut stats, hists, &mut shards, |_, _| {});
     }
     while client.in_flight() > 0 {
         let comps = client.pump(ctx, SimDuration::from_us(500));
-        absorb(ctx.now(), comps, &mut stats, hists, |_, _| {});
+        absorb(ctx.now(), comps, &mut stats, hists, &mut shards, |_, _| {});
     }
     client.quiesce(ctx, cfg.mean_interarrival * 4);
     stats

@@ -26,6 +26,7 @@ pub mod slo;
 
 pub use gen::{
     run_closed_loop, run_open_loop, ClosedLoopCfg, LatencyHists, LoadStats, Mix, OpenLoopCfg,
+    ShardMap,
 };
 pub use kv::{KvCosts, KvService, OP_GET, OP_PUT, OP_SCAN, SCAN_BYTES, VALUE_BYTES};
 pub use slo::{slo_dir, ClassSlo, SloReport};

@@ -68,6 +68,12 @@ pub struct SloReport {
     pub retries: u64,
     /// Late/duplicate responses discarded by clients.
     pub late_responses: u64,
+    /// Requests terminated because the kernel declared the destination
+    /// dead (0 outside chaos runs).
+    pub dead_dests: u64,
+    /// Shard re-homings the generators performed in response (0 outside
+    /// chaos runs).
+    pub re_homed: u64,
     /// Shed replies sent by servers (larger than `shed`: retries may
     /// later succeed).
     pub srv_sheds: u64,
@@ -133,6 +139,8 @@ impl SloReport {
             client_shed: stats.client_shed,
             retries: snap.counter("rpc.cli_retries"),
             late_responses: snap.counter("rpc.cli_late_responses"),
+            dead_dests: stats.dead_dest,
+            re_homed: stats.re_homed,
             srv_sheds: snap.counter("rpc.srv_sheds"),
             srv_queue_high_water: snap
                 .gauges
@@ -166,6 +174,8 @@ impl SloReport {
         let _ = writeln!(o, "  \"client_shed\": {},", self.client_shed);
         let _ = writeln!(o, "  \"retries\": {},", self.retries);
         let _ = writeln!(o, "  \"late_responses\": {},", self.late_responses);
+        let _ = writeln!(o, "  \"dead_dests\": {},", self.dead_dests);
+        let _ = writeln!(o, "  \"re_homed\": {},", self.re_homed);
         let _ = writeln!(o, "  \"srv_sheds\": {},", self.srv_sheds);
         let _ = writeln!(
             o,
@@ -229,6 +239,8 @@ mod tests {
             client_shed: 0,
             retries: 2,
             late_responses: 0,
+            dead_dests: 0,
+            re_homed: 0,
             srv_sheds: 3,
             srv_queue_high_water: 16,
             watchdog_stalls: 0,

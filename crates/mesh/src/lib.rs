@@ -68,6 +68,11 @@ pub struct Mesh {
     height: u32,
     /// Host→router injection links, indexed by node id.
     uplinks: Vec<Arc<Link>>,
+    /// Router→host ejection links, indexed by node id (retained so chaos
+    /// plans can down a host cable in both directions).
+    downlinks: Vec<Arc<Link>>,
+    /// The router grid, retained so chaos plans can kill channels.
+    routers: Vec<Arc<Switch>>,
     endpoints: Vec<Arc<MeshEndpoint>>,
 }
 
@@ -78,7 +83,12 @@ struct MeshEndpoint {
 
 impl suca_myrinet::link::PacketSink for MeshEndpoint {
     fn deliver(&self, sim: &Sim, pkt: suca_myrinet::fabric::Packet) {
-        debug_assert_eq!(pkt.dst, self.node);
+        // Chaos rewiring or a corrupted route byte can steer a packet to the
+        // wrong host; real NICs sink it, so we count and drop — never panic.
+        if pkt.dst != self.node {
+            sim.add_count("fabric.misrouted", 1);
+            return;
+        }
         sim.add_count("fabric.delivered", 1);
         match self.handler.lock().as_ref() {
             Some(h) => h(sim, pkt),
@@ -165,23 +175,23 @@ impl Mesh {
 
         // Host channels.
         let mut uplinks = Vec::with_capacity(n_nodes as usize);
+        let mut downlinks = Vec::with_capacity(n_nodes as usize);
         let mut endpoints = Vec::with_capacity(n_nodes as usize);
         for node in 0..n_nodes {
             let ep = Arc::new(MeshEndpoint {
                 node: FabricNodeId(node),
                 handler: parking_lot::Mutex::new(None),
             });
-            routers[node as usize].connect(
-                port::HOST as usize,
-                Link::new(
-                    sim,
-                    format!("m{node}->h{node}"),
-                    cfg.channel_bytes_per_sec,
-                    cfg.propagation,
-                    cfg.fault,
-                    ep.clone(),
-                ),
+            let down = Link::new(
+                sim,
+                format!("m{node}->h{node}"),
+                cfg.channel_bytes_per_sec,
+                cfg.propagation,
+                cfg.fault,
+                ep.clone(),
             );
+            routers[node as usize].connect(port::HOST as usize, down.clone());
+            downlinks.push(down);
             uplinks.push(Link::new(
                 sim,
                 format!("h{node}->m{node}"),
@@ -198,6 +208,8 @@ impl Mesh {
             width,
             height,
             uplinks,
+            downlinks,
+            routers,
             endpoints,
         })
     }
@@ -306,6 +318,26 @@ impl Fabric for Mesh {
         };
         self.uplinks[src.0 as usize].send(sim, pkt);
     }
+
+    fn set_node_link_up(&self, _sim: &Sim, node: FabricNodeId, up: bool) -> bool {
+        let Some(uplink) = self.uplinks.get(node.0 as usize) else {
+            return false;
+        };
+        uplink.set_up(up);
+        self.downlinks[node.0 as usize].set_up(up);
+        true
+    }
+
+    fn set_switch_port_dead(&self, _sim: &Sim, switch: usize, port: usize, dead: bool) -> bool {
+        match self.routers.get(switch) {
+            Some(r) => r.set_port_dead(port, dead),
+            None => false,
+        }
+    }
+
+    fn num_switches(&self) -> usize {
+        self.routers.len()
+    }
 }
 
 #[cfg(test)]
@@ -396,6 +428,53 @@ mod tests {
         let near = time_to(1);
         let far = time_to(63);
         assert!(near > 0 && far > near, "near={near} far={far}");
+    }
+
+    #[test]
+    fn mesh_chaos_hooks_down_host_cable_and_router_channel() {
+        let sim = Sim::new(1);
+        let m = Mesh::build(&sim, 2, 2, 4, MeshConfig::dawning3000());
+        assert_eq!(m.num_switches(), 4);
+        let log = listen(&m, 1);
+        assert!(m.set_node_link_up(&sim, FabricNodeId(1), false));
+        assert!(!m.set_node_link_up(&sim, FabricNodeId(9), false));
+        m.inject(
+            &sim,
+            FabricNodeId(0),
+            FabricNodeId(1),
+            Bytes::from_static(b"a"),
+        );
+        m.inject(
+            &sim,
+            FabricNodeId(1),
+            FabricNodeId(0),
+            Bytes::from_static(b"b"),
+        );
+        sim.run();
+        assert!(log.lock().is_empty());
+        assert_eq!(sim.get_count("link.down_drops"), 2);
+        assert!(m.set_node_link_up(&sim, FabricNodeId(1), true));
+        // Kill router 0's east channel: node 0 -> node 1 now dies in-switch.
+        assert!(m.set_switch_port_dead(&sim, 0, port::EAST as usize, true));
+        assert!(!m.set_switch_port_dead(&sim, 99, 0, true));
+        m.inject(
+            &sim,
+            FabricNodeId(0),
+            FabricNodeId(1),
+            Bytes::from_static(b"c"),
+        );
+        sim.run();
+        assert!(log.lock().is_empty());
+        assert_eq!(sim.get_count("switch.dead_port_drop"), 1);
+        assert!(m.set_switch_port_dead(&sim, 0, port::EAST as usize, false));
+        m.inject(
+            &sim,
+            FabricNodeId(0),
+            FabricNodeId(1),
+            Bytes::from_static(b"d"),
+        );
+        sim.run();
+        assert_eq!(log.lock().len(), 1);
     }
 
     #[test]

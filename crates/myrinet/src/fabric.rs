@@ -126,4 +126,27 @@ pub trait Fabric: Send + Sync {
         let _ = trace;
         self.inject(sim, src, dst, payload);
     }
+
+    /// Chaos hook: force a node's host link up or down (both directions).
+    /// While down, every traversal is a counted drop — the packet is
+    /// consumed, nothing is delivered. Returns `false` when this fabric has
+    /// no such hook (the default), so chaos controllers stay fabric-agnostic.
+    fn set_node_link_up(&self, sim: &Sim, node: FabricNodeId, up: bool) -> bool {
+        let _ = (sim, node, up);
+        false
+    }
+
+    /// Chaos hook: kill or revive one output port of one switch/router.
+    /// Packets routed through a dead port are counted drops. Returns `false`
+    /// when unsupported or out of range.
+    fn set_switch_port_dead(&self, sim: &Sim, switch: usize, port: usize, dead: bool) -> bool {
+        let _ = (sim, switch, port, dead);
+        false
+    }
+
+    /// Number of switching elements (for chaos plans to pick targets from).
+    /// `0` when the fabric exposes no switch hooks.
+    fn num_switches(&self) -> usize {
+        0
+    }
 }

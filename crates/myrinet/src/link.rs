@@ -5,6 +5,7 @@
 //! adds a propagation delay, and applies stochastic fault injection with a
 //! per-link deterministic RNG stream.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -36,12 +37,16 @@ pub struct Link {
     propagation: SimDuration,
     fault: FaultPlan,
     dst: Arc<dyn PacketSink>,
+    /// Chaos state: a downed link consumes packets without delivering
+    /// (counted). Flipped by the chaos controller via [`Link::set_up`].
+    up: AtomicBool,
     state: Mutex<LinkState>,
     // Typed metric handles, registered once at link creation; shared cells
     // across all links ("fabric.*" / "link.*" are fabric-wide totals).
     drops: Counter,
     corruptions: Counter,
     tx_bytes: Counter,
+    down_drops: Counter,
 }
 
 impl Link {
@@ -64,9 +69,11 @@ impl Link {
             propagation,
             fault,
             dst,
+            up: AtomicBool::new(true),
             drops: metrics.counter("fabric.dropped"),
             corruptions: metrics.counter("fabric.corrupted"),
             tx_bytes: metrics.counter("link.tx_bytes"),
+            down_drops: metrics.counter("link.down_drops"),
             state: Mutex::new(LinkState {
                 busy_until: SimTime::ZERO,
                 rng,
@@ -114,9 +121,27 @@ impl Link {
         link
     }
 
+    /// Chaos hook: force the link up or down. A downed link blackholes
+    /// every packet offered to it (counted `link.down_drops`, no delivery,
+    /// no wire time — the transmitter sees a dead line, not a busy one).
+    pub fn set_up(&self, up: bool) {
+        self.up.store(up, Ordering::Release);
+    }
+
+    /// True unless the chaos controller downed this link.
+    pub fn is_up(&self) -> bool {
+        self.up.load(Ordering::Acquire)
+    }
+
     /// Transmit a packet: seize the wire for `wire_len / bandwidth`, then
     /// deliver after propagation. Faults are decided here.
     pub fn send(self: &Arc<Self>, sim: &Sim, mut pkt: Packet) {
+        if !self.is_up() {
+            self.down_drops.inc();
+            self.state.lock().dropped += 1;
+            crate::switch::trace_wire_instant(sim, &pkt, trace_stage::DROP_LINK_DOWN);
+            return;
+        }
         let tx = SimDuration::for_bytes(pkt.wire_len(), self.bytes_per_sec);
         self.tx_bytes.add(pkt.wire_len());
         let arrival = {
@@ -224,6 +249,34 @@ mod tests {
         sim.run();
         let times: Vec<u64> = rec.arrivals.lock().iter().map(|a| a.0).collect();
         assert_eq!(times, vec![10_000, 20_000, 30_000]);
+    }
+
+    #[test]
+    fn downed_link_blackholes_then_revives() {
+        let sim = Sim::new(1);
+        let rec = Arc::new(Recorder {
+            arrivals: Mutex::new(Vec::new()),
+        });
+        let link = Link::new(
+            &sim,
+            "t",
+            160_000_000,
+            SimDuration::ZERO,
+            FaultPlan::NONE,
+            rec.clone(),
+        );
+        link.set_up(false);
+        assert!(!link.is_up());
+        for _ in 0..3 {
+            link.send(&sim, pkt(100));
+        }
+        sim.run();
+        assert!(rec.arrivals.lock().is_empty(), "down link must blackhole");
+        assert_eq!(sim.get_count("link.down_drops"), 3);
+        link.set_up(true);
+        link.send(&sim, pkt(100));
+        sim.run();
+        assert_eq!(rec.arrivals.lock().len(), 1, "revived link delivers");
     }
 
     #[test]

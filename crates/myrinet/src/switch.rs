@@ -41,8 +41,12 @@ pub struct Switch {
     label: String,
     cut_through: SimDuration,
     out: Mutex<Vec<Option<Arc<Link>>>>,
+    /// Chaos state: ports the controller has killed. Packets routed through
+    /// a dead port are counted drops, never panics.
+    dead: Mutex<Vec<bool>>,
     unwired_drops: Counter,
     route_exhausted_drops: Counter,
+    dead_port_drops: Counter,
 }
 
 impl Switch {
@@ -58,8 +62,10 @@ impl Switch {
             label: label.into(),
             cut_through,
             out: Mutex::new(vec![None; radix]),
+            dead: Mutex::new(vec![false; radix]),
             unwired_drops: metrics.counter("switch.unwired_drop"),
             route_exhausted_drops: metrics.counter("switch.route_exhausted_drop"),
+            dead_port_drops: metrics.counter("switch.dead_port_drop"),
         })
     }
 
@@ -79,6 +85,19 @@ impl Switch {
     pub fn radix(&self) -> usize {
         self.out.lock().len()
     }
+
+    /// Chaos hook: kill or revive an output port. Out-of-range ports return
+    /// `false` (a chaos plan naming a bad port must not panic the sim).
+    pub fn set_port_dead(&self, port: usize, dead: bool) -> bool {
+        let mut d = self.dead.lock();
+        match d.get_mut(port) {
+            Some(slot) => {
+                *slot = dead;
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 impl PacketSink for Switch {
@@ -94,6 +113,11 @@ impl PacketSink for Switch {
         }
         let port = pkt.route[pkt.route_pos] as usize;
         pkt.route_pos += 1;
+        if self.dead.lock().get(port).copied().unwrap_or(false) {
+            self.dead_port_drops.inc();
+            trace_wire_instant(sim, &pkt, stage::DROP_DEAD_PORT);
+            return;
+        }
         let link = {
             let out = self.out.lock();
             match out.get(port).and_then(|l| l.as_ref()) {
@@ -188,6 +212,44 @@ mod tests {
         sw.deliver(&sim, pkt);
         sim.run();
         assert_eq!(sim.get_count("switch.unwired_drop"), 1);
+    }
+
+    #[test]
+    fn dead_port_is_a_counted_drop_and_revivable() {
+        let sim = Sim::new(1);
+        let rec = Arc::new(Recorder(Mutex::new(Vec::new())));
+        let sw = Switch::new(&sim, "swx", 8, SimDuration::ZERO);
+        let out = Link::new(
+            &sim,
+            "out",
+            160_000_000,
+            SimDuration::ZERO,
+            FaultPlan::NONE,
+            rec.clone(),
+        );
+        sw.connect(3, out);
+        assert!(sw.set_port_dead(3, true));
+        assert!(
+            !sw.set_port_dead(99, true),
+            "out of range: refused, no panic"
+        );
+        let mk = || Packet {
+            src: FabricNodeId(0),
+            dst: FabricNodeId(1),
+            payload: Bytes::from_static(b""),
+            corrupted: false,
+            route: vec![3],
+            route_pos: 0,
+            trace: None,
+        };
+        sw.deliver(&sim, mk());
+        sim.run();
+        assert_eq!(sim.get_count("switch.dead_port_drop"), 1);
+        assert!(rec.0.lock().is_empty());
+        assert!(sw.set_port_dead(3, false));
+        sw.deliver(&sim, mk());
+        sim.run();
+        assert_eq!(rec.0.lock().len(), 1, "revived port forwards again");
     }
 
     #[test]

@@ -10,6 +10,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use suca_sim::mtrace::stage as trace_stage;
 use suca_sim::{Sim, SimDuration};
 
 use crate::fabric::{Fabric, FabricNodeId, FaultPlan, Packet, PacketTrace, RxHandler};
@@ -63,7 +64,14 @@ struct NicEndpoint {
 
 impl PacketSink for NicEndpoint {
     fn deliver(&self, sim: &Sim, pkt: Packet) {
-        debug_assert_eq!(pkt.dst, self.node, "misrouted packet");
+        // A packet can reach the wrong endpoint when chaos rewires the
+        // fabric under it (or a corrupted route byte survives). Real NICs
+        // sink such packets; panicking a sim thread is never acceptable.
+        if pkt.dst != self.node {
+            sim.add_count("fabric.misrouted", 1);
+            crate::switch::trace_wire_instant(sim, &pkt, trace_stage::DROP_MISROUTE);
+            return;
+        }
         sim.add_count("fabric.delivered", 1);
         let guard = self.handler.lock();
         match guard.as_ref() {
@@ -81,6 +89,11 @@ pub struct Myrinet {
     cfg: MyrinetConfig,
     /// Host→switch uplinks, indexed by node.
     uplinks: Vec<Arc<Link>>,
+    /// Switch→host downlinks, indexed by node (retained for chaos hooks:
+    /// a node's "link down" kills both directions).
+    downlinks: Vec<Arc<Link>>,
+    /// The switch array, retained so chaos plans can kill ports.
+    switches: Vec<Arc<Switch>>,
     endpoints: Vec<Arc<NicEndpoint>>,
 }
 
@@ -124,6 +137,7 @@ impl Myrinet {
 
         // Host links, both directions.
         let mut uplinks = Vec::with_capacity(n_nodes as usize);
+        let mut downlinks = Vec::with_capacity(n_nodes as usize);
         let mut endpoints = Vec::with_capacity(n_nodes as usize);
         for node in 0..n_nodes {
             let sw = node as usize / h;
@@ -140,7 +154,8 @@ impl Myrinet {
                 cfg.fault,
                 ep.clone() as Arc<dyn PacketSink>,
             );
-            switches[sw].connect(port, down);
+            switches[sw].connect(port, down.clone());
+            downlinks.push(down);
             let up = Link::new(
                 sim,
                 format!("n{node}->sw{sw}"),
@@ -156,6 +171,8 @@ impl Myrinet {
         Arc::new(Myrinet {
             cfg,
             uplinks,
+            downlinks,
+            switches,
             endpoints,
         })
     }
@@ -239,6 +256,28 @@ impl Fabric for Myrinet {
             trace,
         };
         self.uplinks[src.0 as usize].send(sim, pkt);
+    }
+
+    fn set_node_link_up(&self, _sim: &Sim, node: FabricNodeId, up: bool) -> bool {
+        let Some(uplink) = self.uplinks.get(node.0 as usize) else {
+            return false;
+        };
+        // A host cable carries both directions: kill the uplink and the
+        // switch-side downlink together.
+        uplink.set_up(up);
+        self.downlinks[node.0 as usize].set_up(up);
+        true
+    }
+
+    fn set_switch_port_dead(&self, _sim: &Sim, switch: usize, port: usize, dead: bool) -> bool {
+        match self.switches.get(switch) {
+            Some(sw) => sw.set_port_dead(port, dead),
+            None => false,
+        }
+    }
+
+    fn num_switches(&self) -> usize {
+        self.switches.len()
     }
 }
 
@@ -344,6 +383,81 @@ mod tests {
             FabricNodeId(1),
             Bytes::from(vec![0u8; 5000]),
         );
+    }
+
+    #[test]
+    fn node_link_chaos_hook_downs_both_directions() {
+        let sim = Sim::new(1);
+        let net = Myrinet::build(&sim, 4, MyrinetConfig::dawning3000());
+        let at1 = collect_arrivals(&sim, &net, 1);
+        let at2 = collect_arrivals(&sim, &net, 2);
+        assert!(net.set_node_link_up(&sim, FabricNodeId(1), false));
+        assert!(!net.set_node_link_up(&sim, FabricNodeId(99), false));
+        // Outbound from the downed node and inbound toward it both blackhole.
+        net.inject(
+            &sim,
+            FabricNodeId(1),
+            FabricNodeId(2),
+            Bytes::from_static(b"a"),
+        );
+        net.inject(
+            &sim,
+            FabricNodeId(0),
+            FabricNodeId(1),
+            Bytes::from_static(b"b"),
+        );
+        sim.run();
+        assert!(at1.lock().is_empty());
+        assert!(at2.lock().is_empty());
+        assert_eq!(sim.get_count("link.down_drops"), 2);
+        // Revival restores both directions.
+        assert!(net.set_node_link_up(&sim, FabricNodeId(1), true));
+        net.inject(
+            &sim,
+            FabricNodeId(1),
+            FabricNodeId(2),
+            Bytes::from_static(b"c"),
+        );
+        net.inject(
+            &sim,
+            FabricNodeId(0),
+            FabricNodeId(1),
+            Bytes::from_static(b"d"),
+        );
+        sim.run();
+        assert_eq!(at1.lock().len(), 1);
+        assert_eq!(at2.lock().len(), 1);
+    }
+
+    #[test]
+    fn switch_port_chaos_hook_is_bounds_checked() {
+        let sim = Sim::new(1);
+        let net = Myrinet::build(&sim, 14, MyrinetConfig::dawning3000());
+        assert_eq!(net.num_switches(), 3);
+        let log = collect_arrivals(&sim, &net, 13);
+        // Kill sw0's right trunk: cross-switch traffic from node 0 dies at
+        // the switch, counted, without panicking.
+        assert!(net.set_switch_port_dead(&sim, 0, PORT_RIGHT, true));
+        assert!(!net.set_switch_port_dead(&sim, 7, 0, true));
+        assert!(!net.set_switch_port_dead(&sim, 0, 200, true));
+        net.inject(
+            &sim,
+            FabricNodeId(0),
+            FabricNodeId(13),
+            Bytes::from_static(b"x"),
+        );
+        sim.run();
+        assert!(log.lock().is_empty());
+        assert_eq!(sim.get_count("switch.dead_port_drop"), 1);
+        assert!(net.set_switch_port_dead(&sim, 0, PORT_RIGHT, false));
+        net.inject(
+            &sim,
+            FabricNodeId(0),
+            FabricNodeId(13),
+            Bytes::from_static(b"y"),
+        );
+        sim.run();
+        assert_eq!(log.lock().len(), 1);
     }
 
     #[test]

@@ -219,6 +219,44 @@ pub mod stage {
     /// Client gave up on a request after exhausting its retry budget
     /// (instant, client node).
     pub const RPC_TIMEOUT: &str = "rpc:timeout";
+    /// Client aborted a request because the kernel declared the
+    /// destination's path dead — terminal for the RPC, re-homed by the
+    /// service layer (instant, client node).
+    pub const RPC_DEAD_DEST: &str = "rpc:dead_dest";
+    /// Chaos injection: a link was forced down (instant,
+    /// [`super::TraceId::NONE`] — injections are environment events, not
+    /// part of any message chain).
+    pub const CHAOS_LINK_DOWN: &str = "chaos:link_down";
+    /// Chaos injection: a downed link was restored (instant).
+    pub const CHAOS_LINK_UP: &str = "chaos:link_up";
+    /// Chaos injection: a switch port died (instant).
+    pub const CHAOS_PORT_DEAD: &str = "chaos:port_dead";
+    /// Chaos injection: a NIC was reset, wiping its MCP SRAM state
+    /// (instant).
+    pub const CHAOS_NIC_RESET: &str = "chaos:nic_reset";
+    /// Chaos injection: a whole node crashed (instant).
+    pub const CHAOS_NODE_CRASH: &str = "chaos:node_crash";
+    /// Chaos injection: a crashed node restarted (instant).
+    pub const CHAOS_NODE_RESTART: &str = "chaos:node_restart";
+    /// Fragment dropped because its link is chaos-downed (instant).
+    pub const DROP_LINK_DOWN: &str = "wire:drop_link_down";
+    /// Fragment dropped at a chaos-killed switch port (instant).
+    pub const DROP_DEAD_PORT: &str = "wire:drop_dead_port";
+    /// Fragment delivered to an endpoint that is not its destination —
+    /// counted protocol drop, never a panic (instant).
+    pub const DROP_MISROUTE: &str = "wire:drop_misroute";
+    /// Packet dropped while its node is crashed (instant).
+    pub const DROP_NODE_DOWN: &str = "mcp:drop_node_down";
+    /// Packet carried a stale stream epoch — counted drop (instant).
+    pub const DROP_STALE_EPOCH: &str = "mcp:drop_stale_epoch";
+    /// Kernel declared the path to a destination dead after consecutive
+    /// retransmission exhaustion (instant).
+    pub const PATH_DEAD: &str = "mcp:path_dead";
+    /// Kernel failed the connection over to the other rail (instant).
+    pub const RAIL_FAILOVER: &str = "mcp:rail_failover";
+    /// Epoch-resync handshake completed; the stream is live on the new
+    /// epoch (instant).
+    pub const EPOCH_RESYNC: &str = "mcp:epoch_resync";
 }
 
 /// One trace record.

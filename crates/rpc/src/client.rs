@@ -53,6 +53,10 @@ pub enum RpcStatus {
     Shed,
     /// No response within the deadline on the final attempt.
     TimedOut,
+    /// The kernel declared every path to the destination dead (chaos /
+    /// hardware failure). Terminal immediately — retrying the same node
+    /// cannot succeed; callers should re-home to a replica.
+    DeadDestination,
 }
 
 /// A resolved request, as returned by [`RpcClient::advance`].
@@ -62,6 +66,8 @@ pub struct RpcCompletion {
     pub token: u64,
     /// The request id this resolves.
     pub req_id: u32,
+    /// Where the request was sent (re-homing key for dead destinations).
+    pub dst: ProcAddr,
     /// Operation class echoed from the request.
     pub op_class: u8,
     /// How it ended.
@@ -110,6 +116,7 @@ pub struct RpcClient {
     c_shed_replies: Counter,
     c_late: Counter,
     c_bad_frames: Counter,
+    c_dead_dest: Counter,
     g_inflight: Gauge,
 }
 
@@ -146,6 +153,7 @@ impl RpcClient {
             c_shed_replies: m.counter("rpc.cli_shed_replies"),
             c_late: m.counter("rpc.cli_late_responses"),
             c_bad_frames: m.counter("rpc.cli_bad_frames"),
+            c_dead_dest: m.counter("rpc.cli_dead_dest"),
             g_inflight: m.gauge("rpc.cli_inflight"),
             port,
             cfg,
@@ -385,9 +393,16 @@ impl RpcClient {
             }
             self.c_retries.inc();
             self.trace_instant(ctx, req_id, stage::RPC_RETRY);
-            // A failed resend is not fatal: the refreshed deadline will
-            // resolve the request as TimedOut on a later pass.
-            let _ = self.send_backpressured(ctx, dst, &wire);
+            // PathDead is terminal: the kernel says no path to this node
+            // works, so further attempts are wasted deadline. Surface it so
+            // the caller can re-home the work to a replica. Anything else is
+            // retryable — the refreshed deadline resolves the request as
+            // TimedOut on a later pass if the resend was also lost.
+            if let Err(BclError::PathDead(_)) = self.send_backpressured(ctx, dst, &wire) {
+                self.trace_instant(ctx, req_id, stage::RPC_DEAD_DEST);
+                self.complete(ctx, req_id, RpcStatus::DeadDestination, Vec::new(), out);
+                continue;
+            }
             let now = ctx.now();
             if let Some(p) = self.pending.get_mut(&req_id) {
                 p.attempts += 1;
@@ -415,6 +430,7 @@ impl RpcClient {
             RpcStatus::Ok => self.c_completed.inc(),
             RpcStatus::Shed => self.c_shed.inc(),
             RpcStatus::TimedOut => self.c_timeout.inc(),
+            RpcStatus::DeadDestination => self.c_dead_dest.inc(),
         }
         let now = ctx.now();
         if let Some(msg) = p.first_msg {
@@ -436,6 +452,7 @@ impl RpcClient {
         out.push(RpcCompletion {
             token: p.token,
             req_id,
+            dst: p.dst,
             op_class: p.op_class,
             status,
             latency: now.since(p.issued),

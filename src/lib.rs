@@ -12,6 +12,7 @@
 
 pub use suca_baselines as baselines;
 pub use suca_bcl as bcl;
+pub use suca_chaos as chaos;
 pub use suca_cluster as cluster;
 pub use suca_eadi as eadi;
 pub use suca_mem as mem;

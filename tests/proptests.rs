@@ -14,7 +14,9 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use proptest::prelude::*;
 
-use suca::bcl::reliable::{GbnReceiver, GbnSender, GbnVerdict};
+use suca::bcl::reliable::{
+    EpochReceiver, EpochSender, EpochVerdict, GbnReceiver, GbnSender, GbnVerdict,
+};
 use suca::bcl::wire::WireHeader;
 use suca::bcl::ChannelId;
 use suca::cluster::{ClusterSpec, SanKind, SimBarrier};
@@ -144,6 +146,7 @@ proptest! {
             offset: 0,
             total_len: payload.len() as u32,
             frag_len: payload.len() as u32,
+            epoch: 0,
         };
         let encoded = header.encode(&payload);
         let (h2, p2) = WireHeader::decode(&encoded).expect("own encoding parses");
@@ -153,7 +156,7 @@ proptest! {
 
     #[test]
     fn wire_roundtrip_any_header(
-        kind_idx in 0usize..5,
+        kind_idx in 0usize..7,
         chan_kind_idx in 0usize..3,
         chan_index in any::<u16>(),
         src in any::<u16>(),
@@ -162,6 +165,7 @@ proptest! {
         seq in any::<u32>(),
         offset in any::<u32>(),
         total_len in any::<u32>(),
+        epoch in any::<u16>(),
         payload in prop::collection::vec(any::<u8>(), 0..4064),
     ) {
         use suca::bcl::wire::WireKind;
@@ -171,6 +175,8 @@ proptest! {
             WireKind::Reject,
             WireKind::RmaReadReq,
             WireKind::RmaReadData,
+            WireKind::EpochSync,
+            WireKind::EpochSyncAck,
         ];
         let chan_kinds = [
             suca::bcl::ChannelId::SYSTEM,
@@ -187,6 +193,7 @@ proptest! {
             offset,
             total_len,
             frag_len: payload.len() as u32,
+            epoch,
         };
         let encoded = header.encode(&payload);
         let (h2, p2) = WireHeader::decode(&encoded).expect("own encoding parses");
@@ -211,6 +218,7 @@ proptest! {
             offset: 0,
             total_len: payload.len() as u32,
             frag_len: payload.len() as u32,
+            epoch: 0,
         };
         let encoded = header.encode(&payload);
         let cut = cut_seed % encoded.len(); // 0..len, strictly short of full
@@ -219,7 +227,7 @@ proptest! {
 
     #[test]
     fn wire_invalid_kind_bytes_are_rejected(
-        bad_kind in 6u8..=255, // 1..=5 are the valid WireKind encodings; 0 too
+        bad_kind in 8u8..=255, // 1..=7 are the valid WireKind encodings; 0 is reserved
         payload in prop::collection::vec(any::<u8>(), 0..512),
     ) {
         let header = suca::bcl::wire::WireHeader {
@@ -232,6 +240,7 @@ proptest! {
             offset: 0,
             total_len: payload.len() as u32,
             frag_len: payload.len() as u32,
+            epoch: 0,
         };
         let mut raw = header.encode(&payload).to_vec();
         raw[0] = bad_kind;
@@ -280,6 +289,82 @@ proptest! {
                 }
             }
             tx.on_ack(rx.cum_ack());
+        }
+        prop_assert_eq!(delivered, (0..n as u32).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn epoch_resync_delivers_exactly_once_under_flaps_and_losses(
+        n in 1usize..50,
+        flap_pattern in prop::collection::vec(any::<bool>(), 0..64),
+        loss_pattern in prop::collection::vec(any::<bool>(), 0..600),
+    ) {
+        // The full failover model: arbitrary link flaps force epoch resyncs
+        // mid-stream, and the EpochSync, EpochSyncAck, data, and ack packets
+        // are each subject to independent loss (a lost handshake leg is
+        // retried the next round, like the retransmit timer does). Every
+        // message must still arrive exactly once, in order.
+        let mut tx = EpochSender::new(8);
+        let mut rx = EpochReceiver::new();
+        let mut delivered: Vec<u32> = Vec::new();
+        let mut next_to_queue = 0u32;
+        let mut losses = loss_pattern.into_iter();
+        let mut flaps = flap_pattern.into_iter();
+        let mut rounds = 0;
+        while delivered.len() < n {
+            rounds += 1;
+            prop_assert!(rounds < 20_000, "no progress");
+            if flaps.next().unwrap_or(false) {
+                // Path death: the kernel fails over and starts a resync.
+                tx.begin_resync();
+            }
+            if tx.is_syncing() {
+                if !losses.next().unwrap_or(false) {
+                    if let Some(old_cum) = rx.on_sync(tx.epoch(), tx.parked_epoch()) {
+                        if !losses.next().unwrap_or(false) {
+                            if let Some(tail) = tx.on_sync_ack(tx.epoch(), old_cum) {
+                                // Re-stamp the undelivered tail on the fresh
+                                // stream, exactly as the MCP does.
+                                for pkt in tail {
+                                    let seq = tx.next_seq();
+                                    tx.record_sent(seq, pkt)
+                                        .expect("tail is at most one window");
+                                }
+                            }
+                        }
+                    }
+                }
+                continue; // data is paused until the handshake completes
+            }
+            while tx.can_send() && (next_to_queue as usize) < n {
+                let seq = tx.next_seq();
+                tx.record_sent(seq, Bytes::copy_from_slice(&next_to_queue.to_le_bytes()))
+                    .expect("seq from next_seq() under can_send()");
+                next_to_queue += 1;
+            }
+            // "Transmit" the window under the current epoch; some packets
+            // get lost, and packets from abandoned epochs read as stale.
+            let base = tx.next_seq().wrapping_sub(tx.in_flight() as u32);
+            let window: Vec<(u32, u32)> = tx
+                .unacked()
+                .enumerate()
+                .map(|(i, b)| (
+                    base.wrapping_add(i as u32),
+                    u32::from_le_bytes(b[..4].try_into().expect("4")),
+                ))
+                .collect();
+            let epoch = tx.epoch();
+            for (seq, val) in window {
+                if losses.next().unwrap_or(false) {
+                    continue;
+                }
+                if let EpochVerdict::Gbn(GbnVerdict::Accept) = rx.on_data(epoch, seq) {
+                    delivered.push(val);
+                }
+            }
+            if !losses.next().unwrap_or(false) {
+                let _ = tx.on_ack(rx.epoch(), rx.cum_ack());
+            }
         }
         prop_assert_eq!(delivered, (0..n as u32).collect::<Vec<u32>>());
     }
