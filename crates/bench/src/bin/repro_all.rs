@@ -27,6 +27,7 @@ fn main() {
         "telemetry",
         "rpc_slo",
         "chaos_slo",
+        "bench_engine",
     ];
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin dir");

@@ -15,6 +15,16 @@ pub fn metrics_dir() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("target/metrics"))
 }
 
+/// Directory the engine scalability benchmark writes `BENCH_engine.json`
+/// into. Overridable via `SUCA_BENCH_DIR`; relative paths resolve against
+/// the working directory (the workspace root under `cargo run`). CI points
+/// this at the workspace root so the perf trajectory is recorded per PR.
+pub fn bench_dir() -> PathBuf {
+    std::env::var_os("SUCA_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/bench"))
+}
+
 /// Directory the harness binaries write Chrome/Perfetto trace files into.
 /// Overridable via `SUCA_TRACES_DIR`; relative paths resolve against the
 /// working directory (the workspace root under `cargo run`).

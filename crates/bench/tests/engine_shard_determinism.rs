@@ -1,0 +1,171 @@
+//! End-to-end determinism across event-engine shard counts.
+//!
+//! The sharded engine's contract is that shard count is invisible in the
+//! results: dispatch follows the strict global `(time, seq)` order at any
+//! shard count, so every report a harness emits must be byte-identical
+//! between the production shape (one shard per node), the single-queue
+//! reference mode (`with_engine_shards(Some(1))`, what
+//! `SUCA_SIM_SINGLE_QUEUE` forces), and any odd shard count in between.
+//! These tests pin that contract through the full stack — RPC framing,
+//! go-back-N, MCP firmware rings, fabric links/switches, chaos recovery —
+//! by comparing the SLO/chaos reports plus the metrics and telemetry
+//! snapshots byte-for-byte.
+
+use std::sync::{Arc, Mutex};
+
+use suca_bcl::ProcAddr;
+use suca_chaos::{ChaosController, ChaosPlan, ChaosReport, Fault};
+use suca_cluster::{ClusterSpec, SanKind, SimBarrier};
+use suca_load::{
+    run_closed_loop, ClosedLoopCfg, KvCosts, KvService, LatencyHists, LoadStats, Mix, SloReport,
+};
+use suca_mesh::MeshConfig;
+use suca_rpc::{RpcClient, RpcClientConfig, RpcServer, RpcServerConfig};
+use suca_sim::{ActorCtx, RunOutcome, SimDuration, SimTime};
+
+const SEED: u64 = 0x5AADED;
+
+/// Byte artifacts of one run: SLO report, metrics snapshot, telemetry
+/// timeseries, and (for storm runs) the chaos report.
+struct RunBytes {
+    slo: String,
+    metrics: String,
+    timeseries: String,
+    chaos: Option<String>,
+}
+
+/// Spawn the small KV workload (the `rpc_slo`/`chaos_slo` scaffolding at
+/// toy scale) on `spec`, optionally under a fault plan, and collect every
+/// JSON artifact the harnesses would emit.
+fn run_kv(spec: ClusterSpec, users_per_client: u32, plan: Option<&ChaosPlan>) -> RunBytes {
+    let nodes = spec.nodes;
+    let server_nodes: Vec<u32> = vec![0, nodes / 2];
+    let n_servers = server_nodes.len() as u32;
+    let cluster = spec.build();
+    let sim = cluster.sim.clone();
+    if let Some(plan) = plan {
+        ChaosController::install(&cluster, plan);
+    }
+    let server_cfg = RpcServerConfig {
+        queue_cap: 256,
+        idle_timeout: SimDuration::from_ms(5),
+        ..RpcServerConfig::default()
+    };
+    let client_cfg = RpcClientConfig {
+        timeout: SimDuration::from_ms(5),
+        max_attempts: 3,
+        backoff: SimDuration::from_us(200),
+        arena_slots: users_per_client,
+        slot_bytes: suca_load::SCAN_BYTES as u64,
+    };
+    let barrier = SimBarrier::new(&sim, nodes);
+    let addrs: Arc<Mutex<Vec<Option<ProcAddr>>>> =
+        Arc::new(Mutex::new(vec![None; n_servers as usize]));
+    let totals: Arc<Mutex<LoadStats>> = Arc::new(Mutex::new(LoadStats::default()));
+    for (s, &node) in server_nodes.iter().enumerate() {
+        let (b, a, scfg) = (barrier.clone(), addrs.clone(), server_cfg.clone());
+        cluster.spawn_process(node, "kv-shard", move |ctx, env| {
+            let port = env.open_port(ctx);
+            a.lock().unwrap()[s] = Some(port.addr());
+            let mut srv = RpcServer::new(ctx, port, scfg).expect("shard up");
+            let mut svc = KvService::new(KvCosts::default());
+            b.wait(ctx);
+            srv.serve_until_idle(ctx, &mut |ctx: &mut ActorCtx, op: u8, req: &[u8]| {
+                svc.handle(ctx, op, req)
+            });
+        });
+    }
+    let client_nodes: Vec<u32> = (0..nodes).filter(|n| !server_nodes.contains(n)).collect();
+    for (c, &node) in client_nodes.iter().enumerate() {
+        let (b, a, t) = (barrier.clone(), addrs.clone(), totals.clone());
+        let ccfg = client_cfg.clone();
+        let c = c as u32;
+        cluster.spawn_process(node, "load-client", move |ctx, env| {
+            let port = env.open_port(ctx);
+            let mut cli = RpcClient::new(ctx, port, ccfg).expect("client up");
+            b.wait(ctx);
+            let servers: Vec<ProcAddr> = a
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|x| x.expect("shard ready"))
+                .collect();
+            // Think 0.5–1.5 ms keeps clients live through the storm window.
+            let cfg = ClosedLoopCfg {
+                users: users_per_client,
+                ops_per_user: 2,
+                think_min: SimDuration::from_us(500),
+                think_max: SimDuration::from_us(1_500),
+                mix: Mix::default(),
+                user_base: u64::from(c) * u64::from(users_per_client),
+            };
+            let mut rng = ctx.sim().fork_rng(&format!("load.shard_det.client{c}"));
+            let hists = LatencyHists::new(&ctx.sim().metrics());
+            let stats = run_closed_loop(ctx, &mut cli, &servers, &mut rng, &cfg, &hists);
+            t.lock().unwrap().merge(&stats);
+        });
+    }
+    assert_eq!(sim.run(), RunOutcome::Completed, "shard_det workload hung");
+    let stats = *totals.lock().unwrap();
+    let users = u64::from(nodes - n_servers) * u64::from(users_per_client);
+    let slo = SloReport::gather(&cluster.sim, "shard_det", "any", nodes, users, &stats);
+    assert!(slo.accounted(), "requests leaked");
+    RunBytes {
+        slo: slo.to_json(),
+        metrics: cluster.metrics_snapshot().to_json(),
+        timeseries: cluster.sim.timeseries().snapshot().to_json(),
+        chaos: plan.map(|_| ChaosReport::gather(&cluster.sim, "shard_det", SEED).to_json()),
+    }
+}
+
+fn assert_bytes_equal(reference: &RunBytes, got: &RunBytes, what: &str) {
+    assert_eq!(reference.slo, got.slo, "{what}: SLO report diverged");
+    assert_eq!(reference.metrics, got.metrics, "{what}: metrics diverged");
+    assert_eq!(
+        reference.timeseries, got.timeseries,
+        "{what}: timeseries diverged"
+    );
+    assert_eq!(reference.chaos, got.chaos, "{what}: chaos report diverged");
+}
+
+/// Clean single-rail run: production sharding (one shard per node), the
+/// single-queue reference, and a deliberately odd shard count must all
+/// produce the same bytes as each other.
+#[test]
+fn rpc_slo_reports_identical_across_shard_counts() {
+    let spec = || ClusterSpec::dawning3000(8).with_seed(SEED);
+    let reference = run_kv(spec().with_engine_shards(Some(1)), 4, None);
+    assert!(reference.slo.contains("\"issued\""));
+    for shards in [None, Some(3)] {
+        let got = run_kv(spec().with_engine_shards(shards), 4, None);
+        assert_bytes_equal(&reference, &got, &format!("shards={shards:?}"));
+    }
+}
+
+/// Dual-rail storm run: fault injection, retransmission, failover and
+/// resync paths must also be shard-count-invariant.
+#[test]
+fn chaos_slo_reports_identical_across_shard_counts() {
+    let spec = || {
+        let mut spec = ClusterSpec::dawning3000(16)
+            .with_seed(SEED)
+            .with_second_san(SanKind::Mesh(MeshConfig::dawning3000()));
+        spec.bcl.reliability.max_path_timeouts = 3;
+        spec
+    };
+    let mut plan = ChaosPlan::new();
+    plan.push(
+        SimTime::from_ns(1_000_000),
+        Fault::LinkFlap {
+            rail: 0,
+            node: 5,
+            down_for: SimDuration::from_ms(2),
+        },
+    );
+    plan.push(SimTime::from_ns(2_000_000), Fault::NicReset { node: 13 });
+    let reference = run_kv(spec().with_engine_shards(Some(1)), 2, Some(&plan));
+    let chaos = reference.chaos.as_deref().expect("chaos report gathered");
+    assert!(chaos.contains("\"injected\""));
+    let sharded = run_kv(spec(), 2, Some(&plan));
+    assert_bytes_equal(&reference, &sharded, "storm sharded-vs-single-queue");
+}

@@ -58,6 +58,13 @@ pub struct ClusterSpec {
     /// [`ClusterSpec::build`] for every cluster, so all harnesses get the
     /// sampler and the watchdog without opting in.
     pub telemetry: TelemetryConfig,
+    /// Event-queue shard count. `None` (the default) means one shard per
+    /// node, which is the intended production shape; `Some(1)` is the
+    /// single-queue reference mode. Shard count never changes results —
+    /// dispatch order is the strict global `(time, seq)` order either way —
+    /// only scheduling throughput. The `SUCA_SIM_SINGLE_QUEUE` environment
+    /// variable forces 1 shard regardless of this field (reference runs).
+    pub engine_shards: Option<usize>,
 }
 
 impl ClusterSpec {
@@ -75,6 +82,7 @@ impl ClusterSpec {
             cpus: 4,
             seed: 0xDA3000,
             telemetry: TelemetryConfig::default(),
+            engine_shards: None,
         }
     }
 
@@ -121,12 +129,24 @@ impl ClusterSpec {
         self
     }
 
+    /// Override the event-queue shard count (`Some(1)` = single-queue
+    /// reference mode; the default is one shard per node).
+    pub fn with_engine_shards(mut self, shards: Option<usize>) -> Self {
+        self.engine_shards = shards;
+        self
+    }
+
     /// Build the cluster. Every layer (OS, kernel module, MCP, fabric, DMA
     /// engines, completion queues) registers its instruments in the run's
     /// shared [`suca_sim::Metrics`] registry, reachable afterwards via
     /// [`Cluster::metrics_snapshot`].
     pub fn build(self) -> Cluster {
-        let sim = Sim::new(self.seed);
+        let shards = if std::env::var_os("SUCA_SIM_SINGLE_QUEUE").is_some() {
+            1
+        } else {
+            self.engine_shards.unwrap_or(self.nodes.max(1) as usize)
+        };
+        let sim = Sim::new_with_shards(self.seed, shards);
         let metrics = sim.metrics();
         metrics.set_meta("nodes", self.nodes.to_string());
         metrics.set_meta(
@@ -197,8 +217,11 @@ impl Cluster {
     ) -> ActorId {
         let n = self.nodes[node as usize].clone();
         let proc = n.create_process();
-        self.sim
-            .spawn(name, move |ctx| body(ctx, ProcessEnv { node: n, proc }))
+        // Pin the actor's wakeups to its node's event-queue shard so a
+        // process's work stays local to the shard being batch-drained.
+        self.sim.spawn_pinned(node, name, move |ctx| {
+            body(ctx, ProcessEnv { node: n, proc })
+        })
     }
 
     /// Point-in-time copy of every instrument registered by any layer of

@@ -24,7 +24,7 @@
 //!   path that defines the architecture).
 
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -34,7 +34,7 @@ use suca_myrinet::{Fabric, FabricNodeId, PacketTrace, SramLease, SramPool, FRAMI
 use suca_os::NodeId;
 use suca_pci::DmaEngine;
 use suca_sim::mtrace::{stage, TraceEvent, TraceId, TraceLayer};
-use suca_sim::{Counter, EventId, Histogram, Sim, SimDuration, SimTime};
+use suca_sim::{Counter, EventId, Histogram, PollerId, Sim, SimDuration, SimTime};
 
 use crate::config::BclConfig;
 use crate::port::{
@@ -162,6 +162,74 @@ struct McpState {
     down_until: Option<SimTime>,
 }
 
+/// One decoded control arrival parked in the NIC's rx descriptor ring while
+/// its `ack_process` delay elapses. Kept small and unboxed: scheduling the
+/// matching poll tick allocates nothing.
+enum CtrlDesc {
+    Ack {
+        src: FabricNodeId,
+        epoch: u16,
+        cum: u32,
+    },
+    Reject {
+        msg_id: u32,
+        fatal: bool,
+    },
+    EpochSync {
+        src: FabricNodeId,
+        epoch: u16,
+        parked: u16,
+        rail: usize,
+    },
+    EpochSyncAck {
+        src: FabricNodeId,
+        epoch: u16,
+        old_cum: u32,
+    },
+}
+
+/// One decoded data arrival awaiting its `recv_per_frag` processing delay.
+struct DataDesc {
+    src: FabricNodeId,
+    header: WireHeader,
+    payload: Bytes,
+    rail: usize,
+}
+
+/// One staged fragment awaiting its injection instant.
+struct TxDesc {
+    rail: usize,
+    dst: FabricNodeId,
+    pkt: Bytes,
+    meta: Option<PacketTrace>,
+}
+
+/// Descriptor rings drained by registered pollers. Each ring pairs with a
+/// constant processing delay, so push order equals poll-tick `(time, seq)`
+/// order and the i-th tick always finds its own descriptor at the front —
+/// behavior is identical to the per-event boxed closures these replace,
+/// minus the per-packet allocation.
+struct Rings {
+    /// Control arrivals (acks, rejects, epoch handshake), `ack_process` each.
+    rx_ctrl: Mutex<VecDeque<CtrlDesc>>,
+    /// Data arrivals, `recv_per_frag` each.
+    rx_data: Mutex<VecDeque<DataDesc>>,
+    /// Outgoing fragments from the send engine, `send_per_frag` each.
+    tx: Mutex<VecDeque<TxDesc>>,
+    /// Outgoing control packets, `ack_send` each.
+    tx_ctrl: Mutex<VecDeque<TxDesc>>,
+}
+
+/// Poller handles for the rings plus the send-engine step, registered once
+/// at boot on this node's event-queue shard.
+struct McpPollers {
+    rx_ctrl: PollerId,
+    rx_data: PollerId,
+    tx: PollerId,
+    tx_ctrl: PollerId,
+    sender: PollerId,
+}
+
 pub(crate) struct McpInner {
     sim: Sim,
     cfg: BclConfig,
@@ -175,6 +243,8 @@ pub(crate) struct McpInner {
     sram: SramPool,
     frag_cap: u64,
     state: Mutex<McpState>,
+    rings: Rings,
+    pollers: OnceLock<McpPollers>,
     // Typed metric handles for the firmware hot paths (cluster-wide cells).
     sram_stalls: Counter,
     retx_packets: Counter,
@@ -297,6 +367,13 @@ impl Mcp {
             recovery_ns: metrics.histogram("chaos.recovery_ns"),
             track_tx: suca_sim::intern(&format!("n{}/tx", node.0)),
             track_rx: suca_sim::intern(&format!("n{}/rx", node.0)),
+            rings: Rings {
+                rx_ctrl: Mutex::new(VecDeque::new()),
+                rx_data: Mutex::new(VecDeque::new()),
+                tx: Mutex::new(VecDeque::new()),
+                tx_ctrl: Mutex::new(VecDeque::new()),
+            },
+            pollers: OnceLock::new(),
             state: Mutex::new(McpState {
                 ports: HashMap::new(),
                 send_queue: VecDeque::new(),
@@ -320,6 +397,27 @@ impl Mcp {
                 down_until: None,
             }),
         });
+        // Ring pollers, pinned to this node's event-queue shard. Weak
+        // references so the engine's poller registry never pins the firmware
+        // alive past cluster teardown.
+        let poller = |f: fn(&Arc<McpInner>)| {
+            let weak = Arc::downgrade(&inner);
+            inner.sim.register_poller(node.0, move |_| {
+                if let Some(inner) = weak.upgrade() {
+                    f(&inner);
+                }
+            })
+        };
+        inner
+            .pollers
+            .set(McpPollers {
+                rx_ctrl: poller(McpInner::poll_rx_ctrl),
+                rx_data: poller(McpInner::poll_rx_data),
+                tx: poller(McpInner::poll_tx),
+                tx_ctrl: poller(McpInner::poll_tx_ctrl),
+                sender: poller(McpInner::sender_step),
+            })
+            .unwrap_or_else(|_| unreachable!("pollers registered once"));
         for (rail, fabric) in fabrics.iter().enumerate() {
             let weak = Arc::downgrade(&inner);
             fabric.attach(
@@ -635,6 +733,58 @@ impl McpInner {
         mt.dump_once(reason);
     }
 
+    // ---------------- descriptor rings ----------------
+
+    fn pollers(&self) -> &McpPollers {
+        self.pollers.get().expect("pollers registered at boot")
+    }
+
+    /// Process the next parked control arrival (ack / reject / handshake).
+    fn poll_rx_ctrl(self: &Arc<Self>) {
+        let Some(d) = self.rings.rx_ctrl.lock().pop_front() else {
+            return;
+        };
+        match d {
+            CtrlDesc::Ack { src, epoch, cum } => self.on_ack(src, epoch, cum),
+            CtrlDesc::Reject { msg_id, fatal } => self.on_reject(msg_id, fatal),
+            CtrlDesc::EpochSync {
+                src,
+                epoch,
+                parked,
+                rail,
+            } => self.on_epoch_sync(src, epoch, parked, rail),
+            CtrlDesc::EpochSyncAck {
+                src,
+                epoch,
+                old_cum,
+            } => self.on_epoch_sync_ack(src, epoch, old_cum),
+        }
+    }
+
+    /// Process the next parked data arrival.
+    fn poll_rx_data(self: &Arc<Self>) {
+        let Some(d) = self.rings.rx_data.lock().pop_front() else {
+            return;
+        };
+        self.on_data(d.src, d.header, d.payload, d.rail);
+    }
+
+    /// Inject the next staged data fragment onto its rail.
+    fn poll_tx(self: &Arc<Self>) {
+        let Some(d) = self.rings.tx.lock().pop_front() else {
+            return;
+        };
+        self.fabrics[d.rail].inject_traced(&self.sim, self.fid, d.dst, d.pkt, d.meta);
+    }
+
+    /// Inject the next queued control packet onto its rail.
+    fn poll_tx_ctrl(self: &Arc<Self>) {
+        let Some(d) = self.rings.tx_ctrl.lock().pop_front() else {
+            return;
+        };
+        self.fabrics[d.rail].inject_traced(&self.sim, self.fid, d.dst, d.pkt, d.meta);
+    }
+
     // ---------------- send engine ----------------
 
     fn kick_sender(self: &Arc<Self>) {
@@ -648,9 +798,8 @@ impl McpInner {
             }
         };
         if should {
-            let me = self.clone();
             self.sim
-                .schedule_in(SimDuration::ZERO, move |_| me.sender_step());
+                .schedule_poll_in(SimDuration::ZERO, self.pollers().sender);
         }
     }
 
@@ -666,14 +815,12 @@ impl McpInner {
             Work::Dropped => {
                 // A protocol error abandoned the active send; keep the
                 // engine chain alive so queued jobs still go out.
-                let me = self.clone();
                 self.sim
-                    .schedule_in(SimDuration::ZERO, move |_| me.sender_step());
+                    .schedule_poll_in(SimDuration::ZERO, self.pollers().sender);
             }
             Work::NewJob { trace } => {
                 // Charge the per-message fixed cost (descriptor fetch +
                 // reliable-protocol setup), then continue.
-                let me = self.clone();
                 let start = self.sim.now();
                 let d = self.cfg.mcp.send_fixed;
                 self.sim.trace_span(
@@ -692,7 +839,7 @@ impl McpInner {
                         (start + d).as_ns(),
                     ));
                 }
-                self.sim.schedule_in(d, move |_| me.sender_step());
+                self.sim.schedule_poll_in(d, self.pollers().sender);
             }
             Work::Retx { dst, pkt, rail } => {
                 self.retx_packets.inc();
@@ -735,13 +882,14 @@ impl McpInner {
                     }
                     meta = Some(pt);
                 }
-                let fabric = self.fabrics[rail].clone();
-                let fid = self.fid;
-                self.sim.schedule_in(proc, move |s| {
-                    fabric.inject_traced(s, fid, dst, pkt, meta);
+                self.rings.tx.lock().push_back(TxDesc {
+                    rail,
+                    dst,
+                    pkt,
+                    meta,
                 });
-                let me = self.clone();
-                self.sim.schedule_in(proc + tx, move |_| me.sender_step());
+                self.sim.schedule_poll_in(proc, self.pollers().tx);
+                self.sim.schedule_poll_in(proc + tx, self.pollers().sender);
             }
             Work::Frag {
                 dst,
@@ -795,13 +943,14 @@ impl McpInner {
                 } else {
                     None
                 };
-                let fabric = self.fabrics[rail].clone();
-                let fid = self.fid;
-                self.sim.schedule_in(proc, move |s| {
-                    fabric.inject_traced(s, fid, dst, pkt, meta);
+                self.rings.tx.lock().push_back(TxDesc {
+                    rail,
+                    dst,
+                    pkt,
+                    meta,
                 });
-                let me = self.clone();
-                self.sim.schedule_in(proc + tx, move |_| me.sender_step());
+                self.sim.schedule_poll_in(proc, self.pollers().tx);
+                self.sim.schedule_poll_in(proc + tx, self.pollers().sender);
             }
         }
     }
@@ -1226,34 +1375,43 @@ impl McpInner {
             return;
         };
         let src = pkt.src;
+        // Arrivals park in a descriptor ring for their processing delay;
+        // the matching poll tick is allocation-free.
         match header.kind {
             WireKind::Ack => {
-                let me = self.clone();
-                sim.schedule_in(self.cfg.mcp.ack_process, move |_| {
-                    me.on_ack(src, header.epoch, header.seq);
+                self.rings.rx_ctrl.lock().push_back(CtrlDesc::Ack {
+                    src,
+                    epoch: header.epoch,
+                    cum: header.seq,
                 });
+                sim.schedule_poll_in(self.cfg.mcp.ack_process, self.pollers().rx_ctrl);
             }
             WireKind::Reject => {
-                let me = self.clone();
-                sim.schedule_in(self.cfg.mcp.ack_process, move |_| {
-                    me.on_reject(header.msg_id, header.offset == 1);
+                self.rings.rx_ctrl.lock().push_back(CtrlDesc::Reject {
+                    msg_id: header.msg_id,
+                    fatal: header.offset == 1,
                 });
+                sim.schedule_poll_in(self.cfg.mcp.ack_process, self.pollers().rx_ctrl);
             }
             WireKind::EpochSync => {
-                let me = self.clone();
-                sim.schedule_in(self.cfg.mcp.ack_process, move |_| {
+                self.rings.rx_ctrl.lock().push_back(CtrlDesc::EpochSync {
+                    src,
+                    epoch: header.epoch,
                     // msg_id carries the epoch of the stream the peer parked.
-                    me.on_epoch_sync(src, header.epoch, header.msg_id as u16, rail);
+                    parked: header.msg_id as u16,
+                    rail,
                 });
+                sim.schedule_poll_in(self.cfg.mcp.ack_process, self.pollers().rx_ctrl);
             }
             WireKind::EpochSyncAck => {
-                let me = self.clone();
-                sim.schedule_in(self.cfg.mcp.ack_process, move |_| {
-                    me.on_epoch_sync_ack(src, header.epoch, header.seq);
+                self.rings.rx_ctrl.lock().push_back(CtrlDesc::EpochSyncAck {
+                    src,
+                    epoch: header.epoch,
+                    old_cum: header.seq,
                 });
+                sim.schedule_poll_in(self.cfg.mcp.ack_process, self.pollers().rx_ctrl);
             }
             WireKind::Data | WireKind::RmaReadReq | WireKind::RmaReadData => {
-                let me = self.clone();
                 let proc = self.cfg.mcp.recv_per_frag;
                 let start = sim.now();
                 sim.trace_span(self.track_rx, "mcp: receive process", start, start + proc);
@@ -1271,9 +1429,13 @@ impl McpInner {
                         .with_bytes(header.frag_len as u64),
                     );
                 }
-                sim.schedule_in(proc, move |_| {
-                    me.on_data(src, header, payload, rail);
+                self.rings.rx_data.lock().push_back(DataDesc {
+                    src,
+                    header,
+                    payload,
+                    rail,
                 });
+                sim.schedule_poll_in(proc, self.pollers().rx_data);
             }
         }
     }
@@ -1453,11 +1615,14 @@ impl McpInner {
 
     fn send_control(self: &Arc<Self>, rail: usize, dst: FabricNodeId, header: WireHeader) {
         let pkt = header.encode(b"");
-        let fabric = self.fabrics[rail].clone();
-        let fid = self.fid;
-        self.sim.schedule_in(self.cfg.mcp.ack_send, move |s| {
-            fabric.inject(s, fid, dst, pkt);
+        self.rings.tx_ctrl.lock().push_back(TxDesc {
+            rail,
+            dst,
+            pkt,
+            meta: None,
         });
+        self.sim
+            .schedule_poll_in(self.cfg.mcp.ack_send, self.pollers().tx_ctrl);
     }
 
     fn control_header(

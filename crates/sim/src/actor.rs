@@ -80,6 +80,9 @@ pub(crate) struct ActorRecord {
     pub(crate) gen: u64,
     pub(crate) status: ActorStatus,
     pub(crate) join: Option<JoinHandle<()>>,
+    /// Event-queue shard this actor's wakeups land on (normally the node
+    /// the process runs on; see [`Sim::spawn_pinned`](crate::Sim)).
+    pub(crate) shard: u32,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

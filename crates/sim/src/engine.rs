@@ -1,14 +1,34 @@
 //! The discrete-event scheduler.
 //!
-//! A classic calendar-queue engine: events are `(time, seq)`-ordered, ties
-//! broken by insertion order, so runs are bit-for-bit reproducible. Two kinds
-//! of events exist: boxed closures (used by hardware models — NIC firmware,
-//! DMA engines, switches) and actor wakeups (used by thread-backed
-//! application processes, see [`crate::actor`]).
+//! Events are `(time, seq)`-ordered, ties broken by insertion order, so runs
+//! are bit-for-bit reproducible. Three kinds of events exist: boxed closures
+//! (used by hardware models — NIC firmware, DMA engines, switches), actor
+//! wakeups (used by thread-backed application processes, see
+//! [`crate::actor`]), and unboxed poller ticks (used by descriptor-ring
+//! firmware loops, see [`Sim::register_poller`]).
+//!
+//! # Sharded queues, one global order
+//!
+//! The queue is sharded: each shard (normally one per simulated node, see
+//! `ClusterSpec::with_engine_shards`) owns its own binary heap plus a
+//! live-event set, and a small *index heap* tracks the advertised minimum key
+//! of every non-empty shard. The scheduler picks the globally smallest
+//! `(time, seq)` key from the index, then **batch-drains** the winning shard
+//! while its keys stay strictly below the *horizon* — the best key any other
+//! shard advertises. Cross-shard pushes below the horizon set a dirty flag
+//! that ends the batch. Because a freshly allocated `seq` is larger than
+//! every seq already in any queue, a cross-shard push *at* the horizon time
+//! can never sort before the horizon event, so the time-only dirty test is
+//! conservative and the dispatch order is exactly the strict global
+//! `(time, seq)` order of the single-queue engine. A fixed seed therefore
+//! yields byte-identical reports at any shard count; wormhole link latency
+//! (cross-node events land at least one propagation delay in the future)
+//! is what makes the batches long in practice.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
 
 use parking_lot::Mutex;
 
@@ -23,11 +43,28 @@ use crate::trace::{Span, Tracer};
 /// Identifies a scheduled event; returned by the `schedule_*` methods and
 /// accepted by [`Sim::cancel`] (used for e.g. retransmission timers).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct EventId(u64);
+pub struct EventId {
+    time: SimTime,
+    seq: u64,
+    shard: u32,
+}
+
+/// Handle to a registered poller callback (see [`Sim::register_poller`]).
+/// Scheduling a poll tick allocates nothing: the event carries only this id.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PollerId {
+    idx: u32,
+    shard: u32,
+}
+
+/// A registered poller callback (shared so a poll tick can run it without
+/// holding the registry lock).
+type PollerFn = Arc<dyn Fn(&Sim) + Send + Sync + 'static>;
 
 enum EventAction {
     Call(Box<dyn FnOnce(&Sim) + Send + 'static>),
     Wake(ActorId, u64),
+    Poll(u32),
 }
 
 struct EventEntry {
@@ -66,20 +103,55 @@ pub enum RunOutcome {
     Pending,
 }
 
-struct EngineState {
-    now: SimTime,
-    seq: u64,
-    dispatched: u64,
+/// One event-queue shard. `live` tracks the seqs of still-pending (never
+/// fired, never cancelled) events, which makes [`Sim::cancel`] exact: a
+/// cancel succeeds iff the seq is removed here, a popped event whose seq is
+/// absent is a cancelled tombstone and is discarded. Nothing grows without
+/// bound: every seq leaves `live` exactly once, at cancel or at pop.
+struct Shard {
     queue: BinaryHeap<Reverse<EventEntry>>,
-    cancelled: HashSet<u64>,
-    actors: Vec<ActorRecord>,
-    tracer: Tracer,
-    seed: u64,
-    running: bool,
+    live: HashSet<u64>,
+    /// The `(time, seq)` key this shard currently advertises in the
+    /// scheduler's index heap (`None` while the scheduler owns the shard
+    /// during a batch, or while the shard is empty).
+    advertised: Option<(SimTime, u64)>,
 }
 
+/// Actor table and span tracer: mutated only under the scheduler baton, kept
+/// in one mutex separate from the hot event-queue shards.
+struct ControlState {
+    actors: Vec<ActorRecord>,
+    tracer: Tracer,
+}
+
+/// Sentinel for "no batch in progress" in `current_shard`.
+const IDLE_SHARD: u32 = u32::MAX;
+
 pub(crate) struct SimInner {
-    state: Mutex<EngineState>,
+    shards: Vec<Mutex<Shard>>,
+    /// Advertised per-shard minima: `(time, seq, shard)`. Lazy — stale
+    /// entries (a shard whose advertised key moved on) are skipped at pop.
+    index: Mutex<BinaryHeap<Reverse<(SimTime, u64, u32)>>>,
+    control: Mutex<ControlState>,
+    /// Current virtual time in ns. Atomic so `Sim::now` never touches a
+    /// queue lock from hot paths.
+    now_ns: AtomicU64,
+    /// Global event sequence counter; allocation order == program order.
+    seq: AtomicU64,
+    dispatched: AtomicU64,
+    /// Live (never fired, never cancelled) events across all shards.
+    pending: AtomicU64,
+    /// Shard being batch-drained, or `IDLE_SHARD`. Doubles as the ambient
+    /// placement for events scheduled without an explicit shard hint.
+    current_shard: AtomicU32,
+    /// Time component of the batch horizon (0 while no batch is active):
+    /// a cross-shard push strictly below this must end the batch.
+    horizon_ns: AtomicU64,
+    batch_dirty: AtomicBool,
+    running: AtomicBool,
+    seed: u64,
+    /// Registered poller callbacks, indexed by `PollerId::idx`. Append-only.
+    pollers: RwLock<Vec<PollerFn>>,
     /// Metrics registry lives *outside* the engine mutex: bumping a counter
     /// from inside an event handler must not touch the scheduler lock.
     metrics: suca_obs::Metrics,
@@ -91,7 +163,27 @@ pub(crate) struct SimInner {
     /// and sampled only from the telemetry tick.
     timeseries: suca_obs::timeseries::TimeSeries,
     /// Guard so `start_telemetry` arms exactly one sampler per run.
-    pub(crate) telemetry_started: std::sync::atomic::AtomicBool,
+    pub(crate) telemetry_started: AtomicBool,
+}
+
+/// `SUCA_SIM_TRACE_DISPATCH` is read once per process, not once per event.
+fn trace_dispatch_enabled() -> bool {
+    static FLAG: OnceLock<bool> = OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var_os("SUCA_SIM_TRACE_DISPATCH").is_some())
+}
+
+/// Resets `running` (and the batch state) even when a dispatched handler or
+/// actor panic unwinds through `run_inner`, so a harness that catches the
+/// panic can run the same `Sim` again instead of dying on the reentrancy
+/// assert.
+struct RunningGuard<'a>(&'a SimInner);
+
+impl Drop for RunningGuard<'_> {
+    fn drop(&mut self) {
+        self.0.horizon_ns.store(0, Ordering::Relaxed);
+        self.0.current_shard.store(IDLE_SHARD, Ordering::Relaxed);
+        self.0.running.store(false, Ordering::Release);
+    }
 }
 
 /// Handle to one simulation. Cheap to clone; all clones refer to the same
@@ -102,37 +194,80 @@ pub struct Sim {
 }
 
 impl Sim {
-    /// Create a simulation with the given master RNG seed. The seed fixes
-    /// every random decision in the run (fault injection, jitter), so a
-    /// `(seed, program)` pair is a complete reproduction recipe.
+    /// Create a single-shard simulation with the given master RNG seed. The
+    /// seed fixes every random decision in the run (fault injection, jitter),
+    /// so a `(seed, program)` pair is a complete reproduction recipe.
     pub fn new(seed: u64) -> Self {
+        Self::new_with_shards(seed, 1)
+    }
+
+    /// Create a simulation whose event queue is split into `shards` shards
+    /// (clamped to at least 1). Shard count affects scheduling *throughput*
+    /// only: dispatch order is the strict global `(time, seq)` order at any
+    /// shard count, so reports are byte-identical across shard counts.
+    pub fn new_with_shards(seed: u64, shards: usize) -> Self {
         install_quiet_shutdown_hook();
+        let shards = shards.max(1);
         let metrics = suca_obs::Metrics::new();
         metrics.set_meta("seed", seed.to_string());
         Sim {
             inner: Arc::new(SimInner {
-                state: Mutex::new(EngineState {
-                    now: SimTime::ZERO,
-                    seq: 0,
-                    dispatched: 0,
-                    queue: BinaryHeap::new(),
-                    cancelled: HashSet::new(),
+                shards: (0..shards)
+                    .map(|_| {
+                        Mutex::new(Shard {
+                            queue: BinaryHeap::new(),
+                            live: HashSet::new(),
+                            advertised: None,
+                        })
+                    })
+                    .collect(),
+                index: Mutex::new(BinaryHeap::new()),
+                control: Mutex::new(ControlState {
                     actors: Vec::new(),
                     tracer: Tracer::new(),
-                    seed,
-                    running: false,
                 }),
+                now_ns: AtomicU64::new(0),
+                seq: AtomicU64::new(0),
+                dispatched: AtomicU64::new(0),
+                pending: AtomicU64::new(0),
+                current_shard: AtomicU32::new(IDLE_SHARD),
+                horizon_ns: AtomicU64::new(0),
+                batch_dirty: AtomicBool::new(false),
+                running: AtomicBool::new(false),
+                seed,
+                pollers: RwLock::new(Vec::new()),
                 metrics,
                 mtrace: suca_obs::trace::MsgTracer::new(),
                 timeseries: suca_obs::timeseries::TimeSeries::new(),
-                telemetry_started: std::sync::atomic::AtomicBool::new(false),
+                telemetry_started: AtomicBool::new(false),
             }),
         }
     }
 
+    /// Number of event-queue shards.
+    pub fn shards(&self) -> usize {
+        self.inner.shards.len()
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
-        self.inner.state.lock().now
+        SimTime::from_ns(self.inner.now_ns.load(Ordering::Relaxed))
+    }
+
+    /// The shard new events land on when no explicit hint is given: the
+    /// shard currently being drained (so work a handler or actor schedules
+    /// stays local), or shard 0 outside a run.
+    fn ambient_shard(&self) -> u32 {
+        let cur = self.inner.current_shard.load(Ordering::Relaxed);
+        if cur == IDLE_SHARD {
+            0
+        } else {
+            cur
+        }
+    }
+
+    fn resolve_hint(&self, hint: u32) -> u32 {
+        hint % self.inner.shards.len() as u32
     }
 
     /// Schedule `f` to run `delay` after the current instant.
@@ -141,61 +276,163 @@ impl Sim {
         delay: SimDuration,
         f: impl FnOnce(&Sim) + Send + 'static,
     ) -> EventId {
-        let mut st = self.inner.state.lock();
-        let time = st.now + delay;
-        Self::push_event(&mut st, time, EventAction::Call(Box::new(f)))
+        let time = self.now() + delay;
+        self.push_event(self.ambient_shard(), time, EventAction::Call(Box::new(f)))
     }
 
     /// Schedule `f` at an absolute instant. Panics if `time` is in the past —
     /// a causality violation is always a modeling bug.
     pub fn schedule_at(&self, time: SimTime, f: impl FnOnce(&Sim) + Send + 'static) -> EventId {
-        let mut st = self.inner.state.lock();
         assert!(
-            time >= st.now,
+            time >= self.now(),
             "cannot schedule event in the past ({time} < {})",
-            st.now
+            self.now()
         );
-        Self::push_event(&mut st, time, EventAction::Call(Box::new(f)))
+        self.push_event(self.ambient_shard(), time, EventAction::Call(Box::new(f)))
     }
 
-    fn push_event(st: &mut EngineState, time: SimTime, action: EventAction) -> EventId {
-        let seq = st.seq;
-        st.seq += 1;
-        st.queue.push(Reverse(EventEntry { time, seq, action }));
-        EventId(seq)
+    /// Like [`Sim::schedule_in`] but places the event on the shard named by
+    /// `hint` (normally the destination node id; reduced mod shard count).
+    /// Placement never changes dispatch order — only batching locality.
+    pub fn schedule_in_on(
+        &self,
+        hint: u32,
+        delay: SimDuration,
+        f: impl FnOnce(&Sim) + Send + 'static,
+    ) -> EventId {
+        let time = self.now() + delay;
+        self.push_event(
+            self.resolve_hint(hint),
+            time,
+            EventAction::Call(Box::new(f)),
+        )
+    }
+
+    /// Like [`Sim::schedule_at`] but with an explicit shard hint.
+    pub fn schedule_at_on(
+        &self,
+        hint: u32,
+        time: SimTime,
+        f: impl FnOnce(&Sim) + Send + 'static,
+    ) -> EventId {
+        assert!(
+            time >= self.now(),
+            "cannot schedule event in the past ({time} < {})",
+            self.now()
+        );
+        self.push_event(
+            self.resolve_hint(hint),
+            time,
+            EventAction::Call(Box::new(f)),
+        )
+    }
+
+    /// Register a reusable poller callback on shard `hint`. Pollers are the
+    /// zero-alloc alternative to boxed closures for recurring firmware work
+    /// (descriptor-ring drains): registration allocates once, every
+    /// [`Sim::schedule_poll_in`] after that is allocation-free.
+    pub fn register_poller(&self, hint: u32, f: impl Fn(&Sim) + Send + Sync + 'static) -> PollerId {
+        let mut pollers = self
+            .inner
+            .pollers
+            .write()
+            .expect("poller registry poisoned");
+        let idx = u32::try_from(pollers.len()).expect("poller registry overflow");
+        pollers.push(Arc::new(f));
+        PollerId {
+            idx,
+            shard: self.resolve_hint(hint),
+        }
+    }
+
+    /// Schedule a tick of a registered poller `delay` after the current
+    /// instant. No allocation: the event carries only the [`PollerId`].
+    pub fn schedule_poll_in(&self, delay: SimDuration, id: PollerId) -> EventId {
+        let time = self.now() + delay;
+        self.push_event(id.shard, time, EventAction::Poll(id.idx))
+    }
+
+    fn push_event(&self, shard_idx: u32, time: SimTime, action: EventAction) -> EventId {
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut sh = self.inner.shards[shard_idx as usize].lock();
+            sh.queue.push(Reverse(EventEntry { time, seq, action }));
+            sh.live.insert(seq);
+            let key = (time, seq);
+            if sh.advertised.is_none_or(|a| key < a) {
+                sh.advertised = Some(key);
+                self.inner
+                    .index
+                    .lock()
+                    .push(Reverse((time, seq, shard_idx)));
+            }
+        }
+        self.inner.pending.fetch_add(1, Ordering::Relaxed);
+        // A cross-shard push strictly below the active batch horizon would be
+        // missed by the batch-drain loop; flag it so the batch ends. A push
+        // *at* the horizon time is safe: this seq is fresher than the horizon
+        // event's, so it sorts after it.
+        if shard_idx != self.inner.current_shard.load(Ordering::Relaxed)
+            && time.as_ns() < self.inner.horizon_ns.load(Ordering::Relaxed)
+        {
+            self.inner.batch_dirty.store(true, Ordering::Release);
+        }
+        EventId {
+            time,
+            seq,
+            shard: shard_idx,
+        }
     }
 
     /// Cancel a pending event. Returns `false` if it already fired or was
     /// already cancelled. Cancelling a wakeup event is safe: generational
     /// parking means a cancelled wake simply never matches.
     pub fn cancel(&self, id: EventId) -> bool {
-        let mut st = self.inner.state.lock();
-        if st.seq <= id.0 {
-            return false;
+        let removed = self.inner.shards[id.shard as usize]
+            .lock()
+            .live
+            .remove(&id.seq);
+        if removed {
+            // The entry stays in the heap as a tombstone and is discarded
+            // (without advancing time) when it reaches the front.
+            self.inner.pending.fetch_sub(1, Ordering::Relaxed);
         }
-        st.cancelled.insert(id.0)
+        removed
     }
 
     /// Spawn a thread-backed actor; it starts running at the current instant
-    /// (after already-scheduled events at this instant).
+    /// (after already-scheduled events at this instant). The actor's events
+    /// land on the ambient shard; use [`Sim::spawn_pinned`] to place it.
     pub fn spawn(
         &self,
         name: impl Into<String>,
         body: impl FnOnce(&mut ActorCtx) + Send + 'static,
     ) -> ActorId {
+        self.spawn_pinned(self.ambient_shard(), name, body)
+    }
+
+    /// Spawn a thread-backed actor whose wakeups are pinned to the shard
+    /// named by `hint` (normally the node the process runs on).
+    pub fn spawn_pinned(
+        &self,
+        hint: u32,
+        name: impl Into<String>,
+        body: impl FnOnce(&mut ActorCtx) + Send + 'static,
+    ) -> ActorId {
         let name = name.into();
-        let id = ActorId(self.inner.state.lock().actors.len() as u32);
+        let shard = self.resolve_hint(hint);
+        let id = ActorId(self.inner.control.lock().actors.len() as u32);
         let (shared, join) = spawn_actor_thread(self.clone(), id, name.clone(), Box::new(body));
-        let mut st = self.inner.state.lock();
-        st.actors.push(ActorRecord {
+        self.inner.control.lock().actors.push(ActorRecord {
             name,
             shared,
             gen: 0,
             status: ActorStatus::Parked,
             join: Some(join),
+            shard,
         });
-        let now = st.now;
-        Self::push_event(&mut st, now, EventAction::Wake(id, 0));
+        let now = self.now();
+        self.push_event(shard, now, EventAction::Wake(id, 0));
         id
     }
 
@@ -211,58 +448,127 @@ impl Sim {
     }
 
     fn run_inner(&self, limit: SimTime) -> RunOutcome {
-        {
-            let mut st = self.inner.state.lock();
-            assert!(!st.running, "Sim::run called reentrantly");
-            st.running = true;
-        }
-        let outcome = loop {
-            let next = {
-                let mut st = self.inner.state.lock();
-                loop {
-                    match st.queue.peek() {
-                        None => break None,
-                        Some(Reverse(e)) if e.time > limit => break None,
-                        Some(Reverse(e)) => {
-                            let seq = e.seq;
-                            if st.cancelled.remove(&seq) {
-                                st.queue.pop();
-                                continue;
-                            }
-                            let Reverse(e) = st.queue.pop().expect("peeked");
-                            st.now = e.time;
-                            st.dispatched += 1;
-                            break Some(e);
-                        }
-                    }
+        assert!(
+            !self.inner.running.swap(true, Ordering::Acquire),
+            "Sim::run called reentrantly"
+        );
+        let _guard = RunningGuard(&self.inner);
+        loop {
+            // Pick phase: find the shard advertising the globally smallest
+            // key, skipping stale index entries.
+            let picked = loop {
+                let top = self.inner.index.lock().pop();
+                let Some(Reverse((t, s, sh))) = top else {
+                    break None;
+                };
+                let fresh = self.inner.shards[sh as usize].lock().advertised == Some((t, s));
+                if !fresh {
+                    continue; // the shard's minimum moved on; a fresher entry exists
+                }
+                if t > limit {
+                    // Leave the entry (and `advertised`) intact for a later run.
+                    self.inner.index.lock().push(Reverse((t, s, sh)));
+                    break None;
+                }
+                break Some(sh);
+            };
+            let Some(sh) = picked else {
+                return self.finish(limit);
+            };
+            // Take ownership of the shard: from here until batch end, every
+            // index entry naming `sh` is stale.
+            self.inner.shards[sh as usize].lock().advertised = None;
+            // Horizon: the smallest *fresh* key any other shard advertises.
+            // Stale entries (including our own superseded advertisements,
+            // which would otherwise wedge the batch at zero progress) are
+            // dropped here; the fresh one is pushed back.
+            let horizon = loop {
+                let top = self.inner.index.lock().pop();
+                let Some(Reverse((t, s, xsh))) = top else {
+                    break None;
+                };
+                if xsh != sh && self.inner.shards[xsh as usize].lock().advertised == Some((t, s)) {
+                    self.inner.index.lock().push(Reverse((t, s, xsh)));
+                    break Some((t, s));
                 }
             };
-            match next {
-                None => break self.finish(limit),
-                Some(e) => {
-                    if std::env::var_os("SUCA_SIM_TRACE_DISPATCH").is_some() {
-                        let kind = match &e.action {
-                            EventAction::Call(_) => "call".to_string(),
-                            EventAction::Wake(id, gen) => format!("wake a{} g{gen}", id.0),
+            self.inner.current_shard.store(sh, Ordering::Relaxed);
+            self.inner.horizon_ns.store(
+                horizon.map_or(u64::MAX, |(t, _)| t.as_ns()),
+                Ordering::Relaxed,
+            );
+            self.inner.batch_dirty.store(false, Ordering::Relaxed);
+
+            // Batch phase: drain this shard while it holds the global
+            // minimum. The shard lock is released around each dispatch so
+            // handlers can schedule freely.
+            loop {
+                let next = {
+                    let mut g = self.inner.shards[sh as usize].lock();
+                    loop {
+                        let Some(Reverse(e)) = g.queue.peek() else {
+                            break None;
                         };
-                        eprintln!("[dispatch] t={} seq={} {kind}", e.time, e.seq);
+                        let within = e.time <= limit
+                            && horizon.is_none_or(|(ht, hs)| (e.time, e.seq) < (ht, hs));
+                        if !within {
+                            break None;
+                        }
+                        let Reverse(e) = g.queue.pop().expect("peeked");
+                        if !g.live.remove(&e.seq) {
+                            continue; // cancelled tombstone: discard, no time advance
+                        }
+                        break Some(e);
                     }
-                    self.dispatch(e)
+                };
+                let Some(e) = next else { break };
+                self.inner.now_ns.store(e.time.as_ns(), Ordering::Relaxed);
+                self.inner.dispatched.fetch_add(1, Ordering::Relaxed);
+                self.inner.pending.fetch_sub(1, Ordering::Relaxed);
+                if trace_dispatch_enabled() {
+                    let kind = match &e.action {
+                        EventAction::Call(_) => "call".to_string(),
+                        EventAction::Wake(id, gen) => format!("wake a{} g{gen}", id.0),
+                        EventAction::Poll(idx) => format!("poll p{idx}"),
+                    };
+                    eprintln!("[dispatch] t={} seq={} {kind}", e.time, e.seq);
+                }
+                self.dispatch(e);
+                if self.inner.batch_dirty.load(Ordering::Acquire) {
+                    break; // another shard now holds a key below the horizon
                 }
             }
-        };
-        self.inner.state.lock().running = false;
-        outcome
+
+            // Batch end: stand down and re-advertise this shard's minimum.
+            self.inner.horizon_ns.store(0, Ordering::Relaxed);
+            self.inner
+                .current_shard
+                .store(IDLE_SHARD, Ordering::Relaxed);
+            let mut g = self.inner.shards[sh as usize].lock();
+            match g.queue.peek() {
+                Some(Reverse(top)) => {
+                    let key = (top.time, top.seq);
+                    if g.advertised != Some(key) {
+                        g.advertised = Some(key);
+                        self.inner.index.lock().push(Reverse((key.0, key.1, sh)));
+                    }
+                }
+                None => g.advertised = None,
+            }
+        }
     }
 
     fn finish(&self, limit: SimTime) -> RunOutcome {
-        let mut st = self.inner.state.lock();
-        if !st.queue.is_empty() {
-            // Stopped by the time limit with events still pending.
-            st.now = limit;
+        let raw_pending: usize = self.inner.shards.iter().map(|s| s.lock().queue.len()).sum();
+        if raw_pending > 0 {
+            // Stopped by the time limit with events still queued.
+            self.inner.now_ns.store(limit.as_ns(), Ordering::Relaxed);
             return RunOutcome::Pending;
         }
-        let stuck: Vec<String> = st
+        let stuck: Vec<String> = self
+            .inner
+            .control
+            .lock()
             .actors
             .iter()
             .filter(|a| a.status == ActorStatus::Parked)
@@ -286,10 +592,19 @@ impl Sim {
                     std::panic::resume_unwind(payload);
                 }
             }
+            EventAction::Poll(idx) => {
+                let f = self.inner.pollers.read().expect("poller registry poisoned")[idx as usize]
+                    .clone();
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(self)));
+                if let Err(payload) = r {
+                    self.inner.mtrace.dump_once("sim poller panicked");
+                    std::panic::resume_unwind(payload);
+                }
+            }
             EventAction::Wake(id, gen) => {
                 let shared = {
-                    let mut st = self.inner.state.lock();
-                    let rec = &mut st.actors[id.0 as usize];
+                    let mut ctl = self.inner.control.lock();
+                    let rec = &mut ctl.actors[id.0 as usize];
                     if rec.status == ActorStatus::Parked && rec.gen == gen {
                         rec.status = ActorStatus::Running;
                         Some(rec.shared.clone())
@@ -305,15 +620,15 @@ impl Sim {
                 match shared.yield_rx.recv().expect("actor thread hung up") {
                     YieldMsg::Parked => {} // status already set by mark_parked
                     YieldMsg::Done => {
-                        self.inner.state.lock().actors[id.0 as usize].status = ActorStatus::Done;
+                        self.inner.control.lock().actors[id.0 as usize].status = ActorStatus::Done;
                     }
                     YieldMsg::Panicked(msg) => {
                         let name = {
-                            let st = self.inner.state.lock();
-                            st.actors[id.0 as usize].name.clone()
+                            let mut ctl = self.inner.control.lock();
+                            // Mark done so teardown does not try to shut it down.
+                            ctl.actors[id.0 as usize].status = ActorStatus::Done;
+                            ctl.actors[id.0 as usize].name.clone()
                         };
-                        // Mark done so teardown does not try to shut it down.
-                        self.inner.state.lock().actors[id.0 as usize].status = ActorStatus::Done;
                         // Actor panics include failed harness assertions:
                         // dump the flight recorder before propagating.
                         self.inner
@@ -330,17 +645,17 @@ impl Sim {
 
     /// Bump and return the park generation for an upcoming park.
     pub(crate) fn next_park_gen(&self, id: ActorId) -> u64 {
-        let mut st = self.inner.state.lock();
-        let rec = &mut st.actors[id.0 as usize];
+        let mut ctl = self.inner.control.lock();
+        let rec = &mut ctl.actors[id.0 as usize];
         rec.gen += 1;
         rec.gen
     }
 
-    /// Schedule a generational wakeup.
+    /// Schedule a generational wakeup on the actor's pinned shard.
     pub(crate) fn schedule_wake_in(&self, delay: SimDuration, id: ActorId, gen: u64) -> EventId {
-        let mut st = self.inner.state.lock();
-        let time = st.now + delay;
-        Self::push_event(&mut st, time, EventAction::Wake(id, gen))
+        let shard = self.inner.control.lock().actors[id.0 as usize].shard;
+        let time = self.now() + delay;
+        self.push_event(shard, time, EventAction::Wake(id, gen))
     }
 
     /// Schedule a generational wakeup at the current instant (signal notify).
@@ -350,15 +665,14 @@ impl Sim {
 
     /// Record that an actor is about to hand the baton back.
     pub(crate) fn mark_parked(&self, id: ActorId) {
-        let mut st = self.inner.state.lock();
-        st.actors[id.0 as usize].status = ActorStatus::Parked;
+        self.inner.control.lock().actors[id.0 as usize].status = ActorStatus::Parked;
     }
 
     // ---- observability ------------------------------------------------------
 
     /// Enable/disable span tracing (used by the timeline figures).
     pub fn set_tracing(&self, on: bool) {
-        self.inner.state.lock().tracer.set_enabled(on);
+        self.inner.control.lock().tracer.set_enabled(on);
     }
 
     /// Record a named span on a track. No-op while tracing is disabled.
@@ -372,7 +686,7 @@ impl Sim {
         end: SimTime,
     ) {
         self.inner
-            .state
+            .control
             .lock()
             .tracer
             .span(track, stage, start, end);
@@ -380,7 +694,7 @@ impl Sim {
 
     /// Drain all recorded spans (sorted by start time, then insertion).
     pub fn take_spans(&self) -> Vec<Span> {
-        self.inner.state.lock().tracer.take()
+        self.inner.control.lock().tracer.take()
     }
 
     /// The per-message causal tracer (always-armed flight recorder). Hot
@@ -433,19 +747,18 @@ impl Sim {
     /// Derive a deterministic, independent RNG stream for a named component.
     /// Same `(seed, label)` always yields the same stream.
     pub fn fork_rng(&self, label: &str) -> SimRng {
-        let seed = self.inner.state.lock().seed;
-        SimRng::fork(seed, label)
+        SimRng::fork(self.inner.seed, label)
     }
 
     /// The master seed this simulation was created with.
     pub fn seed(&self) -> u64 {
-        self.inner.state.lock().seed
+        self.inner.seed
     }
 
     /// Number of events dispatched so far (observability / runaway-loop
     /// diagnosis).
     pub fn events_dispatched(&self) -> u64 {
-        self.inner.state.lock().dispatched
+        self.inner.dispatched.load(Ordering::Relaxed)
     }
 
     /// The continuous-telemetry probe registry. Components register named
@@ -456,15 +769,11 @@ impl Sim {
         &self.inner.timeseries
     }
 
-    /// Number of live (non-cancelled) events still in the queue. Used by the
-    /// telemetry sampler to decide whether to reschedule itself: when the
-    /// tick is the only thing left, the run is over and the sampler stops.
+    /// Number of live (non-cancelled) events still in the queue. O(1): a
+    /// counter maintained at push/pop/cancel, read every telemetry tick to
+    /// decide whether the sampler reschedules itself.
     pub fn pending_events(&self) -> usize {
-        let st = self.inner.state.lock();
-        st.queue
-            .iter()
-            .filter(|Reverse(e)| !st.cancelled.contains(&e.seq))
-            .count()
+        self.inner.pending.load(Ordering::Relaxed) as usize
     }
 
     pub(crate) fn inner(&self) -> &SimInner {
@@ -475,7 +784,7 @@ impl Sim {
 impl Drop for SimInner {
     fn drop(&mut self) {
         // Unwind any still-parked actor threads so tests don't leak threads.
-        let mut actors = std::mem::take(&mut self.state.lock().actors);
+        let mut actors = std::mem::take(&mut self.control.lock().actors);
         for rec in &mut actors {
             if rec.status != ActorStatus::Done {
                 // Actor is blocked in wake_rx.recv(); Shutdown makes it
@@ -526,6 +835,67 @@ mod tests {
         assert!(!sim.cancel(id), "double-cancel reports false");
         sim.run();
         assert_eq!(hits.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn cancel_after_fire_returns_false_and_leaks_nothing() {
+        // Regression: cancelling an already-fired event used to return
+        // `true` and grow the cancelled set forever (retransmission timers
+        // cancel constantly).
+        let sim = Sim::new(1);
+        let mut ids = Vec::new();
+        for _ in 0..100 {
+            ids.push(sim.schedule_in(SimDuration::from_us(1), |_| {}));
+        }
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        for id in &ids {
+            assert!(!sim.cancel(*id), "cancel of a fired event must be false");
+            assert!(!sim.cancel(*id), "and stays false on retry");
+        }
+        // Nothing is retained for fired or cancelled events: the live set
+        // and the queue are both empty, bounded regardless of churn.
+        for sh in &sim.inner.shards {
+            let g = sh.lock();
+            assert!(g.live.is_empty(), "live set must drain");
+            assert!(g.queue.is_empty(), "queue must drain");
+        }
+        assert_eq!(sim.pending_events(), 0);
+    }
+
+    #[test]
+    fn cancelled_churn_stays_bounded() {
+        // Schedule/cancel cycles (a retransmission timer's life) must not
+        // accumulate state anywhere.
+        let sim = Sim::new(1);
+        for round in 0..50u64 {
+            let id = sim.schedule_in(SimDuration::from_us(round + 1), |_| {});
+            assert!(sim.cancel(id));
+            sim.schedule_in(SimDuration::from_us(round + 1), |_| {});
+            sim.run();
+        }
+        for sh in &sim.inner.shards {
+            let g = sh.lock();
+            assert!(g.live.is_empty());
+            assert!(g.queue.is_empty());
+        }
+        assert_eq!(sim.pending_events(), 0);
+    }
+
+    #[test]
+    fn panicking_handler_leaves_sim_runnable() {
+        // Regression: a panic unwinding through run_inner used to leave
+        // `running == true`, so the next run died on the reentrancy assert.
+        let sim = Sim::new(1);
+        sim.schedule_in(SimDuration::from_us(1), |_| panic!("injected"));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.run()));
+        assert!(r.is_err(), "panic must propagate");
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = hits.clone();
+        sim.schedule_in(SimDuration::from_us(1), move |_| {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed, "sim must run again");
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
     }
 
     #[test]
@@ -644,5 +1014,146 @@ mod tests {
         let b: u64 = sim.fork_rng("link1").next_u64();
         assert_eq!(a1, a2);
         assert_ne!(a1, b);
+    }
+
+    // ---- sharded-engine tests ----------------------------------------------
+
+    /// Run a messy cross-shard program and return its dispatch log.
+    fn shard_torture(shards: usize) -> (Vec<(u64, u32)>, u64) {
+        let sim = Sim::new_with_shards(9, shards);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        // Chains on every shard that keep rescheduling onto other shards,
+        // including zero-delay cross-shard hops and same-instant ties.
+        for node in 0..8u32 {
+            let log = log.clone();
+            sim.schedule_in_on(node, SimDuration::from_ns(u64::from(node % 3)), move |s| {
+                chain(s, node, 0, log.clone());
+            });
+        }
+        fn chain(s: &Sim, node: u32, depth: u32, log: Arc<Mutex<Vec<(u64, u32)>>>) {
+            log.lock().push((s.now().as_ns(), node));
+            if depth >= 6 {
+                return;
+            }
+            let peer = (node + 1) % 8;
+            let l2 = log.clone();
+            s.schedule_in_on(
+                peer,
+                SimDuration::from_ns(u64::from(depth % 2)), // 0 or 1 ns hops
+                move |s| chain(s, peer, depth + 1, l2),
+            );
+            if depth % 3 == 0 {
+                // A same-shard tie at the current instant.
+                let l3 = log.clone();
+                s.schedule_in(SimDuration::ZERO, move |s| {
+                    l3.lock().push((s.now().as_ns(), 1000 + node));
+                });
+            }
+        }
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        let l = Arc::try_unwrap(log).unwrap().into_inner();
+        (l, sim.events_dispatched())
+    }
+
+    #[test]
+    fn sharded_dispatch_order_matches_single_queue() {
+        let (one, n1) = shard_torture(1);
+        for shards in [2, 3, 8] {
+            let (many, nm) = shard_torture(shards);
+            assert_eq!(one, many, "dispatch order diverged at {shards} shards");
+            assert_eq!(n1, nm);
+        }
+    }
+
+    #[test]
+    fn pinned_actors_on_shards_interleave_like_single_queue() {
+        let run = |shards: usize| {
+            let sim = Sim::new_with_shards(3, shards);
+            let log = Arc::new(Mutex::new(Vec::new()));
+            for (i, who) in ["a", "b", "c", "d"].iter().enumerate() {
+                let log = log.clone();
+                sim.spawn_pinned(i as u32, *who, move |ctx| {
+                    for k in 0..4 {
+                        ctx.sleep(SimDuration::from_us(10));
+                        log.lock().push(format!("{who}{k}"));
+                    }
+                });
+            }
+            assert_eq!(sim.run(), RunOutcome::Completed);
+            let l = log.lock().clone();
+            l
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn cross_shard_zero_delay_signal_wakes_preserve_order() {
+        let run = |shards: usize| {
+            let sim = Sim::new_with_shards(5, shards);
+            let sig = crate::signal::Signal::new(&sim);
+            let log = Arc::new(Mutex::new(Vec::new()));
+            for i in 0..4u32 {
+                let sig = sig.clone();
+                let log = log.clone();
+                sim.spawn_pinned(i, format!("w{i}"), move |ctx| {
+                    sig.wait(ctx);
+                    log.lock().push(i);
+                });
+            }
+            let sig2 = sig.clone();
+            sim.schedule_in_on(3, SimDuration::from_us(5), move |_| sig2.notify());
+            assert_eq!(sim.run(), RunOutcome::Completed);
+            let l = log.lock().clone();
+            l
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn cancel_works_across_shards() {
+        let sim = Sim::new_with_shards(1, 4);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = hits.clone();
+        let id = sim.schedule_in_on(2, SimDuration::from_us(1), move |_| {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        sim.schedule_in_on(3, SimDuration::from_us(2), |_| {});
+        assert!(sim.cancel(id));
+        assert!(!sim.cancel(id));
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        assert_eq!(hits.load(Ordering::Relaxed), 0);
+        assert_eq!(sim.now().as_us(), 2.0);
+    }
+
+    #[test]
+    fn pollers_fire_in_seq_order_with_zero_alloc_events() {
+        let sim = Sim::new_with_shards(1, 2);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let l1 = log.clone();
+        let p1 = sim.register_poller(0, move |s| l1.lock().push(("p1", s.now().as_ns())));
+        let l2 = log.clone();
+        let p2 = sim.register_poller(1, move |s| l2.lock().push(("p2", s.now().as_ns())));
+        sim.schedule_poll_in(SimDuration::from_ns(10), p2);
+        sim.schedule_poll_in(SimDuration::from_ns(10), p1); // tie: p2 first (earlier seq)
+        sim.schedule_poll_in(SimDuration::from_ns(5), p1);
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        assert_eq!(
+            *log.lock(),
+            vec![("p1", 5), ("p2", 10), ("p1", 10)],
+            "poll ticks follow the global (time, seq) order"
+        );
+    }
+
+    #[test]
+    fn pending_events_counter_tracks_push_pop_cancel() {
+        let sim = Sim::new_with_shards(1, 4);
+        assert_eq!(sim.pending_events(), 0);
+        let a = sim.schedule_in_on(0, SimDuration::from_us(1), |_| {});
+        let _b = sim.schedule_in_on(1, SimDuration::from_us(2), |_| {});
+        assert_eq!(sim.pending_events(), 2);
+        assert!(sim.cancel(a));
+        assert_eq!(sim.pending_events(), 1);
+        sim.run();
+        assert_eq!(sim.pending_events(), 0);
     }
 }

@@ -42,7 +42,7 @@ mod time;
 mod trace;
 
 pub use actor::{ActorCtx, ActorId};
-pub use engine::{EventId, RunOutcome, Sim};
+pub use engine::{EventId, PollerId, RunOutcome, Sim};
 pub use rng::SimRng;
 pub use signal::{Semaphore, Signal};
 pub use stats::{Counters, Samples};
