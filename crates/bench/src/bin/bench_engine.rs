@@ -19,23 +19,39 @@
 //! node counts are cross-checked against). Before the sweep, the 32-node
 //! cells assert that the sharded and single-queue runs produce
 //! byte-identical metrics snapshots and identical event counts — the
-//! determinism contract the engine refactor preserves.
+//! determinism contract the engine refactor preserves — and that enabling
+//! the self-profiler perturbs neither.
+//!
+//! Sweep rows run with the engine self-profiler on: each cell's full
+//! report lands in `<prof_dir>/engine_<fabric>_<nodes>_<mode>.json` and a
+//! summary is merged into the row. The 512-node cells must attribute
+//! ≥ 80% of scheduler wall clock to named phases. At 1,024 nodes the run
+//! switches to fleet mode — 1% deterministic trace sampling plus the
+//! timeseries rollup — and must pass the sampled crossing-budget check
+//! while emitting < 10% of the unsampled 32-node baseline's observability
+//! bytes per delivered message.
 //!
 //! The machine-readable report lands in `<bench_dir>/BENCH_engine.json`
 //! (`SUCA_BENCH_DIR` overrides the directory; CI points it at the
 //! workspace root and archives the file per PR, giving the perf
-//! trajectory a paper trail).
+//! trajectory a paper trail). Schema v2 adds host/rustc/thread metadata so
+//! rows are comparable across machines.
 
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use suca_bcl::{ChannelId, ProcAddr};
-use suca_bench::report::bench_dir;
+use suca_bench::report::{bench_dir, host_meta, prof_dir, timeseries_dir, traces_dir};
 use suca_cluster::{ClusterSpec, SimBarrier};
-use suca_sim::{RunOutcome, SimDuration, TelemetryConfig};
+use suca_sim::mtrace::{check_completeness_sampled, ChainPolicy, SampleSpec};
+use suca_sim::{ProfReport, RunOutcome, SimDuration, TelemetryConfig};
 
 const SEED: u64 = 0xE7617E; // "engine"
 const PAYLOAD: usize = 512;
+/// Fleet-mode trace sampling rate (1%) applied at the largest node count.
+const FLEET_SAMPLE_PPM: u32 = 10_000;
+/// Node count at which the bench switches to fleet-mode observability.
+const FLEET_NODES: u32 = 1024;
 
 fn env_u32(name: &str, default: u32) -> u32 {
     std::env::var(name)
@@ -56,13 +72,50 @@ struct Row {
     events_per_sec: f64,
     msgs_per_sec: f64,
     sim_us: f64,
+    trace_sample_ppm: u32,
+    /// Self-profiler summary (None for unprofiled cross-check runs).
+    prof: Option<ProfReport>,
+    /// Observability artifact bytes (trace + timeseries + metrics JSON),
+    /// when this run captured them.
+    obs_bytes: Option<u64>,
 }
 
 /// Everything a run produces: the measured row plus the byte artifacts the
-/// determinism cross-checks compare.
+/// determinism cross-checks compare and the observability-size audit sums.
 struct RunResult {
     row: Row,
     metrics_json: String,
+    /// `(trace_json, timeseries_or_rollup_json)` when observability output
+    /// was captured.
+    obs: Option<(String, String)>,
+    /// Violations from the sampled crossing-budget check (sampled runs).
+    sampled_violations: Option<Vec<String>>,
+}
+
+/// How to run one cell.
+#[derive(Clone, Copy)]
+struct RunOpts {
+    shards: Option<usize>,
+    msgs: u32,
+    profile: bool,
+    /// Trace sampling rate (None = record everything).
+    sample_ppm: Option<u32>,
+    /// Capture trace/timeseries artifacts and (for sampled runs) the
+    /// sampled completeness check. Rollup timeseries for >= 512 nodes,
+    /// full snapshot below.
+    capture_obs: bool,
+}
+
+impl RunOpts {
+    fn plain(shards: Option<usize>, msgs: u32) -> RunOpts {
+        RunOpts {
+            shards,
+            msgs,
+            profile: false,
+            sample_ppm: None,
+            capture_obs: false,
+        }
+    }
 }
 
 fn spec_for(fabric: &'static str, nodes: u32) -> ClusterSpec {
@@ -82,9 +135,16 @@ fn spec_for(fabric: &'static str, nodes: u32) -> ClusterSpec {
 
 /// Run the neighbor ring and measure. `shards == None` is the production
 /// sharded shape; `Some(1)` the single-queue reference.
-fn run_ring(fabric: &'static str, nodes: u32, shards: Option<usize>, msgs: u32) -> RunResult {
-    let cluster = spec_for(fabric, nodes).with_engine_shards(shards).build();
+fn run_ring(fabric: &'static str, nodes: u32, opts: RunOpts) -> RunResult {
+    let mut spec = spec_for(fabric, nodes)
+        .with_engine_shards(opts.shards)
+        .with_profiling(opts.profile);
+    if let Some(ppm) = opts.sample_ppm {
+        spec = spec.with_trace_sampling(ppm);
+    }
+    let cluster = spec.build();
     let sim = cluster.sim.clone();
+    let msgs = opts.msgs;
     let barrier = SimBarrier::new(&sim, nodes);
     let addrs: Arc<Mutex<Vec<Option<ProcAddr>>>> = Arc::new(Mutex::new(vec![None; nodes as usize]));
     let delivered = Arc::new(Mutex::new(0u64));
@@ -121,11 +181,36 @@ fn run_ring(fabric: &'static str, nodes: u32, shards: Option<usize>, msgs: u32) 
     let delivered = *delivered.lock().unwrap();
     assert_eq!(delivered, u64::from(nodes) * u64::from(msgs));
     let sim_events = sim.events_dispatched();
+    let metrics_json = cluster.metrics_snapshot().to_json();
+
+    let mut obs = None;
+    let mut sampled_violations = None;
+    let mut obs_bytes = None;
+    if opts.capture_obs {
+        let events = sim.trace_events();
+        let trace_json = suca_sim::mtrace::to_chrome_json(&events);
+        let ts_snap = sim.timeseries().snapshot();
+        // Fleet scale bounds the timeseries artifact via the rollup; small
+        // runs keep the full per-probe snapshot.
+        let ts_json = if nodes >= 512 {
+            ts_snap.rollup().to_json()
+        } else {
+            ts_snap.to_json()
+        };
+        if let Some(ppm) = opts.sample_ppm {
+            let spec = SampleSpec::ratio_ppm(ppm).with_seed(SEED);
+            let report = check_completeness_sampled(&events, &ChainPolicy::bcl(), spec);
+            sampled_violations = Some(report.violations.clone());
+        }
+        obs_bytes = Some((trace_json.len() + ts_json.len() + metrics_json.len()) as u64);
+        obs = Some((trace_json, ts_json));
+    }
+
     RunResult {
         row: Row {
             nodes,
             fabric,
-            mode: if shards == Some(1) {
+            mode: if opts.shards == Some(1) {
                 "single_queue"
             } else {
                 "sharded"
@@ -137,26 +222,80 @@ fn run_ring(fabric: &'static str, nodes: u32, shards: Option<usize>, msgs: u32) 
             events_per_sec: sim_events as f64 / wall_s,
             msgs_per_sec: delivered as f64 / wall_s,
             sim_us: sim.now().as_us(),
+            trace_sample_ppm: opts.sample_ppm.unwrap_or(1_000_000),
+            prof: opts.profile.then(|| sim.prof_report()),
+            obs_bytes,
         },
-        metrics_json: cluster.metrics_snapshot().to_json(),
+        metrics_json,
+        obs,
+        sampled_violations,
     }
+}
+
+fn prof_row_json(r: &ProfReport) -> String {
+    use std::fmt::Write as _;
+    let pops = r.pick_pops + r.horizon_pops;
+    let stale = r.pick_stale_pops + r.horizon_stale_pops;
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"batches\": {}, \"mean_batch_len\": {:.2}, \"attributed_pct\": {:.1}, \
+         \"end_horizon\": {}, \"end_dirty\": {}, \"end_empty\": {}, \"end_limit\": {}, \
+         \"dirty_continues\": {}, \"index_pushes\": {}, \"stale_pop_pct\": {:.1}, \
+         \"cross_shard_pushes\": {}, \"lock_acquisitions\": {}, \"lock_hold_ms\": {:.3}",
+        r.batches,
+        r.mean_batch_len(),
+        r.attributed_pct(),
+        r.end_horizon,
+        r.end_dirty,
+        r.end_empty,
+        r.end_limit,
+        r.dirty_continues,
+        r.index_pushes,
+        if pops == 0 {
+            0.0
+        } else {
+            stale as f64 / pops as f64 * 100.0
+        },
+        r.cross_shard_pushes,
+        r.lock_acquisitions,
+        r.lock_hold_ns() as f64 / 1e6,
+    );
+    out.push('}');
+    out
 }
 
 fn to_json(rows: &[Row], msgs: u32) -> String {
     use std::fmt::Write as _;
+    let (os, arch, rustc, threads) = host_meta();
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"suca.bench_engine.v1\",");
+    let _ = writeln!(out, "  \"schema\": \"suca.bench_engine.v2\",");
     let _ = writeln!(out, "  \"seed\": {SEED},");
     let _ = writeln!(out, "  \"msgs_per_node\": {msgs},");
     let _ = writeln!(out, "  \"payload_bytes\": {PAYLOAD},");
+    let _ = writeln!(
+        out,
+        "  \"host\": {{\"os\": \"{os}\", \"arch\": \"{arch}\", \"rustc\": \"{rustc}\", \
+         \"threads\": {threads}}},"
+    );
     let _ = writeln!(out, "  \"rows\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
+        let prof = r
+            .prof
+            .as_ref()
+            .map(prof_row_json)
+            .unwrap_or_else(|| "null".to_string());
+        let obs = r
+            .obs_bytes
+            .map(|b| b.to_string())
+            .unwrap_or_else(|| "null".to_string());
         let _ = writeln!(
             out,
             "    {{\"nodes\": {}, \"fabric\": \"{}\", \"mode\": \"{}\", \"shards\": {}, \
              \"sim_events\": {}, \"delivered_msgs\": {}, \"wall_ms\": {:.3}, \
-             \"events_per_sec\": {:.1}, \"msgs_per_sec\": {:.1}, \"sim_us\": {:.3}}}{comma}",
+             \"events_per_sec\": {:.1}, \"msgs_per_sec\": {:.1}, \"sim_us\": {:.3}, \
+             \"trace_sample_ppm\": {}, \"obs_bytes\": {obs}, \"prof\": {prof}}}{comma}",
             r.nodes,
             r.fabric,
             r.mode,
@@ -167,6 +306,7 @@ fn to_json(rows: &[Row], msgs: u32) -> String {
             r.events_per_sec,
             r.msgs_per_sec,
             r.sim_us,
+            r.trace_sample_ppm,
         );
     }
     out.push_str("  ]\n}\n");
@@ -180,16 +320,24 @@ fn main() {
 
     // Determinism cross-check at the smallest scale, both fabrics: the
     // sharded engine must produce byte-identical metrics (and the same
-    // event count) as the single-queue reference, and a sharded rerun must
-    // reproduce itself.
+    // event count) as the single-queue reference, a sharded rerun must
+    // reproduce itself, and turning the profiler on must perturb nothing.
+    let mut baseline_obs_per_msg = f64::MAX;
     for fabric in ["myrinet", "mesh"] {
-        let sharded = run_ring(fabric, 32, None, msgs);
-        let rerun = run_ring(fabric, 32, None, msgs);
+        let sharded = run_ring(
+            fabric,
+            32,
+            RunOpts {
+                capture_obs: true,
+                ..RunOpts::plain(None, msgs)
+            },
+        );
+        let rerun = run_ring(fabric, 32, RunOpts::plain(None, msgs));
         assert_eq!(
             sharded.metrics_json, rerun.metrics_json,
             "{fabric}: sharded run not reproducible at fixed seed"
         );
-        let single = run_ring(fabric, 32, Some(1), msgs);
+        let single = run_ring(fabric, 32, RunOpts::plain(Some(1), msgs));
         assert_eq!(
             sharded.metrics_json, single.metrics_json,
             "{fabric}: sharded metrics diverge from single-queue reference"
@@ -198,35 +346,163 @@ fn main() {
             sharded.row.sim_events, single.row.sim_events,
             "{fabric}: event count diverges from single-queue reference"
         );
+        let profiled = run_ring(
+            fabric,
+            32,
+            RunOpts {
+                profile: true,
+                ..RunOpts::plain(None, msgs)
+            },
+        );
+        assert_eq!(
+            sharded.metrics_json, profiled.metrics_json,
+            "{fabric}: profiling perturbed the run"
+        );
+        assert_eq!(sharded.row.sim_events, profiled.row.sim_events);
+        // The unsampled 32-node run is the observability-size baseline the
+        // fleet-mode acceptance below is measured against.
+        if fabric == "myrinet" {
+            let bytes = sharded.row.obs_bytes.expect("captured") as f64;
+            baseline_obs_per_msg = bytes / sharded.row.delivered_msgs as f64;
+            println!(
+                "[baseline] myrinet/32 unsampled observability: {:.0} B/msg",
+                baseline_obs_per_msg
+            );
+        }
         println!(
-            "[determinism] {fabric}/32: sharded == single_queue == rerun \
+            "[determinism] {fabric}/32: sharded == single_queue == rerun == profiled \
              ({} events, {} msgs)",
             sharded.row.sim_events, sharded.row.delivered_msgs
         );
     }
 
+    let prof_out = prof_dir();
+    std::fs::create_dir_all(&prof_out).expect("create prof dir");
     let mut rows = Vec::new();
     for fabric in ["myrinet", "mesh"] {
         for nodes in [32u32, 128, 512, 1024] {
             if nodes > max_nodes {
                 continue;
             }
-            rows.push(run_ring(fabric, nodes, None, msgs).row);
+            let fleet = nodes >= FLEET_NODES;
+            let res = run_ring(
+                fabric,
+                nodes,
+                RunOpts {
+                    shards: None,
+                    msgs,
+                    profile: true,
+                    sample_ppm: fleet.then_some(FLEET_SAMPLE_PPM),
+                    capture_obs: nodes >= 512,
+                },
+            );
+            let cell = format!("engine_{fabric}_{nodes}_sharded");
+            if let Some(p) = &res.row.prof {
+                std::fs::write(prof_out.join(format!("{cell}.json")), p.to_json())
+                    .expect("write prof report");
+            }
+            if let Some((trace_json, ts_json)) = &res.obs {
+                let tdir = traces_dir();
+                std::fs::create_dir_all(&tdir).expect("create traces dir");
+                std::fs::write(tdir.join(format!("{cell}.json")), trace_json)
+                    .expect("write trace json");
+                let tsdir = timeseries_dir();
+                std::fs::create_dir_all(&tsdir).expect("create timeseries dir");
+                std::fs::write(tsdir.join(format!("{cell}.rollup.json")), ts_json)
+                    .expect("write rollup json");
+            }
+            // Acceptance: the profiler must explain where a 512-node run's
+            // scheduler wall clock goes.
+            if nodes == 512 {
+                let p = res.row.prof.as_ref().expect("profiled");
+                assert!(
+                    p.attributed_pct() >= 80.0,
+                    "{fabric}/512: only {:.1}% of scheduler wall clock attributed",
+                    p.attributed_pct()
+                );
+                // Cap on the scheduler's own overhead (the pick, pop, and
+                // batch-end phases). The profiler attributes the large-run
+                // slowdown to actor-thread baton handoffs inside dispatch
+                // (~90% of wall at 512 nodes, an OS context-switch cost
+                // structural to thread-backed actors, not an engine cost);
+                // this assertion keeps the engine's share from regressing
+                // back into the picture.
+                let sched_ns = p.pick_ns + p.pop_ns + p.batch_end_ns;
+                assert!(
+                    sched_ns * 4 <= p.attributed_ns(),
+                    "{fabric}/512: scheduler phases take {:.1}% of attributed wall (cap 25%)",
+                    sched_ns as f64 / p.attributed_ns() as f64 * 100.0
+                );
+                println!(
+                    "[prof] {fabric}/512: {:.1}% of {:.0} ms attributed \
+                     (pick {:.1} ms, pop {:.1} ms, dispatch {:.1} ms, batch-end {:.1} ms)",
+                    p.attributed_pct(),
+                    p.run_ns as f64 / 1e6,
+                    p.pick_ns as f64 / 1e6,
+                    p.pop_ns as f64 / 1e6,
+                    p.dispatch_ns.iter().sum::<u64>() as f64 / 1e6,
+                    p.batch_end_ns as f64 / 1e6,
+                );
+            }
+            // Acceptance: fleet mode (1% sampling + rollup) passes the
+            // sampled crossing-budget check and emits < 10% of the
+            // unsampled baseline's observability bytes per message.
+            if fleet {
+                let violations = res.sampled_violations.as_ref().expect("sampled check ran");
+                assert!(
+                    violations.is_empty(),
+                    "{fabric}/{nodes}: sampled crossing-budget check failed:\n{}",
+                    violations.join("\n")
+                );
+                let per_msg =
+                    res.row.obs_bytes.expect("captured") as f64 / res.row.delivered_msgs as f64;
+                assert!(
+                    per_msg < baseline_obs_per_msg * 0.10,
+                    "{fabric}/{nodes}: fleet observability {per_msg:.0} B/msg \
+                     >= 10% of baseline {baseline_obs_per_msg:.0} B/msg"
+                );
+                println!(
+                    "[fleet] {fabric}/{nodes}: sampled budget check clean, \
+                     {per_msg:.0} B/msg ({:.1}% of baseline)",
+                    per_msg / baseline_obs_per_msg * 100.0
+                );
+            }
+            rows.push(res.row);
             // Single-queue reference rows at the small counts give the
             // sharded-vs-reference wall-clock trajectory without paying
             // for a 1,024-node single-queue run every PR.
             if nodes <= 128 {
-                rows.push(run_ring(fabric, nodes, Some(1), msgs).row);
+                let res = run_ring(
+                    fabric,
+                    nodes,
+                    RunOpts {
+                        profile: true,
+                        ..RunOpts::plain(Some(1), msgs)
+                    },
+                );
+                if let Some(p) = &res.row.prof {
+                    std::fs::write(
+                        prof_out.join(format!("engine_{fabric}_{nodes}_single_queue.json")),
+                        p.to_json(),
+                    )
+                    .expect("write prof report");
+                }
+                rows.push(res.row);
             }
         }
     }
 
     println!(
-        "\nfabric   nodes mode          shards    events     msgs   wall_ms   events/s     msgs/s"
+        "\nfabric   nodes mode          shards    events     msgs   wall_ms   events/s     msgs/s  attr%  batch"
     );
     for r in &rows {
+        let (attr, blen) = r
+            .prof
+            .as_ref()
+            .map(|p| (p.attributed_pct(), p.mean_batch_len()))
+            .unwrap_or((0.0, 0.0));
         println!(
-            "{:<8} {:>5} {:<13} {:>5} {:>9} {:>8} {:>9.2} {:>10.0} {:>10.0}",
+            "{:<8} {:>5} {:<13} {:>5} {:>9} {:>8} {:>9.2} {:>10.0} {:>10.0} {:>6.1} {:>6.2}",
             r.fabric,
             r.nodes,
             r.mode,
@@ -235,7 +511,9 @@ fn main() {
             r.delivered_msgs,
             r.wall_ms,
             r.events_per_sec,
-            r.msgs_per_sec
+            r.msgs_per_sec,
+            attr,
+            blen,
         );
     }
 
@@ -244,5 +522,5 @@ fn main() {
     let path = dir.join("BENCH_engine.json");
     std::fs::write(&path, to_json(&rows, msgs)).expect("write BENCH_engine.json");
     println!("\n[bench] {} rows -> {}", rows.len(), path.display());
-    println!("\nbench_engine OK: deterministic across shard counts, sweep recorded");
+    println!("\nbench_engine OK: deterministic across shard counts, profiled sweep recorded");
 }

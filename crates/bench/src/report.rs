@@ -43,6 +43,62 @@ pub fn timeseries_dir() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("target/timeseries"))
 }
 
+/// Directory the harness binaries write engine self-profiler reports into.
+/// Overridable via `SUCA_PROF_DIR`; relative paths resolve against the
+/// working directory (the workspace root under `cargo run`).
+pub fn prof_dir() -> PathBuf {
+    std::env::var_os("SUCA_PROF_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/prof"))
+}
+
+/// Serialize `sim`'s engine self-profiler report as JSON to
+/// `<prof_dir>/<run>.json`.
+pub fn write_prof_json(sim: &Sim, run: &str) -> io::Result<PathBuf> {
+    let dir = prof_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{run}.json"));
+    std::fs::write(&path, sim.prof_report().to_json())?;
+    Ok(path)
+}
+
+/// Serialize `sim`'s telemetry snapshot folded through the cluster rollup
+/// (bounded output independent of node count) to
+/// `<timeseries_dir>/<run>.rollup.json`.
+pub fn write_timeseries_rollup_json(sim: &Sim, run: &str) -> io::Result<PathBuf> {
+    let dir = timeseries_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{run}.rollup.json"));
+    std::fs::write(&path, sim.timeseries().snapshot().rollup().to_json())?;
+    Ok(path)
+}
+
+/// Host metadata for cross-machine comparability of benchmark rows:
+/// `(os, arch, rustc_version, available_threads)`. `rustc -V` is probed
+/// once per process; "unknown" when unavailable.
+pub fn host_meta() -> (String, String, String, usize) {
+    let rustc = rustc_version();
+    let threads = std::thread::available_parallelism().map_or(0, |n| n.get());
+    (
+        std::env::consts::OS.to_string(),
+        std::env::consts::ARCH.to_string(),
+        rustc,
+        threads,
+    )
+}
+
+fn rustc_version() -> String {
+    let rustc = std::env::var_os("RUSTC").unwrap_or_else(|| "rustc".into());
+    std::process::Command::new(rustc)
+        .arg("-V")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// Serialize per-message trace events as Chrome/Perfetto JSON to
 /// `<traces_dir>/<run>.json` (loadable at <https://ui.perfetto.dev>).
 pub fn write_trace_json(events: &[suca_sim::TraceEvent], run: &str) -> io::Result<PathBuf> {

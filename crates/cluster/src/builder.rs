@@ -65,6 +65,17 @@ pub struct ClusterSpec {
     /// only scheduling throughput. The `SUCA_SIM_SINGLE_QUEUE` environment
     /// variable forces 1 shard regardless of this field (reference runs).
     pub engine_shards: Option<usize>,
+    /// Enable the engine self-profiler ([`Sim::set_profiling`]) for this
+    /// run. Off by default: profiled runs register extra `sim.prof.*`
+    /// telemetry probes, which unprofiled determinism comparisons must not
+    /// see.
+    pub profile: bool,
+    /// Deterministic trace sampling rate in parts-per-million, applied to
+    /// the per-message tracer at build time (`None` = record everything).
+    /// Sampling is by hash of the chain's `TraceId`, so every hop of an
+    /// admitted message is kept on every node and the sampled population is
+    /// identical for a fixed seed at any shard count.
+    pub trace_sample_ppm: Option<u32>,
 }
 
 impl ClusterSpec {
@@ -83,6 +94,8 @@ impl ClusterSpec {
             seed: 0xDA3000,
             telemetry: TelemetryConfig::default(),
             engine_shards: None,
+            profile: false,
+            trace_sample_ppm: None,
         }
     }
 
@@ -136,6 +149,22 @@ impl ClusterSpec {
         self
     }
 
+    /// Enable the engine self-profiler for this run (see
+    /// [`Sim::set_profiling`]).
+    pub fn with_profiling(mut self, on: bool) -> Self {
+        self.profile = on;
+        self
+    }
+
+    /// Sample the per-message tracer at `rate_ppm` parts-per-million
+    /// (deterministic by-`TraceId` hash; `1_000_000` records everything).
+    /// The flight recorder stays armed either way — `TraceId::NONE` events
+    /// always record.
+    pub fn with_trace_sampling(mut self, rate_ppm: u32) -> Self {
+        self.trace_sample_ppm = Some(rate_ppm);
+        self
+    }
+
     /// Build the cluster. Every layer (OS, kernel module, MCP, fabric, DMA
     /// engines, completion queues) registers its instruments in the run's
     /// shared [`suca_sim::Metrics`] registry, reachable afterwards via
@@ -147,6 +176,13 @@ impl ClusterSpec {
             self.engine_shards.unwrap_or(self.nodes.max(1) as usize)
         };
         let sim = Sim::new_with_shards(self.seed, shards);
+        if self.profile {
+            sim.set_profiling(true);
+        }
+        if let Some(ppm) = self.trace_sample_ppm {
+            sim.msg_trace()
+                .set_sampling(suca_sim::mtrace::SampleSpec::ratio_ppm(ppm).with_seed(self.seed));
+        }
         let metrics = sim.metrics();
         metrics.set_meta("nodes", self.nodes.to_string());
         metrics.set_meta(

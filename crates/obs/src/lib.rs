@@ -30,6 +30,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 pub mod critpath;
+pub mod prof;
 pub mod timeseries;
 pub mod trace;
 pub mod watchdog;
@@ -329,6 +330,42 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// An empty snapshot — the identity element for [`HistogramSnapshot::merge`].
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: vec![0; HIST_BUCKETS],
+        }
+    }
+
+    /// Fold `other` into `self`, bucket by bucket. The merge is **exact**:
+    /// because per-node histograms share the same fixed log2 bucket edges,
+    /// a hierarchical per-node → cluster rollup loses nothing — count,
+    /// sum, min, max, every bucket, and therefore every interpolated
+    /// quantile equal those of one histogram fed the whole population.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        self.min = if self.count == 0 {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (k, &b) in other.buckets.iter().enumerate() {
+            self.buckets[k] += b;
+        }
+    }
+
     /// Arithmetic mean (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -636,6 +673,47 @@ mod tests {
         // Out-of-range q is clamped, not extrapolated.
         assert_eq!(s.quantile(2.0), 1000.0);
         assert!(s.quantile(-1.0) >= s.min as f64);
+    }
+
+    #[test]
+    fn merged_histograms_equal_whole_population() {
+        // Satellite contract: a per-node → cluster rollup must be exact.
+        // Spread a deterministic sample stream over 8 "node" histograms,
+        // merge the snapshots, and compare against one histogram that saw
+        // every sample: every field — and so every quantile — is equal.
+        let m = Metrics::new();
+        let whole = m.histogram("whole");
+        let parts: Vec<Histogram> = (0..8).map(|n| m.histogram(&format!("node{n}"))).collect();
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for i in 0..10_000u64 {
+            // splitmix64 stream: values spanning many buckets.
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            let v = (z ^ (z >> 31)) >> (z % 50);
+            whole.record(v);
+            parts[(i % 8) as usize].record(v);
+        }
+        let mut merged = HistogramSnapshot::empty();
+        for p in &parts {
+            merged.merge(&p.snap());
+        }
+        let w = whole.snap();
+        assert_eq!(merged, w, "bucket-exact merge");
+        for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            assert_eq!(merged.quantile(q), w.quantile(q), "q = {q}");
+        }
+        assert_eq!(merged.mean(), w.mean());
+        // Identity + commutativity spot checks.
+        let mut id = HistogramSnapshot::empty();
+        id.merge(&w);
+        assert_eq!(id, w);
+        let mut rev = HistogramSnapshot::empty();
+        for p in parts.iter().rev() {
+            rev.merge(&p.snap());
+        }
+        assert_eq!(rev, merged);
     }
 
     #[test]

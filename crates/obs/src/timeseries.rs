@@ -322,6 +322,167 @@ impl TimeSeriesSnapshot {
     }
 }
 
+/// Collapse a probe name to its cluster-wide rollup group.
+///
+/// Per-node probes are named `n<node>.[p<port>.]<resource>` and per-link
+/// probes `link.<label>.<resource>`; at fleet scale (1,024 nodes, thousands
+/// of links) one series per probe is the artifact-size bottleneck. The
+/// rollup groups by *resource*:
+///
+/// * `n12.mcp.send_queue` → `mcp.send_queue`
+/// * `n3.p7000.rpc.inflight` → `rpc.inflight`
+/// * `link.sw0->n1.backlog_bytes` → `link.*.backlog_bytes`
+/// * anything else keeps its name (already cluster-wide).
+pub fn rollup_key(name: &str) -> String {
+    fn strip_indexed(s: &str, tag: char) -> Option<&str> {
+        let rest = s.strip_prefix(tag)?;
+        let dot = rest.find('.')?;
+        if dot > 0 && rest[..dot].bytes().all(|b| b.is_ascii_digit()) {
+            Some(&rest[dot + 1..])
+        } else {
+            None
+        }
+    }
+    if let Some(rest) = strip_indexed(name, 'n') {
+        let rest = strip_indexed(rest, 'p').unwrap_or(rest);
+        return rest.to_string();
+    }
+    if let Some(rest) = name.strip_prefix("link.") {
+        if let Some(dot) = rest.find('.') {
+            return format!("link.*.{}", &rest[dot + 1..]);
+        }
+    }
+    name.to_string()
+}
+
+/// One rollup group: every member probe's points folded per timestamp.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RollupSeries {
+    /// Group key from [`rollup_key`].
+    pub key: String,
+    /// Probes folded into this group.
+    pub members: u64,
+    /// Sum of the members' declared capacities (None when no member
+    /// declares one) — `sum` vs `capacity_sum` is the fleet-wide
+    /// utilization.
+    pub capacity_sum: Option<u64>,
+    /// Total ring evictions across members.
+    pub evicted: u64,
+    /// `(t_ns, probes_sampled, min, max, sum)` per tick, oldest first.
+    /// `probes_sampled` can be < `members` when a probe registered
+    /// mid-run or its ring evicted older points.
+    pub points: Vec<(u64, u64, u64, u64, u64)>,
+}
+
+/// Cluster-level timeseries rollup: output size is O(groups × ring length),
+/// independent of node count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RollupSnapshot {
+    /// Sampling ticks taken over the whole run.
+    pub samples_taken: u64,
+    /// Probes folded in.
+    pub probes: u64,
+    /// Groups sorted by key.
+    pub groups: Vec<RollupSeries>,
+}
+
+impl TimeSeriesSnapshot {
+    /// Fold every per-node/per-link series into cluster-wide groups (see
+    /// [`rollup_key`]). All probes are sampled at the same tick timestamps,
+    /// so the per-timestamp (min, max, sum) is an exact aggregate, not an
+    /// approximation.
+    pub fn rollup(&self) -> RollupSnapshot {
+        use std::collections::BTreeMap;
+        struct Acc {
+            members: u64,
+            capacity_sum: Option<u64>,
+            evicted: u64,
+            points: BTreeMap<u64, (u64, u64, u64, u64)>,
+        }
+        let mut groups: BTreeMap<String, Acc> = BTreeMap::new();
+        for s in &self.series {
+            let acc = groups.entry(rollup_key(&s.name)).or_insert_with(|| Acc {
+                members: 0,
+                capacity_sum: None,
+                evicted: 0,
+                points: BTreeMap::new(),
+            });
+            acc.members += 1;
+            if let Some(c) = s.capacity {
+                acc.capacity_sum = Some(acc.capacity_sum.unwrap_or(0).saturating_add(c));
+            }
+            acc.evicted += s.evicted;
+            for &(t, v) in &s.points {
+                let e = acc.points.entry(t).or_insert((0, u64::MAX, 0, 0));
+                e.0 += 1;
+                e.1 = e.1.min(v);
+                e.2 = e.2.max(v);
+                e.3 = e.3.saturating_add(v);
+            }
+        }
+        RollupSnapshot {
+            samples_taken: self.samples_taken,
+            probes: self.series.len() as u64,
+            groups: groups
+                .into_iter()
+                .map(|(key, a)| RollupSeries {
+                    key,
+                    members: a.members,
+                    capacity_sum: a.capacity_sum,
+                    evicted: a.evicted,
+                    points: a
+                        .points
+                        .into_iter()
+                        .map(|(t, (n, mn, mx, sum))| (t, n, mn, mx, sum))
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl RollupSnapshot {
+    /// Serialize as deterministic JSON (groups sorted by key, virtual
+    /// timestamps only): fixed seeds produce byte-identical output.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"schema\": \"suca.timeseries_rollup.v1\",\n  \"samples_taken\": {},\n  \
+             \"probes\": {},\n  \"groups\": [",
+            self.samples_taken, self.probes
+        );
+        for (i, g) in self.groups.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let cap = g
+                .capacity_sum
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "null".to_string());
+            let _ = write!(
+                out,
+                "    {{\"key\": \"{}\", \"members\": {}, \"capacity_sum\": {cap}, \
+                 \"evicted\": {}, \"points\": [",
+                json_escape(&g.key),
+                g.members,
+                g.evicted
+            );
+            for (j, (t, n, mn, mx, sum)) in g.points.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "[{t}, {n}, {mn}, {mx}, {sum}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str(if self.groups.is_empty() {
+            "]\n}\n"
+        } else {
+            "\n  ]\n}\n"
+        });
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,6 +590,87 @@ mod tests {
     fn empty_registry_serializes() {
         let j = TimeSeries::new().snapshot().to_json();
         assert!(j.contains("\"series\": []"));
+    }
+
+    #[test]
+    fn rollup_keys_strip_node_port_and_link_labels() {
+        assert_eq!(rollup_key("n12.mcp.send_queue"), "mcp.send_queue");
+        assert_eq!(rollup_key("n3.p7000.rpc.inflight"), "rpc.inflight");
+        assert_eq!(rollup_key("n0.nic.sram_used"), "nic.sram_used");
+        assert_eq!(
+            rollup_key("link.sw0->n1.backlog_bytes"),
+            "link.*.backlog_bytes"
+        );
+        assert_eq!(rollup_key("link.n5->sw2.busy"), "link.*.busy");
+        // Not an indexed prefix: left alone.
+        assert_eq!(rollup_key("nic.sram_used"), "nic.sram_used");
+        assert_eq!(rollup_key("sim.prof.batches"), "sim.prof.batches");
+        assert_eq!(rollup_key("nx.y"), "nx.y");
+    }
+
+    #[test]
+    fn rollup_aggregates_exactly_per_tick() {
+        let ts = TimeSeries::new();
+        for n in 0..8u32 {
+            ts.register(format!("n{n}.mcp.send_queue"), n, Some(64), move |_| {
+                u64::from(n) * 10
+            });
+        }
+        ts.register("link.sw0->n1.busy", FABRIC_NODE, None, |_| 1);
+        ts.register("link.sw0->n2.busy", FABRIC_NODE, None, |_| 3);
+        ts.sample_all(100);
+        ts.sample_all(200);
+        let roll = ts.snapshot().rollup();
+        assert_eq!(roll.probes, 10);
+        assert_eq!(roll.groups.len(), 2, "10 probes fold to 2 groups");
+        let q = roll
+            .groups
+            .iter()
+            .find(|g| g.key == "mcp.send_queue")
+            .unwrap();
+        assert_eq!(q.members, 8);
+        assert_eq!(q.capacity_sum, Some(8 * 64));
+        assert_eq!(q.points, vec![(100, 8, 0, 70, 280), (200, 8, 0, 70, 280)]);
+        let busy = roll.groups.iter().find(|g| g.key == "link.*.busy").unwrap();
+        assert_eq!(busy.members, 2);
+        assert_eq!(busy.capacity_sum, None);
+        assert_eq!(busy.points, vec![(100, 2, 1, 3, 4), (200, 2, 1, 3, 4)]);
+        // Output size is per-group, not per-probe: a 64-node registry rolls
+        // up to the same group count.
+        let big = TimeSeries::new();
+        for n in 0..64u32 {
+            big.register(format!("n{n}.mcp.send_queue"), n, Some(64), |_| 1);
+        }
+        big.sample_all(100);
+        let bigroll = big.snapshot().rollup();
+        assert_eq!(bigroll.groups.len(), 1);
+        assert_eq!(bigroll.groups[0].points.len(), 1);
+        // Deterministic, schema-tagged, balanced JSON.
+        let j1 = roll.to_json();
+        let j2 = ts.snapshot().rollup().to_json();
+        assert_eq!(j1, j2);
+        assert!(j1.contains("\"schema\": \"suca.timeseries_rollup.v1\""));
+        assert!(j1.contains("[100, 8, 0, 70, 280]"));
+        let depth = j1.chars().fold(0i32, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0, "balanced JSON");
+    }
+
+    #[test]
+    fn rollup_counts_partial_ticks_from_late_probes() {
+        let ts = TimeSeries::new();
+        ts.register("n0.q", 0, None, |_| 5);
+        ts.sample_all(10);
+        // A probe registered mid-run (e.g. an RPC client spawning late).
+        ts.register("n1.q", 1, None, |_| 7);
+        ts.sample_all(20);
+        let roll = ts.snapshot().rollup();
+        let q = roll.groups.iter().find(|g| g.key == "q").unwrap();
+        assert_eq!(q.members, 2);
+        assert_eq!(q.points, vec![(10, 1, 5, 5, 5), (20, 2, 5, 7, 12)]);
     }
 
     #[test]

@@ -35,7 +35,7 @@
 use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::{json_escape, Metrics};
@@ -344,6 +344,74 @@ impl TraceEvent {
     }
 }
 
+/// Deterministic hash-based trace sampling for fleet-scale runs.
+///
+/// At 1,024 nodes recording every message's full causal chain is the
+/// dominant observability cost (memory, serialization bytes, and ring
+/// churn). A `SampleSpec` admits a message iff a splitmix64 hash of its
+/// [`TraceId`] — *not* a random draw — falls below `rate_ppm`, so:
+///
+/// * sampling is **deterministic**: a fixed seed yields a byte-identical
+///   sampled trace set on every rerun and at every shard count;
+/// * a chain is sampled **consistently end to end**: every hop of an
+///   admitted message is recorded on every node it touches, so sampled
+///   chains stay *closed* and [`check_completeness`] budgets still hold
+///   over the sampled population;
+/// * unattributable events ([`TraceId::NONE`] — protocol errors, chaos
+///   injections) are always admitted, so the flight recorder keeps its
+///   most important cargo at any rate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SampleSpec {
+    /// Admitted fraction in parts per million (1,000,000 = record all).
+    pub rate_ppm: u32,
+    /// Folded into the hash: different seeds sample different (equally
+    /// sized) populations at the same rate.
+    pub seed: u64,
+}
+
+impl SampleSpec {
+    /// Record everything (the default).
+    pub const ALL: SampleSpec = SampleSpec {
+        rate_ppm: 1_000_000,
+        seed: 0,
+    };
+
+    /// Admit ~`rate_ppm` of a million messages (clamped to the full rate).
+    pub fn ratio_ppm(rate_ppm: u32) -> Self {
+        SampleSpec {
+            rate_ppm: rate_ppm.min(1_000_000),
+            seed: 0,
+        }
+    }
+
+    /// Replace the hash seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Is everything admitted?
+    pub fn is_all(&self) -> bool {
+        self.rate_ppm >= 1_000_000
+    }
+
+    /// Does this spec admit `trace`? Pure function of `(spec, trace)`.
+    pub fn admits(&self, trace: TraceId) -> bool {
+        if self.is_all() || trace.is_none() {
+            return true;
+        }
+        // splitmix64 of the message identity, seed-perturbed: cheap, well
+        // mixed, and stable across platforms.
+        let mut z = ((u64::from(trace.origin) << 32) | u64::from(trace.msg_id))
+            ^ self.seed
+            ^ 0x9E37_79B9_7F4A_7C15;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z % 1_000_000) < u64::from(self.rate_ppm)
+    }
+}
+
 #[derive(Default)]
 struct NodeRing {
     events: VecDeque<TraceEvent>,
@@ -355,6 +423,12 @@ struct TracerInner {
     enabled: AtomicBool,
     capacity: AtomicUsize,
     dumped: AtomicBool,
+    /// Sampling state, split into atomics so the record path never takes a
+    /// lock to consult it. `rate_ppm == 1_000_000` means record all.
+    sample_rate_ppm: AtomicU32,
+    sample_seed: AtomicU64,
+    /// Events rejected by the sampler (kept for rate accounting).
+    sampled_out: AtomicU64,
     rings: Mutex<Vec<NodeRing>>,
 }
 
@@ -390,6 +464,9 @@ impl MsgTracer {
                 enabled: AtomicBool::new(true),
                 capacity: AtomicUsize::new(capacity.max(1)),
                 dumped: AtomicBool::new(false),
+                sample_rate_ppm: AtomicU32::new(1_000_000),
+                sample_seed: AtomicU64::new(0),
+                sampled_out: AtomicU64::new(0),
                 rings: Mutex::new(Vec::new()),
             }),
         }
@@ -425,10 +502,47 @@ impl MsgTracer {
         }
     }
 
+    /// The active sampling spec ([`SampleSpec::ALL`] by default).
+    pub fn sampling(&self) -> SampleSpec {
+        SampleSpec {
+            rate_ppm: self.inner.sample_rate_ppm.load(Ordering::Relaxed),
+            seed: self.inner.sample_seed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Install a sampling spec. Events of unadmitted messages are dropped
+    /// at [`MsgTracer::record`] before touching any ring; unattributable
+    /// ([`TraceId::NONE`]) events always pass, so the flight recorder
+    /// stays armed for errors at any rate.
+    pub fn set_sampling(&self, spec: SampleSpec) {
+        self.inner
+            .sample_rate_ppm
+            .store(spec.rate_ppm.min(1_000_000), Ordering::Relaxed);
+        self.inner.sample_seed.store(spec.seed, Ordering::Relaxed);
+    }
+
+    /// Would an event for `trace` be recorded right now? Hot paths that
+    /// build expensive events can pre-check this instead of just
+    /// [`MsgTracer::enabled`].
+    #[inline]
+    pub fn should_record(&self, trace: TraceId) -> bool {
+        self.enabled() && self.sampling().admits(trace)
+    }
+
+    /// Events rejected by the sampler so far.
+    pub fn total_sampled_out(&self) -> u64 {
+        self.inner.sampled_out.load(Ordering::Relaxed)
+    }
+
     /// Record one event into its node's ring, evicting the oldest entry
-    /// when full. No-op while disabled.
+    /// when full. No-op while disabled; while a sampling spec is installed,
+    /// events of unadmitted messages are counted and dropped.
     pub fn record(&self, ev: TraceEvent) {
         if !self.enabled() {
+            return;
+        }
+        if !self.sampling().admits(ev.trace) {
+            self.inner.sampled_out.fetch_add(1, Ordering::Relaxed);
             return;
         }
         let capacity = self.capacity();
@@ -924,6 +1038,31 @@ pub fn check_completeness(events: &[TraceEvent], policy: &ChainPolicy) -> Comple
     report
 }
 
+/// [`check_completeness`] over a *sampled* trace population: asserts the
+/// per-chain crossing budgets for every chain the sampler admitted, and
+/// additionally that the trace set is exactly the sampled population — a
+/// chain whose [`TraceId`] the spec does not admit leaked past the sampler
+/// (or the set was recorded under a different spec), which would silently
+/// bias the budget statistics. With [`SampleSpec::ALL`] this is identical
+/// to [`check_completeness`].
+pub fn check_completeness_sampled(
+    events: &[TraceEvent],
+    policy: &ChainPolicy,
+    spec: SampleSpec,
+) -> CompletenessReport {
+    let mut report = check_completeness(events, policy);
+    for c in &report.chains {
+        if !spec.admits(c.trace) {
+            report.violations.push(format!(
+                "msg (origin {}, id {}): present in the trace set but not admitted by the \
+                 sampling spec (rate {} ppm, seed {:#x})",
+                c.trace.origin, c.trace.msg_id, spec.rate_ppm, spec.seed
+            ));
+        }
+    }
+    report
+}
+
 /// Histogram names fed by [`record_stage_histograms`].
 pub const STAGE_HISTOGRAMS: [&str; 5] = [
     "trace.trap_ns",
@@ -1050,6 +1189,86 @@ mod tests {
         ));
         assert!(tr.events().is_empty());
         assert_eq!(tr.total_recorded(), 0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_chain_consistent() {
+        let spec = SampleSpec::ratio_ppm(100_000).with_seed(7); // 10%
+                                                                // Pure function: the admitted set is identical on every evaluation
+                                                                // and does not depend on evaluation order.
+        let admitted: Vec<bool> = (0..4096)
+            .map(|m| spec.admits(TraceId::new(m % 64, m)))
+            .collect();
+        let again: Vec<bool> = (0..4096)
+            .map(|m| spec.admits(TraceId::new(m % 64, m)))
+            .collect();
+        assert_eq!(admitted, again);
+        let hits = admitted.iter().filter(|&&a| a).count();
+        // 10% of 4096 ≈ 410; a well-mixed hash lands in a loose window.
+        assert!((205..=820).contains(&hits), "admitted {hits} of 4096");
+        // A different seed samples a different population at a similar rate.
+        let other = SampleSpec::ratio_ppm(100_000).with_seed(8);
+        let other_set: Vec<bool> = (0..4096)
+            .map(|m| other.admits(TraceId::new(m % 64, m)))
+            .collect();
+        assert_ne!(admitted, other_set);
+        // NONE is always admitted; rate 100% admits everything.
+        assert!(spec.admits(TraceId::NONE));
+        assert!(SampleSpec::ALL.admits(TraceId::new(3, 9)));
+    }
+
+    #[test]
+    fn sampled_tracer_drops_unadmitted_chains_whole() {
+        let tr = MsgTracer::new();
+        let spec = SampleSpec::ratio_ppm(200_000).with_seed(42);
+        tr.set_sampling(spec);
+        assert_eq!(tr.sampling(), spec);
+        for m in 0..64u32 {
+            for ev in closed_chain(m) {
+                tr.record(ev);
+            }
+        }
+        let events = tr.events();
+        let chain_len = closed_chain(0).len() as u64;
+        // Every surviving event belongs to an admitted chain, and admitted
+        // chains survive *complete* — sampling never truncates a chain.
+        let mut per_chain: BTreeMap<TraceId, u64> = BTreeMap::new();
+        for ev in &events {
+            assert!(spec.admits(ev.trace), "unadmitted event survived");
+            *per_chain.entry(ev.trace).or_default() += 1;
+        }
+        for (t, n) in &per_chain {
+            assert_eq!(*n, chain_len, "chain {t:?} truncated");
+        }
+        let admitted = (0..64u32).filter(|&m| spec.admits(id(m))).count() as u64;
+        assert_eq!(per_chain.len() as u64, admitted);
+        assert_eq!(tr.total_recorded(), admitted * chain_len);
+        assert_eq!(tr.total_sampled_out(), (64 - admitted) * chain_len);
+        // NONE events bypass the sampler entirely (flight-recorder cargo).
+        tr.record(TraceEvent::instant(
+            TraceId::NONE,
+            0,
+            TraceLayer::Mcp,
+            stage::PROTO_ERROR,
+            5,
+        ));
+        assert_eq!(tr.total_recorded(), admitted * chain_len + 1);
+        // The sampled population passes the budget check as-is…
+        let report = check_completeness_sampled(&tr.events(), &ChainPolicy::bcl(), spec);
+        assert!(report.is_closed(), "{:?}", report.violations);
+        assert_eq!(report.chains.len() as u64, admitted);
+        // …and a chain outside the sampled population is flagged.
+        let leaked = (0..u32::MAX)
+            .find(|&m| !spec.admits(id(m)))
+            .expect("some chain unadmitted");
+        let mut evs = tr.events();
+        evs.extend(closed_chain(leaked));
+        let report = check_completeness_sampled(&evs, &ChainPolicy::bcl(), spec);
+        assert!(!report.is_closed());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("not admitted by the sampling spec")));
     }
 
     #[test]

@@ -15,15 +15,25 @@
 //! of every non-empty shard. The scheduler picks the globally smallest
 //! `(time, seq)` key from the index, then **batch-drains** the winning shard
 //! while its keys stay strictly below the *horizon* — the best key any other
-//! shard advertises. Cross-shard pushes below the horizon set a dirty flag
-//! that ends the batch. Because a freshly allocated `seq` is larger than
-//! every seq already in any queue, a cross-shard push *at* the horizon time
-//! can never sort before the horizon event, so the time-only dirty test is
-//! conservative and the dispatch order is exactly the strict global
-//! `(time, seq)` order of the single-queue engine. A fixed seed therefore
-//! yields byte-identical reports at any shard count; wormhole link latency
-//! (cross-node events land at least one propagation delay in the future)
-//! is what makes the batches long in practice.
+//! shard advertises. Cross-shard pushes below the horizon tighten a
+//! *pushed-min watermark*; the batch keeps draining while its next key stays
+//! strictly below the watermark and ends when it reaches it. Because a
+//! freshly allocated `seq` is larger than every seq already in any queue, a
+//! cross-shard push *at* the horizon time can never sort before the horizon
+//! event, so the time-only horizon test is conservative and the dispatch
+//! order is exactly the strict global `(time, seq)` order of the
+//! single-queue engine. A fixed seed therefore yields byte-identical reports
+//! at any shard count; wormhole link latency (cross-node events land at
+//! least one propagation delay in the future) is what makes the batches long
+//! in practice.
+//!
+//! Mid-batch pushes onto the *drained* shard skip the advertise/index-heap
+//! path entirely — the scheduler owns the shard (its `advertised` is `None`)
+//! and re-advertises the true minimum at batch end, so those index entries
+//! would only ever be popped as stale. The self-profiler
+//! ([`suca_obs::prof`], enabled via [`Sim::set_profiling`] or
+//! `SUCA_SIM_PROF`) counts batches, end causes, index churn, and per-kind
+//! dispatch cost; with the `prof` cargo feature off the hooks compile out.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
@@ -145,9 +155,15 @@ pub(crate) struct SimInner {
     /// placement for events scheduled without an explicit shard hint.
     current_shard: AtomicU32,
     /// Time component of the batch horizon (0 while no batch is active):
-    /// a cross-shard push strictly below this must end the batch.
+    /// a cross-shard push strictly below this must bound the batch.
     horizon_ns: AtomicU64,
-    batch_dirty: AtomicBool,
+    /// Smallest cross-shard push time seen below the active horizon
+    /// (`u64::MAX` = none). The batch keeps draining strictly below this
+    /// watermark. At the watermark time the drained shard may hold events
+    /// scheduled *after* the cross-shard push (larger seq — they must sort
+    /// after it), so only events strictly below the watermark are provably
+    /// still the global minimum.
+    batch_pushed_min_ns: AtomicU64,
     running: AtomicBool,
     seed: u64,
     /// Registered poller callbacks, indexed by `PollerId::idx`. Append-only.
@@ -164,6 +180,13 @@ pub(crate) struct SimInner {
     timeseries: suca_obs::timeseries::TimeSeries,
     /// Guard so `start_telemetry` arms exactly one sampler per run.
     pub(crate) telemetry_started: AtomicBool,
+    /// Engine self-profiler cells (see [`suca_obs::prof`]). Off by default;
+    /// hooks compile out without the `prof` cargo feature.
+    prof: suca_obs::prof::EngineProf,
+    /// Guard so `set_profiling` registers the `sim.prof.*` counter-track
+    /// probes exactly once (and never for unprofiled runs, whose timeseries
+    /// JSON must stay byte-identical across shard counts).
+    prof_probes: AtomicBool,
 }
 
 /// `SUCA_SIM_TRACE_DISPATCH` is read once per process, not once per event.
@@ -180,9 +203,29 @@ struct RunningGuard<'a>(&'a SimInner);
 
 impl Drop for RunningGuard<'_> {
     fn drop(&mut self) {
-        self.0.horizon_ns.store(0, Ordering::Relaxed);
-        self.0.current_shard.store(IDLE_SHARD, Ordering::Relaxed);
-        self.0.running.store(false, Ordering::Release);
+        let inner = self.0;
+        let sh = inner.current_shard.load(Ordering::Relaxed);
+        if sh != IDLE_SHARD {
+            // A panic unwound mid-batch while the scheduler owned this shard
+            // (`advertised == None`, mid-batch own-shard pushes skip the
+            // index). Re-advertise its minimum or its remaining events would
+            // be invisible to the next run.
+            let mut g = inner.shards[sh as usize].lock();
+            match g.queue.peek() {
+                Some(Reverse(top)) => {
+                    let key = (top.time, top.seq);
+                    if g.advertised != Some(key) {
+                        g.advertised = Some(key);
+                        inner.index.lock().push(Reverse((key.0, key.1, sh)));
+                    }
+                }
+                None => g.advertised = None,
+            }
+        }
+        inner.horizon_ns.store(0, Ordering::Relaxed);
+        inner.batch_pushed_min_ns.store(u64::MAX, Ordering::Relaxed);
+        inner.current_shard.store(IDLE_SHARD, Ordering::Relaxed);
+        inner.running.store(false, Ordering::Release);
     }
 }
 
@@ -210,7 +253,7 @@ impl Sim {
         let shards = shards.max(1);
         let metrics = suca_obs::Metrics::new();
         metrics.set_meta("seed", seed.to_string());
-        Sim {
+        let sim = Sim {
             inner: Arc::new(SimInner {
                 shards: (0..shards)
                     .map(|_| {
@@ -232,7 +275,7 @@ impl Sim {
                 pending: AtomicU64::new(0),
                 current_shard: AtomicU32::new(IDLE_SHARD),
                 horizon_ns: AtomicU64::new(0),
-                batch_dirty: AtomicBool::new(false),
+                batch_pushed_min_ns: AtomicU64::new(u64::MAX),
                 running: AtomicBool::new(false),
                 seed,
                 pollers: RwLock::new(Vec::new()),
@@ -240,8 +283,14 @@ impl Sim {
                 mtrace: suca_obs::trace::MsgTracer::new(),
                 timeseries: suca_obs::timeseries::TimeSeries::new(),
                 telemetry_started: AtomicBool::new(false),
+                prof: suca_obs::prof::EngineProf::new(shards),
+                prof_probes: AtomicBool::new(false),
             }),
+        };
+        if std::env::var_os("SUCA_SIM_PROF").is_some() {
+            sim.set_profiling(true);
         }
+        sim
     }
 
     /// Number of event-queue shards.
@@ -354,28 +403,48 @@ impl Sim {
 
     fn push_event(&self, shard_idx: u32, time: SimTime, action: EventAction) -> EventId {
         let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        // `current_shard` is written only by the scheduler thread, and while
+        // a batch on shard `cur` is active the only code that can push is the
+        // handler/actor the scheduler is blocked on — so `cur` cannot change
+        // under us mid-push.
+        let cur = self.inner.current_shard.load(Ordering::Relaxed);
+        let own_batch = shard_idx == cur;
         {
             let mut sh = self.inner.shards[shard_idx as usize].lock();
             sh.queue.push(Reverse(EventEntry { time, seq, action }));
             sh.live.insert(seq);
-            let key = (time, seq);
-            if sh.advertised.is_none_or(|a| key < a) {
-                sh.advertised = Some(key);
-                self.inner
-                    .index
-                    .lock()
-                    .push(Reverse((time, seq, shard_idx)));
+            // Mid-batch pushes onto the drained shard skip the index: the
+            // scheduler owns it (`advertised == None`) and re-advertises the
+            // true minimum at batch end, so an entry pushed here could only
+            // ever be popped as stale.
+            if !own_batch {
+                let key = (time, seq);
+                if sh.advertised.is_none_or(|a| key < a) {
+                    sh.advertised = Some(key);
+                    self.inner
+                        .index
+                        .lock()
+                        .push(Reverse((time, seq, shard_idx)));
+                    if cfg!(feature = "prof") && self.inner.prof.enabled() {
+                        self.inner.prof.index_push();
+                    }
+                }
             }
         }
         self.inner.pending.fetch_add(1, Ordering::Relaxed);
-        // A cross-shard push strictly below the active batch horizon would be
-        // missed by the batch-drain loop; flag it so the batch ends. A push
-        // *at* the horizon time is safe: this seq is fresher than the horizon
+        // A cross-shard push strictly below the active batch horizon bounds
+        // the drain window: tighten the pushed-min watermark. A push *at*
+        // the horizon time is safe: this seq is fresher than the horizon
         // event's, so it sorts after it.
-        if shard_idx != self.inner.current_shard.load(Ordering::Relaxed)
-            && time.as_ns() < self.inner.horizon_ns.load(Ordering::Relaxed)
-        {
-            self.inner.batch_dirty.store(true, Ordering::Release);
+        let mut dirty = false;
+        if !own_batch && time.as_ns() < self.inner.horizon_ns.load(Ordering::Relaxed) {
+            self.inner
+                .batch_pushed_min_ns
+                .fetch_min(time.as_ns(), Ordering::AcqRel);
+            dirty = true;
+        }
+        if cfg!(feature = "prof") && self.inner.prof.enabled() {
+            self.inner.prof.push(!own_batch && cur != IDLE_SHARD, dirty);
         }
         EventId {
             time,
@@ -453,26 +522,59 @@ impl Sim {
             "Sim::run called reentrantly"
         );
         let _guard = RunningGuard(&self.inner);
+        if cfg!(feature = "prof") && self.inner.prof.enabled() {
+            crate::alloc::set_counting(true);
+            let t0 = std::time::Instant::now();
+            let out = self.run_loop(limit, true);
+            self.inner.prof.add_run_ns(t0.elapsed().as_nanos() as u64);
+            crate::alloc::set_counting(false);
+            out
+        } else {
+            self.run_loop(limit, false)
+        }
+    }
+
+    /// The scheduler loop. `prof_on` is checked once per phase, not per
+    /// event; with the `prof` feature off, `run_inner` only ever passes
+    /// `false` so every profiling branch folds away.
+    fn run_loop(&self, limit: SimTime, prof_on: bool) -> RunOutcome {
+        use std::time::Instant;
+        use suca_obs::prof::BatchEnd;
+        let prof = &self.inner.prof;
+        let timer = |on: bool| if on { Some(Instant::now()) } else { None };
+        let el = |t0: Instant| t0.elapsed().as_nanos() as u64;
         loop {
             // Pick phase: find the shard advertising the globally smallest
             // key, skipping stale index entries.
+            let pick_t0 = timer(prof_on);
             let picked = loop {
                 let top = self.inner.index.lock().pop();
                 let Some(Reverse((t, s, sh))) = top else {
                     break None;
                 };
                 let fresh = self.inner.shards[sh as usize].lock().advertised == Some((t, s));
+                if prof_on {
+                    prof.pick_pop(!fresh);
+                    prof.lock_acq(2);
+                }
                 if !fresh {
                     continue; // the shard's minimum moved on; a fresher entry exists
                 }
                 if t > limit {
                     // Leave the entry (and `advertised`) intact for a later run.
                     self.inner.index.lock().push(Reverse((t, s, sh)));
+                    if prof_on {
+                        prof.index_push();
+                        prof.lock_acq(1);
+                    }
                     break None;
                 }
                 break Some(sh);
             };
             let Some(sh) = picked else {
+                if let Some(t0) = pick_t0 {
+                    prof.add_pick_ns(el(t0));
+                }
                 return self.finish(limit);
             };
             // Take ownership of the shard: from here until batch end, every
@@ -487,32 +589,67 @@ impl Sim {
                 let Some(Reverse((t, s, xsh))) = top else {
                     break None;
                 };
-                if xsh != sh && self.inner.shards[xsh as usize].lock().advertised == Some((t, s)) {
+                let fresh =
+                    xsh != sh && self.inner.shards[xsh as usize].lock().advertised == Some((t, s));
+                if prof_on {
+                    prof.horizon_pop(!fresh);
+                    prof.lock_acq(2);
+                }
+                if fresh {
                     self.inner.index.lock().push(Reverse((t, s, xsh)));
+                    if prof_on {
+                        prof.index_push();
+                        prof.lock_acq(1);
+                    }
                     break Some((t, s));
                 }
             };
             self.inner.current_shard.store(sh, Ordering::Relaxed);
+            self.inner
+                .batch_pushed_min_ns
+                .store(u64::MAX, Ordering::Relaxed);
             self.inner.horizon_ns.store(
                 horizon.map_or(u64::MAX, |(t, _)| t.as_ns()),
                 Ordering::Relaxed,
             );
-            self.inner.batch_dirty.store(false, Ordering::Relaxed);
+            if let Some(t0) = pick_t0 {
+                prof.add_pick_ns(el(t0));
+            }
 
             // Batch phase: drain this shard while it holds the global
             // minimum. The shard lock is released around each dispatch so
             // handlers can schedule freely.
+            let mut batch_len: u64 = 0;
+            let mut pm_seen = false;
+            let mut cause = BatchEnd::Empty;
             loop {
+                let pop_t0 = timer(prof_on);
                 let next = {
                     let mut g = self.inner.shards[sh as usize].lock();
                     loop {
                         let Some(Reverse(e)) = g.queue.peek() else {
+                            cause = BatchEnd::Empty;
                             break None;
                         };
-                        let within = e.time <= limit
-                            && horizon.is_none_or(|(ht, hs)| (e.time, e.seq) < (ht, hs));
-                        if !within {
+                        if e.time > limit {
+                            cause = BatchEnd::Limit;
                             break None;
+                        }
+                        if horizon.is_some_and(|(ht, hs)| (e.time, e.seq) >= (ht, hs)) {
+                            cause = BatchEnd::Horizon;
+                            break None;
+                        }
+                        // A cross-shard push below the horizon tightened the
+                        // watermark: keep draining strictly below it (those
+                        // events still precede the pushed one in global
+                        // order), end the batch at or above it.
+                        let pm = self.inner.batch_pushed_min_ns.load(Ordering::Acquire);
+                        if pm != u64::MAX {
+                            pm_seen = true;
+                            if e.time.as_ns() >= pm {
+                                cause = BatchEnd::Dirty;
+                                break None;
+                            }
                         }
                         let Reverse(e) = g.queue.pop().expect("peeked");
                         if !g.live.remove(&e.seq) {
@@ -521,6 +658,12 @@ impl Sim {
                         break Some(e);
                     }
                 };
+                if prof_on {
+                    prof.lock_acq(1);
+                    if let Some(t0) = pop_t0 {
+                        prof.add_pop_ns(el(t0));
+                    }
+                }
                 let Some(e) = next else { break };
                 self.inner.now_ns.store(e.time.as_ns(), Ordering::Relaxed);
                 self.inner.dispatched.fetch_add(1, Ordering::Relaxed);
@@ -533,27 +676,60 @@ impl Sim {
                     };
                     eprintln!("[dispatch] t={} seq={} {kind}", e.time, e.seq);
                 }
-                self.dispatch(e);
-                if self.inner.batch_dirty.load(Ordering::Acquire) {
-                    break; // another shard now holds a key below the horizon
+                batch_len += 1;
+                if prof_on {
+                    let kind = match &e.action {
+                        EventAction::Call(_) => suca_obs::prof::KIND_CALL,
+                        EventAction::Wake(..) => suca_obs::prof::KIND_WAKE,
+                        EventAction::Poll(_) => suca_obs::prof::KIND_POLL,
+                    };
+                    let (a0, b0) = crate::alloc::counts();
+                    let t0 = Instant::now();
+                    self.dispatch(e);
+                    let dt = el(t0);
+                    let (a1, b1) = crate::alloc::counts();
+                    prof.dispatch(kind, dt, a1.saturating_sub(a0), b1.saturating_sub(b0));
+                } else {
+                    self.dispatch(e);
                 }
             }
 
             // Batch end: stand down and re-advertise this shard's minimum.
+            let end_t0 = timer(prof_on);
             self.inner.horizon_ns.store(0, Ordering::Relaxed);
+            self.inner
+                .batch_pushed_min_ns
+                .store(u64::MAX, Ordering::Relaxed);
             self.inner
                 .current_shard
                 .store(IDLE_SHARD, Ordering::Relaxed);
-            let mut g = self.inner.shards[sh as usize].lock();
-            match g.queue.peek() {
-                Some(Reverse(top)) => {
-                    let key = (top.time, top.seq);
-                    if g.advertised != Some(key) {
-                        g.advertised = Some(key);
-                        self.inner.index.lock().push(Reverse((key.0, key.1, sh)));
+            {
+                let mut g = self.inner.shards[sh as usize].lock();
+                match g.queue.peek() {
+                    Some(Reverse(top)) => {
+                        let key = (top.time, top.seq);
+                        if g.advertised != Some(key) {
+                            g.advertised = Some(key);
+                            self.inner.index.lock().push(Reverse((key.0, key.1, sh)));
+                            if prof_on {
+                                prof.index_push();
+                            }
+                        }
                     }
+                    None => g.advertised = None,
                 }
-                None => g.advertised = None,
+            }
+            if prof_on {
+                prof.lock_acq(2);
+                if let Some(t0) = end_t0 {
+                    prof.add_batch_end_ns(el(t0));
+                }
+                prof.batch(
+                    sh as usize,
+                    batch_len,
+                    cause,
+                    pm_seen && cause != BatchEnd::Dirty,
+                );
             }
         }
     }
@@ -774,6 +950,65 @@ impl Sim {
     /// decide whether the sampler reschedules itself.
     pub fn pending_events(&self) -> usize {
         self.inner.pending.load(Ordering::Relaxed) as usize
+    }
+
+    /// Enable/disable the engine self-profiler (also enabled by setting
+    /// `SUCA_SIM_PROF` in the environment). While on, the scheduler counts
+    /// batches, end causes, index churn and per-kind dispatch cost, and
+    /// times its phases (see [`suca_obs::prof`]). The first enable also
+    /// registers `sim.prof.*` telemetry probes so profiled runs export
+    /// Perfetto counter tracks; unprofiled runs register nothing, keeping
+    /// their timeseries JSON byte-identical across shard counts.
+    pub fn set_profiling(&self, on: bool) {
+        self.inner.prof.set_enabled(on);
+        if on && !self.inner.prof_probes.swap(true, Ordering::Relaxed) {
+            let ts = &self.inner.timeseries;
+            let p = self.inner.prof.clone();
+            ts.register(
+                "sim.prof.events",
+                suca_obs::timeseries::FABRIC_NODE,
+                None,
+                move |_| p.events(),
+            );
+            let p = self.inner.prof.clone();
+            ts.register(
+                "sim.prof.batches",
+                suca_obs::timeseries::FABRIC_NODE,
+                None,
+                move |_| p.batches(),
+            );
+            let p = self.inner.prof.clone();
+            ts.register(
+                "sim.prof.index_pushes",
+                suca_obs::timeseries::FABRIC_NODE,
+                None,
+                move |_| p.index_pushes(),
+            );
+            let p = self.inner.prof.clone();
+            ts.register(
+                "sim.prof.cross_shard_pushes",
+                suca_obs::timeseries::FABRIC_NODE,
+                None,
+                move |_| p.cross_shard_pushes(),
+            );
+            let p = self.inner.prof.clone();
+            ts.register(
+                "sim.prof.stale_pops",
+                suca_obs::timeseries::FABRIC_NODE,
+                None,
+                move |_| p.stale_pops(),
+            );
+        }
+    }
+
+    /// Is the engine self-profiler on?
+    pub fn profiling(&self) -> bool {
+        self.inner.prof.enabled()
+    }
+
+    /// Point-in-time copy of the self-profiler's counters and timers.
+    pub fn prof_report(&self) -> suca_obs::prof::ProfReport {
+        self.inner.prof.report()
     }
 
     pub(crate) fn inner(&self) -> &SimInner {
@@ -1020,7 +1255,14 @@ mod tests {
 
     /// Run a messy cross-shard program and return its dispatch log.
     fn shard_torture(shards: usize) -> (Vec<(u64, u32)>, u64) {
+        shard_torture_prof(shards, false).0
+    }
+
+    /// Like [`shard_torture`] but optionally profiled; also returns the sim
+    /// so callers can inspect the profiler report.
+    fn shard_torture_prof(shards: usize, prof: bool) -> ((Vec<(u64, u32)>, u64), Sim) {
         let sim = Sim::new_with_shards(9, shards);
+        sim.set_profiling(prof);
         let log = Arc::new(Mutex::new(Vec::new()));
         // Chains on every shard that keep rescheduling onto other shards,
         // including zero-delay cross-shard hops and same-instant ties.
@@ -1052,7 +1294,8 @@ mod tests {
         }
         assert_eq!(sim.run(), RunOutcome::Completed);
         let l = Arc::try_unwrap(log).unwrap().into_inner();
-        (l, sim.events_dispatched())
+        let n = sim.events_dispatched();
+        ((l, n), sim)
     }
 
     #[test]
@@ -1155,5 +1398,120 @@ mod tests {
         assert_eq!(sim.pending_events(), 1);
         sim.run();
         assert_eq!(sim.pending_events(), 0);
+    }
+
+    #[test]
+    #[cfg(feature = "prof")]
+    fn profiled_run_keeps_order_and_balances_counters() {
+        let _arm = crate::alloc::TEST_ARM_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let ((plain, n_plain), _) = shard_torture_prof(8, false);
+        let ((profiled, n_prof), sim) = shard_torture_prof(8, true);
+        assert_eq!(plain, profiled, "profiling must not change dispatch order");
+        assert_eq!(n_plain, n_prof);
+        let r = sim.prof_report();
+        assert!(r.enabled);
+        assert_eq!(r.shards, 8);
+        assert_eq!(r.events(), n_prof, "every dispatch attributed to a kind");
+        assert_eq!(
+            r.per_shard_events.iter().sum::<u64>(),
+            n_prof,
+            "every dispatch attributed to a shard"
+        );
+        assert_eq!(
+            r.end_horizon + r.end_dirty + r.end_empty + r.end_limit,
+            r.batches,
+            "every batch has exactly one end cause"
+        );
+        assert_eq!(r.batch_len.sum, n_prof);
+        assert!(r.pushes >= n_prof, "every dispatched event was pushed");
+        assert!(r.pick_pops >= r.batches, "each batch needs a pick");
+        // The deterministic counter section is byte-stable across reruns.
+        let ((_, _), again) = shard_torture_prof(8, true);
+        assert_eq!(
+            r.counters_json(),
+            again.prof_report().counters_json(),
+            "profiler counters must follow the (deterministic) schedule"
+        );
+        // Wall clock: phases were actually timed and attribution is sane.
+        assert!(r.run_ns > 0);
+        assert!(r.attributed_ns() <= r.run_ns * 2, "timer nesting broken?");
+    }
+
+    #[test]
+    fn disabled_profiler_counts_nothing() {
+        let ((_, n), sim) = shard_torture_prof(4, false);
+        assert!(n > 0);
+        let r = sim.prof_report();
+        assert!(!r.enabled);
+        assert_eq!(r.batches, 0);
+        assert_eq!(r.events(), 0);
+        assert_eq!(r.pushes, 0);
+        assert_eq!(r.run_ns, 0);
+    }
+
+    #[test]
+    fn panic_mid_batch_re_advertises_the_owned_shard() {
+        // Regression for the mid-batch ownership hole: the scheduler takes a
+        // shard (`advertised = None`) and own-shard pushes skip the index,
+        // so a panic unwinding mid-batch must re-advertise the shard's
+        // remaining minimum or those events stay invisible forever.
+        let sim = Sim::new_with_shards(1, 4);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = hits.clone();
+        sim.schedule_in_on(1, SimDuration::from_us(1), |s| {
+            // Mid-batch own-shard push (skips the index), then panic.
+            s.schedule_in(SimDuration::from_us(1), |_| {
+                panic!("should be cancelled-free")
+            });
+            panic!("injected");
+        });
+        sim.schedule_in_on(1, SimDuration::from_us(5), move |_| {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.run()));
+        assert!(r.is_err(), "panic must propagate");
+        // Cancel the re-scheduled panic bomb, then the survivor must fire.
+        // (Its EventId is unknown here; drain it by letting it panic again.)
+        let r2 = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.run()));
+        assert!(r2.is_err(), "own-shard push must also be re-advertised");
+        assert_eq!(sim.run(), RunOutcome::Completed, "shard must stay visible");
+        assert_eq!(hits.load(Ordering::Relaxed), 1, "survivor event must fire");
+    }
+
+    #[test]
+    fn cross_shard_push_at_watermark_ends_batch_conservatively() {
+        // A handler pushes cross-shard at time T and then own-shard at the
+        // same T: the own-shard event carries the larger seq and must
+        // dispatch *after* the cross-shard one. The watermark drain must not
+        // keep draining at T.
+        let run = |shards: usize| {
+            let sim = Sim::new_with_shards(2, shards);
+            let log = Arc::new(Mutex::new(Vec::new()));
+            for node in 0..4u32 {
+                let log = log.clone();
+                sim.schedule_in_on(node, SimDuration::from_ns(10), move |s| {
+                    let peer = (node + 1) % 4;
+                    let l1 = log.clone();
+                    // Cross-shard push at now+5…
+                    s.schedule_in_on(peer, SimDuration::from_ns(5), move |s| {
+                        l1.lock().push((s.now().as_ns(), peer, "x"));
+                    });
+                    // …then own-shard at the same instant (larger seq).
+                    let l2 = log.clone();
+                    s.schedule_in(SimDuration::from_ns(5), move |s| {
+                        l2.lock().push((s.now().as_ns(), node, "o"));
+                    });
+                });
+            }
+            assert_eq!(sim.run(), RunOutcome::Completed);
+            let l = log.lock().clone();
+            l
+        };
+        let single = run(1);
+        for shards in [2, 4] {
+            assert_eq!(single, run(shards), "order diverged at {shards} shards");
+        }
     }
 }

@@ -32,6 +32,8 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
+
 mod actor;
 mod engine;
 mod rng;
@@ -59,7 +61,7 @@ pub use suca_obs::{Counter, Gauge, Histogram, Metrics, MetricsSnapshot};
 // allocation-free track names.
 pub use suca_obs::intern;
 pub use suca_obs::trace as mtrace;
-pub use suca_obs::trace::{MsgTracer, TraceEvent, TraceId, TraceLayer, TracePhase};
+pub use suca_obs::trace::{MsgTracer, SampleSpec, TraceEvent, TraceId, TraceLayer, TracePhase};
 
 // Continuous telemetry (probe rings), per-message critical-path analysis,
 // and the stall watchdog (see the matching suca-obs modules).
@@ -67,3 +69,8 @@ pub use suca_obs::critpath;
 pub use suca_obs::timeseries;
 pub use suca_obs::timeseries::{TimeSeries, TimeSeriesSnapshot, FABRIC_NODE};
 pub use suca_obs::watchdog::{Watchdog, WatchdogConfig};
+
+// Engine self-profiler (see `suca_obs::prof`): the scheduler bumps these
+// counters/timers when profiling is on ([`Sim::set_profiling`]).
+pub use suca_obs::prof;
+pub use suca_obs::prof::{EngineProf, ProfReport};
