@@ -30,13 +30,61 @@ use suca_load::{
 };
 use suca_mesh::MeshConfig;
 use suca_rpc::{RpcClient, RpcClientConfig, RpcServer, RpcServerConfig};
-use suca_sim::{ActorCtx, RunOutcome, SimDuration, SimTime, TelemetryConfig, WatchdogConfig};
+use suca_sim::{
+    ActorCtx, DetectionSpec, HealthRule, RunOutcome, SimDuration, SimTime, TelemetryConfig,
+    WatchdogConfig,
+};
 
 const SEED: u64 = 0xC4A05;
 const NODES: u32 = 32;
 const N_SERVERS: u32 = 8;
 const USERS_PER_CLIENT: u32 = 8;
 const OPS_PER_USER: u32 = 4;
+
+/// Sampler tick for this harness (coarser than the default: a 25 ms
+/// dual-rail storm run at 10 µs would be all sampling).
+const TICK: SimDuration = SimDuration::from_us(100);
+
+/// How long the sampler must keep ticking so every storm alert has quiet
+/// time to resolve (rate windows + clear streaks) after the last client
+/// finishes (~8 ms).
+const KEEPALIVE_NS: u64 = 25_000_000;
+
+/// One rate rule per fault symptom counter: a single increment inside a
+/// 10-tick (1 ms) window is a breach, firing on the first breached tick so
+/// detection latency is dominated by the symptom reaching a counter, not
+/// by alert damping. 20 healthy ticks (2 ms) after the window drains the
+/// last increment, the alert resolves.
+fn health_rules() -> Vec<HealthRule> {
+    let sym =
+        |name: &str, counter: &str| HealthRule::rate(name, counter, 10, 1).with_lifecycle(1, 20);
+    vec![
+        sym("link.down", "link.down_drops"),
+        sym("switch.dead_port", "switch.dead_port_drop"),
+        sym("mcp.nic_reset", "mcp.nic_resets"),
+        sym("mcp.node_down", "mcp.node_down_drops"),
+        sym("mcp.path_death", "mcp.path_deaths"),
+        sym("mcp.protocol_error", "mcp.protocol_errors"),
+    ]
+}
+
+/// The measurement contract for the storm: each injected fault kind must
+/// be detected by *its* symptom rule within 1.5 ms of injection. Times
+/// mirror [`storm`].
+fn storm_detections() -> Vec<DetectionSpec> {
+    let spec = |kind: &str, injected_ns: u64, rule: &str| DetectionSpec {
+        kind: kind.into(),
+        injected_ns,
+        rules: vec![rule.into()],
+        bound_ns: 1_500_000,
+    };
+    vec![
+        spec("link_flap", 1_000_000, "link.down"),
+        spec("switch_port_death", 1_500_000, "switch.dead_port"),
+        spec("nic_reset", 2_000_000, "mcp.nic_reset"),
+        spec("node_crash", 2_500_000, "mcp.node_down"),
+    ]
+}
 
 /// 32 nodes, Myrinet rail 0 + mesh rail 1, path-death detection armed, and
 /// the stall watchdog running with a budget far above recovery latency so
@@ -45,8 +93,9 @@ fn dual_rail_spec() -> ClusterSpec {
     let mut spec = ClusterSpec::dawning3000(NODES)
         .with_seed(SEED)
         .with_second_san(SanKind::Mesh(MeshConfig::dawning3000()))
+        .with_health(health_rules())
         .with_telemetry(TelemetryConfig {
-            sample_period: SimDuration::from_us(100),
+            sample_period: TICK,
             watchdog: WatchdogConfig {
                 chain_budget_ns: 5_000_000, // 5 ms >> path-death + resync
                 ..WatchdogConfig::default()
@@ -61,9 +110,12 @@ fn interleave_servers(nodes: u32, n_servers: u32) -> Vec<u32> {
     (0..n_servers).map(|s| s * nodes / n_servers).collect()
 }
 
-/// The scripted storm, all on rail 0 and all aimed at client nodes (the
-/// shards stay up; what is under test is the *path* recovery machinery).
-/// Every fault kind from the taxonomy appears at least once.
+/// The scripted storm. The rail faults aim at client nodes (what is under
+/// test there is the *path* recovery machinery); the node crash aims at a
+/// shard, because a crashed node is only detectable through traffic it
+/// fails to absorb — an idle client dies silently, a shard the whole
+/// cluster keeps talking to shows up as counted `mcp.node_down_drops`
+/// within microseconds. Every fault kind from the taxonomy appears once.
 fn storm() -> ChaosPlan {
     let mut plan = ChaosPlan::new();
     // t=1 ms: node 5's rail-0 cable flaps for 2 ms.
@@ -87,11 +139,14 @@ fn storm() -> ChaosPlan {
     );
     // t=2 ms: node 13's NIC resets, wiping its MCP SRAM.
     plan.push(SimTime::from_ns(2_000_000), Fault::NicReset { node: 13 });
-    // t=2.5 ms: node 21 crashes whole, restarting 1 ms later.
+    // t=2.5 ms: shard node 20 crashes whole, restarting 1 ms later.
+    // Recovery must ride the full chain: peers exhaust retransmissions,
+    // declare the path dead, fail over to rail 1 (also dead — the *node*
+    // is down), and resync epochs once the restart brings it back.
     plan.push(
         SimTime::from_ns(2_500_000),
         Fault::NodeCrash {
-            node: 21,
+            node: 20,
             down_for: SimDuration::from_ms(1),
         },
     );
@@ -105,6 +160,11 @@ fn run_kv(plan: Option<&ChaosPlan>) -> (Cluster, LoadStats) {
     let server_nodes = interleave_servers(NODES, N_SERVERS);
     let cluster = spec.build();
     let sim = cluster.sim.clone();
+    // The sampler stops once the event queue drains, so park a no-op far
+    // enough out that every alert the storm raises has quiet ticks to
+    // resolve. Scheduled in both variants so clean and storm runs see the
+    // same tick count.
+    sim.schedule_at(SimTime::from_ns(KEEPALIVE_NS), |_| {});
     if let Some(plan) = plan {
         ChaosController::install(&cluster, plan);
     }
@@ -212,6 +272,17 @@ fn main() {
         0,
         "chaos_clean: no fault may be injected in the baseline"
     );
+    assert!(
+        clean_cluster.sim.health().is_silent(),
+        "chaos_clean: health engine fired with no faults injected: {:?}",
+        clean_cluster.sim.health().alerts()
+    );
+    clean_cluster
+        .sim
+        .health()
+        .report("chaos_slo", "chaos_clean", SEED, &[])
+        .write_named("chaos_slo_clean")
+        .expect("write clean health report");
     write_slo_to_chaos_dir(&clean, "slo_chaos_clean");
     emit_metrics(&clean_cluster.sim, "chaos_slo_clean");
 
@@ -245,7 +316,35 @@ fn main() {
     );
     assert_eq!(report.node_restarts, 1, "the crashed node must restart");
 
-    // Determinism: the same seed reproduces both reports byte-for-byte.
+    // Detection contract: every injected fault kind must be picked up by
+    // its symptom rule within the bound, and every alert the storm raised
+    // must resolve once recovery completes.
+    let health =
+        storm_cluster
+            .sim
+            .health()
+            .report("chaos_slo", "chaos_storm", SEED, &storm_detections());
+    assert!(
+        !health.is_silent(),
+        "chaos_storm: the storm must raise alerts"
+    );
+    let missed: Vec<&str> = health
+        .undetected()
+        .iter()
+        .map(|d| d.kind.as_str())
+        .collect();
+    assert!(
+        missed.is_empty(),
+        "chaos_storm: fault kinds not detected within bound: {missed:?}"
+    );
+    assert_eq!(
+        health.unresolved(),
+        0,
+        "chaos_storm: alerts still firing after recovery: {:?}",
+        storm_cluster.sim.health().alerts()
+    );
+
+    // Determinism: the same seed reproduces all three reports byte-for-byte.
     let (rerun_cluster, rerun_stats) = run_kv(Some(&plan));
     let slo_rerun = gather_slo(&rerun_cluster, &rerun_stats, "chaos_storm");
     let report_rerun = ChaosReport::gather(&rerun_cluster.sim, "chaos_storm", SEED);
@@ -259,11 +358,24 @@ fn main() {
         report_rerun.to_json(),
         "chaos_storm: chaos report not deterministic at fixed seed"
     );
+    let health_rerun =
+        rerun_cluster
+            .sim
+            .health()
+            .report("chaos_slo", "chaos_storm", SEED, &storm_detections());
+    assert_eq!(
+        health.to_json(),
+        health_rerun.to_json(),
+        "chaos_storm: health report not deterministic at fixed seed"
+    );
 
     write_slo_to_chaos_dir(&slo, "slo_chaos_storm");
     report
         .write_named("chaos_storm")
         .expect("write chaos report");
+    health
+        .write_named("chaos_slo_storm")
+        .expect("write storm health report");
     emit_metrics(&storm_cluster.sim, "chaos_slo_storm");
 
     println!("variant      issued completed  shed t/out dead_dest  goodput/s");
@@ -304,5 +416,31 @@ fn main() {
         "recovery latency: p50 {:.1} us  p99 {:.1} us  max {:.1} us",
         report.recovery_p50_us, report.recovery_p99_us, report.recovery_max_us
     );
-    println!("\nchaos_slo OK: accounted under storm, watchdog silent, reports deterministic");
+    println!(
+        "\nfault detection (health engine, {} alerts fired):",
+        health.alerts.len()
+    );
+    println!("kind               detected-by           detect    clear");
+    for d in &health.detections {
+        let by = d
+            .detected_by
+            .as_ref()
+            .map(|(r, _)| r.as_str())
+            .unwrap_or("-");
+        let fmt = |ns: Option<u64>| match ns {
+            Some(ns) => format!("{:.1} us", ns as f64 / 1_000.0),
+            None => "-".into(),
+        };
+        println!(
+            "{:<18} {:<20} {:>8} {:>8}",
+            d.kind,
+            by,
+            fmt(d.detect_ns()),
+            fmt(d.clear_ns())
+        );
+    }
+    println!(
+        "\nchaos_slo OK: accounted under storm, watchdog silent, all fault kinds detected \
+         within bound, all alerts resolved, reports deterministic"
+    );
 }

@@ -33,9 +33,32 @@ use suca_load::{
 use suca_mesh::MeshConfig;
 use suca_myrinet::{FaultPlan, MyrinetConfig};
 use suca_rpc::{RpcClient, RpcClientConfig, RpcServer, RpcServerConfig};
-use suca_sim::{ActorCtx, RunOutcome, SimDuration};
+use suca_sim::{ActorCtx, HealthRule, RunOutcome, SimDuration};
 
 const SEED: u64 = 0x51_0BEE;
+
+/// Standing health rule set for every rpc_slo variant. Thresholds are set
+/// so the *clean* runs stay alert-silent (asserted) while overload trips
+/// the error burn rate through its counted sheds. Windows are in sampler
+/// ticks (10 µs default): 50/200 ticks = 0.5 ms short / 2 ms long.
+fn health_rules() -> Vec<HealthRule> {
+    vec![
+        // >10% of completions failing (1% budget x factor 10) across both
+        // windows, sustained for 2 ticks.
+        HealthRule::burn_rate("rpc.err_burn", None, 10_000, 10, 50, 200, 10),
+        // Any class p99 above 2 ms in both windows — an order of magnitude
+        // over the clean service tail, under the overload timeout.
+        HealthRule::latency_p99("rpc.p99_slow", None, 2_000_000, 50, 200, 10),
+        // Capacity saturation with hysteresis: fire at 90% of declared
+        // capacity, clear below 50%, 5 consecutive pegged ticks to fire.
+        HealthRule::saturation("mcp.send_queue_full", "mcp.send_queue", 900_000, 500_000)
+            .with_lifecycle(5, 20),
+        HealthRule::saturation("nic.sram_full", "nic.sram_used", 900_000, 500_000)
+            .with_lifecycle(5, 20),
+        HealthRule::saturation("kmod.pinned_full", "kmod.pinned_bytes", 900_000, 500_000)
+            .with_lifecycle(5, 20),
+    ]
+}
 
 fn spec_for(fabric: &str, nodes: u32, drop_prob: f64) -> ClusterSpec {
     let fault = FaultPlan {
@@ -58,6 +81,7 @@ fn spec_for(fabric: &str, nodes: u32, drop_prob: f64) -> ClusterSpec {
     ClusterSpec::dawning3000(nodes)
         .with_san(san)
         .with_seed(SEED)
+        .with_health(health_rules())
 }
 
 /// Spread `n_servers` shard nodes evenly across `[0, nodes)`. Both SAN
@@ -186,6 +210,11 @@ fn run_clean(fabric: &str) -> (Cluster, SloReport) {
     );
     assert_eq!(report.watchdog_stalls, 0, "clean/{fabric}: watchdog fired");
     assert_eq!(stats.bad_payloads, 0, "clean/{fabric}: payload corruption");
+    assert!(
+        cluster.sim.health().is_silent(),
+        "clean/{fabric}: health engine fired on a healthy run: {:?}",
+        cluster.sim.health().alerts()
+    );
     (cluster, report)
 }
 
@@ -252,6 +281,16 @@ fn run_overload(fabric: &str) -> (Cluster, SloReport) {
     assert_eq!(
         report.watchdog_stalls, 0,
         "overload/{fabric}: overload must degrade, not stall"
+    );
+    assert!(
+        cluster
+            .sim
+            .health()
+            .alerts()
+            .iter()
+            .any(|a| a.rule == "rpc.err_burn"),
+        "overload/{fabric}: sustained shedding must trip the error burn rate: {:?}",
+        cluster.sim.health().alerts()
     );
     (cluster, report)
 }
@@ -321,10 +360,18 @@ fn main() {
     for fabric in ["myrinet", "mesh"] {
         let (clean_cluster, clean) = run_clean(fabric);
         clean.write().expect("write clean report");
+        let clean_health =
+            clean_cluster
+                .sim
+                .health()
+                .report("rpc_slo", &format!("clean_{fabric}"), SEED, &[]);
+        clean_health
+            .write_named(&format!("rpc_slo_clean_{fabric}"))
+            .expect("write clean health report");
         if fabric == "myrinet" {
-            // Determinism: the same seed must reproduce the report
+            // Determinism: the same seed must reproduce both reports
             // byte-for-byte.
-            let (_, rerun) = run_clean(fabric);
+            let (rerun_cluster, rerun) = run_clean(fabric);
             rerun
                 .write_named("clean_myrinet_rerun")
                 .expect("write rerun report");
@@ -332,6 +379,16 @@ fn main() {
                 clean.to_json(),
                 rerun.to_json(),
                 "clean/myrinet: SLO report not deterministic at fixed seed"
+            );
+            let rerun_health =
+                rerun_cluster
+                    .sim
+                    .health()
+                    .report("rpc_slo", "clean_myrinet", SEED, &[]);
+            assert_eq!(
+                clean_health.to_json(),
+                rerun_health.to_json(),
+                "clean/myrinet: health report not deterministic at fixed seed"
             );
             write_timeseries_json(&clean_cluster.sim, "rpc_slo_clean_myrinet")
                 .expect("write timeseries");
@@ -341,6 +398,12 @@ fn main() {
 
         let (over_cluster, over) = run_overload(fabric);
         over.write().expect("write overload report");
+        over_cluster
+            .sim
+            .health()
+            .report("rpc_slo", &format!("overload_{fabric}"), SEED, &[])
+            .write_named(&format!("rpc_slo_overload_{fabric}"))
+            .expect("write overload health report");
         if fabric == "myrinet" {
             write_trace_json_with_counters(
                 &over_cluster.trace_events(),
@@ -384,6 +447,7 @@ fn main() {
         }
     }
     println!(
-        "\nrpc_slo OK: all variants accounted, deterministic, shedding bounded, watchdog silent"
+        "\nrpc_slo OK: all variants accounted, deterministic, shedding bounded, watchdog \
+         silent, clean runs alert-silent, overload tripped the burn rate"
     );
 }

@@ -6,7 +6,7 @@ use suca_bcl::BclConfig;
 use suca_mesh::{Mesh, MeshConfig};
 use suca_myrinet::{Fabric, Myrinet, MyrinetConfig};
 use suca_os::{NodeId, OsCostModel, OsPersonality};
-use suca_sim::{ActorCtx, ActorId, Sim, TelemetryConfig};
+use suca_sim::{ActorCtx, ActorId, HealthRule, Sim, TelemetryConfig};
 
 use crate::node::{ClusterNode, ProcessEnv};
 
@@ -76,6 +76,10 @@ pub struct ClusterSpec {
     /// admitted message is kept on every node and the sampled population is
     /// identical for a fixed seed at any shard count.
     pub trace_sample_ppm: Option<u32>,
+    /// Health rule set ([`Sim::install_health`]). `None` (the default)
+    /// leaves the health engine unarmed and registers nothing, keeping
+    /// unmonitored harnesses' snapshots byte-identical.
+    pub health: Option<Vec<HealthRule>>,
 }
 
 impl ClusterSpec {
@@ -96,6 +100,7 @@ impl ClusterSpec {
             engine_shards: None,
             profile: false,
             trace_sample_ppm: None,
+            health: None,
         }
     }
 
@@ -165,6 +170,14 @@ impl ClusterSpec {
         self
     }
 
+    /// Install a health rule set for this run (see [`suca_sim::health`]).
+    /// The engine arms at build time, before any traffic, so its SLO
+    /// windows cover the whole run.
+    pub fn with_health(mut self, rules: Vec<HealthRule>) -> Self {
+        self.health = Some(rules);
+        self
+    }
+
     /// Build the cluster. Every layer (OS, kernel module, MCP, fabric, DMA
     /// engines, completion queues) registers its instruments in the run's
     /// shared [`suca_sim::Metrics`] registry, reachable afterwards via
@@ -218,8 +231,12 @@ impl ClusterSpec {
                 )
             })
             .collect();
-        // Every layer has registered its probes by now; arm the sampler and
-        // the stall watchdog.
+        // Every layer has registered its probes by now; arm health (so
+        // saturation rules see every probe) and then the sampler + stall
+        // watchdog that drive it.
+        if let Some(rules) = &self.health {
+            sim.install_health(rules.clone());
+        }
         sim.start_telemetry(self.telemetry.clone());
         Cluster {
             sim,

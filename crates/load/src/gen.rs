@@ -7,7 +7,7 @@
 
 use suca_bcl::{BclError, ProcAddr};
 use suca_rpc::{RpcClient, RpcCompletion, RpcStatus};
-use suca_sim::{ActorCtx, Histogram, Metrics, SimDuration, SimRng, SimTime};
+use suca_sim::{ActorCtx, HealthEngine, Histogram, Metrics, SimDuration, SimRng, SimTime};
 
 use crate::kv::{enc_get, enc_put, enc_scan, value_for, OP_GET, OP_PUT, OP_SCAN};
 
@@ -182,6 +182,7 @@ fn absorb(
     stats: &mut LoadStats,
     hists: &LatencyHists,
     shards: &mut ShardMap,
+    health: &HealthEngine,
     mut on_done: impl FnMut(u64, SimTime),
 ) {
     for c in comps {
@@ -191,6 +192,10 @@ fn absorb(
                 hists.record(c.op_class, c.latency.as_ns());
                 if !payload_ok(&c) {
                     stats.bad_payloads += 1;
+                    // The RPC layer observed this op as Ok; the verifier
+                    // knows better. Error-only observation so burn-rate
+                    // rules see corruption too.
+                    health.observe_error(c.op_class);
                 }
             }
             RpcStatus::Shed => stats.shed += 1,
@@ -250,6 +255,8 @@ pub fn run_closed_loop(
         done: u32,
         waiting: bool,
     }
+    let sim = ctx.sim().clone();
+    let c_bad_tokens = sim.metrics().counter("rpc.cli_bad_tokens");
     let start = ctx.now();
     let mut users: Vec<User> = (0..cfg.users)
         .map(|_| User {
@@ -305,11 +312,17 @@ pub fn run_closed_loop(
             &mut stats,
             hists,
             &mut shards,
+            sim.health(),
             |tok, at| {
-                let u = &mut users[tok as usize];
+                // A token outside the user table is a corrupted completion:
+                // count it, never index past the table.
+                let Some(u) = users.get_mut(tok as usize) else {
+                    c_bad_tokens.inc();
+                    return;
+                };
                 u.waiting = false;
                 u.done += 1;
-                remaining -= 1;
+                remaining = remaining.saturating_sub(1);
                 u.ready_at = at + think(rng, cfg.think_min, cfg.think_max);
             },
         );
@@ -342,11 +355,15 @@ pub fn run_closed_loop(
                 &mut stats,
                 hists,
                 &mut shards,
+                sim.health(),
                 |tok, at| {
-                    let u = &mut users[tok as usize];
+                    let Some(u) = users.get_mut(tok as usize) else {
+                        c_bad_tokens.inc();
+                        return;
+                    };
                     u.waiting = false;
                     u.done += 1;
-                    remaining -= 1;
+                    remaining = remaining.saturating_sub(1);
                     u.ready_at = at + think(rng, cfg.think_min, cfg.think_max);
                 },
             );
@@ -389,7 +406,8 @@ pub fn run_open_loop(
     hists: &LatencyHists,
 ) -> LoadStats {
     assert!(!servers.is_empty(), "open loop needs servers");
-    let c_client_shed = ctx.sim().metrics().counter("rpc.cli_client_shed");
+    let sim = ctx.sim().clone();
+    let c_client_shed = sim.metrics().counter("rpc.cli_client_shed");
     let start = ctx.now();
     let stop = start + cfg.duration;
     let mut next_arrival = start + exp_gap(rng, cfg.mean_interarrival);
@@ -426,16 +444,40 @@ pub fn run_open_loop(
             // expire deadlines here so responses are not discovered only
             // after the arrival window closes.
             let comps = client.advance(ctx);
-            absorb(ctx.now(), comps, &mut stats, hists, &mut shards, |_, _| {});
+            absorb(
+                ctx.now(),
+                comps,
+                &mut stats,
+                hists,
+                &mut shards,
+                sim.health(),
+                |_, _| {},
+            );
             continue;
         }
         let wait = next_arrival.since(now).min(stop.since(now));
         let comps = client.pump(ctx, wait);
-        absorb(ctx.now(), comps, &mut stats, hists, &mut shards, |_, _| {});
+        absorb(
+            ctx.now(),
+            comps,
+            &mut stats,
+            hists,
+            &mut shards,
+            sim.health(),
+            |_, _| {},
+        );
     }
     while client.in_flight() > 0 {
         let comps = client.pump(ctx, SimDuration::from_us(500));
-        absorb(ctx.now(), comps, &mut stats, hists, &mut shards, |_, _| {});
+        absorb(
+            ctx.now(),
+            comps,
+            &mut stats,
+            hists,
+            &mut shards,
+            sim.health(),
+            |_, _| {},
+        );
     }
     client.quiesce(ctx, cfg.mean_interarrival * 4);
     stats

@@ -130,9 +130,12 @@ impl KvService {
 
     /// Execute one request. Malformed requests get an empty response (the
     /// client treats a wrong-length payload as a failed verification, not
-    /// a protocol error — the RPC layer already counted the frame good).
+    /// a protocol error — the RPC layer already counted the frame good),
+    /// but are *counted* (`kv.malformed` / `kv.bad_op`) so a health rule
+    /// can watch servers receiving garbage.
     pub fn handle(&mut self, ctx: &mut ActorCtx, op: u8, req: &[u8]) -> Vec<u8> {
         if req.len() < 8 {
+            ctx.sim().metrics().add("kv.malformed", 1);
             return Vec::new();
         }
         let key = u64::from_le_bytes([
@@ -155,7 +158,10 @@ impl KvService {
                 ctx.sleep(self.costs.scan);
                 scan_for(key)
             }
-            _ => Vec::new(),
+            _ => {
+                ctx.sim().metrics().add("kv.bad_op", 1);
+                Vec::new()
+            }
         }
     }
 }

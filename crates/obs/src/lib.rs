@@ -30,6 +30,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 pub mod critpath;
+pub mod health;
 pub mod prof;
 pub mod timeseries;
 pub mod trace;
@@ -378,12 +379,16 @@ impl HistogramSnapshot {
     /// Estimated quantile `q` in `[0, 1]`, interpolated linearly inside
     /// the containing log2 bucket (bucket `k` spans `[2^(k-1), 2^k)`) and
     /// clamped to the observed `[min, max]` so single-valued histograms
-    /// report exact quantiles. Returns 0 when empty.
+    /// report exact quantiles. Total: returns 0 when empty, treats a NaN
+    /// `q` as 1, clamps infinities, and never yields NaN — required by the
+    /// health rules, which evaluate freshly-rotated (possibly empty)
+    /// windows every tick.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
-        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let q = if q.is_nan() { 1.0 } else { q.clamp(0.0, 1.0) };
+        let rank = q * self.count as f64;
         let mut cum = 0.0;
         for (k, &c) in self.buckets.iter().enumerate() {
             if c == 0 {
@@ -653,6 +658,28 @@ mod tests {
         let s = z.snap();
         assert_eq!(s.p50(), 0.0);
         assert_eq!(s.p99(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_total_over_degenerate_q() {
+        // The health rules evaluate quantiles of freshly-rotated windows on
+        // every tick; a degenerate q must never produce NaN or a panic.
+        let m = Metrics::new();
+        let empty = m.histogram("empty").snap();
+        for q in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -3.0, 7.0] {
+            assert!(empty.quantile(q).is_finite());
+            assert_eq!(empty.quantile(q), 0.0, "empty window stays 0");
+        }
+        let h = m.histogram("lat");
+        h.record(100);
+        h.record(900);
+        let s = h.snap();
+        assert_eq!(s.quantile(f64::NAN), s.quantile(1.0), "NaN q reads as 1");
+        assert_eq!(s.quantile(f64::INFINITY), 900.0);
+        assert_eq!(s.quantile(f64::NEG_INFINITY), 100.0);
+        assert_eq!(s.quantile(-3.0), 100.0);
+        assert_eq!(s.quantile(7.0), 900.0);
+        assert!(!s.quantile(f64::NAN).is_nan());
     }
 
     #[test]

@@ -173,6 +173,20 @@ impl TimeSeries {
         }
     }
 
+    /// Visit every probe's most recent sample without copying any ring:
+    /// `f(name, node, capacity, latest_value)`, in registration order,
+    /// skipping probes not yet sampled. The health engine's saturation
+    /// rules read levels through this on every tick — [`Self::snapshot`]
+    /// would clone the full history each time.
+    pub fn for_each_latest(&self, mut f: impl FnMut(&str, u32, Option<u64>, u64)) {
+        let inner = self.inner.lock().expect("timeseries poisoned");
+        for p in &inner.probes {
+            if let Some(&(_, v)) = p.ring.back() {
+                f(&p.name, p.node, p.capacity, v);
+            }
+        }
+    }
+
     /// Probes that have now been at/above their declared capacity for at
     /// least `min_samples` consecutive samples and were not yet reported.
     /// Each probe is returned once per continuous pegged episode (the flag

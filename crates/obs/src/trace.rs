@@ -91,6 +91,10 @@ pub enum TraceLayer {
     /// join the chain of the *request* message, so one trace id stitches
     /// the application-level call to every packet it caused.
     Rpc,
+    /// Online health engine (`suca-obs::health`): alert-lifecycle instants.
+    /// Cluster-scoped alerts render under the synthetic fabric process,
+    /// per-node scopes under their node.
+    Health,
 }
 
 impl TraceLayer {
@@ -103,6 +107,7 @@ impl TraceLayer {
             TraceLayer::Wire => "wire",
             TraceLayer::Dma => "dma",
             TraceLayer::Rpc => "rpc",
+            TraceLayer::Health => "health",
         }
     }
 
@@ -115,6 +120,7 @@ impl TraceLayer {
             TraceLayer::Wire => 3,
             TraceLayer::Dma => 4,
             TraceLayer::Rpc => 5,
+            TraceLayer::Health => 6,
         }
     }
 }
@@ -257,6 +263,14 @@ pub mod stage {
     /// Epoch-resync handshake completed; the stream is live on the new
     /// epoch (instant).
     pub const EPOCH_RESYNC: &str = "mcp:epoch_resync";
+    /// Health rule entered pending: first breaching tick of a scope
+    /// (instant, [`super::TraceId::NONE`]; the full name is
+    /// `health:pending:<rule>`).
+    pub const HEALTH_PENDING: &str = "health:pending";
+    /// Health alert fired after `for_ticks` breaching ticks (instant).
+    pub const HEALTH_FIRING: &str = "health:firing";
+    /// Health alert resolved after `clear_ticks` healthy ticks (instant).
+    pub const HEALTH_RESOLVED: &str = "health:resolved";
 }
 
 /// One trace record.
@@ -429,7 +443,9 @@ struct TracerInner {
     sample_seed: AtomicU64,
     /// Events rejected by the sampler (kept for rate accounting).
     sampled_out: AtomicU64,
-    rings: Mutex<Vec<NodeRing>>,
+    /// Per-node rings, keyed by node id so sparse / sentinel ids (the
+    /// fabric pseudo-node is `u32::MAX`) cost one map entry, not an index.
+    rings: Mutex<BTreeMap<u32, NodeRing>>,
 }
 
 /// Default ring capacity per node. Sized so a small debugging run keeps its
@@ -467,7 +483,7 @@ impl MsgTracer {
                 sample_rate_ppm: AtomicU32::new(1_000_000),
                 sample_seed: AtomicU64::new(0),
                 sampled_out: AtomicU64::new(0),
-                rings: Mutex::new(Vec::new()),
+                rings: Mutex::new(BTreeMap::new()),
             }),
         }
     }
@@ -494,7 +510,7 @@ impl MsgTracer {
         let capacity = capacity.max(1);
         self.inner.capacity.store(capacity, Ordering::Relaxed);
         let mut rings = self.inner.rings.lock().expect("tracer poisoned");
-        for ring in rings.iter_mut() {
+        for ring in rings.values_mut() {
             while ring.events.len() > capacity {
                 ring.events.pop_front();
                 ring.evicted += 1;
@@ -546,12 +562,8 @@ impl MsgTracer {
             return;
         }
         let capacity = self.capacity();
-        let idx = ev.node as usize;
         let mut rings = self.inner.rings.lock().expect("tracer poisoned");
-        if rings.len() <= idx {
-            rings.resize_with(idx + 1, NodeRing::default);
-        }
-        let ring = &mut rings[idx];
+        let ring = rings.entry(ev.node).or_default();
         ring.recorded += 1;
         if ring.events.len() >= capacity {
             ring.events.pop_front();
@@ -564,7 +576,7 @@ impl MsgTracer {
     pub fn events(&self) -> Vec<TraceEvent> {
         let rings = self.inner.rings.lock().expect("tracer poisoned");
         let mut all: Vec<TraceEvent> = rings
-            .iter()
+            .values()
             .flat_map(|r| r.events.iter().cloned())
             .collect();
         all.sort_by_key(|e| (e.start_ns, e.end_ns, e.node));
@@ -576,7 +588,7 @@ impl MsgTracer {
         let mut all: Vec<TraceEvent> = {
             let mut rings = self.inner.rings.lock().expect("tracer poisoned");
             rings
-                .iter_mut()
+                .values_mut()
                 .flat_map(|r| std::mem::take(&mut r.events))
                 .collect()
         };
@@ -587,7 +599,7 @@ impl MsgTracer {
     /// Drop all buffered events (counts are kept).
     pub fn clear(&self) {
         let mut rings = self.inner.rings.lock().expect("tracer poisoned");
-        for ring in rings.iter_mut() {
+        for ring in rings.values_mut() {
             ring.events.clear();
         }
     }
@@ -595,13 +607,13 @@ impl MsgTracer {
     /// Total events ever recorded (including since-evicted ones).
     pub fn total_recorded(&self) -> u64 {
         let rings = self.inner.rings.lock().expect("tracer poisoned");
-        rings.iter().map(|r| r.recorded).sum()
+        rings.values().map(|r| r.recorded).sum()
     }
 
     /// Events evicted from full rings.
     pub fn total_evicted(&self) -> u64 {
         let rings = self.inner.rings.lock().expect("tracer poisoned");
-        rings.iter().map(|r| r.evicted).sum()
+        rings.values().map(|r| r.evicted).sum()
     }
 
     /// Has [`MsgTracer::dump_once`] fired?
@@ -614,13 +626,18 @@ impl MsgTracer {
     pub fn dump(&self, max_per_node: usize) -> String {
         let rings = self.inner.rings.lock().expect("tracer poisoned");
         let mut out = String::new();
-        for (node, ring) in rings.iter().enumerate() {
+        for (&node, ring) in rings.iter() {
             if ring.recorded == 0 {
                 continue;
             }
+            let who = if node == crate::timeseries::FABRIC_NODE {
+                "fabric".to_string()
+            } else {
+                format!("node {node}")
+            };
             let _ = writeln!(
                 out,
-                "node {node}: {} events recorded, {} evicted, showing last {}",
+                "{who}: {} events recorded, {} evicted, showing last {}",
                 ring.recorded,
                 ring.evicted,
                 ring.events.len().min(max_per_node)
@@ -714,12 +731,27 @@ pub fn to_chrome_json_with_counters(
 
     // Metadata: name each node's process and each layer's thread so the
     // Perfetto track list reads "node 0 / library", "node 0 / kernel", …
+    // Events on the fabric pseudo-node (cluster-scoped health alerts, …)
+    // render under the same synthetic process as fabric-wide counters.
+    let event_pid = |node: u32| {
+        if node == crate::timeseries::FABRIC_NODE {
+            FABRIC_PID
+        } else {
+            node
+        }
+    };
     let mut tracks: BTreeSet<(u32, TraceLayer)> = BTreeSet::new();
+    let mut fabric_counters = false;
     for ev in events {
-        tracks.insert((ev.node, ev.layer));
+        if ev.node == crate::timeseries::FABRIC_NODE {
+            fabric_counters = true;
+            tracks.insert((FABRIC_PID, ev.layer));
+        } else {
+            tracks.insert((ev.node, ev.layer));
+        }
     }
     let mut nodes: BTreeSet<u32> = tracks.iter().map(|(n, _)| *n).collect();
-    let mut fabric_counters = false;
+    nodes.remove(&FABRIC_PID);
     for s in &counters.series {
         if s.node == crate::timeseries::FABRIC_NODE {
             fabric_counters = true;
@@ -777,7 +809,7 @@ pub fn to_chrome_json_with_counters(
         let common = format!(
             "\"name\": \"{}\", \"pid\": {}, \"tid\": {}, \"ts\": {:.3}",
             json_escape(&ev.stage),
-            ev.node,
+            event_pid(ev.node),
             ev.layer.index(),
             ev.start_ns as f64 / 1000.0
         );

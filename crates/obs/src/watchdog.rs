@@ -59,6 +59,34 @@ struct WatchState {
     telemetry_dumped: bool,
 }
 
+/// One detected stall, reported by [`Watchdog::check`]. The telemetry
+/// driver forwards these to the health engine, where they surface as
+/// immediately-firing `watchdog.*` alerts; the `watchdog.stalls` counter
+/// and the stderr/flight-recorder response are unchanged.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stall {
+    /// A traced message chain recorded a send but no terminal stage and has
+    /// been silent past the budget.
+    Chain {
+        /// Origin node of the stuck message.
+        origin: u32,
+        /// Message id within the origin.
+        msg_id: u32,
+        /// Sim-time since the chain's newest event.
+        age_ns: u64,
+    },
+    /// A capacity probe sat at/above its declared capacity for the
+    /// configured number of consecutive samples.
+    Pegged {
+        /// Probe name (e.g. `n3.nic.sram_used`).
+        probe: String,
+        /// Declared capacity.
+        capacity: u64,
+        /// Consecutive samples at/above capacity.
+        streak: u32,
+    },
+}
+
 /// The stall detector. One per simulation, driven by the telemetry tick.
 pub struct Watchdog {
     cfg: WatchdogConfig,
@@ -91,10 +119,10 @@ impl Watchdog {
         self.stalls.get()
     }
 
-    /// Run both stall checks at virtual time `now_ns`. Returns the number
-    /// of *new* stalls (each distinct chain/probe is counted once).
-    pub fn check(&self, now_ns: u64, tracer: &MsgTracer, series: &TimeSeries) -> u32 {
-        let mut new_stalls = 0u32;
+    /// Run both stall checks at virtual time `now_ns`. Returns the *new*
+    /// stalls (each distinct chain/probe is reported once).
+    pub fn check(&self, now_ns: u64, tracer: &MsgTracer, series: &TimeSeries) -> Vec<Stall> {
+        let mut new_stalls = Vec::new();
 
         // Signal 1: open chains over budget. A chain whose SEND survives in
         // the bounded ring is by construction recent enough to judge; once
@@ -130,7 +158,11 @@ impl Watchdog {
             };
             if fresh {
                 self.stalls.inc();
-                new_stalls += 1;
+                new_stalls.push(Stall::Chain {
+                    origin: trace.origin,
+                    msg_id: trace.msg_id,
+                    age_ns: age,
+                });
                 self.trip(
                     &format!(
                         "watchdog: chain (origin {}, msg {}) open for {age} ns \
@@ -147,7 +179,6 @@ impl Watchdog {
         // probe once per continuous episode.
         for (name, cap, streak) in series.newly_pegged(self.cfg.pegged_samples) {
             self.stalls.inc();
-            new_stalls += 1;
             self.trip(
                 &format!(
                     "watchdog: probe {name} pegged at capacity {cap} for \
@@ -156,6 +187,11 @@ impl Watchdog {
                 tracer,
                 series,
             );
+            new_stalls.push(Stall::Pegged {
+                probe: name,
+                capacity: cap,
+                streak,
+            });
         }
         new_stalls
     }
@@ -220,9 +256,24 @@ mod tests {
             &m,
         );
         open_chain(&tracer, 2, 0);
-        assert_eq!(wd.check(500, &tracer, &ts), 0, "within budget");
-        assert_eq!(wd.check(5_000, &tracer, &ts), 1, "over budget");
-        assert_eq!(wd.check(9_000, &tracer, &ts), 0, "same chain not recounted");
+        assert!(wd.check(500, &tracer, &ts).is_empty(), "within budget");
+        let stalls = wd.check(5_000, &tracer, &ts);
+        assert_eq!(stalls.len(), 1, "over budget");
+        assert!(
+            matches!(
+                stalls[0],
+                Stall::Chain {
+                    origin: 0,
+                    msg_id: 2,
+                    ..
+                }
+            ),
+            "stall identifies the chain: {stalls:?}"
+        );
+        assert!(
+            wd.check(9_000, &tracer, &ts).is_empty(),
+            "same chain not recounted"
+        );
         assert_eq!(wd.stalls(), 1);
         assert_eq!(m.get("watchdog.stalls"), 1);
         assert!(tracer.has_dumped(), "flight recorder tripped");
@@ -249,7 +300,7 @@ mod tests {
             stage::POLL_RECV,
             400,
         ));
-        assert_eq!(wd.check(1_000_000, &tracer, &ts), 0);
+        assert!(wd.check(1_000_000, &tracer, &ts).is_empty());
         assert_eq!(wd.stalls(), 0);
         assert!(!tracer.has_dumped());
     }
@@ -271,10 +322,15 @@ mod tests {
         for t in 0..3u64 {
             ts.sample_all(t * 10);
         }
-        assert_eq!(wd.check(30, &tracer, &ts), 1);
+        let stalls = wd.check(30, &tracer, &ts);
+        assert_eq!(stalls.len(), 1);
+        assert!(
+            matches!(&stalls[0], Stall::Pegged { probe, capacity: 8, .. } if probe == "n0.sram"),
+            "stall identifies the probe: {stalls:?}"
+        );
         assert_eq!(wd.stalls(), 1);
         // Still pegged — but the episode was already reported.
         ts.sample_all(40);
-        assert_eq!(wd.check(50, &tracer, &ts), 0);
+        assert!(wd.check(50, &tracer, &ts).is_empty());
     }
 }

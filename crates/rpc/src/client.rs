@@ -117,6 +117,7 @@ pub struct RpcClient {
     c_late: Counter,
     c_bad_frames: Counter,
     c_dead_dest: Counter,
+    c_no_slot: Counter,
     g_inflight: Gauge,
 }
 
@@ -154,6 +155,7 @@ impl RpcClient {
             c_late: m.counter("rpc.cli_late_responses"),
             c_bad_frames: m.counter("rpc.cli_bad_frames"),
             c_dead_dest: m.counter("rpc.cli_dead_dest"),
+            c_no_slot: m.counter("rpc.cli_no_slot"),
             g_inflight: m.gauge("rpc.cli_inflight"),
             port,
             cfg,
@@ -189,10 +191,13 @@ impl RpcClient {
         payload: &[u8],
         token: u64,
     ) -> Result<u32, BclError> {
-        let slot = self
-            .free_slots
-            .pop()
-            .expect("no free arena slot — check can_issue() first");
+        // An exhausted arena is a caller bug (`can_issue` not checked), but
+        // on a health-monitored run it must surface as a counted, reported
+        // error — not a panic that kills the monitor with the patient.
+        let Some(slot) = self.free_slots.pop() else {
+            self.c_no_slot.inc();
+            return Err(BclError::RingFull);
+        };
         let req_id = self.next_req_id;
         self.next_req_id = self.next_req_id.wrapping_add(1);
         let frame = RpcFrame {
@@ -356,7 +361,10 @@ impl RpcClient {
             }
             RpcKind::Shed => {
                 self.c_shed_replies.inc();
-                let p = self.pending.get_mut(&frame.req_id).expect("checked");
+                let Some(p) = self.pending.get_mut(&frame.req_id) else {
+                    self.c_late.inc();
+                    return;
+                };
                 if p.attempts >= self.cfg.max_attempts {
                     self.complete(ctx, frame.req_id, RpcStatus::Shed, Vec::new(), out);
                 } else {
@@ -378,7 +386,11 @@ impl RpcClient {
             .collect();
         for req_id in due {
             let (retry, dst, wire) = {
-                let p = &self.pending[&req_id];
+                // A completion between collection and this pass can remove
+                // the entry; skipping is correct, panicking is not.
+                let Some(p) = self.pending.get(&req_id) else {
+                    continue;
+                };
                 let timed_out = p.backoff_until.is_none();
                 if timed_out && p.attempts >= self.cfg.max_attempts {
                     (false, p.dst, Vec::new())
@@ -433,6 +445,13 @@ impl RpcClient {
             RpcStatus::DeadDestination => self.c_dead_dest.inc(),
         }
         let now = ctx.now();
+        // Feed the online SLO windows (no-op unless health is armed).
+        ctx.sim().health().observe_rpc(
+            p.op_class,
+            status == RpcStatus::Ok,
+            now.since(p.issued).as_ns(),
+            payload.len() as u64,
+        );
         if let Some(msg) = p.first_msg {
             let sim = ctx.sim();
             if sim.msg_trace().enabled() {

@@ -187,6 +187,11 @@ pub(crate) struct SimInner {
     /// probes exactly once (and never for unprofiled runs, whose timeseries
     /// JSON must stay byte-identical across shard counts).
     prof_probes: AtomicBool,
+    /// Online health engine (see [`suca_obs::health`]). Created unarmed —
+    /// it registers its `health.*` instruments only when a harness installs
+    /// rules via [`Sim::install_health`], keeping unmonitored runs'
+    /// snapshots byte-identical.
+    health: suca_obs::health::HealthEngine,
 }
 
 /// `SUCA_SIM_TRACE_DISPATCH` is read once per process, not once per event.
@@ -285,6 +290,7 @@ impl Sim {
                 telemetry_started: AtomicBool::new(false),
                 prof: suca_obs::prof::EngineProf::new(shards),
                 prof_probes: AtomicBool::new(false),
+                health: suca_obs::health::HealthEngine::new(),
             }),
         };
         if std::env::var_os("SUCA_SIM_PROF").is_some() {
@@ -950,6 +956,20 @@ impl Sim {
     /// decide whether the sampler reschedules itself.
     pub fn pending_events(&self) -> usize {
         self.inner.pending.load(Ordering::Relaxed) as usize
+    }
+
+    /// The online health engine. Unarmed (every hook a no-op) until a
+    /// harness calls [`Sim::install_health`]; completion hooks
+    /// (`suca-rpc`/`suca-load`) and the telemetry tick feed it.
+    pub fn health(&self) -> &suca_obs::health::HealthEngine {
+        &self.inner.health
+    }
+
+    /// Install a health rule set, arming the engine and registering its
+    /// `health.*` instruments. Call once per run, before traffic starts
+    /// (the cluster builder does this when a spec carries rules).
+    pub fn install_health(&self, rules: Vec<suca_obs::health::HealthRule>) {
+        self.inner.health.install(rules, &self.inner.metrics);
     }
 
     /// Enable/disable the engine self-profiler (also enabled by setting

@@ -68,7 +68,15 @@ pub use suca_obs::trace::{MsgTracer, SampleSpec, TraceEvent, TraceId, TraceLayer
 pub use suca_obs::critpath;
 pub use suca_obs::timeseries;
 pub use suca_obs::timeseries::{TimeSeries, TimeSeriesSnapshot, FABRIC_NODE};
-pub use suca_obs::watchdog::{Watchdog, WatchdogConfig};
+pub use suca_obs::watchdog::{Stall, Watchdog, WatchdogConfig};
+
+// Online health engine (see `suca_obs::health`): streaming SLO windows,
+// burn-rate/saturation/rate rules, and the alert lifecycle driven from the
+// telemetry tick ([`Sim::install_health`] / [`Sim::health`]).
+pub use suca_obs::health;
+pub use suca_obs::health::{
+    AlertRecord, AlertReport, DetectionSpec, HealthEngine, HealthRule, RuleKind,
+};
 
 // Engine self-profiler (see `suca_obs::prof`): the scheduler bumps these
 // counters/timers when profiling is on ([`Sim::set_profiling`]).

@@ -52,11 +52,18 @@ impl Driver {
     fn tick(self: Arc<Self>, sim: &Sim) {
         let now_ns = sim.now().as_ns();
         sim.timeseries().sample_all(now_ns);
+        // Health evaluation rides the same tick, after sampling so
+        // saturation rules see this tick's probe levels. No-op unless the
+        // harness installed rules.
+        sim.health()
+            .on_tick(now_ns, sim.timeseries(), sim.msg_trace());
         let tick = self.ticks.fetch_add(1, Ordering::Relaxed) + 1;
         let every = self.cfg.watchdog.check_every.max(1) as u64;
         if tick.is_multiple_of(every) {
-            self.watchdog
+            let stalls = self
+                .watchdog
                 .check(now_ns, sim.msg_trace(), sim.timeseries());
+            sim.health().note_stalls(now_ns, &stalls, sim.msg_trace());
         }
         // The tick popped itself off the queue before running, so an empty
         // queue here means nothing else will ever happen: stop.
