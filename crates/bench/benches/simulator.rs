@@ -111,6 +111,7 @@ fn bench_wire_codec() {
         offset: 4096,
         total_len: 65536,
         frag_len: 4064,
+        epoch: 0,
     };
     let payload = vec![0xABu8; 4064];
     let encoded: Bytes = header.encode(&payload);

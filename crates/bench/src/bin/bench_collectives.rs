@@ -1,0 +1,362 @@
+//! NIC-offloaded collectives vs host reference baselines.
+//!
+//! Latency (and bandwidth, for payload-carrying ops) of barrier, sized
+//! broadcast and allreduce at 64 → 1,024 nodes on both SANs, each cell
+//! run twice: `offloaded` (the MCP plan interpreter, algorithm picked by
+//! the fabric-aware registry) and `host` (the point-to-point reference
+//! algorithms, `offload_collectives = false`). One rank per node; every
+//! rank times `REPS` repetitions after one warmup and rank 0's clock
+//! makes the row.
+//!
+//! In-binary acceptance, before the report is written:
+//!
+//! * **Determinism** — the 64-node offloaded cells are byte-identical
+//!   (latencies and metrics snapshot) across engine shard counts
+//!   (single-queue reference, one shard per node, an odd count 3).
+//! * **Crossing budget** — at 64 and 256 nodes every traced chain of the
+//!   offloaded cells closes under `ChainPolicy::collective()`: exactly
+//!   1 kernel trap, 0 interrupts, at least one wire injection per
+//!   participant. At 1,024 nodes the same check runs on a 1% deterministic
+//!   trace sample.
+//! * **Offload wins at scale** — the offloaded barrier is faster than the
+//!   host dissemination barrier at ≥ 256 nodes.
+//!
+//! The machine-readable report lands in `<bench_dir>/BENCH_collectives.json`
+//! (schema `suca.bench_collectives.v1`); CI validates the schema and
+//! re-asserts the barrier crossover from the JSON.
+
+use std::sync::{Arc, Mutex};
+
+use suca_bench::report::{bench_dir, host_meta};
+use suca_cluster::ClusterSpec;
+use suca_coll::{CollKind, PlanRegistry};
+use suca_eadi::Universe;
+use suca_mpi::{Comm, MpiConfig, ReduceOp};
+use suca_sim::mtrace::{check_completeness, check_completeness_sampled, ChainPolicy, SampleSpec};
+use suca_sim::{ActorCtx, RunOutcome, SimDuration, TelemetryConfig};
+
+const SEED: u64 = 0xC0113C7;
+/// Timed repetitions per op (after one untimed warmup). The simulator is
+/// deterministic — repetitions guard against cold-start effects (buffer
+/// pools, plan caches), not noise.
+const REPS: u32 = 2;
+/// Fleet-mode trace sampling at the largest node count.
+const FLEET_SAMPLE_PPM: u32 = 10_000;
+
+fn env_u32(name: &str, default: u32) -> u32 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// `(op, f64 lanes)` cells measured at a given node count. The payload
+/// sweep runs at the smallest count only; the node sweep fixes 1 KiB.
+fn op_list(nodes: u32) -> Vec<(&'static str, usize)> {
+    let mut ops = vec![("barrier", 0), ("bcast", 128), ("allreduce", 128)];
+    if nodes == 64 {
+        ops.push(("allreduce", 8));
+        ops.push(("allreduce", 504)); // largest single-fragment payload
+    }
+    ops
+}
+
+struct Row {
+    fabric: &'static str,
+    nodes: u32,
+    op: &'static str,
+    impl_: &'static str,
+    algorithm: &'static str,
+    bytes: u64,
+    latency_us: f64,
+    bw_mbps: f64,
+}
+
+struct CellResult {
+    /// `(op, lanes, latency_us)` from rank 0, in measurement order.
+    latencies: Vec<(String, usize, f64)>,
+    metrics_json: String,
+}
+
+fn fabric_spec(label: &str, nodes: u32) -> (ClusterSpec, &'static str) {
+    // The registry keys on `Fabric::name()`; the bench labels match
+    // `bench_engine`'s conventions.
+    match label {
+        "myrinet" => (ClusterSpec::dawning3000(nodes), "myrinet"),
+        "mesh" => (ClusterSpec::dawning3000_mesh(nodes), "nwrc-mesh"),
+        other => panic!("unknown fabric {other}"),
+    }
+}
+
+fn run_op(ctx: &mut ActorCtx, comm: &Comm, op: &str, lanes: usize) {
+    match op {
+        "barrier" => comm.barrier(ctx),
+        "bcast" => {
+            let me = comm.rank();
+            let mut buf = vec![0.0f64; lanes];
+            if me == 0 {
+                for (i, v) in buf.iter_mut().enumerate() {
+                    *v = i as f64;
+                }
+            }
+            comm.bcast_f64(ctx, 0, &mut buf);
+            assert_eq!(buf[lanes - 1], (lanes - 1) as f64, "bcast payload wrong");
+        }
+        "allreduce" => {
+            let me = comm.rank();
+            let contrib = vec![me as f64 + 1.0; lanes];
+            let n = comm.size();
+            let out = comm.allreduce_f64(ctx, &contrib, ReduceOp::Sum);
+            let expect = (u64::from(n) * (u64::from(n) + 1) / 2) as f64;
+            assert_eq!(out[0], expect, "allreduce sum wrong");
+        }
+        other => panic!("unknown op {other}"),
+    }
+}
+
+/// Build one cluster and measure every op on it. `shards == None` is the
+/// production sharded engine; `check_budget` runs the collective
+/// crossing-budget check (full below fleet scale, sampled at it).
+fn run_cell(
+    fabric_label: &'static str,
+    nodes: u32,
+    offload: bool,
+    shards: Option<usize>,
+    check_budget: bool,
+) -> CellResult {
+    let (spec, _) = fabric_spec(fabric_label, nodes);
+    let fleet = nodes >= 1024;
+    let mut spec = spec
+        .with_seed(SEED)
+        .with_engine_shards(shards)
+        .with_telemetry(TelemetryConfig {
+            sample_period: SimDuration::from_ms(1),
+            ..TelemetryConfig::default()
+        });
+    if fleet {
+        spec = spec.with_trace_sampling(FLEET_SAMPLE_PPM);
+    }
+    let cluster = spec.build();
+    let sim = cluster.sim.clone();
+    let uni = Universe::new(&sim, nodes);
+    let lat: Arc<Mutex<Vec<(String, usize, f64)>>> = Arc::new(Mutex::new(Vec::new()));
+    for r in 0..nodes {
+        let uni = uni.clone();
+        let lat = lat.clone();
+        cluster.spawn_process(r, format!("coll{r}"), move |ctx, env| {
+            let mut cfg = MpiConfig::dawning3000();
+            cfg.offload_collectives = offload;
+            let comm = Comm::init(ctx, &env.node.bcl, &env.proc, uni, r, cfg);
+            for (op, lanes) in op_list(nodes) {
+                run_op(ctx, &comm, op, lanes); // warmup
+                let t0 = ctx.now();
+                for _ in 0..REPS {
+                    run_op(ctx, &comm, op, lanes);
+                }
+                let t1 = ctx.now();
+                if r == 0 {
+                    let us = (t1.as_ns() - t0.as_ns()) as f64 / 1e3 / f64::from(REPS);
+                    lat.lock().unwrap().push((op.to_string(), lanes, us));
+                }
+            }
+        });
+    }
+    assert_eq!(
+        sim.run(),
+        RunOutcome::Completed,
+        "{fabric_label}/{nodes} collective cell hung"
+    );
+    for counter in [
+        "mpi.coll_plan_rejected",
+        "mpi.coll_launch_failed",
+        "mpi.coll_nic_rejected",
+        "mcp.protocol_errors",
+    ] {
+        assert_eq!(
+            sim.get_count(counter),
+            0,
+            "{fabric_label}/{nodes}: {counter} tripped"
+        );
+    }
+    if check_budget {
+        let events = sim.trace_events();
+        assert!(!events.is_empty(), "{fabric_label}/{nodes}: no trace");
+        if fleet {
+            let spec = SampleSpec::ratio_ppm(FLEET_SAMPLE_PPM).with_seed(SEED);
+            let report = check_completeness_sampled(&events, &ChainPolicy::collective(), spec);
+            assert!(
+                report.violations.is_empty(),
+                "{fabric_label}/{nodes}: sampled collective budget violated:\n{}",
+                report.violations.join("\n")
+            );
+        } else {
+            let report = check_completeness(&events, &ChainPolicy::collective());
+            assert!(
+                report.is_closed(),
+                "{fabric_label}/{nodes}: collective budget violated:\n{}",
+                report.violations.join("\n")
+            );
+        }
+    }
+    CellResult {
+        latencies: Arc::into_inner(lat).unwrap().into_inner().unwrap(),
+        metrics_json: cluster.metrics_snapshot().to_json(),
+    }
+}
+
+fn algorithm_for(
+    fabric_name: &str,
+    op: &str,
+    nodes: u32,
+    bytes: u64,
+    offload: bool,
+) -> &'static str {
+    if !offload {
+        return match op {
+            "barrier" => "host-dissemination",
+            "bcast" => "host-binomial",
+            _ => "host-reduce+bcast",
+        };
+    }
+    let kind = match op {
+        "barrier" => CollKind::Barrier,
+        "bcast" => CollKind::Bcast,
+        _ => CollKind::Allreduce,
+    };
+    PlanRegistry::for_fabric(fabric_name)
+        .select(kind, nodes, bytes)
+        .as_str()
+}
+
+fn to_json(rows: &[Row]) -> String {
+    use std::fmt::Write as _;
+    let (os, arch, rustc, threads) = host_meta();
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"suca.bench_collectives.v1\",");
+    let _ = writeln!(out, "  \"seed\": {SEED},");
+    let _ = writeln!(out, "  \"reps\": {REPS},");
+    let _ = writeln!(out, "  \"determinism_ok\": true,");
+    let _ = writeln!(out, "  \"budget_ok\": true,");
+    let _ = writeln!(
+        out,
+        "  \"host\": {{\"os\": \"{os}\", \"arch\": \"{arch}\", \"rustc\": \"{rustc}\", \
+         \"threads\": {threads}}},"
+    );
+    let _ = writeln!(out, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"fabric\": \"{}\", \"nodes\": {}, \"op\": \"{}\", \"impl\": \"{}\", \
+             \"algorithm\": \"{}\", \"bytes\": {}, \"latency_us\": {:.3}, \
+             \"bw_mbps\": {:.2}}}{comma}",
+            r.fabric, r.nodes, r.op, r.impl_, r.algorithm, r.bytes, r.latency_us, r.bw_mbps,
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let max_nodes = env_u32("SUCA_BENCH_COLL_MAX_NODES", 1024);
+    println!("-- bench_collectives: NIC plan interpreter vs host p2p baselines\n");
+
+    // Determinism: the 64-node offloaded myrinet cell must produce the
+    // same latencies and metrics bytes at every engine shard count.
+    let reference = run_cell("myrinet", 64, true, Some(1), false);
+    for shards in [None, Some(3)] {
+        let got = run_cell("myrinet", 64, true, shards, false);
+        assert_eq!(
+            reference.latencies, got.latencies,
+            "shards={shards:?}: latencies diverged from single-queue reference"
+        );
+        assert_eq!(
+            reference.metrics_json, got.metrics_json,
+            "shards={shards:?}: metrics diverged from single-queue reference"
+        );
+    }
+    println!("[determinism] myrinet/64 offloaded: single_queue == sharded == 3-shard");
+
+    let mut rows: Vec<Row> = Vec::new();
+    for fabric in ["myrinet", "mesh"] {
+        let (_, fabric_name) = fabric_spec(fabric, 64);
+        for nodes in [64u32, 256, 1024] {
+            if nodes > max_nodes {
+                continue;
+            }
+            for offload in [true, false] {
+                let impl_ = if offload { "offloaded" } else { "host" };
+                let res = run_cell(fabric, nodes, offload, None, offload);
+                for (op, lanes, us) in &res.latencies {
+                    let bytes = (*lanes * 8) as u64;
+                    let bw = if bytes > 0 && *us > 0.0 {
+                        bytes as f64 / *us // B/µs == MB/s
+                    } else {
+                        0.0
+                    };
+                    rows.push(Row {
+                        fabric,
+                        nodes,
+                        op: match op.as_str() {
+                            "barrier" => "barrier",
+                            "bcast" => "bcast",
+                            _ => "allreduce",
+                        },
+                        impl_,
+                        algorithm: algorithm_for(fabric_name, op, nodes, bytes, offload),
+                        bytes,
+                        latency_us: *us,
+                        bw_mbps: bw,
+                    });
+                }
+            }
+        }
+    }
+
+    println!(
+        "\nfabric   nodes op         impl       algorithm            bytes  latency_us    MB/s"
+    );
+    for r in &rows {
+        println!(
+            "{:<8} {:>5} {:<10} {:<10} {:<20} {:>5} {:>11.2} {:>7.1}",
+            r.fabric, r.nodes, r.op, r.impl_, r.algorithm, r.bytes, r.latency_us, r.bw_mbps
+        );
+    }
+
+    // Offload must win where it matters: barrier at scale.
+    for fabric in ["myrinet", "mesh"] {
+        for nodes in [256u32, 1024] {
+            if nodes > max_nodes {
+                continue;
+            }
+            let lat = |impl_: &str| {
+                rows.iter()
+                    .find(|r| {
+                        r.fabric == fabric
+                            && r.nodes == nodes
+                            && r.op == "barrier"
+                            && r.impl_ == impl_
+                    })
+                    .map(|r| r.latency_us)
+                    .expect("barrier row present")
+            };
+            let (off, host) = (lat("offloaded"), lat("host"));
+            assert!(
+                off < host,
+                "{fabric}/{nodes}: offloaded barrier {off:.2} us not faster than host {host:.2} us"
+            );
+            println!(
+                "[crossover] {fabric}/{nodes}: offloaded barrier {off:.2} us vs host {host:.2} us \
+                 ({:.1}x)",
+                host / off
+            );
+        }
+    }
+
+    let dir = bench_dir();
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    let path = dir.join("BENCH_collectives.json");
+    std::fs::write(&path, to_json(&rows)).expect("write BENCH_collectives.json");
+    println!("\n[bench] {} rows -> {}", rows.len(), path.display());
+    println!("\nbench_collectives OK: deterministic, budget-clean, offload wins at scale");
+}

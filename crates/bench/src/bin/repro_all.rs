@@ -28,6 +28,7 @@ fn main() {
         "rpc_slo",
         "chaos_slo",
         "bench_engine",
+        "bench_collectives",
     ];
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin dir");

@@ -143,7 +143,7 @@ fn failover_recovers_the_blackhole_and_keeps_the_watchdog_silent() {
         barrier.wait(ctx);
         let dst = addr.lock().expect("rx ready");
         for i in 0..MSGS {
-            port.send_bytes(ctx, dst, ChannelId::SYSTEM, &vec![i as u8; 64])
+            port.send_bytes(ctx, dst, ChannelId::SYSTEM, &[i as u8; 64])
                 .expect("send");
             loop {
                 let ev = port.wait_recv(ctx);

@@ -1,0 +1,926 @@
+//! Declarative collective execution plans.
+//!
+//! A collective (barrier / bcast / allreduce) is described as one *plan*: a
+//! per-rank schedule of steps, each step a set of peer receives (combined
+//! into the rank's accumulator) followed by peer sends of the accumulator.
+//! The NIC firmware interprets the schedule directly — fan-in combining and
+//! fan-out forwarding happen entirely NIC-side, so the host pays exactly one
+//! initiating trap per participant (the crossing-contract extension asserted
+//! by `ChainPolicy::collective()`).
+//!
+//! Step semantics, shared by the validator here and the firmware
+//! interpreter in `suca-bcl`:
+//!
+//! 1. On *entering* a step the rank sends its current accumulator to every
+//!    rank in `send_to` (one message per entry, tagged with the step's
+//!    `chunk`).
+//! 2. The step *completes* when one message per `recv_from` entry has
+//!    arrived on the matching `(peer, chunk)` edge; arrivals are folded into
+//!    the accumulator in the listed order ([`Combine::Reduce`]) or replace
+//!    it ([`Combine::Adopt`] — the fan-out half of reduce+bcast shapes).
+//!
+//! Send-at-entry is what makes both halves of a butterfly expressible: a
+//! recursive-doubling step `{send_to: [p], recv_from: [p]}` ships the
+//! pre-combine value and folds the partner's, while a fan-in tree puts the
+//! parent send in its own step so it carries the combined value.
+//!
+//! Plans are *validated by abstract execution* at registration: the exact
+//! step semantics are run over per-edge message queues until fixpoint, so a
+//! plan either fails fast ([`PlanError`]) or is guaranteed to run to
+//! completion without wedging the firmware watchdog. The same oracle backs
+//! the property tests.
+//!
+//! [`PlanRegistry`] picks the algorithm per (kind, rank count, payload
+//! size, fabric topology): Myrinet's linear switch array and the nwrc mesh
+//! get different plans behind the same API.
+
+use std::collections::HashMap;
+
+/// Which collective a plan implements.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum CollKind {
+    /// All ranks synchronize; no payload.
+    Barrier,
+    /// Root's payload is replicated to every rank.
+    Bcast,
+    /// Elementwise reduction of every rank's payload, result on all ranks.
+    Allreduce,
+}
+
+impl CollKind {
+    /// Stable display name (report rows, plan dumps).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CollKind::Barrier => "barrier",
+            CollKind::Bcast => "bcast",
+            CollKind::Allreduce => "allreduce",
+        }
+    }
+}
+
+/// Collective algorithm shape.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Algorithm {
+    /// Star: everyone sends to the root, root answers everyone. Optimal at
+    /// tiny rank counts where tree setup costs dominate.
+    FlatFanIn,
+    /// Binomial tree fan-in and/or fan-out; log₂(n) rounds, works at any
+    /// rank count.
+    BinomialTree,
+    /// Chain 0→1→…→n−1 and back. Nearest-neighbor traffic only — the right
+    /// shape for a linear switch array moving large payloads.
+    Ring,
+    /// Pairwise exchange doubling the stride each round; log₂(n) rounds
+    /// with all links busy every round. Non-powers-of-two fold the extra
+    /// ranks in/out around a power-of-two core.
+    RecursiveDoubling,
+}
+
+impl Algorithm {
+    /// Stable display name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Algorithm::FlatFanIn => "flat",
+            Algorithm::BinomialTree => "binomial",
+            Algorithm::Ring => "ring",
+            Algorithm::RecursiveDoubling => "recursive-doubling",
+        }
+    }
+}
+
+/// How a step's arrivals enter the accumulator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Combine {
+    /// Fold with the collective's reduction operator (fan-in half).
+    Reduce,
+    /// Replace the accumulator (fan-out half: the arriving value is the
+    /// finished result).
+    Adopt,
+}
+
+/// One step of one rank's schedule. `send_to` fires on entry with the
+/// current accumulator; the step completes when every `recv_from` arrival
+/// (matched per `(peer, chunk)` edge, FIFO) has been combined.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PlanStep {
+    /// Peers whose contribution this step waits for, combined in order.
+    pub recv_from: Vec<u32>,
+    /// Peers the accumulator is sent to on step entry.
+    pub send_to: Vec<u32>,
+    /// Receive mode for this step's arrivals.
+    pub combine: Combine,
+    /// Chunk index keying message matching (and the payload byte range in
+    /// chunked plans). Must be `< Plan::chunks`.
+    pub chunk: u32,
+}
+
+impl PlanStep {
+    /// A pure receive-and-reduce step.
+    pub fn recv_reduce(from: Vec<u32>) -> Self {
+        PlanStep {
+            recv_from: from,
+            send_to: Vec::new(),
+            combine: Combine::Reduce,
+            chunk: 0,
+        }
+    }
+
+    /// A pure receive-and-adopt step (fan-out).
+    pub fn recv_adopt(from: Vec<u32>) -> Self {
+        PlanStep {
+            recv_from: from,
+            send_to: Vec::new(),
+            combine: Combine::Adopt,
+            chunk: 0,
+        }
+    }
+
+    /// A pure send step.
+    pub fn send(to: Vec<u32>) -> Self {
+        PlanStep {
+            recv_from: Vec::new(),
+            send_to: to,
+            combine: Combine::Reduce,
+            chunk: 0,
+        }
+    }
+
+    /// A butterfly exchange: send to `peer`, then reduce `peer`'s value in.
+    pub fn exchange(peer: u32) -> Self {
+        PlanStep {
+            recv_from: vec![peer],
+            send_to: vec![peer],
+            combine: Combine::Reduce,
+            chunk: 0,
+        }
+    }
+}
+
+/// A complete collective plan: one schedule per rank.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Plan {
+    /// Collective this plan implements.
+    pub kind: CollKind,
+    /// Algorithm shape the schedules encode.
+    pub algorithm: Algorithm,
+    /// Number of participating ranks; `schedules.len()` must match.
+    pub ranks: u32,
+    /// Root rank (bcast source / reduction anchor).
+    pub root: u32,
+    /// Number of payload chunks messages may be keyed by (≥ 1; every
+    /// generated plan currently uses 1).
+    pub chunks: u32,
+    /// `schedules[rank]` is that rank's step list, executed in order.
+    pub schedules: Vec<Vec<PlanStep>>,
+}
+
+/// Why a plan was rejected at registration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PlanError {
+    /// `schedules.len()` disagrees with `ranks`, or `ranks == 0`.
+    RankCountMismatch {
+        /// Declared rank count.
+        expected: u32,
+        /// Schedules actually present.
+        got: usize,
+    },
+    /// A step names a peer outside `0..ranks`.
+    MissingPeer {
+        /// Rank whose schedule is broken.
+        rank: u32,
+        /// Step index.
+        step: usize,
+        /// The out-of-range peer.
+        peer: u32,
+    },
+    /// A step sends to or receives from its own rank.
+    SelfLoop {
+        /// Offending rank.
+        rank: u32,
+        /// Step index.
+        step: usize,
+    },
+    /// A step's chunk index is `>= chunks`.
+    ChunkOverflow {
+        /// Offending rank.
+        rank: u32,
+        /// Step index.
+        step: usize,
+        /// The out-of-range chunk.
+        chunk: u32,
+    },
+    /// Abstract execution reached fixpoint with ranks still waiting —
+    /// a cycle or a receive nobody sends.
+    Deadlock {
+        /// Ranks stuck mid-schedule.
+        stuck_ranks: usize,
+    },
+    /// Every rank finished but messages were sent that no step consumes;
+    /// the firmware would buffer them forever.
+    StrayMessages {
+        /// Unconsumed messages at completion.
+        count: usize,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::RankCountMismatch { expected, got } => {
+                write!(
+                    f,
+                    "plan declares {expected} ranks but holds {got} schedules"
+                )
+            }
+            PlanError::MissingPeer { rank, step, peer } => {
+                write!(f, "rank {rank} step {step} names missing peer {peer}")
+            }
+            PlanError::SelfLoop { rank, step } => {
+                write!(f, "rank {rank} step {step} is a self-loop")
+            }
+            PlanError::ChunkOverflow { rank, step, chunk } => {
+                write!(f, "rank {rank} step {step} chunk {chunk} out of range")
+            }
+            PlanError::Deadlock { stuck_ranks } => {
+                write!(f, "plan deadlocks with {stuck_ranks} ranks stuck")
+            }
+            PlanError::StrayMessages { count } => {
+                write!(f, "plan completes with {count} stray messages")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl Plan {
+    /// Build a plan for `kind` with `algorithm` over `ranks` ranks rooted
+    /// at `root`. Algorithms that do not define the kind (recursive
+    /// doubling has no bcast shape) fall back to the binomial tree.
+    /// Generated plans always validate; [`Plan::validate`] is for
+    /// externally supplied or property-generated schedules.
+    pub fn build(kind: CollKind, algorithm: Algorithm, ranks: u32, root: u32) -> Plan {
+        let n = ranks.max(1);
+        let root = root % n;
+        let schedules = (0..n)
+            .map(|abs| {
+                // Schedules are generated in root-relative rank space and
+                // the peers mapped back, so one shape serves every root.
+                let rel = (abs + n - root) % n;
+                let steps = match (algorithm, kind) {
+                    (Algorithm::FlatFanIn, CollKind::Bcast) => flat_bcast(rel, n),
+                    (Algorithm::FlatFanIn, _) => flat_allreduce(rel, n),
+                    (Algorithm::BinomialTree, CollKind::Bcast) => binomial_bcast(rel, n),
+                    (Algorithm::BinomialTree, _) => binomial_allreduce(rel, n),
+                    (Algorithm::Ring, CollKind::Bcast) => ring_bcast(rel, n),
+                    (Algorithm::Ring, _) => ring_allreduce(rel, n),
+                    (Algorithm::RecursiveDoubling, CollKind::Bcast) => binomial_bcast(rel, n),
+                    (Algorithm::RecursiveDoubling, _) => recursive_doubling(rel, n),
+                };
+                steps
+                    .into_iter()
+                    .map(|mut s| {
+                        for p in s.recv_from.iter_mut().chain(s.send_to.iter_mut()) {
+                            *p = (*p + root) % n;
+                        }
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        Plan {
+            kind,
+            algorithm,
+            ranks: n,
+            root,
+            chunks: 1,
+            schedules,
+        }
+    }
+
+    /// Validate by abstract execution of the exact step semantics. `Ok`
+    /// guarantees the firmware interpreter runs the plan to completion
+    /// (given delivery) without wedging; any structural defect — missing
+    /// peer, self-loop, chunk overflow, deadlock cycle, stray message — is
+    /// rejected here, before a descriptor can reach the NIC.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        let n = self.ranks;
+        if n == 0 || self.schedules.len() != n as usize {
+            return Err(PlanError::RankCountMismatch {
+                expected: n,
+                got: self.schedules.len(),
+            });
+        }
+        for (rank, steps) in self.schedules.iter().enumerate() {
+            for (si, step) in steps.iter().enumerate() {
+                if step.chunk >= self.chunks.max(1) {
+                    return Err(PlanError::ChunkOverflow {
+                        rank: rank as u32,
+                        step: si,
+                        chunk: step.chunk,
+                    });
+                }
+                for &p in step.recv_from.iter().chain(step.send_to.iter()) {
+                    if p >= n {
+                        return Err(PlanError::MissingPeer {
+                            rank: rank as u32,
+                            step: si,
+                            peer: p,
+                        });
+                    }
+                    if p == rank as u32 {
+                        return Err(PlanError::SelfLoop {
+                            rank: rank as u32,
+                            step: si,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Abstract execution: per-edge message counts, step pointers, and a
+        // sent-on-entry flag per rank; iterate to fixpoint.
+        let mut edges: HashMap<(u32, u32, u32), u32> = HashMap::new();
+        let mut cursor = vec![0usize; n as usize];
+        let mut entered = vec![false; n as usize];
+        loop {
+            let mut progress = false;
+            for r in 0..n as usize {
+                while let Some(step) = self.schedules[r].get(cursor[r]) {
+                    if !entered[r] {
+                        for &d in &step.send_to {
+                            *edges.entry((r as u32, d, step.chunk)).or_default() += 1;
+                        }
+                        entered[r] = true;
+                        progress = true;
+                    }
+                    // One arrival per recv_from entry; duplicates in the
+                    // list need that many queued messages.
+                    let mut need: HashMap<(u32, u32, u32), u32> = HashMap::new();
+                    for &p in &step.recv_from {
+                        *need.entry((p, r as u32, step.chunk)).or_default() += 1;
+                    }
+                    let ready = need
+                        .iter()
+                        .all(|(edge, k)| edges.get(edge).copied().unwrap_or(0) >= *k);
+                    if !ready {
+                        break;
+                    }
+                    for (edge, k) in need {
+                        if let Some(c) = edges.get_mut(&edge) {
+                            *c -= k;
+                        }
+                    }
+                    cursor[r] += 1;
+                    entered[r] = false;
+                    progress = true;
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+
+        let stuck = (0..n as usize)
+            .filter(|&r| cursor[r] < self.schedules[r].len())
+            .count();
+        if stuck > 0 {
+            return Err(PlanError::Deadlock { stuck_ranks: stuck });
+        }
+        let stray: u32 = edges.values().sum();
+        if stray > 0 {
+            return Err(PlanError::StrayMessages {
+                count: stray as usize,
+            });
+        }
+        Ok(())
+    }
+
+    /// Reference executor: run the step semantics over real `f64` values
+    /// (sum reduction) and return each rank's final accumulator, or `None`
+    /// if the plan wedges. This is the oracle the property tests hold the
+    /// validator to: `validate() == Ok` must imply execution completes.
+    pub fn execute_f64_reference(&self, inputs: &[f64]) -> Option<Vec<f64>> {
+        let n = self.ranks as usize;
+        if inputs.len() != n || self.schedules.len() != n {
+            return None;
+        }
+        let mut acc: Vec<f64> = inputs.to_vec();
+        let mut inbox: HashMap<(u32, u32, u32), std::collections::VecDeque<f64>> = HashMap::new();
+        let mut cursor = vec![0usize; n];
+        let mut entered = vec![false; n];
+        loop {
+            let mut progress = false;
+            for r in 0..n {
+                while let Some(step) = self.schedules[r].get(cursor[r]) {
+                    if !entered[r] {
+                        for &d in &step.send_to {
+                            inbox
+                                .entry((r as u32, d, step.chunk))
+                                .or_default()
+                                .push_back(acc[r]);
+                        }
+                        entered[r] = true;
+                        progress = true;
+                    }
+                    let mut need: HashMap<(u32, u32, u32), usize> = HashMap::new();
+                    for &p in &step.recv_from {
+                        *need.entry((p, r as u32, step.chunk)).or_default() += 1;
+                    }
+                    let ready = need
+                        .iter()
+                        .all(|(edge, k)| inbox.get(edge).map_or(0, |q| q.len()) >= *k);
+                    if !ready {
+                        break;
+                    }
+                    for &p in &step.recv_from {
+                        let v = inbox.get_mut(&(p, r as u32, step.chunk))?.pop_front()?;
+                        match step.combine {
+                            Combine::Reduce => acc[r] += v,
+                            Combine::Adopt => acc[r] = v,
+                        }
+                    }
+                    cursor[r] += 1;
+                    entered[r] = false;
+                    progress = true;
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+        if (0..n).all(|r| cursor[r] >= self.schedules[r].len()) {
+            Some(acc)
+        } else {
+            None
+        }
+    }
+
+    /// Total messages the plan puts on the (logical) wire.
+    pub fn total_messages(&self) -> usize {
+        self.schedules
+            .iter()
+            .flatten()
+            .map(|s| s.send_to.len())
+            .sum()
+    }
+
+    /// Longest schedule over all ranks (round count upper bound).
+    pub fn max_steps(&self) -> usize {
+        self.schedules.iter().map(|s| s.len()).max().unwrap_or(0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm shapes, in root-relative rank space (root = 0).
+// ---------------------------------------------------------------------------
+
+fn flat_allreduce(r: u32, n: u32) -> Vec<PlanStep> {
+    if n == 1 {
+        return Vec::new();
+    }
+    if r == 0 {
+        vec![
+            PlanStep::recv_reduce((1..n).collect()),
+            PlanStep::send((1..n).collect()),
+        ]
+    } else {
+        vec![PlanStep::send(vec![0]), PlanStep::recv_adopt(vec![0])]
+    }
+}
+
+fn flat_bcast(r: u32, n: u32) -> Vec<PlanStep> {
+    if n == 1 {
+        return Vec::new();
+    }
+    if r == 0 {
+        vec![PlanStep::send((1..n).collect())]
+    } else {
+        vec![PlanStep::recv_adopt(vec![0])]
+    }
+}
+
+/// Binomial fan-in: receive children smallest-bit first, then send to the
+/// parent at the rank's lowest set bit.
+fn binomial_reduce(r: u32, n: u32) -> Vec<PlanStep> {
+    let mut steps = Vec::new();
+    let mut mask = 1u32;
+    while mask < n {
+        if r & mask != 0 {
+            steps.push(PlanStep::send(vec![r - mask]));
+            break;
+        }
+        if r + mask < n {
+            steps.push(PlanStep::recv_reduce(vec![r + mask]));
+        }
+        mask <<= 1;
+    }
+    steps
+}
+
+/// Binomial fan-out: receive from the parent, then send to children in
+/// decreasing-bit order (the mirror of [`binomial_reduce`]).
+fn binomial_bcast(r: u32, n: u32) -> Vec<PlanStep> {
+    let mut steps = Vec::new();
+    let mut mask = 1u32;
+    while mask < n {
+        if r & mask != 0 {
+            steps.push(PlanStep::recv_adopt(vec![r - mask]));
+            break;
+        }
+        mask <<= 1;
+    }
+    let mut m = mask >> 1;
+    while m > 0 {
+        if r & m == 0 && r + m < n {
+            steps.push(PlanStep::send(vec![r + m]));
+        }
+        m >>= 1;
+    }
+    steps
+}
+
+fn binomial_allreduce(r: u32, n: u32) -> Vec<PlanStep> {
+    let mut steps = binomial_reduce(r, n);
+    steps.extend(binomial_bcast(r, n));
+    steps
+}
+
+/// Chain reduce 0→…→n−1, then chain the finished value back n−1→…→0.
+/// Every hop is nearest-neighbor in rank order.
+fn ring_allreduce(r: u32, n: u32) -> Vec<PlanStep> {
+    if n == 1 {
+        return Vec::new();
+    }
+    let mut steps = Vec::new();
+    if r > 0 {
+        steps.push(PlanStep::recv_reduce(vec![r - 1]));
+    }
+    if r + 1 < n {
+        steps.push(PlanStep::send(vec![r + 1]));
+        steps.push(PlanStep::recv_adopt(vec![r + 1]));
+    }
+    if r > 0 {
+        steps.push(PlanStep::send(vec![r - 1]));
+    }
+    steps
+}
+
+/// Chain the root's value down the line 0→1→…→n−1.
+fn ring_bcast(r: u32, n: u32) -> Vec<PlanStep> {
+    let mut steps = Vec::new();
+    if r > 0 {
+        steps.push(PlanStep::recv_adopt(vec![r - 1]));
+    }
+    if r + 1 < n {
+        steps.push(PlanStep::send(vec![r + 1]));
+    }
+    steps
+}
+
+/// Pairwise-exchange butterfly over the largest power-of-two core; the
+/// `n − core` extra ranks fold their value into a core partner first and
+/// adopt the result from it afterwards.
+fn recursive_doubling(r: u32, n: u32) -> Vec<PlanStep> {
+    if n == 1 {
+        return Vec::new();
+    }
+    let core = if n.is_power_of_two() {
+        n
+    } else {
+        (n + 1).next_power_of_two() >> 1
+    };
+    let extra = n - core;
+    let mut steps = Vec::new();
+
+    // Extra ranks (the tail above the core) pair with the first `extra`
+    // core ranks: fold in, sit out the butterfly, adopt the result.
+    if r >= core {
+        let partner = r - core;
+        steps.push(PlanStep::send(vec![partner]));
+        steps.push(PlanStep::recv_adopt(vec![partner]));
+        return steps;
+    }
+    if r < extra {
+        steps.push(PlanStep::recv_reduce(vec![r + core]));
+    }
+    let mut mask = 1u32;
+    while mask < core {
+        steps.push(PlanStep::exchange(r ^ mask));
+        mask <<= 1;
+    }
+    if r < extra {
+        steps.push(PlanStep::send(vec![r + core]));
+    }
+    steps
+}
+
+// ---------------------------------------------------------------------------
+// Topology-aware registry.
+// ---------------------------------------------------------------------------
+
+/// Fabric shape the registry selects for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Topology {
+    /// Myrinet's linear array of crossbar switches: rank-order neighbors
+    /// are cheap, long strides cross many switch hops.
+    LinearSwitchArray,
+    /// The nwrc 2-D wormhole mesh: bisection grows with the side, strided
+    /// pairwise exchange keeps every dimension busy.
+    Mesh2D,
+}
+
+impl Topology {
+    /// Map a fabric's `name()` to its topology (unknown names get the
+    /// conservative linear model).
+    pub fn from_fabric_name(name: &str) -> Topology {
+        match name {
+            "nwrc-mesh" => Topology::Mesh2D,
+            _ => Topology::LinearSwitchArray,
+        }
+    }
+}
+
+/// Payload size (bytes) at which chain/pipeline shapes overtake trees for
+/// bandwidth-bound collectives.
+pub const LARGE_MSG_BYTES: u64 = 8192;
+
+/// Rank count at or below which the flat star beats any tree.
+pub const FLAT_MAX_RANKS: u32 = 4;
+
+/// Selects and builds validated plans per (kind, ranks, bytes) for one
+/// fabric topology. Selection is a pure function, so every node of a
+/// cluster derives the identical plan without coordination.
+#[derive(Clone, Copy, Debug)]
+pub struct PlanRegistry {
+    topology: Topology,
+}
+
+impl PlanRegistry {
+    /// Registry for an explicit topology.
+    pub fn new(topology: Topology) -> Self {
+        PlanRegistry { topology }
+    }
+
+    /// Registry for a fabric by its `name()`.
+    pub fn for_fabric(name: &str) -> Self {
+        Self::new(Topology::from_fabric_name(name))
+    }
+
+    /// The topology this registry selects for.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Pick the algorithm for a collective of `ranks` ranks moving `bytes`
+    /// payload bytes per rank.
+    pub fn select(&self, kind: CollKind, ranks: u32, bytes: u64) -> Algorithm {
+        if ranks <= FLAT_MAX_RANKS {
+            return Algorithm::FlatFanIn;
+        }
+        match (self.topology, kind) {
+            // Linear switch array: trees for latency-bound ops, the
+            // nearest-neighbor chain once payloads are bandwidth-bound.
+            (Topology::LinearSwitchArray, CollKind::Barrier) => Algorithm::BinomialTree,
+            (Topology::LinearSwitchArray, _) if bytes >= LARGE_MSG_BYTES => Algorithm::Ring,
+            (Topology::LinearSwitchArray, _) => Algorithm::BinomialTree,
+            // Mesh: pairwise exchange exploits the bisection; bcast has no
+            // doubling shape, so it stays a tree until payloads are large.
+            (Topology::Mesh2D, CollKind::Bcast) if bytes >= LARGE_MSG_BYTES => Algorithm::Ring,
+            (Topology::Mesh2D, CollKind::Bcast) => Algorithm::BinomialTree,
+            (Topology::Mesh2D, _) if bytes >= LARGE_MSG_BYTES => Algorithm::Ring,
+            (Topology::Mesh2D, _) => Algorithm::RecursiveDoubling,
+        }
+    }
+
+    /// Select, build, and validate the plan. Generated plans are valid by
+    /// construction; validation still runs so no schedule — however it was
+    /// produced — reaches the firmware unchecked.
+    pub fn plan(
+        &self,
+        kind: CollKind,
+        ranks: u32,
+        root: u32,
+        bytes: u64,
+    ) -> Result<Plan, PlanError> {
+        let plan = Plan::build(kind, self.select(kind, ranks, bytes), ranks, root);
+        plan.validate()?;
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Execute a validated plan; panics on wedge.
+    fn execute_f64(plan: &Plan, inputs: &[f64]) -> Vec<f64> {
+        plan.execute_f64_reference(inputs)
+            .expect("validated plan wedged in reference executor")
+    }
+
+    const ALGOS: [Algorithm; 4] = [
+        Algorithm::FlatFanIn,
+        Algorithm::BinomialTree,
+        Algorithm::Ring,
+        Algorithm::RecursiveDoubling,
+    ];
+
+    #[test]
+    fn generated_plans_validate_at_many_shapes() {
+        for algo in ALGOS {
+            for kind in [CollKind::Barrier, CollKind::Bcast, CollKind::Allreduce] {
+                for n in [1u32, 2, 3, 4, 5, 7, 8, 13, 16, 31, 64] {
+                    for root in [0, n - 1, n / 2] {
+                        let plan = Plan::build(kind, algo, n, root);
+                        plan.validate()
+                            .unwrap_or_else(|e| panic!("{algo:?}/{kind:?} n={n} root={root}: {e}"));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_sums_on_every_rank_every_algorithm() {
+        for algo in ALGOS {
+            for n in [2u32, 3, 5, 8, 13, 16] {
+                for root in [0, n - 1] {
+                    let plan = Plan::build(CollKind::Allreduce, algo, n, root);
+                    let inputs: Vec<f64> = (0..n).map(|r| (r + 1) as f64).collect();
+                    let want: f64 = inputs.iter().sum();
+                    let out = execute_f64(&plan, &inputs);
+                    for (r, v) in out.iter().enumerate() {
+                        assert_eq!(
+                            *v, want,
+                            "{algo:?} n={n} root={root} rank {r}: {v} != {want}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_replicates_root_every_algorithm() {
+        for algo in ALGOS {
+            for n in [2u32, 3, 6, 8, 11, 16] {
+                for root in [0, 2 % n, n - 1] {
+                    let plan = Plan::build(CollKind::Bcast, algo, n, root);
+                    let mut inputs = vec![0.0; n as usize];
+                    inputs[root as usize] = 42.5;
+                    let out = execute_f64(&plan, &inputs);
+                    assert!(
+                        out.iter().all(|v| *v == 42.5),
+                        "{algo:?} n={n} root={root}: {out:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_plans_are_empty() {
+        for algo in ALGOS {
+            let plan = Plan::build(CollKind::Allreduce, algo, 1, 0);
+            assert!(plan.schedules.iter().all(|s| s.is_empty()));
+            plan.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn validator_rejects_missing_peer_and_self_loop() {
+        let mut plan = Plan::build(CollKind::Barrier, Algorithm::FlatFanIn, 4, 0);
+        plan.schedules[1][0].send_to = vec![9];
+        assert_eq!(
+            plan.validate(),
+            Err(PlanError::MissingPeer {
+                rank: 1,
+                step: 0,
+                peer: 9
+            })
+        );
+        plan.schedules[1][0].send_to = vec![1];
+        assert_eq!(
+            plan.validate(),
+            Err(PlanError::SelfLoop { rank: 1, step: 0 })
+        );
+    }
+
+    #[test]
+    fn validator_rejects_deadlock_cycle() {
+        // 0 waits on 1 before sending, 1 waits on 0 before sending.
+        let plan = Plan {
+            kind: CollKind::Barrier,
+            algorithm: Algorithm::FlatFanIn,
+            ranks: 2,
+            root: 0,
+            chunks: 1,
+            schedules: vec![
+                vec![PlanStep::recv_reduce(vec![1]), PlanStep::send(vec![1])],
+                vec![PlanStep::recv_reduce(vec![0]), PlanStep::send(vec![0])],
+            ],
+        };
+        assert_eq!(plan.validate(), Err(PlanError::Deadlock { stuck_ranks: 2 }));
+    }
+
+    #[test]
+    fn validator_rejects_stray_message_and_chunk_overflow() {
+        let plan = Plan {
+            kind: CollKind::Barrier,
+            algorithm: Algorithm::FlatFanIn,
+            ranks: 2,
+            root: 0,
+            chunks: 1,
+            schedules: vec![vec![PlanStep::send(vec![1])], vec![]],
+        };
+        assert_eq!(plan.validate(), Err(PlanError::StrayMessages { count: 1 }));
+
+        let mut plan = Plan::build(CollKind::Barrier, Algorithm::BinomialTree, 4, 0);
+        plan.schedules[2][0].chunk = 3;
+        assert_eq!(
+            plan.validate(),
+            Err(PlanError::ChunkOverflow {
+                rank: 2,
+                step: 0,
+                chunk: 3
+            })
+        );
+    }
+
+    #[test]
+    fn validator_rejects_rank_count_mismatch() {
+        let mut plan = Plan::build(CollKind::Barrier, Algorithm::FlatFanIn, 4, 0);
+        plan.schedules.pop();
+        assert!(matches!(
+            plan.validate(),
+            Err(PlanError::RankCountMismatch {
+                expected: 4,
+                got: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn butterfly_exchange_needs_send_at_entry() {
+        // The canonical shape send-at-entry exists for: both butterfly
+        // partners ship their pre-combine value in the same step. A
+        // receive-then-send reading of the same step would deadlock.
+        let plan = Plan::build(CollKind::Allreduce, Algorithm::RecursiveDoubling, 8, 0);
+        assert!(plan.schedules[0]
+            .iter()
+            .any(|s| !s.send_to.is_empty() && !s.recv_from.is_empty()));
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn registry_differs_across_topologies_behind_one_api() {
+        let myri = PlanRegistry::for_fabric("myrinet");
+        let mesh = PlanRegistry::for_fabric("nwrc-mesh");
+        assert_eq!(myri.topology(), Topology::LinearSwitchArray);
+        assert_eq!(mesh.topology(), Topology::Mesh2D);
+        // Same call, different algorithm per fabric.
+        assert_eq!(
+            myri.select(CollKind::Barrier, 256, 0),
+            Algorithm::BinomialTree
+        );
+        assert_eq!(
+            mesh.select(CollKind::Barrier, 256, 0),
+            Algorithm::RecursiveDoubling
+        );
+        // Size switches the shape on both.
+        assert_eq!(
+            myri.select(CollKind::Allreduce, 256, 64),
+            Algorithm::BinomialTree
+        );
+        assert_eq!(
+            myri.select(CollKind::Allreduce, 256, 65536),
+            Algorithm::Ring
+        );
+        // Tiny rank counts collapse to the star everywhere.
+        assert_eq!(
+            myri.select(CollKind::Allreduce, 3, 65536),
+            Algorithm::FlatFanIn
+        );
+        assert_eq!(mesh.select(CollKind::Bcast, 2, 0), Algorithm::FlatFanIn);
+        // Unknown fabric names get the conservative linear model.
+        assert_eq!(
+            PlanRegistry::for_fabric("mystery").topology(),
+            Topology::LinearSwitchArray
+        );
+    }
+
+    #[test]
+    fn registry_plans_validate_and_respect_root() {
+        for fabric in ["myrinet", "nwrc-mesh"] {
+            let reg = PlanRegistry::for_fabric(fabric);
+            for kind in [CollKind::Barrier, CollKind::Bcast, CollKind::Allreduce] {
+                for n in [2u32, 5, 16, 64] {
+                    let plan = reg.plan(kind, n, n - 1, 1024).unwrap();
+                    assert_eq!(plan.root, n - 1);
+                    assert_eq!(plan.ranks, n);
+                }
+            }
+        }
+    }
+}

@@ -21,6 +21,7 @@ use suca_os::{NodeOs, OsProcess};
 use suca_sim::mtrace::{stage, TraceEvent, TraceId, TraceLayer};
 use suca_sim::{ActorCtx, Sim};
 
+use crate::coll::{CollOp, CollStep};
 use crate::config::BclConfig;
 use crate::error::BclError;
 use crate::intranode::IntraHub;
@@ -73,6 +74,12 @@ impl BclNode {
     /// The simulation handle.
     pub fn sim(&self) -> &Sim {
         &self.sim
+    }
+
+    /// Name of the fabric this node's NIC is attached to ("myrinet",
+    /// "nwrc-mesh", ...). Upper layers use it to select collective plans.
+    pub fn fabric_name(&self) -> &'static str {
+        self.mcp.fabric_name()
     }
 }
 
@@ -521,6 +528,56 @@ impl BclPort {
             kmod.ioctl_rma_read(ctx, &proc, id, dst, chan, offset, into, len)
         })?;
         self.trace_send_span(ctx, msg_id, start, len);
+        Ok(msg_id)
+    }
+
+    /// Launch a NIC-offloaded collective. The `steps` schedule (compiled
+    /// from a `suca-coll` plan) is handed to the NIC in one kernel trap;
+    /// the MCP's plan interpreter then runs the whole collective —
+    /// combining, forwarding, result DMA — without another host crossing.
+    /// Completion arrives as a [`SendEvent`] carrying the returned id.
+    ///
+    /// `payload`/`payload_len` is this participant's contribution (0 for
+    /// barrier); `result`/`result_len` is where the final accumulator is
+    /// DMA'd (0 when no result is wanted, e.g. barrier).
+    #[allow(clippy::too_many_arguments)]
+    pub fn collective(
+        &self,
+        ctx: &mut ActorCtx,
+        coll_id: u32,
+        op: CollOp,
+        steps: Vec<CollStep>,
+        payload: VirtAddr,
+        payload_len: u64,
+        result: VirtAddr,
+        result_len: u64,
+    ) -> Result<u32, BclError> {
+        let start = ctx.now();
+        ctx.sim().trace_span(
+            self.track_tx,
+            "library: compose collective request",
+            start,
+            start + self.node.cfg.lib_compose,
+        );
+        ctx.sleep(self.node.cfg.lib_compose);
+        let kmod = self.node.kmod.clone();
+        let proc = self.proc.clone();
+        let id = self.id;
+        let msg_id = self.node.os.trap(ctx, |ctx| {
+            kmod.ioctl_collective(
+                ctx,
+                &proc,
+                id,
+                coll_id,
+                op,
+                steps,
+                payload,
+                payload_len,
+                result,
+                result_len,
+            )
+        })?;
+        self.trace_send_span(ctx, msg_id, start, payload_len);
         Ok(msg_id)
     }
 

@@ -38,6 +38,12 @@ pub struct McpCosts {
     pub ack_process: SimDuration,
     /// Building + injecting an ACK packet.
     pub ack_send: SimDuration,
+    /// Plan-interpreter work per collective step event: combining one peer
+    /// contribution into the accumulator or short-circuiting a co-located
+    /// copy step. LANai-resident arithmetic over at most one fragment of
+    /// payload, so it sits between the ACK costs and the per-fragment
+    /// receive cost.
+    pub coll_step: SimDuration,
     /// Size of the completion-event record DMA'd into the user-space event
     /// queue.
     pub event_bytes: u64,
@@ -180,6 +186,7 @@ impl BclConfig {
                 recv_per_frag: SimDuration::from_us_f64(1.45),
                 ack_process: SimDuration::from_us_f64(0.30),
                 ack_send: SimDuration::from_us_f64(0.35),
+                coll_step: SimDuration::from_us_f64(0.70),
                 event_bytes: 16,
             },
             reliability: ReliabilityConfig {

@@ -24,6 +24,7 @@ use suca_os::{NodeOs, OsProcess, Pid};
 use suca_sim::mtrace::{stage, TraceEvent, TraceId, TraceLayer};
 use suca_sim::{ActorCtx, Counter, Gauge, SimDuration, SimTime};
 
+use crate::coll::{CollOp, CollSetup, CollStep};
 use crate::config::BclConfig;
 use crate::error::BclError;
 use crate::mcp::{JobKind, Mcp, SendJob};
@@ -570,6 +571,111 @@ impl BclKmod {
             kind: JobKind::RmaReadReq { offset, len },
             retries: 0,
             notify_sender: false,
+        });
+        Ok(msg_id)
+    }
+
+    /// The collective ioctl — one kernel trap buys the whole collective.
+    /// Pins the contribution and result buffers, validates every peer the
+    /// schedule names (§4.3 checks apply to each), and hands the NIC a plan
+    /// descriptor. Fan-in combining and fan-out forwarding then run
+    /// firmware-side with no further host crossings until the initiator
+    /// polls its completion event (`ChainPolicy::collective()`).
+    #[allow(clippy::too_many_arguments)] // mirrors the ioctl request block
+    pub fn ioctl_collective(
+        &self,
+        ctx: &mut ActorCtx,
+        proc: &OsProcess,
+        port: PortId,
+        coll_id: u32,
+        op: CollOp,
+        steps: Vec<CollStep>,
+        payload: VirtAddr,
+        payload_len: u64,
+        result: VirtAddr,
+        result_len: u64,
+    ) -> Result<u32, BclError> {
+        let trap_entry = ctx.now();
+        self.charge_checks(ctx);
+        let dispatch_done = ctx.now();
+        self.check_caller(proc)?;
+        {
+            let st = self.state.lock();
+            self.check_owner(&st, port, proc.pid)?;
+        }
+        // Every peer the schedule names is a communication target: the same
+        // destination checks as a send, per edge.
+        for step in &steps {
+            for p in step.recv_from.iter().chain(step.send_to.iter()) {
+                self.check_dest(*p)?;
+                if self.mcp.path_is_dead(FabricNodeId(p.node.0)) {
+                    return Err(BclError::PathDead(p.node));
+                }
+            }
+        }
+        // Single-fragment contract: each wire contribution is the payload
+        // plus the 4-byte collective id in one packet. Whole f64 lanes only,
+        // so NIC-side combining can never straddle an element.
+        let max = self.mcp.frag_cap().saturating_sub(4);
+        if payload_len > max {
+            return Err(self.reject(BclError::MessageTooLong {
+                len: payload_len,
+                max,
+            }));
+        }
+        if !payload_len.is_multiple_of(8) || !result_len.is_multiple_of(8) {
+            return Err(self.reject(BclError::BadBuffer {
+                addr: payload.0,
+                len: payload_len,
+            }));
+        }
+        if self.mcp.queue_depth() >= self.cfg.limits.send_ring {
+            return Err(BclError::RingFull);
+        }
+        let payload_segs = if payload_len > 0 {
+            self.check_buffer(proc, payload, payload_len)?;
+            self.pin_translate(ctx, proc, payload, payload_len)?
+        } else {
+            Vec::new()
+        };
+        let result_segs = if result_len > 0 {
+            self.check_buffer(proc, result, result_len)?;
+            self.pin_translate(ctx, proc, result, result_len)?
+        } else {
+            Vec::new()
+        };
+        if payload_len == 0 && result_len == 0 {
+            // Barrier: the table is still consulted once.
+            let start = ctx.now();
+            ctx.sim().trace_span(
+                self.track_tx,
+                "kernel: pin-down table lookup + translation",
+                start,
+                start + self.os.costs.pin_lookup_hit,
+            );
+            ctx.sleep(self.os.costs.pin_lookup_hit);
+        }
+        let pin_done = ctx.now();
+        let msg_id = self.alloc_msg_id();
+        self.charge_descriptor_pio(ctx, (payload_segs.len() + result_segs.len()).max(1) as u64);
+        self.trace_send_trap(
+            msg_id,
+            trap_entry,
+            dispatch_done,
+            pin_done,
+            ctx.now(),
+            payload_len,
+        );
+        self.mcp.post_collective(CollSetup {
+            port,
+            coll_id,
+            op,
+            steps,
+            payload: payload_segs,
+            payload_len,
+            result: result_segs,
+            result_len,
+            msg_id,
         });
         Ok(msg_id)
     }

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod coll;
 pub mod config;
 pub mod error;
 pub mod intranode;
@@ -31,6 +32,7 @@ pub mod sg;
 pub mod wire;
 
 pub use api::{BclNode, BclPort};
+pub use coll::{CollOp, CollSetup, CollStep};
 pub use config::BclConfig;
 pub use error::BclError;
 pub use kmod::BclKmod;

@@ -36,6 +36,7 @@ use suca_pci::DmaEngine;
 use suca_sim::mtrace::{stage, TraceEvent, TraceId, TraceLayer};
 use suca_sim::{Counter, EventId, Histogram, PollerId, Sim, SimDuration, SimTime};
 
+use crate::coll::CollSetup;
 use crate::config::BclConfig;
 use crate::port::{
     ChannelId, ChannelKind, PortId, ProcAddr, RecvDataLoc, RecvEvent, SendEvent, SendStatus,
@@ -65,6 +66,18 @@ pub enum JobKind {
     },
     /// Reply stream for a read request (generated NIC-side at the target).
     RmaReadData,
+    /// One collective-plan contribution, generated NIC-side by the plan
+    /// interpreter. The payload is held inline (it is a snapshot of the
+    /// interpreter's SRAM accumulator, not host memory), prefixed on the
+    /// wire with the 4-byte LE collective id; always a single fragment.
+    Coll {
+        /// Collective id matching the arrival to the peer's run.
+        coll_id: u32,
+        /// Plan chunk index, carried in the header `offset`.
+        chunk: u32,
+        /// Accumulator snapshot at step entry.
+        data: Vec<u8>,
+    },
 }
 
 /// A send descriptor, as written into NIC memory by the kernel module.
@@ -127,6 +140,35 @@ struct NicPort {
     open: HashMap<u16, Vec<(PhysAddr, u64)>>,
 }
 
+/// One contribution parked before its run exists (the peer's descriptor
+/// beat ours to the NIC) — keyed into [`McpState::coll_early`].
+struct CollArrival {
+    src_node: u32,
+    src_port: u16,
+    chunk: u32,
+    data: Vec<u8>,
+}
+
+/// One in-flight collective: the plan interpreter's per-run state machine.
+/// Lives entirely in NIC SRAM — a chaos wipe discards it like any other
+/// firmware state, rejecting the initiator's completion so no chain wedges.
+struct CollRun {
+    setup: CollSetup,
+    /// Accumulator; seeded from the pinned payload by the staging DMA.
+    acc: Vec<u8>,
+    /// Payload DMA finished; the interpreter may run.
+    staged: bool,
+    /// Current step index into `setup.steps`.
+    step: usize,
+    /// Entry sends of the current step already fired.
+    sent_current: bool,
+    /// Wire sends queued but not yet fully injected; completion waits for
+    /// zero so the initiator can never observe done-before-inject.
+    outstanding_sends: u32,
+    /// Arrived contributions per `(src node, src port, chunk)` edge, FIFO.
+    inbox: HashMap<(u32, u16, u32), VecDeque<Vec<u8>>>,
+}
+
 struct McpState {
     ports: HashMap<u16, NicPort>,
     send_queue: VecDeque<SendJob>,
@@ -160,6 +202,13 @@ struct McpState {
     /// Chaos: while set and in the future, the whole node is crashed — the
     /// send engine stalls and every arriving packet is a counted drop.
     down_until: Option<SimTime>,
+    /// In-flight collective runs keyed `(initiating port, collective id)`.
+    colls: HashMap<(u16, u32), CollRun>,
+    /// Contributions that arrived before the local descriptor; merged into
+    /// the run at post time. Bounded by [`COLL_EARLY_CAP`] across all keys.
+    coll_early: HashMap<(u16, u32), Vec<CollArrival>>,
+    /// Total parked early contributions (the bound's bookkeeping).
+    coll_early_total: usize,
 }
 
 /// One decoded control arrival parked in the NIC's rx descriptor ring while
@@ -301,6 +350,10 @@ enum Work {
 const STAGE_AHEAD: usize = 8;
 /// Completed-job memory for message-level retries.
 const COMPLETED_CAP: usize = 256;
+/// Early-arrival buffer for collective contributions whose local descriptor
+/// has not been posted yet. Overflow is a counted drop with a flight-record
+/// dump — a wedged collective must leave evidence, never a stuck node.
+const COLL_EARLY_CAP: usize = 4096;
 
 impl Mcp {
     /// Boot the firmware on the NIC of `node`, attached to `fabric` at
@@ -395,6 +448,9 @@ impl Mcp {
                 dead_paths: HashSet::new(),
                 sync_started: HashMap::new(),
                 down_until: None,
+                colls: HashMap::new(),
+                coll_early: HashMap::new(),
+                coll_early_total: 0,
             }),
         });
         // Ring pollers, pinned to this node's event-queue shard. Weak
@@ -560,6 +616,25 @@ impl Mcp {
             st.send_queue.push_back(job);
         }
         McpInner::kick_sender(&self.inner);
+    }
+
+    /// Kernel module: post a collective descriptor (the doorbell side
+    /// effect). The plan interpreter fetches the contribution by DMA and
+    /// runs the schedule entirely NIC-side; the initiator's next host
+    /// crossing is polling the completion event.
+    pub fn post_collective(&self, setup: CollSetup) {
+        McpInner::post_collective(&self.inner, setup);
+    }
+
+    /// Name of the primary rail's fabric ("myrinet", "nwrc-mesh") — the
+    /// topology key for collective plan selection.
+    pub fn fabric_name(&self) -> &'static str {
+        self.inner.fabrics[0].name()
+    }
+
+    /// Collective runs currently in flight on this NIC (tests/observability).
+    pub fn colls_in_flight(&self) -> usize {
+        self.inner.state.lock().colls.len()
     }
 
     /// Fragment payload capacity (bytes of user data per packet).
@@ -992,6 +1067,18 @@ impl McpInner {
                     if active.job.total_len == 0 {
                         active.staged.push_back((0, Vec::new(), None));
                         active.stage_next = 0;
+                    } else if let JobKind::Coll {
+                        coll_id, ref data, ..
+                    } = active.job.kind
+                    {
+                        // Collective contributions are NIC-resident (the
+                        // interpreter's accumulator): no host staging DMA,
+                        // the single wire fragment is assembled in place.
+                        let mut wire = Vec::with_capacity(4 + data.len());
+                        wire.extend_from_slice(&coll_id.to_le_bytes());
+                        wire.extend_from_slice(data);
+                        active.stage_next = active.job.total_len;
+                        active.staged.push_back((0, wire, None));
                     }
                     st.active = Some(active);
                     self.stage_more(st);
@@ -1047,7 +1134,15 @@ impl McpInner {
                 if a.job.notify_sender {
                     self.post_send_event(st, &a.job, SendStatus::Ok);
                 }
-                self.remember_completed(st, a.job);
+                if let JobKind::Coll { coll_id, .. } = a.job.kind {
+                    // A collective send left the NIC: its run may now be
+                    // eligible to complete. Coll jobs are never retried at
+                    // message level (the interpreter owns recovery), so
+                    // they skip the completed-job memory.
+                    self.coll_send_injected(st, (a.job.src_port.0, coll_id));
+                } else {
+                    self.remember_completed(st, a.job);
+                }
             }
             // Next job (if any) starts after this fragment's wire time,
             // in the same chain.
@@ -1090,6 +1185,9 @@ impl McpInner {
             JobKind::RmaWrite { offset } => (WireKind::Data, offset + frag_off, job.total_len),
             JobKind::RmaReadReq { offset, len } => (WireKind::RmaReadReq, offset, len),
             JobKind::RmaReadData => (WireKind::RmaReadData, frag_off, job.total_len),
+            // `offset` carries the plan chunk index; the collective id
+            // rides the first 4 payload bytes.
+            JobKind::Coll { chunk, .. } => (WireKind::Coll, u64::from(chunk), job.total_len),
         };
         WireHeader {
             kind,
@@ -1233,6 +1331,19 @@ impl McpInner {
                 });
             });
         }
+        // In-flight collective runs lived in the wiped SRAM: reject each
+        // initiator so its poll loop unwedges. Sorted drain: completion
+        // order must not depend on hash-map iteration order (determinism).
+        let mut dead_colls: Vec<(u16, u32)> = st.colls.keys().copied().collect();
+        dead_colls.sort_unstable();
+        for key in dead_colls {
+            let Some(run) = st.colls.remove(&key) else {
+                continue;
+            };
+            self.coll_post_event(&st, run.setup.port, run.setup.msg_id, SendStatus::Rejected);
+        }
+        st.coll_early.clear();
+        st.coll_early_total = 0;
         st.retx.clear();
         let window = self.cfg.reliability.window;
         let old_epochs: Vec<(u32, u16)> =
@@ -1411,7 +1522,7 @@ impl McpInner {
                 });
                 sim.schedule_poll_in(self.cfg.mcp.ack_process, self.pollers().rx_ctrl);
             }
-            WireKind::Data | WireKind::RmaReadReq | WireKind::RmaReadData => {
+            WireKind::Data | WireKind::RmaReadReq | WireKind::RmaReadData | WireKind::Coll => {
                 let proc = self.cfg.mcp.recv_per_frag;
                 let start = sim.now();
                 sim.trace_span(self.track_rx, "mcp: receive process", start, start + proc);
@@ -1726,6 +1837,7 @@ impl McpInner {
             },
             WireKind::RmaReadReq => self.rma_read_request(st, src, header, rail),
             WireKind::RmaReadData => self.rma_read_data(st, src, header, payload),
+            WireKind::Coll => self.coll_rx(st, src, header, payload),
             _ => {
                 // Control kinds are dispatched before accept_data; reaching
                 // here means the demux and the GBN accept path disagree.
@@ -2078,6 +2190,393 @@ impl McpInner {
                     });
                 }
             }
+        });
+    }
+
+    // ---------------- collective plan interpreter ----------------
+
+    /// Kernel module posted a collective descriptor. Registers the run,
+    /// merges contributions that beat the descriptor to the NIC, then
+    /// fetches the pinned contribution by DMA and starts the schedule.
+    fn post_collective(self: &Arc<Self>, setup: CollSetup) {
+        let key = (setup.port.0, setup.coll_id);
+        let trace = TraceId::new(self.node.0, setup.msg_id);
+        let t0 = self.sim.now();
+        let segs = setup.payload.clone();
+        let len = setup.payload_len;
+        {
+            let mut st = self.state.lock();
+            if !st.ports.contains_key(&setup.port.0) {
+                self.protocol_error(trace, "collective descriptor on unregistered port");
+                return;
+            }
+            if st.colls.contains_key(&key) {
+                // A duplicate id would cross-wire two collectives'
+                // arrivals; refuse the newcomer, reject its initiator.
+                self.coll_post_event(&st, setup.port, setup.msg_id, SendStatus::Rejected);
+                self.protocol_error(trace, "duplicate collective id on port");
+                return;
+            }
+            let mut run = CollRun {
+                acc: Vec::new(),
+                staged: false,
+                step: 0,
+                sent_current: false,
+                outstanding_sends: 0,
+                inbox: HashMap::new(),
+                setup,
+            };
+            if let Some(early) = st.coll_early.remove(&key) {
+                st.coll_early_total -= early.len();
+                for a in early {
+                    run.inbox
+                        .entry((a.src_node, a.src_port, a.chunk))
+                        .or_default()
+                        .push_back(a.data);
+                }
+            }
+            st.colls.insert(key, run);
+        }
+        // Fetch the contribution into the SRAM accumulator; the COLL_POST
+        // span covers descriptor post through staging DMA.
+        let me = self.clone();
+        self.host_dma.submit(len, move |_| {
+            let data = if len == 0 {
+                Vec::new()
+            } else {
+                read_sg(&me.mem, &segs, 0, len).expect("collective payload DMA faulted")
+            };
+            if me.mt_enabled() {
+                me.sim.trace_event(
+                    TraceEvent::span(
+                        trace,
+                        me.node.0,
+                        TraceLayer::Mcp,
+                        stage::COLL_POST,
+                        t0.as_ns(),
+                        me.sim.now().as_ns(),
+                    )
+                    .with_bytes(len),
+                );
+            }
+            let mut st = me.state.lock();
+            let Some(run) = st.colls.get_mut(&key) else {
+                return; // wiped meanwhile; the initiator was already rejected
+            };
+            run.acc = data;
+            run.staged = true;
+            me.coll_advance(&mut st, key);
+        });
+    }
+
+    /// Run one collective's interpreter until it parks — waiting on
+    /// arrivals, on the per-step interpreter delay, or on outstanding wire
+    /// sends — or completes. Lock held.
+    fn coll_advance(self: &Arc<Self>, st: &mut McpState, key: (u16, u32)) {
+        // Step entry: fire this step's sends exactly once. `None` means the
+        // schedule is finished and ready to complete.
+        let fire = match st.colls.get_mut(&key) {
+            None => return,
+            Some(run) => {
+                if !run.staged {
+                    return;
+                }
+                match run.setup.steps.get(run.step) {
+                    None => {
+                        if run.outstanding_sends > 0 {
+                            return; // completion waits for the last injection
+                        }
+                        None
+                    }
+                    Some(step) => {
+                        if run.sent_current {
+                            Some(None)
+                        } else {
+                            run.sent_current = true;
+                            let wire = step
+                                .send_to
+                                .iter()
+                                .filter(|d| d.node.0 != self.node.0)
+                                .count() as u32;
+                            run.outstanding_sends += wire;
+                            Some(Some((
+                                step.send_to.clone(),
+                                step.chunk,
+                                run.acc.clone(),
+                                run.setup.coll_id,
+                                run.setup.msg_id,
+                                run.setup.port,
+                            )))
+                        }
+                    }
+                }
+            }
+        };
+        let Some(fire) = fire else {
+            let Some(run) = st.colls.remove(&key) else {
+                return;
+            };
+            self.coll_complete(st, run);
+            return;
+        };
+        if let Some((send_to, chunk, acc, coll_id, msg_id, src_port)) = fire {
+            let mut queued = false;
+            for dst in send_to {
+                if dst.node.0 == self.node.0 {
+                    // Co-located participant on this same NIC: a local copy
+                    // step — one interpreter tick, no wire, no go-back-N.
+                    let me = self.clone();
+                    let data = acc.clone();
+                    let dkey = (dst.port.0, coll_id);
+                    let from_port = src_port.0;
+                    self.sim.schedule_in(self.cfg.mcp.coll_step, move |_| {
+                        let mut st = me.state.lock();
+                        me.mt_instant(TraceId::new(me.node.0, msg_id), stage::COLL_COMBINE);
+                        me.coll_deliver(&mut st, dkey, me.node.0, from_port, chunk, data);
+                    });
+                } else {
+                    st.send_queue.push_back(SendJob {
+                        src_port,
+                        dst_fid: FabricNodeId(dst.node.0),
+                        dst_port: dst.port,
+                        channel: ChannelId::SYSTEM,
+                        msg_id,
+                        segments: Vec::new(),
+                        total_len: 4 + acc.len() as u64,
+                        kind: JobKind::Coll {
+                            coll_id,
+                            chunk,
+                            data: acc.clone(),
+                        },
+                        retries: 0,
+                        notify_sender: false,
+                    });
+                    queued = true;
+                }
+            }
+            if queued {
+                // kick_sender needs the lock we currently hold; defer.
+                let me = self.clone();
+                self.sim
+                    .schedule_in(SimDuration::ZERO, move |_| me.kick_sender());
+            }
+        }
+        // Step exit: consume one arrival per `recv_from` edge, folding (or
+        // adopting) in listed order.
+        let folded = {
+            let Some(run) = st.colls.get_mut(&key) else {
+                return;
+            };
+            let Some(step) = run.setup.steps.get(run.step).cloned() else {
+                return; // completion handled by the entry phase above
+            };
+            let mut need: HashMap<(u32, u16, u32), usize> = HashMap::new();
+            for p in &step.recv_from {
+                *need.entry((p.node.0, p.port.0, step.chunk)).or_default() += 1;
+            }
+            if !need
+                .iter()
+                .all(|(edge, k)| run.inbox.get(edge).map_or(0, |q| q.len()) >= *k)
+            {
+                return; // parked until the missing contributions arrive
+            }
+            let mut ok = true;
+            for p in &step.recv_from {
+                let edge = (p.node.0, p.port.0, step.chunk);
+                let Some(v) = run.inbox.get_mut(&edge).and_then(|q| q.pop_front()) else {
+                    ok = false;
+                    break;
+                };
+                if step.adopt {
+                    run.acc = v;
+                } else if !run.setup.op.fold_bytes(&mut run.acc, &v) {
+                    ok = false;
+                    break;
+                }
+            }
+            run.inbox.retain(|_, q| !q.is_empty());
+            if ok {
+                run.step += 1;
+                run.sent_current = false;
+                Ok(step.recv_from.len() as u64)
+            } else {
+                Err(())
+            }
+        };
+        match folded {
+            Err(()) => {
+                // Readiness was checked and plans are validated before a
+                // descriptor reaches the NIC, so a mismatch here is
+                // corrupted firmware state: evidence plus a rejected
+                // initiator, never a panic.
+                let Some(run) = st.colls.remove(&key) else {
+                    return;
+                };
+                self.coll_post_event(st, run.setup.port, run.setup.msg_id, SendStatus::Rejected);
+                self.protocol_error(
+                    TraceId::new(self.node.0, run.setup.msg_id),
+                    "collective fold length mismatch",
+                );
+            }
+            Ok(combines) => {
+                // Charge the interpreter's per-step work (one tick for
+                // pure-send steps, one per combine otherwise) and continue.
+                let me = self.clone();
+                let d = self.cfg.mcp.coll_step * combines.max(1);
+                self.sim.schedule_in(d, move |_| {
+                    let mut st = me.state.lock();
+                    me.coll_advance(&mut st, key);
+                });
+            }
+        }
+    }
+
+    /// The send engine finished injecting one of a run's wire sends; the
+    /// run may now be eligible to complete. Lock held.
+    fn coll_send_injected(self: &Arc<Self>, st: &mut McpState, key: (u16, u32)) {
+        {
+            let Some(run) = st.colls.get_mut(&key) else {
+                return;
+            };
+            run.outstanding_sends = run.outstanding_sends.saturating_sub(1);
+        }
+        self.coll_advance(st, key);
+    }
+
+    /// One contribution (wire arrival or local copy) for `key`. Lock held.
+    fn coll_deliver(
+        self: &Arc<Self>,
+        st: &mut McpState,
+        key: (u16, u32),
+        src_node: u32,
+        src_port: u16,
+        chunk: u32,
+        data: Vec<u8>,
+    ) {
+        if let Some(run) = st.colls.get_mut(&key) {
+            run.inbox
+                .entry((src_node, src_port, chunk))
+                .or_default()
+                .push_back(data);
+            self.coll_advance(st, key);
+            return;
+        }
+        // The peer's schedule outran this node's descriptor: park the
+        // contribution until `post_collective` claims it. Bounded —
+        // overflow is a counted drop that trips the flight recorder.
+        if st.coll_early_total >= COLL_EARLY_CAP {
+            self.sim.add_count("mcp.coll_early_drops", 1);
+            self.protocol_error(TraceId::NONE, "collective early-arrival buffer overflow");
+            return;
+        }
+        st.coll_early_total += 1;
+        st.coll_early.entry(key).or_default().push(CollArrival {
+            src_node,
+            src_port,
+            chunk,
+            data,
+        });
+    }
+
+    /// An accepted `WireKind::Coll` packet: strip the 4-byte collective id
+    /// sub-header and hand the contribution to the interpreter. Lock held.
+    fn coll_rx(
+        self: &Arc<Self>,
+        st: &mut McpState,
+        src: FabricNodeId,
+        header: WireHeader,
+        payload: Bytes,
+    ) {
+        let trace = self.header_trace(src, &header);
+        if payload.len() < 4 {
+            self.protocol_error(trace, "collective packet shorter than its id");
+            return;
+        }
+        let coll_id = u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]);
+        // The combine is attributed to the *sender's* chain: its message
+        // ends by merging into this NIC's accumulator, not at a host.
+        self.mt_instant(trace, stage::COLL_COMBINE);
+        self.coll_deliver(
+            st,
+            (header.dst_port.0, coll_id),
+            src.0,
+            header.src_port.0,
+            header.offset,
+            payload[4..].to_vec(),
+        );
+    }
+
+    /// Schedule finished and every wire send injected: DMA the accumulator
+    /// into the pinned result buffer, then the completion event the
+    /// initiator is polling. Lock held.
+    fn coll_complete(self: &Arc<Self>, st: &mut McpState, run: CollRun) {
+        let trace = TraceId::new(self.node.0, run.setup.msg_id);
+        if run.acc.len() as u64 != run.setup.result_len {
+            self.protocol_error(trace, "collective result length mismatch");
+            self.coll_post_event(st, run.setup.port, run.setup.msg_id, SendStatus::Rejected);
+            return;
+        }
+        self.mt_instant(trace, stage::COLL_DONE);
+        if run.setup.result_len == 0 {
+            self.coll_post_event(st, run.setup.port, run.setup.msg_id, SendStatus::Ok);
+            return;
+        }
+        let me = self.clone();
+        let segs = run.setup.result.clone();
+        let len = run.setup.result_len;
+        let port = run.setup.port;
+        let msg_id = run.setup.msg_id;
+        let data = run.acc;
+        let t0 = self.sim.now();
+        self.host_dma.submit(len, move |_| {
+            write_sg(&me.mem, &segs, 0, &data).expect("collective result DMA faulted");
+            if me.mt_enabled() {
+                me.sim.trace_event(
+                    TraceEvent::span(
+                        trace,
+                        me.node.0,
+                        TraceLayer::Dma,
+                        stage::DMA_DATA,
+                        t0.as_ns(),
+                        me.sim.now().as_ns(),
+                    )
+                    .with_bytes(len),
+                );
+            }
+            let st = me.state.lock();
+            me.coll_post_event(&st, port, msg_id, SendStatus::Ok);
+        });
+    }
+
+    /// DMA a collective completion event into the initiator's send queue.
+    /// Lock held (shared borrow suffices).
+    fn coll_post_event(
+        self: &Arc<Self>,
+        st: &McpState,
+        port: PortId,
+        msg_id: u32,
+        status: SendStatus,
+    ) {
+        let Some(p) = st.ports.get(&port.0) else {
+            return; // port closed meanwhile
+        };
+        let queues = p.queues.clone();
+        let trace = TraceId::new(self.node.0, msg_id);
+        let t0 = self.sim.now();
+        let me = self.clone();
+        self.completion_dmas.inc();
+        self.host_dma.submit(self.cfg.mcp.event_bytes, move |_| {
+            if me.mt_enabled() {
+                me.sim.trace_event(TraceEvent::span(
+                    trace,
+                    me.node.0,
+                    TraceLayer::Dma,
+                    stage::DMA_CQ,
+                    t0.as_ns(),
+                    me.sim.now().as_ns(),
+                ));
+            }
+            queues.push_send(SendEvent { msg_id, status });
         });
     }
 }

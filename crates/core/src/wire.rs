@@ -40,6 +40,12 @@ pub enum WireKind {
     /// the *previous* epoch's stream so the sender retransmits only what was
     /// genuinely undelivered.
     EpochSyncAck,
+    /// One collective-plan contribution: the sender's accumulator for one
+    /// plan step. Single-fragment; the payload starts with a 4-byte LE
+    /// collective id and `offset` carries the plan chunk index. Rides the
+    /// go-back-N stream like `Data` but is consumed by the receiving NIC's
+    /// plan interpreter instead of the host delivery path.
+    Coll,
 }
 
 impl WireKind {
@@ -52,6 +58,7 @@ impl WireKind {
             WireKind::RmaReadData => 5,
             WireKind::EpochSync => 6,
             WireKind::EpochSyncAck => 7,
+            WireKind::Coll => 8,
         }
     }
     fn from_wire(b: u8) -> Option<Self> {
@@ -63,6 +70,7 @@ impl WireKind {
             5 => Some(WireKind::RmaReadData),
             6 => Some(WireKind::EpochSync),
             7 => Some(WireKind::EpochSyncAck),
+            8 => Some(WireKind::Coll),
             _ => None,
         }
     }
@@ -194,6 +202,7 @@ mod tests {
             WireKind::RmaReadData,
             WireKind::EpochSync,
             WireKind::EpochSyncAck,
+            WireKind::Coll,
         ] {
             let mut h = sample();
             h.kind = kind;

@@ -22,7 +22,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use suca_bcl::{BclNode, BclPort, ChannelId, ChannelKind, RecvEvent};
+use suca_bcl::{BclNode, BclPort, ChannelId, ChannelKind, ProcAddr, RecvEvent, SendStatus};
 use suca_mem::VirtAddr;
 use suca_os::OsProcess;
 use suca_sim::{ActorCtx, SimDuration};
@@ -139,6 +139,10 @@ struct EadiState {
     buf_pool: HashMap<u64, Vec<VirtAddr>>,
     /// BCL msg id → staging buffer to recycle on send completion.
     buf_recycle: HashMap<u32, (VirtAddr, u64)>,
+    /// Completions for sends launched outside the endpoint on the same
+    /// port (NIC-offloaded collectives): msg id → status. The progress
+    /// engine must not swallow these.
+    ext_done: HashMap<u32, SendStatus>,
 }
 
 /// One process's EADI endpoint.
@@ -185,6 +189,7 @@ impl EadiEndpoint {
                 cts_backlog: VecDeque::new(),
                 buf_pool: HashMap::new(),
                 buf_recycle: HashMap::new(),
+                ext_done: HashMap::new(),
             }),
         }
     }
@@ -202,6 +207,23 @@ impl EadiEndpoint {
     /// The underlying BCL port (observability).
     pub fn port(&self) -> &BclPort {
         &self.port
+    }
+
+    /// Cluster-wide port address of `rank` (collective plan compilation).
+    pub fn addr_of(&self, rank: u32) -> ProcAddr {
+        self.uni.addr_of(rank)
+    }
+
+    /// Block until the completion of a message launched on this port
+    /// outside the endpoint's own send paths (a NIC-offloaded collective)
+    /// arrives, pumping the progress engine meanwhile. Returns its status.
+    pub fn wait_external(&self, ctx: &mut ActorCtx, msg_id: u32) -> SendStatus {
+        loop {
+            if let Some(status) = self.st.lock().ext_done.remove(&msg_id) {
+                return status;
+            }
+            self.pump_blocking(ctx);
+        }
     }
 
     // -------------------------------------------------------------- buffers
@@ -409,6 +431,14 @@ impl EadiEndpoint {
     fn drain_send_events(&self, ctx: &mut ActorCtx) {
         while let Some(sev) = self.port.poll_send(ctx) {
             let mut st = self.st.lock();
+            // A completion the endpoint never staged a buffer for belongs
+            // to an externally launched message (offloaded collective):
+            // park it for `wait_external` instead of dropping it.
+            if !st.buf_recycle.contains_key(&sev.msg_id) && !st.seg_to_xid.contains_key(&sev.msg_id)
+            {
+                st.ext_done.insert(sev.msg_id, sev.status);
+                continue;
+            }
             if let Some((buf, class)) = st.buf_recycle.remove(&sev.msg_id) {
                 st.buf_pool.entry(class).or_default().push(buf);
             }

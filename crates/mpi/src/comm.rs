@@ -3,9 +3,10 @@
 //! DAWNING-3000's MPI is MPICH retargeted at EADI-2 (paper Fig. 1); our
 //! layer mirrors that: a thin veneer that adds MPI envelope semantics and
 //! per-call overhead, delegating matching and transport to EADI. Collectives
-//! live in [`crate::collectives`], built strictly from point-to-point, as
-//! the paper prescribes ("All other collective message passing should be
-//! implemented in the higher level software").
+//! live in [`crate::collectives`]: host reference algorithms built strictly
+//! from point-to-point (the paper's "All other collective message passing
+//! should be implemented in the higher level software") plus the
+//! NIC-offloaded plan-driven path in [`crate::offload`].
 
 use std::sync::Arc;
 
@@ -30,6 +31,10 @@ pub struct MpiConfig {
     pub send_overhead: SimDuration,
     /// Per-call overhead on the receiving side (status fill).
     pub recv_overhead: SimDuration,
+    /// Run barrier/bcast/allreduce on the NIC's plan interpreter when the
+    /// operands are eligible (see [`crate::offload`]); `false` forces the
+    /// host point-to-point reference algorithms everywhere.
+    pub offload_collectives: bool,
     /// EADI configuration underneath.
     pub eadi: EadiConfig,
 }
@@ -40,6 +45,7 @@ impl MpiConfig {
         MpiConfig {
             send_overhead: SimDuration::from_us_f64(0.45),
             recv_overhead: SimDuration::from_us_f64(0.45),
+            offload_collectives: true,
             eadi: EadiConfig::dawning3000(),
         }
     }
@@ -63,6 +69,14 @@ pub struct Comm {
     /// Per-communicator collective sequence number (isolates successive
     /// collectives' traffic in the reserved tag space).
     pub(crate) coll_seq: parking_lot::Mutex<i32>,
+    /// Fabric this rank's NIC sits on — keys collective plan selection.
+    pub(crate) fabric: &'static str,
+    /// Largest NIC-offloadable collective payload (whole `f64` lanes in
+    /// one fragment), captured from the NIC at init.
+    pub(crate) max_coll_payload: u64,
+    /// Next collective id. Every rank issues collectives in the same
+    /// order, so the local counter yields the same id cluster-wide.
+    pub(crate) coll_id: parking_lot::Mutex<u32>,
 }
 
 impl Comm {
@@ -77,10 +91,14 @@ impl Comm {
         cfg: MpiConfig,
     ) -> Comm {
         let eadi = EadiEndpoint::create(ctx, node, proc, universe, rank, cfg.eadi.clone());
+        let max_coll_payload = (node.mcp.frag_cap().saturating_sub(4) / 8) * 8;
         Comm {
             eadi,
             cfg,
             coll_seq: parking_lot::Mutex::new(0),
+            fabric: node.fabric_name(),
+            max_coll_payload,
+            coll_id: parking_lot::Mutex::new(1),
         }
     }
 
@@ -94,16 +112,33 @@ impl Comm {
         self.eadi.size()
     }
 
+    /// Sanitize a user-supplied tag. Negative user tags would collide with
+    /// the reserved collective tag space and corrupt collective matching;
+    /// instead of panicking mid-job we count the violation, trip the flight
+    /// recorder once, and clear the sign bit so the message still flows in
+    /// user space (a matching misuse on the receiver side sees the same
+    /// sanitized value).
+    fn sanitize_user_tag(&self, ctx: &ActorCtx, tag: i32) -> i32 {
+        if tag >= 0 {
+            return tag;
+        }
+        ctx.sim().add_count("mpi.invalid_user_tag", 1);
+        ctx.sim()
+            .msg_trace()
+            .dump_once("mpi: negative user tag sanitized");
+        tag & i32::MAX
+    }
+
     /// Blocking standard send (`MPI_Send`).
     pub fn send(&self, ctx: &mut ActorCtx, dst: u32, tag: i32, data: &[u8]) {
-        assert!(tag >= 0, "user tags must be non-negative");
+        let tag = self.sanitize_user_tag(ctx, tag);
         ctx.sleep(self.cfg.send_overhead);
         self.eadi.send(ctx, dst, tag, data);
     }
 
     /// Non-blocking send (`MPI_Isend`).
     pub fn isend(&self, ctx: &mut ActorCtx, dst: u32, tag: i32, data: &[u8]) -> SendReq {
-        assert!(tag >= 0, "user tags must be non-negative");
+        let tag = self.sanitize_user_tag(ctx, tag);
         ctx.sleep(self.cfg.send_overhead);
         self.eadi.isend(ctx, dst, tag, data)
     }

@@ -10,6 +10,7 @@
 pub mod collectives;
 pub mod comm;
 pub mod datatype;
+pub mod offload;
 
 pub use comm::{Comm, Message, MpiConfig, ANY_SOURCE, ANY_TAG};
 pub use datatype::{bytes_to_f64s, bytes_to_i32s, f64s_to_bytes, i32s_to_bytes, ReduceOp};

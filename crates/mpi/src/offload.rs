@@ -1,0 +1,152 @@
+//! NIC-offloaded collectives: plan selection, compilation, launch.
+//!
+//! The host side of the tentpole path: pick an algorithm from the
+//! fabric-aware [`PlanRegistry`], compile this rank's rank-space schedule
+//! into execution-form [`CollStep`]s over concrete port addresses, and hand
+//! it to the NIC in one `ioctl_collective` trap. The MCP's plan interpreter
+//! then runs the whole collective — fan-in combining, fan-out forwarding,
+//! result DMA — with no further host crossing; the initiator polls one
+//! completion event (`ChainPolicy::collective()`).
+//!
+//! The offload decision must be identical on every rank (a rank running the
+//! host algorithm while its peers wait NIC-side would wedge the job), so
+//! eligibility depends only on values MPI semantics already require to
+//! agree cluster-wide: the communicator size, the element count, and the
+//! shared configuration.
+
+use suca_bcl::{CollOp, CollStep, SendStatus};
+use suca_coll::{CollKind, Combine, PlanRegistry};
+use suca_sim::ActorCtx;
+
+use crate::comm::Comm;
+use crate::datatype::{bytes_to_f64s, f64s_to_bytes, ReduceOp};
+
+impl From<ReduceOp> for CollOp {
+    fn from(op: ReduceOp) -> CollOp {
+        match op {
+            ReduceOp::Sum => CollOp::Sum,
+            ReduceOp::Max => CollOp::Max,
+            ReduceOp::Min => CollOp::Min,
+            ReduceOp::Prod => CollOp::Prod,
+        }
+    }
+}
+
+impl Comm {
+    /// Fresh collective id. Ranks issue collectives in identical order, so
+    /// independent counters agree cluster-wide.
+    pub(crate) fn next_coll_id(&self) -> u32 {
+        let mut id = self.coll_id.lock();
+        let v = *id;
+        *id = id.wrapping_add(1);
+        v
+    }
+
+    /// Can this collective run on the NIC? Pure function of cluster-wide
+    /// agreed values only (see module docs).
+    pub(crate) fn offload_eligible(&self, bytes: u64) -> bool {
+        self.cfg.offload_collectives
+            && self.size() > 1
+            && bytes <= self.max_coll_payload
+            && bytes.is_multiple_of(8)
+    }
+
+    /// Counted protocol error on the offload path: bump `counter`, trip the
+    /// flight recorder once. Never panics — callers degrade to the host
+    /// reference algorithm or a local result.
+    fn offload_error(&self, ctx: &ActorCtx, counter: &'static str, reason: &str) {
+        ctx.sim().add_count(counter, 1);
+        ctx.sim().msg_trace().dump_once(reason);
+    }
+
+    /// Launch one NIC-offloaded collective and wait for its completion.
+    ///
+    /// Returns the final accumulator (as `f64`s) when `result_lanes > 0`,
+    /// `Some(empty)` for barrier-style calls, and `None` when the launch
+    /// could not be made or the NIC rejected the run. Callers degrade to
+    /// the host reference algorithm: for the *uniform* failure modes (plan
+    /// validation — every rank computes the same plan and fails the same
+    /// way) that fallback is collectively consistent. Per-rank failures
+    /// (ring full, chaos SRAM wipe mid-run) cannot be hidden from peers by
+    /// any local policy; they are counted and flight-recorded here and
+    /// NIC-side, and the fallback keeps this rank live.
+    pub(crate) fn offloaded_collective(
+        &self,
+        ctx: &mut ActorCtx,
+        kind: CollKind,
+        root: u32,
+        op: CollOp,
+        payload: &[f64],
+        result_lanes: usize,
+    ) -> Option<Vec<f64>> {
+        let n = self.size();
+        let me = self.rank();
+        let bytes = (payload.len() * 8) as u64;
+        let coll_id = self.next_coll_id();
+        let plan = match PlanRegistry::for_fabric(self.fabric).plan(kind, n, root, bytes) {
+            Ok(p) => p,
+            Err(_) => {
+                self.offload_error(
+                    ctx,
+                    "mpi.coll_plan_rejected",
+                    "mpi: collective plan failed validation",
+                );
+                return None;
+            }
+        };
+        let steps: Vec<CollStep> = plan.schedules[me as usize]
+            .iter()
+            .map(|s| CollStep {
+                recv_from: s.recv_from.iter().map(|&r| self.eadi.addr_of(r)).collect(),
+                send_to: s.send_to.iter().map(|&r| self.eadi.addr_of(r)).collect(),
+                adopt: s.combine == Combine::Adopt,
+                chunk: s.chunk,
+            })
+            .collect();
+        let port = self.eadi.port();
+        let result_len = (result_lanes * 8) as u64;
+        let payload_buf = port.alloc_buffer(bytes.max(1)).ok()?;
+        if bytes > 0 {
+            port.write_buffer(payload_buf, &f64s_to_bytes(payload))
+                .ok()?;
+        }
+        let result_buf = port.alloc_buffer(result_len.max(1)).ok()?;
+        let msg_id = match port.collective(
+            ctx,
+            coll_id,
+            op,
+            steps,
+            payload_buf,
+            bytes,
+            result_buf,
+            result_len,
+        ) {
+            Ok(id) => id,
+            Err(_) => {
+                self.offload_error(
+                    ctx,
+                    "mpi.coll_launch_failed",
+                    "mpi: collective descriptor rejected by the kernel",
+                );
+                return None;
+            }
+        };
+        match self.eadi.wait_external(ctx, msg_id) {
+            SendStatus::Ok => {}
+            SendStatus::Rejected => {
+                self.offload_error(
+                    ctx,
+                    "mpi.coll_nic_rejected",
+                    "mpi: NIC rejected a collective run",
+                );
+                return None;
+            }
+        }
+        ctx.sleep(self.cfg.recv_overhead);
+        if result_lanes == 0 {
+            return Some(Vec::new());
+        }
+        let raw = port.read_buffer(result_buf, result_len).ok()?;
+        Some(bytes_to_f64s(&raw))
+    }
+}

@@ -16,6 +16,10 @@ use suca_mpi::{Comm, MpiConfig, ReduceOp};
 use suca_sim::mtrace::{check_completeness, ChainPolicy};
 use suca_sim::RunOutcome;
 
+/// Per-rank transcripts: (rank, bytes), shared across actor closures.
+type RankTranscripts = Vec<(u32, Vec<u8>)>;
+type Transcripts = Arc<Mutex<RankTranscripts>>;
+
 /// Run an MPI job on an explicit cluster spec (the stock helper in
 /// `mpi_e2e.rs` hardcodes Myrinet); returns the cluster so the caller can
 /// inspect trace chains after the run.
@@ -80,11 +84,10 @@ fn collective_suite(ctx: &mut suca_sim::ActorCtx, comm: &Comm) -> Vec<u8> {
 
     let mine = vec![me as u8; (me + 1) as usize];
     let gathered = comm.gather(ctx, 0, &mine);
-    let parts = gathered.map(|parts| {
-        for p in &parts {
+    let parts = gathered.inspect(|parts| {
+        for p in parts {
             transcript.extend_from_slice(p);
         }
-        parts
     });
     let back = comm.scatter(ctx, 0, parts.as_deref());
     assert_eq!(back, mine, "scatter returned the wrong slice");
@@ -105,13 +108,13 @@ fn collective_suite(ctx: &mut suca_sim::ActorCtx, comm: &Comm) -> Vec<u8> {
 fn collectives_identical_on_myrinet_and_mesh_with_closed_chains() {
     const NODES: u32 = 4;
     const RANKS: u32 = 7; // odd count: uneven node placement on both SANs
-    let mut per_fabric: Vec<(&str, Vec<(u32, Vec<u8>)>)> = Vec::new();
+    let mut per_fabric: Vec<(&str, RankTranscripts)> = Vec::new();
 
     for (name, spec) in [
         ("myrinet", ClusterSpec::dawning3000(NODES)),
         ("mesh", ClusterSpec::dawning3000_mesh(NODES)),
     ] {
-        let transcripts: Arc<Mutex<Vec<(u32, Vec<u8>)>>> = Arc::new(Mutex::new(Vec::new()));
+        let transcripts: Transcripts = Arc::new(Mutex::new(Vec::new()));
         let t2 = transcripts.clone();
         let cluster = mpi_job_on(spec, NODES, RANKS, move |ctx, comm| {
             let transcript = collective_suite(ctx, comm);

@@ -1069,7 +1069,7 @@ mod tests {
         let rule = HealthRule::burn_rate("burn", None, 10_000, 10, 3, 6, 5).with_lifecycle(2, 3);
         let (h, _m, ts, tr) = engine_with(vec![rule]);
         let mut t = 0u64;
-        let mut tick = |h: &HealthEngine, t: &mut u64| {
+        let tick = |h: &HealthEngine, t: &mut u64| {
             *t += 10_000;
             h.on_tick(*t, &ts, &tr);
         };
@@ -1160,7 +1160,7 @@ mod tests {
         // An unrelated probe with capacity must not create a scope.
         ts.register("n3.nic.sram_used", 3, Some(100), |_| 100);
         let mut t = 0u64;
-        let mut step = |h: &HealthEngine, lvl: u64, t: &mut u64| {
+        let step = |h: &HealthEngine, lvl: u64, t: &mut u64| {
             level.store(lvl, std::sync::atomic::Ordering::Relaxed);
             *t += 10_000;
             ts.sample_all(*t);
@@ -1186,7 +1186,7 @@ mod tests {
         let (h, m, ts, tr) = engine_with(vec![rule]);
         let c = m.counter("link.down_drops");
         let mut t = 0u64;
-        let mut tick = |h: &HealthEngine, t: &mut u64| {
+        let tick = |h: &HealthEngine, t: &mut u64| {
             *t += 10_000;
             h.on_tick(*t, &ts, &tr);
         };

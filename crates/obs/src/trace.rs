@@ -263,6 +263,16 @@ pub mod stage {
     /// Epoch-resync handshake completed; the stream is live on the new
     /// epoch (instant).
     pub const EPOCH_RESYNC: &str = "mcp:epoch_resync";
+    /// NIC plan interpreter accepted a collective descriptor and staged the
+    /// local contribution (span, participant node).
+    pub const COLL_POST: &str = "mcp:coll_post";
+    /// Plan interpreter combined one peer contribution into the
+    /// accumulator (instant, combining node; attributed to the *sender's*
+    /// chain so fan-in joins the contributing message).
+    pub const COLL_COMBINE: &str = "mcp:coll_combine";
+    /// Plan interpreter finished the local schedule and DMAd the result +
+    /// completion (instant, participant node).
+    pub const COLL_DONE: &str = "mcp:coll_done";
     /// Health rule entered pending: first breaching tick of a scope
     /// (instant, [`super::TraceId::NONE`]; the full name is
     /// `health:pending:<rule>`).
@@ -867,6 +877,20 @@ pub struct ChainPolicy {
 impl ChainPolicy {
     /// The paper's BCL contract: exactly 1 trap, 0 interrupts.
     pub fn bcl() -> Self {
+        ChainPolicy {
+            traps_per_msg: Some(1),
+            interrupts_per_msg: Some(0),
+            require_send: true,
+        }
+    }
+
+    /// The NIC-offloaded collective contract: each participant pays exactly
+    /// one initiating trap and zero interrupts, no matter how many plan
+    /// steps its NIC executes — fan-in combining and fan-out forwarding are
+    /// firmware-resident, so a participant's chain shows its `api:send`,
+    /// the single trap, its own injected contributions, and closes on the
+    /// completion poll with no further host crossings.
+    pub fn collective() -> Self {
         ChainPolicy {
             traps_per_msg: Some(1),
             interrupts_per_msg: Some(0),

@@ -1304,7 +1304,7 @@ mod tests {
                 SimDuration::from_ns(u64::from(depth % 2)), // 0 or 1 ns hops
                 move |s| chain(s, peer, depth + 1, l2),
             );
-            if depth % 3 == 0 {
+            if depth.is_multiple_of(3) {
                 // A same-shard tie at the current instant.
                 let l3 = log.clone();
                 s.schedule_in(SimDuration::ZERO, move |s| {
