@@ -182,6 +182,7 @@ fn run_kv(plan: Option<&ChaosPlan>) -> (Cluster, LoadStats) {
         backoff: SimDuration::from_us(200),
         arena_slots: USERS_PER_CLIENT,
         slot_bytes: suca_load::SCAN_BYTES as u64,
+        ..RpcClientConfig::default()
     };
     let barrier = SimBarrier::new(&sim, NODES);
     let addrs: Arc<Mutex<Vec<Option<ProcAddr>>>> =

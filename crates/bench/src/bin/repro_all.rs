@@ -27,6 +27,7 @@ fn main() {
         "telemetry",
         "rpc_slo",
         "chaos_slo",
+        "mixed_slo",
         "bench_engine",
         "bench_collectives",
     ];

@@ -177,6 +177,7 @@ fn run_clean(fabric: &str) -> (Cluster, SloReport) {
         backoff: SimDuration::from_us(200),
         arena_slots: users_per,
         slot_bytes: suca_load::SCAN_BYTES as u64,
+        ..RpcClientConfig::default()
     };
     let (cluster, stats) = run_cluster(
         spec_for(fabric, nodes, 0.0),
@@ -233,6 +234,7 @@ fn run_overload(fabric: &str) -> (Cluster, SloReport) {
         backoff: SimDuration::from_us(100),
         arena_slots: 32,
         slot_bytes: suca_load::SCAN_BYTES as u64,
+        ..RpcClientConfig::default()
     };
     // Overdrive the *service*, not the admission path: 25 µs ops push a
     // shard's capacity to ~28k ops/s (service + per-message overhead),
@@ -307,6 +309,7 @@ fn run_loss(fabric: &str) -> (Cluster, SloReport) {
         backoff: SimDuration::from_us(200),
         arena_slots: 20,
         slot_bytes: suca_load::SCAN_BYTES as u64,
+        ..RpcClientConfig::default()
     };
     let (cluster, stats) = run_cluster(
         spec_for(fabric, 4, 0.05),

@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 
 pub mod measure;
+pub mod mixed;
 pub mod report;
 
 pub use measure::{layer_bandwidth_mbps, layer_one_way_us, Layer};

@@ -57,6 +57,7 @@ fn run_kv(spec: ClusterSpec, users_per_client: u32, plan: Option<&ChaosPlan>) ->
         backoff: SimDuration::from_us(200),
         arena_slots: users_per_client,
         slot_bytes: suca_load::SCAN_BYTES as u64,
+        ..RpcClientConfig::default()
     };
     let barrier = SimBarrier::new(&sim, nodes);
     let addrs: Arc<Mutex<Vec<Option<ProcAddr>>>> =

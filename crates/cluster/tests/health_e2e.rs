@@ -43,7 +43,7 @@ fn run_synthetic(shards: Option<usize>, errors: bool) -> String {
         for i in 0..10u64 {
             let ok = !fail_band;
             sim.schedule_at(SimTime::from_ns(tick * TICK_NS + 1 + i), move |s| {
-                s.health().observe_rpc(0, ok, 1_500 + i * 100, 64);
+                s.health().observe_rpc(0, 0, ok, 1_500 + i * 100, 64);
             });
         }
     }
@@ -97,7 +97,7 @@ fn overload_fires_exactly_the_burn_rate_rule_then_resolves() {
         for i in 0..10u64 {
             let ok = !fail_band;
             sim.schedule_at(SimTime::from_ns(tick * TICK_NS + 1 + i), move |s| {
-                s.health().observe_rpc(0, ok, 1_500, 64);
+                s.health().observe_rpc(0, 0, ok, 1_500, 64);
             });
         }
     }

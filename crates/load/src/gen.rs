@@ -77,33 +77,63 @@ impl LoadStats {
     }
 }
 
-/// Shared per-op-class latency histograms (`rpc.lat.*`, nanoseconds).
+/// Shared per-op-class latency histograms (nanoseconds). The unlabelled
+/// default is the KV convention `rpc.lat.{get,put,scan,other}`; labelled
+/// sets (`rpc.lat.t1.{publish,…}`) back the per-tenant SLO sections of a
+/// mixed-workload report.
 #[derive(Clone)]
 pub struct LatencyHists {
-    get: Histogram,
-    put: Histogram,
-    scan: Histogram,
-    other: Histogram,
+    hists: [Histogram; 4],
 }
 
+/// Histogram / SLO-report labels of the KV workload in op-class order.
+pub const KV_CLASSES: [&str; 4] = ["get", "put", "scan", "other"];
+
 impl LatencyHists {
-    /// Resolve (or create) the histograms in `m` — all actors share them.
+    /// Resolve (or create) the default KV histogram set in `m` — all
+    /// actors share them.
     pub fn new(m: &Metrics) -> Self {
+        Self::named(m, "", KV_CLASSES)
+    }
+
+    /// Resolve (or create) a labelled histogram set: names are
+    /// `rpc.lat.{label}.{class}` (`rpc.lat.{class}` with an empty label),
+    /// one per op class in class-index order.
+    pub fn named(m: &Metrics, label: &str, classes: [&str; 4]) -> Self {
+        let name = |c: &str| {
+            if label.is_empty() {
+                format!("rpc.lat.{c}")
+            } else {
+                format!("rpc.lat.{label}.{c}")
+            }
+        };
         LatencyHists {
-            get: m.histogram("rpc.lat.get"),
-            put: m.histogram("rpc.lat.put"),
-            scan: m.histogram("rpc.lat.scan"),
-            other: m.histogram("rpc.lat.other"),
+            hists: classes.map(|c| m.histogram(&name(c))),
         }
     }
 
-    /// Record one completed-op latency.
+    /// Record one completed-op latency (classes ≥ 3 fold into the last
+    /// slot, mirroring the SLO-window convention).
     pub fn record(&self, op: u8, ns: u64) {
-        match op {
-            OP_GET => self.get.record(ns),
-            OP_PUT => self.put.record(ns),
-            OP_SCAN => self.scan.record(ns),
-            _ => self.other.record(ns),
+        self.hists[(op as usize).min(3)].record(ns);
+    }
+}
+
+/// Fold one completion into the tallies and latency histograms — the
+/// outcome mapping shared by every driver that does not re-home shards
+/// (pub-sub, pipeline): dead destinations count alongside their timeout so
+/// the accounting identity is chaos-proof.
+pub fn absorb_completion(c: &RpcCompletion, stats: &mut LoadStats, hists: &LatencyHists) {
+    match c.status {
+        RpcStatus::Ok => {
+            stats.completed += 1;
+            hists.record(c.op_class, c.latency.as_ns());
+        }
+        RpcStatus::Shed => stats.shed += 1,
+        RpcStatus::TimedOut => stats.timed_out += 1,
+        RpcStatus::DeadDestination => {
+            stats.timed_out += 1;
+            stats.dead_dest += 1;
         }
     }
 }
@@ -176,8 +206,10 @@ fn payload_ok(c: &RpcCompletion) -> bool {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn absorb(
     now: SimTime,
+    tenant: u8,
     comps: Vec<RpcCompletion>,
     stats: &mut LoadStats,
     hists: &LatencyHists,
@@ -195,7 +227,7 @@ fn absorb(
                     // The RPC layer observed this op as Ok; the verifier
                     // knows better. Error-only observation so burn-rate
                     // rules see corruption too.
-                    health.observe_error(c.op_class);
+                    health.observe_error(tenant, c.op_class);
                 }
             }
             RpcStatus::Shed => stats.shed += 1,
@@ -256,6 +288,7 @@ pub fn run_closed_loop(
         waiting: bool,
     }
     let sim = ctx.sim().clone();
+    let tenant = client.tenant().0;
     let c_bad_tokens = sim.metrics().counter("rpc.cli_bad_tokens");
     let start = ctx.now();
     let mut users: Vec<User> = (0..cfg.users)
@@ -308,6 +341,7 @@ pub fn run_closed_loop(
         progressed |= !comps.is_empty();
         absorb(
             ctx.now(),
+            tenant,
             comps,
             &mut stats,
             hists,
@@ -351,6 +385,7 @@ pub fn run_closed_loop(
             let comps = client.pump(ctx, wait);
             absorb(
                 ctx.now(),
+                tenant,
                 comps,
                 &mut stats,
                 hists,
@@ -407,6 +442,7 @@ pub fn run_open_loop(
 ) -> LoadStats {
     assert!(!servers.is_empty(), "open loop needs servers");
     let sim = ctx.sim().clone();
+    let tenant = client.tenant().0;
     let c_client_shed = sim.metrics().counter("rpc.cli_client_shed");
     let start = ctx.now();
     let stop = start + cfg.duration;
@@ -446,6 +482,7 @@ pub fn run_open_loop(
             let comps = client.advance(ctx);
             absorb(
                 ctx.now(),
+                tenant,
                 comps,
                 &mut stats,
                 hists,
@@ -459,6 +496,7 @@ pub fn run_open_loop(
         let comps = client.pump(ctx, wait);
         absorb(
             ctx.now(),
+            tenant,
             comps,
             &mut stats,
             hists,
@@ -471,6 +509,7 @@ pub fn run_open_loop(
         let comps = client.pump(ctx, SimDuration::from_us(500));
         absorb(
             ctx.now(),
+            tenant,
             comps,
             &mut stats,
             hists,

@@ -25,8 +25,8 @@ pub mod kv;
 pub mod slo;
 
 pub use gen::{
-    run_closed_loop, run_open_loop, ClosedLoopCfg, LatencyHists, LoadStats, Mix, OpenLoopCfg,
-    ShardMap,
+    absorb_completion, run_closed_loop, run_open_loop, ClosedLoopCfg, LatencyHists, LoadStats, Mix,
+    OpenLoopCfg, ShardMap, KV_CLASSES,
 };
 pub use kv::{KvCosts, KvService, OP_GET, OP_PUT, OP_SCAN, SCAN_BYTES, VALUE_BYTES};
-pub use slo::{slo_dir, ClassSlo, SloReport};
+pub use slo::{slo_dir, ClassSlo, SloReport, TenantSlo};

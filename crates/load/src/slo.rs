@@ -43,6 +43,82 @@ pub struct ClassSlo {
     pub max_us: f64,
 }
 
+/// Per-tenant section of a mixed-workload report: outcome accounting for
+/// one tenant's generators plus its own per-op-class latency summaries
+/// (histograms named `rpc.lat.t{N}.{class}`). The identity
+/// `completed + shed + timed_out == issued` must hold *per tenant*.
+#[derive(Clone, Debug)]
+pub struct TenantSlo {
+    /// Workload label (`kv` / `pubsub` / `pipeline`).
+    pub name: String,
+    /// Wire tenant id.
+    pub tenant: u8,
+    /// Admission priority label (`high` / `low`).
+    pub priority: String,
+    /// Requests this tenant's generators handed to the RPC layer.
+    pub issued: u64,
+    /// Requests that got responses.
+    pub completed: u64,
+    /// Requests shed by admission control (final outcome).
+    pub shed: u64,
+    /// Requests that timed out (final outcome).
+    pub timed_out: u64,
+    /// Arrivals dropped client-side.
+    pub client_shed: u64,
+    /// Per-op-class latency summaries for this tenant alone.
+    pub classes: Vec<ClassSlo>,
+}
+
+impl TenantSlo {
+    /// True when every issued request resolved exactly once.
+    pub fn accounted(&self) -> bool {
+        self.completed + self.shed + self.timed_out == self.issued
+    }
+
+    /// Assemble one tenant section from the tenant's aggregated generator
+    /// tallies plus its labelled latency histograms
+    /// (`rpc.lat.{label}.{class}`, as created by `LatencyHists::named`).
+    pub fn gather(
+        sim: &Sim,
+        name: &str,
+        tenant: u8,
+        priority: &str,
+        label: &str,
+        class_names: [&str; 4],
+        stats: &LoadStats,
+    ) -> TenantSlo {
+        let snap = sim.metrics().snapshot();
+        let mut classes = Vec::new();
+        for cname in class_names {
+            if let Some(h) = snap.histograms.get(&format!("rpc.lat.{label}.{cname}")) {
+                if h.count > 0 {
+                    classes.push(ClassSlo {
+                        name: cname.to_string(),
+                        count: h.count,
+                        mean_us: h.mean() / 1_000.0,
+                        p50_us: h.p50() / 1_000.0,
+                        p95_us: h.p95() / 1_000.0,
+                        p99_us: h.p99() / 1_000.0,
+                        p999_us: h.p999() / 1_000.0,
+                        max_us: h.max as f64 / 1_000.0,
+                    });
+                }
+            }
+        }
+        TenantSlo {
+            name: name.to_string(),
+            tenant,
+            priority: priority.to_string(),
+            issued: stats.issued,
+            completed: stats.completed,
+            shed: stats.shed,
+            timed_out: stats.timed_out,
+            client_shed: stats.client_shed,
+            classes,
+        }
+    }
+}
+
 /// One run variant's service-level report.
 #[derive(Clone, Debug)]
 pub struct SloReport {
@@ -88,6 +164,9 @@ pub struct SloReport {
     pub goodput_ops_per_s: f64,
     /// Per-op-class latency summaries (fixed get/put/scan order).
     pub classes: Vec<ClassSlo>,
+    /// Per-tenant sections (empty for single-workload runs; populated by
+    /// mixed-workload harnesses via [`TenantSlo::gather`]).
+    pub tenants: Vec<TenantSlo>,
 }
 
 impl SloReport {
@@ -151,6 +230,7 @@ impl SloReport {
             elapsed_us,
             goodput_ops_per_s: goodput,
             classes,
+            tenants: Vec::new(),
         }
     }
 
@@ -185,20 +265,49 @@ impl SloReport {
         let _ = writeln!(o, "  \"watchdog_stalls\": {},", self.watchdog_stalls);
         let _ = writeln!(o, "  \"elapsed_us\": {:.3},", self.elapsed_us);
         let _ = writeln!(o, "  \"goodput_ops_per_s\": {:.3},", self.goodput_ops_per_s);
+        fn class_json(o: &mut String, indent: &str, classes: &[ClassSlo]) {
+            for (i, c) in classes.iter().enumerate() {
+                if i > 0 {
+                    o.push(',');
+                }
+                o.push('\n');
+                o.push_str(indent);
+                let _ = write!(
+                    o,
+                    "{{\"name\": \"{}\", \"count\": {}, \"mean_us\": {:.3}, \"p50_us\": {:.3}, \
+                     \"p95_us\": {:.3}, \"p99_us\": {:.3}, \"p999_us\": {:.3}, \"max_us\": {:.3}}}",
+                    c.name, c.count, c.mean_us, c.p50_us, c.p95_us, c.p99_us, c.p999_us, c.max_us
+                );
+            }
+        }
         o.push_str("  \"classes\": [");
-        for (i, c) in self.classes.iter().enumerate() {
+        class_json(&mut o, "    ", &self.classes);
+        if !self.classes.is_empty() {
+            o.push_str("\n  ");
+        }
+        o.push_str("],\n");
+        o.push_str("  \"tenants\": [");
+        for (i, t) in self.tenants.iter().enumerate() {
             if i > 0 {
                 o.push(',');
             }
-            o.push_str("\n    ");
-            let _ = write!(
-                o,
-                "{{\"name\": \"{}\", \"count\": {}, \"mean_us\": {:.3}, \"p50_us\": {:.3}, \
-                 \"p95_us\": {:.3}, \"p99_us\": {:.3}, \"p999_us\": {:.3}, \"max_us\": {:.3}}}",
-                c.name, c.count, c.mean_us, c.p50_us, c.p95_us, c.p99_us, c.p999_us, c.max_us
-            );
+            o.push_str("\n    {\n");
+            let _ = writeln!(o, "      \"name\": \"{}\",", t.name);
+            let _ = writeln!(o, "      \"tenant\": {},", t.tenant);
+            let _ = writeln!(o, "      \"priority\": \"{}\",", t.priority);
+            let _ = writeln!(o, "      \"issued\": {},", t.issued);
+            let _ = writeln!(o, "      \"completed\": {},", t.completed);
+            let _ = writeln!(o, "      \"shed\": {},", t.shed);
+            let _ = writeln!(o, "      \"timed_out\": {},", t.timed_out);
+            let _ = writeln!(o, "      \"client_shed\": {},", t.client_shed);
+            o.push_str("      \"classes\": [");
+            class_json(&mut o, "        ", &t.classes);
+            if !t.classes.is_empty() {
+                o.push_str("\n      ");
+            }
+            o.push_str("]\n    }");
         }
-        if !self.classes.is_empty() {
+        if !self.tenants.is_empty() {
             o.push_str("\n  ");
         }
         o.push_str("]\n}\n");
@@ -256,12 +365,35 @@ mod tests {
                 p999_us: 40.0,
                 max_us: 41.0,
             }],
+            tenants: vec![TenantSlo {
+                name: "kv".into(),
+                tenant: 0,
+                priority: "high".into(),
+                issued: 10,
+                completed: 9,
+                shed: 1,
+                timed_out: 0,
+                client_shed: 0,
+                classes: vec![ClassSlo {
+                    name: "get".into(),
+                    count: 9,
+                    mean_us: 12.0,
+                    p50_us: 10.0,
+                    p95_us: 20.0,
+                    p99_us: 30.0,
+                    p999_us: 40.0,
+                    max_us: 41.0,
+                }],
+            }],
         };
         assert!(r.accounted());
+        assert!(r.tenants[0].accounted());
         let j = r.to_json();
         assert_eq!(j, r.to_json());
         assert!(j.contains("\"goodput_ops_per_s\": 7293.457,"));
         assert!(j.contains("\"p999_us\": 40.000"));
+        assert!(j.contains("\"tenants\": ["));
+        assert!(j.contains("\"priority\": \"high\","));
         assert!(j.ends_with("}\n"));
     }
 }

@@ -5,11 +5,13 @@
 //!
 //! Pieces:
 //!
-//! * **Streaming SLO windows** ([`HealthEngine::observe_rpc`]) — per-RPC-class
-//!   latency/goodput/error accumulators, rotated into a bounded ring of
-//!   per-tick buckets on every telemetry tick. Quantiles over "the last N
-//!   ticks" are exact log2-bucket merges ([`crate::HistogramSnapshot`]),
-//!   available during the run.
+//! * **Streaming SLO windows** ([`HealthEngine::observe_rpc`]) — per-tenant,
+//!   per-RPC-class latency/goodput/error accumulators, rotated into a
+//!   bounded ring of per-tick buckets on every telemetry tick. Quantiles
+//!   over "the last N ticks" are exact log2-bucket merges
+//!   ([`crate::HistogramSnapshot`]), available during the run. Rules scope
+//!   to one tenant via [`HealthRule::for_tenant`], so a multi-tenant run
+//!   can alert on exactly the workload that is burning its budget.
 //! * **Rule engine** ([`HealthRule`]) — multi-window burn-rate and tail-latency
 //!   rules over the SLO windows, capacity-saturation rules with hysteresis
 //!   over the registered telemetry probes, and counter-rate rules (protocol
@@ -50,6 +52,11 @@ pub const SCHEMA: &str = "suca.health.v1";
 /// ≥ 3 fold into `other` (mirrors the `rpc.lat.*` histogram convention).
 pub const CLASS_NAMES: [&str; 4] = ["get", "put", "scan", "other"];
 
+/// Tenants tracked by the SLO windows. Tenant ids ≥ `MAX_TENANTS - 1`
+/// fold into the last bucket (same convention as op classes), so the
+/// per-tick state stays bounded no matter what ids a workload invents.
+pub const MAX_TENANTS: usize = 4;
+
 /// Where alert reports land: `$SUCA_HEALTH_DIR` or `target/health`.
 pub fn health_dir() -> PathBuf {
     std::env::var_os("SUCA_HEALTH_DIR")
@@ -59,6 +66,10 @@ pub fn health_dir() -> PathBuf {
 
 fn class_idx(op_class: u8) -> usize {
     (op_class as usize).min(3)
+}
+
+fn tenant_idx(tenant: u8) -> usize {
+    (tenant as usize).min(MAX_TENANTS - 1)
 }
 
 /// What a rule watches. All thresholds are integers (parts-per-million for
@@ -71,6 +82,9 @@ pub enum RuleKind {
     /// events in each window. The classic SRE fast-burn/slow-burn pair is
     /// two of these with different windows and factors.
     BurnRate {
+        /// Restrict to one tenant (folded per [`MAX_TENANTS`]); `None`
+        /// spans all tenants.
+        tenant: Option<u8>,
         /// Restrict to one op class (index into [`CLASS_NAMES`]); `None`
         /// spans all classes.
         class: Option<u8>,
@@ -88,6 +102,8 @@ pub enum RuleKind {
     /// Tail-latency rule: fires when the merged p99 over both windows
     /// exceeds `threshold_ns`, with at least `min_events` per window.
     LatencyP99 {
+        /// Restrict to one tenant; `None` spans all tenants.
+        tenant: Option<u8>,
         /// Restrict to one op class; `None` spans all classes.
         class: Option<u8>,
         /// p99 threshold in nanoseconds of virtual time.
@@ -157,6 +173,7 @@ impl HealthRule {
         HealthRule {
             name: name.into(),
             kind: RuleKind::BurnRate {
+                tenant: None,
                 class,
                 budget_ppm,
                 factor,
@@ -181,6 +198,7 @@ impl HealthRule {
         HealthRule {
             name: name.into(),
             kind: RuleKind::LatencyP99 {
+                tenant: None,
                 class,
                 threshold_ns,
                 short_ticks,
@@ -234,6 +252,18 @@ impl HealthRule {
     pub fn with_lifecycle(mut self, for_ticks: u32, clear_ticks: u32) -> Self {
         self.for_ticks = for_ticks.max(1);
         self.clear_ticks = clear_ticks.max(1);
+        self
+    }
+
+    /// Scope a burn-rate or tail-latency rule to one tenant's SLO window
+    /// (no-op for saturation/rate kinds, which have no tenant dimension).
+    pub fn for_tenant(mut self, t: u8) -> Self {
+        match &mut self.kind {
+            RuleKind::BurnRate { tenant, .. } | RuleKind::LatencyP99 { tenant, .. } => {
+                *tenant = Some(t);
+            }
+            RuleKind::Saturation { .. } | RuleKind::Rate { .. } => {}
+        }
         self
     }
 
@@ -355,20 +385,18 @@ impl ClassBucket {
     }
 }
 
-fn fresh_tick() -> [ClassBucket; 4] {
-    [
-        ClassBucket::new(),
-        ClassBucket::new(),
-        ClassBucket::new(),
-        ClassBucket::new(),
-    ]
+/// One tick's accumulators: tenant-major, class-minor.
+type TickBuckets = [[ClassBucket; 4]; MAX_TENANTS];
+
+fn fresh_tick() -> TickBuckets {
+    std::array::from_fn(|_| std::array::from_fn(|_| ClassBucket::new()))
 }
 
-/// Streaming per-class SLO windows: one open per-tick bucket plus a bounded
-/// ring of closed ones.
+/// Streaming per-tenant, per-class SLO windows: one open per-tick bucket
+/// grid plus a bounded ring of closed ones.
 struct SloWindows {
-    open: [ClassBucket; 4],
-    closed: VecDeque<[ClassBucket; 4]>,
+    open: TickBuckets,
+    closed: VecDeque<TickBuckets>,
     max_ticks: usize,
 }
 
@@ -389,25 +417,30 @@ impl SloWindows {
         self.closed.push_back(done);
     }
 
-    /// Merge the last `ticks` closed buckets for `class` (`None` = all
-    /// classes): `(latency histogram, ok, err)`.
-    fn window(&self, class: Option<u8>, ticks: u32) -> (HistogramSnapshot, u64, u64) {
+    /// Merge the last `ticks` closed buckets for `tenant`/`class` (`None`
+    /// = all): `(latency histogram, ok, err)`.
+    fn window(
+        &self,
+        tenant: Option<u8>,
+        class: Option<u8>,
+        ticks: u32,
+    ) -> (HistogramSnapshot, u64, u64) {
         let mut hist = HistogramSnapshot::empty();
         let (mut ok, mut err) = (0u64, 0u64);
-        for tickbuckets in self.closed.iter().rev().take(ticks.max(1) as usize) {
-            match class {
-                Some(c) => {
-                    let b = &tickbuckets[class_idx(c)];
-                    hist.merge(&b.hist);
-                    ok += b.ok;
-                    err += b.err;
-                }
-                None => {
-                    for b in tickbuckets {
-                        hist.merge(&b.hist);
-                        ok += b.ok;
-                        err += b.err;
-                    }
+        let mut fold = |b: &ClassBucket| {
+            hist.merge(&b.hist);
+            ok += b.ok;
+            err += b.err;
+        };
+        for tick in self.closed.iter().rev().take(ticks.max(1) as usize) {
+            let tenants: &[[ClassBucket; 4]] = match tenant {
+                Some(t) => std::slice::from_ref(&tick[tenant_idx(t)]),
+                None => tick.as_slice(),
+            };
+            for classes in tenants {
+                match class {
+                    Some(c) => fold(&classes[class_idx(c)]),
+                    None => classes.iter().for_each(&mut fold),
                 }
             }
         }
@@ -515,28 +548,29 @@ impl HealthEngine {
     }
 
     /// Completion hook (the `suca-rpc` client calls this for every resolved
-    /// request): fold one RPC outcome into the open SLO bucket.
+    /// request): fold one RPC outcome into the open SLO bucket of its
+    /// tenant and class.
     #[inline]
-    pub fn observe_rpc(&self, op_class: u8, ok: bool, latency_ns: u64, bytes: u64) {
+    pub fn observe_rpc(&self, tenant: u8, op_class: u8, ok: bool, latency_ns: u64, bytes: u64) {
         if !self.armed() {
             return;
         }
         let mut st = self.state.lock().expect("health poisoned");
         if let Some(st) = st.as_mut() {
-            st.windows.open[class_idx(op_class)].record(ok, latency_ns, bytes);
+            st.windows.open[tenant_idx(tenant)][class_idx(op_class)].record(ok, latency_ns, bytes);
         }
     }
 
     /// Error-only hook (the `suca-load` verifier calls this when a payload
     /// fails verification): counts an error event without a latency sample.
     #[inline]
-    pub fn observe_error(&self, op_class: u8) {
+    pub fn observe_error(&self, tenant: u8, op_class: u8) {
         if !self.armed() {
             return;
         }
         let mut st = self.state.lock().expect("health poisoned");
         if let Some(st) = st.as_mut() {
-            st.windows.open[class_idx(op_class)].err += 1;
+            st.windows.open[tenant_idx(tenant)][class_idx(op_class)].err += 1;
         }
     }
 
@@ -598,6 +632,7 @@ impl HealthEngine {
         for (idx, rule) in st.rules.iter().enumerate() {
             match &rule.kind {
                 RuleKind::BurnRate {
+                    tenant,
                     class,
                     budget_ppm,
                     factor,
@@ -606,21 +641,21 @@ impl HealthEngine {
                     min_events,
                 } => {
                     let breach = |ticks: u32| -> bool {
-                        let (_, ok, err) = st.windows.window(*class, ticks);
+                        let (_, ok, err) = st.windows.window(*tenant, *class, ticks);
                         let events = ok + err;
                         events >= (*min_events).max(1)
                             && (err as u128) * 1_000_000
                                 > (events as u128) * u128::from(*budget_ppm) * u128::from(*factor)
                     };
-                    let scope = class.map_or("all", |c| CLASS_NAMES[class_idx(c)]);
                     let e = if breach(*short_ticks) && breach(*long_ticks) {
                         Eval::Breach
                     } else {
                         Eval::Healthy
                     };
-                    evals.push((idx, scope.to_string(), e));
+                    evals.push((idx, slo_scope(*tenant, *class), e));
                 }
                 RuleKind::LatencyP99 {
+                    tenant,
                     class,
                     threshold_ns,
                     short_ticks,
@@ -628,16 +663,15 @@ impl HealthEngine {
                     min_events,
                 } => {
                     let breach = |ticks: u32| -> bool {
-                        let (hist, ok, err) = st.windows.window(*class, ticks);
+                        let (hist, ok, err) = st.windows.window(*tenant, *class, ticks);
                         ok + err >= (*min_events).max(1) && hist.p99() > *threshold_ns as f64
                     };
-                    let scope = class.map_or("all", |c| CLASS_NAMES[class_idx(c)]);
                     let e = if breach(*short_ticks) && breach(*long_ticks) {
                         Eval::Breach
                     } else {
                         Eval::Healthy
                     };
-                    evals.push((idx, scope.to_string(), e));
+                    evals.push((idx, slo_scope(*tenant, *class), e));
                 }
                 RuleKind::Saturation {
                     probe_suffix,
@@ -776,15 +810,20 @@ impl HealthEngine {
         self.fired_count() == 0
     }
 
-    /// Merged SLO window over the last `ticks` closed ticks for `class`
-    /// (`None` = all classes): `(latency histogram, ok, err)`. The online
+    /// Merged SLO window over the last `ticks` closed ticks for `tenant` /
+    /// `class` (`None` = all): `(latency histogram, ok, err)`. The online
     /// query the rules themselves evaluate — exposed for harness asserts.
-    pub fn window(&self, class: Option<u8>, ticks: u32) -> (HistogramSnapshot, u64, u64) {
+    pub fn window(
+        &self,
+        tenant: Option<u8>,
+        class: Option<u8>,
+        ticks: u32,
+    ) -> (HistogramSnapshot, u64, u64) {
         self.state
             .lock()
             .expect("health poisoned")
             .as_ref()
-            .map(|st| st.windows.window(class, ticks))
+            .map(|st| st.windows.window(tenant, class, ticks))
             .unwrap_or((HistogramSnapshot::empty(), 0, 0))
     }
 
@@ -836,6 +875,17 @@ impl HealthEngine {
             alerts: sorted,
             detections,
         }
+    }
+}
+
+/// Scope label for an SLO-window rule: `all`, `scan`, `t1.all`,
+/// `t2.scan`. Tenant ids are folded the same way the windows fold them,
+/// so the label always names the bucket actually watched.
+fn slo_scope(tenant: Option<u8>, class: Option<u8>) -> String {
+    let class_name = class.map_or("all", |c| CLASS_NAMES[class_idx(c)]);
+    match tenant {
+        Some(t) => format!("t{}.{class_name}", tenant_idx(t)),
+        None => class_name.to_string(),
     }
 }
 
@@ -1056,8 +1106,8 @@ mod tests {
     fn unarmed_engine_registers_nothing_and_ignores_hooks() {
         let h = HealthEngine::new();
         assert!(!h.armed());
-        h.observe_rpc(0, true, 100, 32);
-        h.observe_error(1);
+        h.observe_rpc(0, 0, true, 100, 32);
+        h.observe_error(0, 1);
         assert!(h.is_silent());
         let report = h.report("unit", "clean", 7, &[]);
         assert!(report.is_silent());
@@ -1076,7 +1126,7 @@ mod tests {
         // Healthy traffic: plenty of events, no errors.
         for _ in 0..6 {
             for _ in 0..10 {
-                h.observe_rpc(0, true, 5_000, 32);
+                h.observe_rpc(0, 0, true, 5_000, 32);
             }
             tick(&h, &mut t);
         }
@@ -1084,7 +1134,7 @@ mod tests {
         // All-error traffic: breach persists, fires after for_ticks = 2.
         for i in 0..6 {
             for _ in 0..10 {
-                h.observe_rpc(0, false, 5_000, 0);
+                h.observe_rpc(0, 0, false, 5_000, 0);
             }
             tick(&h, &mut t);
             if i == 0 {
@@ -1102,7 +1152,7 @@ mod tests {
         // healthy evaluations resolve it.
         for _ in 0..10 {
             for _ in 0..10 {
-                h.observe_rpc(0, true, 5_000, 32);
+                h.observe_rpc(0, 0, true, 5_000, 32);
             }
             tick(&h, &mut t);
         }
@@ -1118,7 +1168,7 @@ mod tests {
         let (h, _m, ts, tr) = engine_with(vec![rule]);
         // 100% errors but below min_events: never fires.
         for i in 0..8 {
-            h.observe_rpc(0, false, 1_000, 0);
+            h.observe_rpc(0, 0, false, 1_000, 0);
             h.on_tick((i + 1) * 10_000, &ts, &tr);
         }
         assert!(h.is_silent(), "insufficient data never breaches");
@@ -1131,20 +1181,52 @@ mod tests {
         let (h, _m, ts, tr) = engine_with(vec![rule]);
         for i in 0..4 {
             for _ in 0..5 {
-                h.observe_rpc(2, true, 50_000, 8192); // 50 µs scans: fine
-                h.observe_rpc(0, true, 9_000_000, 32); // slow GETs: other class
+                h.observe_rpc(0, 2, true, 50_000, 8192); // 50 µs scans: fine
+                h.observe_rpc(0, 0, true, 9_000_000, 32); // slow GETs: other class
             }
             h.on_tick((i + 1) * 10_000, &ts, &tr);
         }
         assert!(h.is_silent(), "class filter keeps slow GETs out of scope");
         for i in 4..8 {
             for _ in 0..5 {
-                h.observe_rpc(2, true, 8_000_000, 8192); // 8 ms scans
+                h.observe_rpc(0, 2, true, 8_000_000, 8192); // 8 ms scans
             }
             h.on_tick((i + 1) * 10_000, &ts, &tr);
         }
         assert_eq!(h.fired_count(), 1);
         assert_eq!(h.alerts()[0].scope, "scan");
+    }
+
+    #[test]
+    fn tenant_scoped_burn_rate_isolates_tenants() {
+        let rule = HealthRule::burn_rate("t1.burn", None, 10_000, 10, 2, 4, 5)
+            .for_tenant(1)
+            .with_lifecycle(1, 2);
+        let (h, _m, ts, tr) = engine_with(vec![rule]);
+        // Tenant 0 burns its entire budget; tenant 1 is healthy → silent.
+        for i in 0..4u64 {
+            for _ in 0..10 {
+                h.observe_rpc(0, 0, false, 1_000, 0);
+                h.observe_rpc(1, 0, true, 1_000, 32);
+            }
+            h.on_tick((i + 1) * 10_000, &ts, &tr);
+        }
+        assert!(h.is_silent(), "tenant filter keeps tenant 0 errors out");
+        // Tenant 1 burns → fires with a tenant-scoped label.
+        for i in 4..8u64 {
+            for _ in 0..10 {
+                h.observe_rpc(1, 0, false, 1_000, 0);
+            }
+            h.on_tick((i + 1) * 10_000, &ts, &tr);
+        }
+        assert_eq!(h.fired_count(), 1);
+        assert_eq!(h.alerts()[0].scope, "t1.all");
+        // Per-tenant window queries see only their tenant (ring holds the
+        // last 4 ticks: tenant 1 all-error, tenant 0 idle).
+        let (_, ok1, err1) = h.window(Some(1), None, 4);
+        assert_eq!((ok1, err1), (0, 40));
+        let (_, ok0, err0) = h.window(Some(0), None, 4);
+        assert_eq!((ok0, err0), (0, 0));
     }
 
     #[test]
@@ -1236,28 +1318,28 @@ mod tests {
         let rule = HealthRule::burn_rate("burn", None, 1_000, 1, 2, 4, 1_000_000);
         let (h, _m, ts, tr) = engine_with(vec![rule]);
         // Tick 1: two GETs; tick 2: one PUT; tick 3: empty.
-        h.observe_rpc(0, true, 100, 32);
-        h.observe_rpc(0, true, 300, 32);
+        h.observe_rpc(0, 0, true, 100, 32);
+        h.observe_rpc(0, 0, true, 300, 32);
         h.on_tick(10_000, &ts, &tr);
-        h.observe_rpc(1, true, 200, 32);
+        h.observe_rpc(0, 1, true, 200, 32);
         h.on_tick(20_000, &ts, &tr);
         h.on_tick(30_000, &ts, &tr);
         // Empty window: deterministic zeros, no NaN.
-        let (hist, ok, err) = h.window(None, 1);
+        let (hist, ok, err) = h.window(None, None, 1);
         assert_eq!((hist.count, ok, err), (0, 0, 0));
         assert_eq!(hist.p99(), 0.0);
         // Last 2 ticks: just the PUT — single-sample window is exact.
-        let (hist, ok, _) = h.window(None, 2);
+        let (hist, ok, _) = h.window(None, None, 2);
         assert_eq!((hist.count, ok), (1, 1));
         assert_eq!(hist.p50(), 200.0);
         assert_eq!(hist.p99(), 200.0);
         // Last 3 ticks: all three samples, exact log2-bucket merge.
-        let (hist, ok, err) = h.window(None, 3);
+        let (hist, ok, err) = h.window(None, None, 3);
         assert_eq!((hist.count, ok, err), (3, 3, 0));
         assert_eq!(hist.min, 100);
         assert_eq!(hist.max, 300);
         // Class filter: the GET class window excludes the PUT.
-        let (hist, _, _) = h.window(Some(0), 3);
+        let (hist, _, _) = h.window(None, Some(0), 3);
         assert_eq!(hist.count, 2);
     }
 

@@ -281,6 +281,18 @@ pub mod stage {
     pub const HEALTH_FIRING: &str = "health:firing";
     /// Health alert resolved after `clear_ticks` healthy ticks (instant).
     pub const HEALTH_RESOLVED: &str = "health:resolved";
+    /// Pipeline driver planned one job's stage/task groups (instant,
+    /// [`super::TraceId::NONE`], driver node).
+    pub const PIPE_PLAN: &str = "pipe:plan";
+    /// Pipeline driver group-scheduled one stage onto workers (instant).
+    pub const PIPE_SCHED: &str = "pipe:sched";
+    /// One pipeline stage's EXEC fan-out fully resolved (instant).
+    pub const PIPE_EXEC: &str = "pipe:exec";
+    /// One job's output-fetch phase fully resolved (instant).
+    pub const PIPE_FETCH: &str = "pipe:fetch";
+    /// Pub-sub room shed a slow subscriber (instant,
+    /// [`super::TraceId::NONE`], serving node).
+    pub const PUBSUB_SHED: &str = "pubsub:shed";
 }
 
 /// One trace record.

@@ -1,0 +1,188 @@
+//! The pipeline worker service: execute tasks, materialize outputs, serve
+//! fetches.
+//!
+//! Outputs are deterministic functions of `(job, stage, task)` so the
+//! driver verifies every EXEC checksum and FETCH body without shipping
+//! expected data around — the same trick as the KV value model.
+
+use std::collections::HashMap;
+
+use suca_rpc::{RpcReply, RpcRequest};
+use suca_sim::{ActorCtx, Counter, Metrics, SimDuration};
+
+/// EXEC op class: request is `job u32 | stage u32 | task u32 | input`;
+/// response is the 8-byte checksum of the materialized output.
+pub const OP_EXEC: u8 = 0;
+/// FETCH op class: request is `job u32 | stage u32 | task u32`; response
+/// is the stored output (RMA-delivered when it exceeds the inline bound).
+pub const OP_FETCH: u8 = 1;
+
+/// Histogram / SLO-report labels in op-class order.
+pub const CLASS_NAMES: [&str; 4] = ["exec", "fetch", "plan", "other"];
+
+fn mix64(mut x: u64) -> u64 {
+    // splitmix64 finalizer — the same mixing the sim RNG builds on.
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// The canonical output of task `(job, stage, task)`.
+pub fn output_for(job: u32, stage: u32, task: u32, len: usize) -> Vec<u8> {
+    let seed = (u64::from(job) << 40) ^ (u64::from(stage) << 20) ^ u64::from(task) ^ 0x9172;
+    let mut out = Vec::with_capacity(len);
+    let mut i = 0u64;
+    while out.len() < len {
+        out.extend_from_slice(&mix64(seed.wrapping_add(i)).to_le_bytes());
+        i += 1;
+    }
+    out.truncate(len);
+    out
+}
+
+/// Order-sensitive checksum (the EXEC acknowledgement body).
+pub fn checksum(data: &[u8]) -> u64 {
+    let mut acc = 0xcbf2_9ce4_8422_2325u64;
+    for chunk in data.chunks(8) {
+        let mut b = [0u8; 8];
+        b[..chunk.len()].copy_from_slice(chunk);
+        acc = mix64(acc ^ u64::from_le_bytes(b));
+    }
+    acc
+}
+
+/// Encode an EXEC request.
+pub fn enc_exec(job: u32, stage: u32, task: u32, input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + input.len());
+    out.extend_from_slice(&job.to_le_bytes());
+    out.extend_from_slice(&stage.to_le_bytes());
+    out.extend_from_slice(&task.to_le_bytes());
+    out.extend_from_slice(input);
+    out
+}
+
+/// Encode a FETCH request.
+pub fn enc_fetch(job: u32, stage: u32, task: u32) -> Vec<u8> {
+    enc_exec(job, stage, task, &[])
+}
+
+/// Decode the `(job, stage, task)` header shared by both op classes.
+pub fn dec_header(buf: &[u8]) -> Option<(u32, u32, u32, &[u8])> {
+    if buf.len() < 12 {
+        return None;
+    }
+    let f = |o: usize| u32::from_le_bytes([buf[o], buf[o + 1], buf[o + 2], buf[o + 3]]);
+    Some((f(0), f(4), f(8), &buf[12..]))
+}
+
+/// Virtual service time per op class.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineCosts {
+    /// Base EXEC service time.
+    pub exec: SimDuration,
+    /// Additional EXEC time per input KiB.
+    pub exec_per_kib: SimDuration,
+    /// FETCH service time (storage read).
+    pub fetch: SimDuration,
+}
+
+impl Default for PipelineCosts {
+    fn default() -> Self {
+        PipelineCosts {
+            exec: SimDuration::from_us(8),
+            exec_per_kib: SimDuration::from_us(2),
+            fetch: SimDuration::from_us(3),
+        }
+    }
+}
+
+/// One node's worker: task outputs keyed by `(job, stage, task)`.
+pub struct PipelineWorker {
+    outputs: HashMap<(u32, u32, u32), Vec<u8>>,
+    output_bytes: usize,
+    costs: PipelineCosts,
+    c_exec: Counter,
+    c_fetch: Counter,
+    c_fetch_miss: Counter,
+    c_malformed: Counter,
+}
+
+impl PipelineWorker {
+    /// Empty worker materializing `output_bytes` per task.
+    pub fn new(m: &Metrics, output_bytes: usize, costs: PipelineCosts) -> Self {
+        PipelineWorker {
+            outputs: HashMap::new(),
+            output_bytes,
+            costs,
+            c_exec: m.counter("pipeline.tasks_exec"),
+            c_fetch: m.counter("pipeline.fetches"),
+            c_fetch_miss: m.counter("pipeline.fetch_miss"),
+            c_malformed: m.counter("pipeline.malformed"),
+        }
+    }
+
+    /// Tasks whose outputs this worker currently holds.
+    pub fn stored(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Execute one request. Malformed payloads get an empty, counted
+    /// response (the driver counts it as a failed verification).
+    pub fn handle(&mut self, ctx: &mut ActorCtx, req: &RpcRequest<'_>) -> RpcReply {
+        let Some((job, stage, task, input)) = dec_header(req.payload) else {
+            self.c_malformed.inc();
+            return RpcReply::inline(Vec::new());
+        };
+        match req.op_class {
+            OP_EXEC => {
+                let cost = self.costs.exec
+                    + self.costs.exec_per_kib * ((input.len() as u64).div_ceil(1024));
+                ctx.sleep(cost);
+                let out = output_for(job, stage, task, self.output_bytes);
+                let sum = checksum(&out);
+                self.outputs.insert((job, stage, task), out);
+                self.c_exec.inc();
+                RpcReply::inline(sum.to_le_bytes().to_vec())
+            }
+            OP_FETCH => {
+                ctx.sleep(self.costs.fetch);
+                self.c_fetch.inc();
+                let out = match self.outputs.get(&(job, stage, task)) {
+                    Some(o) => o.clone(),
+                    None => {
+                        // A fetch racing a lost EXEC (retried elsewhere, or
+                        // shed): recompute — outputs are deterministic — but
+                        // count the miss so placement bugs surface.
+                        self.c_fetch_miss.inc();
+                        output_for(job, stage, task, self.output_bytes)
+                    }
+                };
+                RpcReply::inline(out)
+            }
+            _ => {
+                self.c_malformed.inc();
+                RpcReply::inline(Vec::new())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outputs_and_checksums_are_deterministic() {
+        assert_eq!(output_for(1, 2, 3, 64), output_for(1, 2, 3, 64));
+        assert_ne!(output_for(1, 2, 3, 64), output_for(1, 2, 4, 64));
+        assert_eq!(checksum(b"abc"), checksum(b"abc"));
+        assert_ne!(checksum(b"abc"), checksum(b"abd"));
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let wire = enc_exec(7, 1, 42, b"in");
+        assert_eq!(dec_header(&wire), Some((7, 1, 42, &b"in"[..])));
+        assert!(dec_header(&wire[..11]).is_none());
+    }
+}

@@ -1,0 +1,274 @@
+//! Pub-sub workload drivers: closed-loop and open-loop publishers, and a
+//! push-consuming subscriber that verifies gap-free delivery and returns
+//! byte credit.
+//!
+//! Drivers mirror the `suca-load` generator contract: each returns a
+//! [`LoadStats`] whose accounting identity
+//! (`completed + shed + timed_out == issued`) must hold on return.
+
+use suca_bcl::{BclError, ProcAddr};
+use suca_load::{absorb_completion as absorb_one, LatencyHists, LoadStats};
+use suca_rpc::{RpcClient, RpcStatus};
+use suca_sim::{ActorCtx, SimDuration, SimRng, SimTime};
+
+use crate::wire::{
+    dec_event, dec_seq, enc_ack, enc_event, enc_subscribe, FLAG_EOF, FLAG_SHED, OP_ACK, OP_PUBLISH,
+    OP_SUBSCRIBE,
+};
+
+/// Deterministic event body for `(room, index)` — content only; ordering
+/// is what subscribers verify.
+pub fn event_body(room: u32, index: u64, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut x = (u64::from(room) << 32) ^ index ^ 0x5CA7_B00C;
+    while out.len() < len {
+        // splitmix64 finalizer — the same mixing the sim RNG builds on.
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+        out.extend_from_slice(&(x ^ (x >> 31)).to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+/// Closed-loop publisher configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PublisherCfg {
+    /// Events to publish.
+    pub events: u32,
+    /// Bytes per event body.
+    pub bytes: usize,
+    /// Think-time bounds between publishes (uniform, exclusive of max).
+    pub think_min: SimDuration,
+    /// See `think_min`.
+    pub think_max: SimDuration,
+    /// Mark the final event `FLAG_EOF` so subscribers can finish cleanly.
+    pub eof: bool,
+}
+
+/// Publish `cfg.events` events to `room`, one at a time (closed loop).
+pub fn run_publisher(
+    ctx: &mut ActorCtx,
+    client: &mut RpcClient,
+    server: ProcAddr,
+    room: u32,
+    rng: &mut SimRng,
+    cfg: &PublisherCfg,
+    hists: &LatencyHists,
+) -> LoadStats {
+    assert!(
+        cfg.think_min < cfg.think_max,
+        "think_min must be < think_max"
+    );
+    let mut stats = LoadStats::default();
+    for i in 0..u64::from(cfg.events) {
+        ctx.sleep(SimDuration::from_ns(
+            rng.range(cfg.think_min.as_ns(), cfg.think_max.as_ns()),
+        ));
+        let flags = if cfg.eof && i + 1 == u64::from(cfg.events) {
+            FLAG_EOF
+        } else {
+            0
+        };
+        let payload = enc_event(room, flags, &event_body(room, i, cfg.bytes));
+        match client.call(ctx, server, OP_PUBLISH, &payload) {
+            Ok(c) => {
+                stats.issued += 1;
+                absorb_one(&c, &mut stats, hists);
+            }
+            Err(e) => {
+                if matches!(e, BclError::PathDead(_)) {
+                    stats.dead_dest += 1;
+                }
+                stats.client_shed += 1;
+            }
+        }
+    }
+    client.quiesce(ctx, cfg.think_max);
+    stats
+}
+
+/// Open-loop (flood) publisher configuration — the overload instrument.
+#[derive(Clone, Copy, Debug)]
+pub struct FloodCfg {
+    /// Mean inter-arrival gap (exponential draws).
+    pub mean_interarrival: SimDuration,
+    /// How long to generate arrivals for.
+    pub duration: SimDuration,
+    /// Bytes per event body.
+    pub bytes: usize,
+}
+
+/// Flood `room` with publishes for `cfg.duration` regardless of
+/// outstanding work, then drain. Arena exhaustion drops arrivals
+/// client-side (counted), exactly like the suca-load open loop.
+pub fn run_publisher_open(
+    ctx: &mut ActorCtx,
+    client: &mut RpcClient,
+    server: ProcAddr,
+    room: u32,
+    rng: &mut SimRng,
+    cfg: &FloodCfg,
+    hists: &LatencyHists,
+) -> LoadStats {
+    let exp_gap = |rng: &mut SimRng| {
+        let u = rng.unit_f64();
+        SimDuration::from_ns(
+            ((-(1.0 - u).ln()) * cfg.mean_interarrival.as_ns() as f64)
+                .round()
+                .max(1.0) as u64,
+        )
+    };
+    let start = ctx.now();
+    let stop = start + cfg.duration;
+    let mut next_arrival = start + exp_gap(rng);
+    let mut stats = LoadStats::default();
+    let mut index = 0u64;
+    loop {
+        let now = ctx.now();
+        if now >= stop {
+            break;
+        }
+        if next_arrival <= now {
+            next_arrival += exp_gap(rng);
+            let payload = enc_event(room, 0, &event_body(room, index, cfg.bytes));
+            index += 1;
+            if client.can_issue() {
+                match client.issue(ctx, server, OP_PUBLISH, &payload, 0) {
+                    Ok(_) => stats.issued += 1,
+                    Err(e) => {
+                        if matches!(e, BclError::PathDead(_)) {
+                            stats.dead_dest += 1;
+                        }
+                        stats.client_shed += 1;
+                    }
+                }
+            } else {
+                stats.client_shed += 1;
+            }
+            for c in client.advance(ctx) {
+                absorb_one(&c, &mut stats, hists);
+            }
+            continue;
+        }
+        let wait = next_arrival.since(now).min(stop.since(now));
+        for c in client.pump(ctx, wait) {
+            absorb_one(&c, &mut stats, hists);
+        }
+    }
+    while client.in_flight() > 0 {
+        for c in client.pump(ctx, SimDuration::from_us(500)) {
+            absorb_one(&c, &mut stats, hists);
+        }
+    }
+    client.quiesce(ctx, cfg.mean_interarrival * 4);
+    stats
+}
+
+/// Subscriber configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SubscriberCfg {
+    /// Replay start (`u64::MAX` = tail: future events only).
+    pub from: u64,
+    /// Return credit after this many received bytes.
+    pub ack_every: u64,
+    /// Hard deadline: stop pumping at this instant even without EOF (the
+    /// simulation must end even if a publisher was shed mid-stream).
+    pub end_at: SimTime,
+    /// Stop after observing this many `FLAG_EOF` events (one per
+    /// publisher feeding the room; 0 = rely on `end_at`).
+    pub eofs_expected: u32,
+}
+
+/// What one subscriber observed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SubStats {
+    /// Replay start sequence granted by the room.
+    pub start_seq: u64,
+    /// Events received (fresh + catch-up).
+    pub received: u64,
+    /// Event-body bytes received.
+    pub bytes: u64,
+    /// Sequence discontinuities observed — must be 0: the room sheds
+    /// rather than skips.
+    pub gaps: u64,
+    /// EOF sentinels observed.
+    pub eofs: u32,
+    /// True when the room shed this subscriber (lag/retention).
+    pub shed: bool,
+}
+
+/// Subscribe to `room` and consume pushes until the expected EOFs, a shed
+/// notice, or the deadline. Returns the control-RPC tallies (subscribe +
+/// acks) and the stream's observations.
+pub fn run_subscriber(
+    ctx: &mut ActorCtx,
+    client: &mut RpcClient,
+    server: ProcAddr,
+    room: u32,
+    cfg: &SubscriberCfg,
+    hists: &LatencyHists,
+) -> (LoadStats, SubStats) {
+    let mut stats = LoadStats::default();
+    let mut sub = SubStats::default();
+    match client.call(ctx, server, OP_SUBSCRIBE, &enc_subscribe(room, cfg.from)) {
+        Ok(c) => {
+            stats.issued += 1;
+            if c.status == RpcStatus::Ok {
+                sub.start_seq = dec_seq(&c.payload).unwrap_or(0);
+            }
+            absorb_one(&c, &mut stats, hists);
+        }
+        Err(_) => {
+            stats.client_shed += 1;
+            return (stats, sub);
+        }
+    }
+    let mut expected = sub.start_seq;
+    let mut unacked = 0u64;
+    let done =
+        |sub: &SubStats| sub.shed || (cfg.eofs_expected > 0 && sub.eofs >= cfg.eofs_expected);
+    while !done(&sub) && ctx.now() < cfg.end_at {
+        let wait = SimDuration::from_us(200).min(cfg.end_at.since(ctx.now()));
+        for c in client.pump(ctx, wait) {
+            absorb_one(&c, &mut stats, hists);
+        }
+        for ev in client.take_pushes() {
+            let Some((_, flags, data)) = dec_event(&ev.payload) else {
+                stats.bad_payloads += 1;
+                continue;
+            };
+            if flags & FLAG_SHED != 0 {
+                sub.shed = true;
+                break;
+            }
+            if ev.seq != expected {
+                sub.gaps += 1;
+            }
+            expected = ev.seq + 1;
+            sub.received += 1;
+            sub.bytes += data.len() as u64;
+            unacked += data.len() as u64 + 1; // +1: the stored flags byte
+            if flags & FLAG_EOF != 0 {
+                sub.eofs += 1;
+            }
+        }
+        if unacked >= cfg.ack_every && client.can_issue() {
+            let credit = unacked.min(u64::from(u32::MAX)) as u32;
+            match client.issue(ctx, server, OP_ACK, &enc_ack(room, credit), 0) {
+                Ok(_) => {
+                    stats.issued += 1;
+                    unacked = 0;
+                }
+                Err(_) => stats.client_shed += 1,
+            }
+        }
+    }
+    while client.in_flight() > 0 {
+        for c in client.pump(ctx, SimDuration::from_us(500)) {
+            absorb_one(&c, &mut stats, hists);
+        }
+    }
+    client.quiesce(ctx, SimDuration::from_us(500));
+    (stats, sub)
+}

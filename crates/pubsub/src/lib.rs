@@ -1,0 +1,38 @@
+//! # suca-pubsub — room-based pub-sub log service over suca-rpc
+//!
+//! The second tenant workload of the multi-tenant layer: a persisted,
+//! sequence-numbered event log per **room**, with subscriber fan-out over
+//! the RPC layer's push frames.
+//!
+//! * **Rooms** ([`Room`]) — a pure, property-tested model: bounded-
+//!   retention log, per-subscriber byte-credit windows, and the slow-
+//!   subscriber policy (throttle within `max_lag`, shed past it — counted,
+//!   never a wedged channel or a sequence gap).
+//! * **Service** ([`PubSubService`]) — PUBLISH / SUBSCRIBE / HISTORY / ACK
+//!   op classes behind [`suca_rpc::RpcServer::serve_tenants_until_idle`];
+//!   fan-out deliveries ride [`suca_rpc::RpcPush`] frames. Event records
+//!   carry their flags (EOF sentinels survive throttling and replay).
+//! * **Drivers** ([`run_publisher`], [`run_publisher_open`],
+//!   [`run_subscriber`]) — load generators matching the `suca-load`
+//!   accounting contract; the subscriber verifies the gap-free-prefix
+//!   property online.
+//!
+//! The fan-out accounting identity — `fanout_sent + fanout_throttled +
+//! fanout_shed == Σ subscribers present at each publish` — holds after
+//! every operation ([`RoomStats::balanced`]) and is asserted by the mixed
+//! harness per node.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod room;
+pub mod service;
+pub mod wire;
+
+pub use client::{
+    event_body, run_publisher, run_publisher_open, run_subscriber, FloodCfg, PublisherCfg,
+    SubStats, SubscriberCfg,
+};
+pub use room::{Delivery, DeliveryKind, PublishOutcome, Room, RoomCfg, RoomStats};
+pub use service::{PubSubCosts, PubSubService};
+pub use wire::{CLASS_NAMES, FLAG_EOF, FLAG_SHED, OP_ACK, OP_HISTORY, OP_PUBLISH, OP_SUBSCRIBE};

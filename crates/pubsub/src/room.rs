@@ -1,0 +1,411 @@
+//! The room model: a sequence-numbered event log with bounded retention
+//! and byte-budgeted per-subscriber fan-out.
+//!
+//! This module is pure (no sim, no I/O) so its invariants are
+//! property-testable in isolation:
+//!
+//! * **Gap-free prefix** — a subscriber only ever receives the next
+//!   contiguous sequence it has not yet seen; a subscriber that cannot be
+//!   kept contiguous (lag past the bound, or retention evicted its
+//!   backlog) is *shed* with a notice, never given a gap.
+//! * **Fan-out accounting** — every `(publish, subscriber present at that
+//!   publish)` pair resolves exactly once:
+//!   `fanout_sent + fanout_throttled + fanout_shed == Σ subscribers at
+//!   publish`. Catch-up deliveries (throttled work completing later via
+//!   credit) and retention sheds are counted separately.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// Room policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct RoomCfg {
+    /// Retained log events; older events are evicted and a subscriber
+    /// still needing them is shed at its next catch-up.
+    pub retention: usize,
+    /// Maximum events a subscriber may lag behind the log head before the
+    /// room sheds it (the slow-subscriber bound).
+    pub max_lag: u64,
+    /// Initial fan-out byte credit granted at subscribe; replenished by
+    /// ACKs.
+    pub init_window: u64,
+}
+
+impl Default for RoomCfg {
+    fn default() -> Self {
+        RoomCfg {
+            retention: 1024,
+            max_lag: 256,
+            init_window: 64 * 1024,
+        }
+    }
+}
+
+/// Why a delivery record exists.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeliveryKind {
+    /// Pushed at publish time to a caught-up subscriber with credit.
+    Fresh,
+    /// Pushed during catch-up (subscribe replay or credit return).
+    Catchup,
+    /// Shed at publish time: the subscriber lagged past `max_lag`.
+    Shed,
+    /// Shed at catch-up time: retention evicted its next event.
+    Evicted,
+}
+
+/// One delivery (or shed notice) the room wants sent to a subscriber.
+#[derive(Clone, Debug)]
+pub struct Delivery {
+    /// Subscriber key (the service maps this to a port address).
+    pub sub: u64,
+    /// Event sequence (for sheds: the next sequence the subscriber would
+    /// have needed).
+    pub seq: u64,
+    /// Fresh / catch-up / shed.
+    pub kind: DeliveryKind,
+    /// Event bytes (empty for sheds).
+    pub payload: Vec<u8>,
+}
+
+/// What one publish resolved to across the subscriber set.
+#[derive(Debug, Default)]
+pub struct PublishOutcome {
+    /// Fresh deliveries plus shed notices, in subscriber-key order.
+    pub deliveries: Vec<Delivery>,
+    /// Subscribers throttled this publish (no delivery now; they catch up
+    /// via credit or get shed later).
+    pub throttled: u64,
+}
+
+/// Monotonic room tallies. The fan-out identity
+/// `fanout_sent + fanout_throttled + fanout_shed == expected_fanout` holds
+/// after every operation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoomStats {
+    /// Events appended.
+    pub published: u64,
+    /// Σ subscribers present at each publish (the identity's right side).
+    pub expected_fanout: u64,
+    /// Fresh deliveries at publish time.
+    pub fanout_sent: u64,
+    /// Publish-time throttles (no credit or already lagging).
+    pub fanout_throttled: u64,
+    /// Publish-time sheds (lag exceeded `max_lag`).
+    pub fanout_shed: u64,
+    /// Catch-up deliveries (replay of throttled events).
+    pub catchup_sent: u64,
+    /// Subscribers shed at catch-up because retention evicted their next
+    /// event.
+    pub subs_shed: u64,
+}
+
+impl RoomStats {
+    /// True when every `(publish, subscriber)` pair resolved exactly once.
+    pub fn balanced(&self) -> bool {
+        self.fanout_sent + self.fanout_throttled + self.fanout_shed == self.expected_fanout
+    }
+}
+
+struct Sub {
+    /// Next sequence this subscriber must receive (contiguity cursor).
+    next_seq: u64,
+    /// Remaining fan-out byte credit.
+    window: u64,
+}
+
+/// One room: log + subscriber table + tallies. Deterministic by
+/// construction — subscribers iterate in key order (`BTreeMap`) and all
+/// state changes are pure functions of the call sequence.
+pub struct Room {
+    cfg: RoomCfg,
+    log: VecDeque<(u64, Vec<u8>)>,
+    first_seq: u64,
+    next_seq: u64,
+    subs: BTreeMap<u64, Sub>,
+    stats: RoomStats,
+}
+
+impl Room {
+    /// Empty room.
+    pub fn new(cfg: RoomCfg) -> Room {
+        Room {
+            cfg,
+            log: VecDeque::new(),
+            first_seq: 0,
+            next_seq: 0,
+            subs: BTreeMap::new(),
+            stats: RoomStats::default(),
+        }
+    }
+
+    /// Sequence the next publish will be assigned.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Oldest retained sequence.
+    pub fn first_seq(&self) -> u64 {
+        self.first_seq
+    }
+
+    /// Current subscriber count.
+    pub fn subscribers(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Tallies so far.
+    pub fn stats(&self) -> RoomStats {
+        self.stats
+    }
+
+    /// Register subscriber `key` starting at `from` (`u64::MAX` = the tail,
+    /// i.e. only future events). Returns the clamped start sequence and
+    /// any immediate catch-up deliveries (replay of retained history the
+    /// initial window covers). Re-subscribing an existing key resets its
+    /// cursor and window.
+    pub fn subscribe(&mut self, key: u64, from: u64) -> (u64, Vec<Delivery>) {
+        let start = if from == u64::MAX {
+            self.next_seq
+        } else {
+            from.clamp(self.first_seq, self.next_seq)
+        };
+        self.subs.insert(
+            key,
+            Sub {
+                next_seq: start,
+                window: self.cfg.init_window,
+            },
+        );
+        (start, self.catch_up(key))
+    }
+
+    /// Remove subscriber `key` (EOF observed, client done). Returns true
+    /// when it was present.
+    pub fn unsubscribe(&mut self, key: u64) -> bool {
+        self.subs.remove(&key).is_some()
+    }
+
+    /// Return `bytes` of fan-out credit to subscriber `key`, then replay
+    /// whatever backlog the refreshed window covers.
+    pub fn credit(&mut self, key: u64, bytes: u64) -> Vec<Delivery> {
+        let Some(sub) = self.subs.get_mut(&key) else {
+            return Vec::new();
+        };
+        sub.window = sub.window.saturating_add(bytes);
+        self.catch_up(key)
+    }
+
+    /// Append one event and fan it out: each current subscriber resolves
+    /// to exactly one of fresh-delivery / throttle / shed.
+    pub fn publish(&mut self, data: &[u8]) -> (u64, PublishOutcome) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.log.push_back((seq, data.to_vec()));
+        while self.log.len() > self.cfg.retention {
+            self.log.pop_front();
+            self.first_seq += 1;
+        }
+        self.stats.published += 1;
+        self.stats.expected_fanout += self.subs.len() as u64;
+        let mut out = PublishOutcome::default();
+        let len = data.len() as u64;
+        let mut shed_keys = Vec::new();
+        for (&key, sub) in self.subs.iter_mut() {
+            if sub.next_seq == seq && sub.window >= len {
+                sub.window -= len;
+                sub.next_seq = seq + 1;
+                self.stats.fanout_sent += 1;
+                out.deliveries.push(Delivery {
+                    sub: key,
+                    seq,
+                    kind: DeliveryKind::Fresh,
+                    payload: data.to_vec(),
+                });
+            } else if self.next_seq - sub.next_seq <= self.cfg.max_lag {
+                // Within the lag bound: no delivery now, catches up via
+                // credit. (A caught-up subscriber without credit lands
+                // here with lag 1.)
+                self.stats.fanout_throttled += 1;
+                out.throttled += 1;
+            } else {
+                shed_keys.push((key, sub.next_seq));
+            }
+        }
+        for (key, next) in shed_keys {
+            self.subs.remove(&key);
+            self.stats.fanout_shed += 1;
+            out.deliveries.push(Delivery {
+                sub: key,
+                seq: next,
+                kind: DeliveryKind::Shed,
+                payload: Vec::new(),
+            });
+        }
+        (seq, out)
+    }
+
+    /// Read up to `max` retained events starting at `from` (clamped to the
+    /// retention window). Returns the oldest retained sequence so callers
+    /// can tell truncation from emptiness.
+    pub fn history(&self, from: u64, max: u32) -> (u64, Vec<(u64, &[u8])>) {
+        let start = from.max(self.first_seq);
+        let items = self
+            .log
+            .iter()
+            .skip((start - self.first_seq) as usize)
+            .take(max as usize)
+            .map(|(seq, data)| (*seq, data.as_slice()))
+            .collect();
+        (self.first_seq, items)
+    }
+
+    /// Deliver subscriber `key`'s backlog in order while credit lasts. A
+    /// subscriber whose next event fell off retention cannot be kept
+    /// gap-free: it is shed with an `Evicted` notice.
+    fn catch_up(&mut self, key: u64) -> Vec<Delivery> {
+        let Some(sub) = self.subs.get_mut(&key) else {
+            return Vec::new();
+        };
+        if sub.next_seq < self.first_seq {
+            let next = sub.next_seq;
+            self.subs.remove(&key);
+            self.stats.subs_shed += 1;
+            return vec![Delivery {
+                sub: key,
+                seq: next,
+                kind: DeliveryKind::Evicted,
+                payload: Vec::new(),
+            }];
+        }
+        let mut out = Vec::new();
+        while sub.next_seq < self.next_seq {
+            let (seq, data) = &self.log[(sub.next_seq - self.first_seq) as usize];
+            let len = data.len() as u64;
+            if sub.window < len {
+                break;
+            }
+            sub.window -= len;
+            sub.next_seq += 1;
+            self.stats.catchup_sent += 1;
+            out.push(Delivery {
+                sub: key,
+                seq: *seq,
+                kind: DeliveryKind::Catchup,
+                payload: data.clone(),
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(retention: usize, max_lag: u64, init_window: u64) -> RoomCfg {
+        RoomCfg {
+            retention,
+            max_lag,
+            init_window,
+        }
+    }
+
+    #[test]
+    fn tail_subscriber_gets_fresh_contiguous_events() {
+        let mut r = Room::new(cfg(16, 8, 1024));
+        let (start, replay) = r.subscribe(1, u64::MAX);
+        assert_eq!(start, 0);
+        assert!(replay.is_empty());
+        for i in 0..4u64 {
+            let (seq, out) = r.publish(&[0u8; 8]);
+            assert_eq!(seq, i);
+            assert_eq!(out.deliveries.len(), 1);
+            assert_eq!(out.deliveries[0].seq, i);
+            assert_eq!(out.deliveries[0].kind, DeliveryKind::Fresh);
+        }
+        assert!(r.stats().balanced());
+        assert_eq!(r.stats().fanout_sent, 4);
+    }
+
+    #[test]
+    fn exhausted_window_throttles_then_credit_replays() {
+        let mut r = Room::new(cfg(16, 8, 8));
+        r.subscribe(1, u64::MAX);
+        let (_, out) = r.publish(&[0u8; 8]); // consumes the whole window
+        assert_eq!(out.deliveries.len(), 1);
+        let (_, out) = r.publish(&[0u8; 8]); // no credit left
+        assert_eq!(out.throttled, 1);
+        assert!(out.deliveries.is_empty());
+        let replay = r.credit(1, 16);
+        assert_eq!(replay.len(), 1);
+        assert_eq!(replay[0].seq, 1);
+        assert_eq!(replay[0].kind, DeliveryKind::Catchup);
+        assert!(r.stats().balanced());
+    }
+
+    #[test]
+    fn lag_past_bound_sheds_with_notice() {
+        let mut r = Room::new(cfg(64, 2, 4));
+        r.subscribe(1, u64::MAX);
+        // Window 4 < event size 8 ⇒ the sub never receives, lag grows.
+        let (_, o1) = r.publish(&[0u8; 8]);
+        assert_eq!(o1.throttled, 1); // lag 1
+        let (_, o2) = r.publish(&[0u8; 8]);
+        assert_eq!(o2.throttled, 1); // lag 2 == max_lag
+        let (_, o3) = r.publish(&[0u8; 8]); // lag would be 3 ⇒ shed
+        assert_eq!(o3.deliveries.len(), 1);
+        assert_eq!(o3.deliveries[0].kind, DeliveryKind::Shed);
+        assert_eq!(r.subscribers(), 0);
+        assert!(r.stats().balanced());
+        assert_eq!(r.stats().fanout_shed, 1);
+    }
+
+    #[test]
+    fn retention_eviction_sheds_at_credit_time() {
+        let mut r = Room::new(cfg(2, 64, 0)); // zero credit: always lags
+        r.subscribe(1, u64::MAX);
+        for _ in 0..4 {
+            r.publish(&[0u8; 8]);
+        }
+        // first_seq advanced past the sub's cursor (0): credit sheds it.
+        assert_eq!(r.first_seq(), 2);
+        let replay = r.credit(1, 1 << 20);
+        assert_eq!(replay.len(), 1);
+        assert_eq!(replay[0].kind, DeliveryKind::Evicted);
+        assert_eq!(r.stats().subs_shed, 1);
+        assert!(r.stats().balanced());
+    }
+
+    #[test]
+    fn subscribe_from_history_replays_within_window() {
+        let mut r = Room::new(cfg(16, 8, 20));
+        for _ in 0..3 {
+            r.publish(&[0u8; 8]);
+        }
+        let (start, replay) = r.subscribe(1, 0);
+        assert_eq!(start, 0);
+        // Window 20 covers two 8-byte events, not three.
+        assert_eq!(replay.len(), 2);
+        assert_eq!(replay[0].seq, 0);
+        assert_eq!(replay[1].seq, 1);
+        let more = r.credit(1, 8);
+        assert_eq!(more.len(), 1);
+        assert_eq!(more[0].seq, 2);
+        assert!(r.stats().balanced());
+    }
+
+    #[test]
+    fn history_clamps_to_retention() {
+        let mut r = Room::new(cfg(2, 8, 0));
+        for _ in 0..5 {
+            r.publish(&[1u8; 4]);
+        }
+        let (first, items) = r.history(0, 10);
+        assert_eq!(first, 3);
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].0, 3);
+        assert_eq!(items[1].0, 4);
+        let (_, capped) = r.history(0, 1);
+        assert_eq!(capped.len(), 1);
+    }
+}

@@ -1,0 +1,199 @@
+//! Pub-sub wire formats: op classes, request/response encodings, and the
+//! push-event payload.
+//!
+//! Everything is little-endian and length-prefixed where variable;
+//! decoders return `None` on any malformed input so the service can count
+//! garbage instead of panicking on it.
+
+/// PUBLISH op class: append one event to a room's log. Request is
+/// [`enc_publish`]; response is the assigned sequence number.
+pub const OP_PUBLISH: u8 = 0;
+/// SUBSCRIBE op class: register the calling port for a room's fan-out.
+/// Request is [`enc_subscribe`]; response is the replay start sequence.
+pub const OP_SUBSCRIBE: u8 = 1;
+/// HISTORY op class: read a range of the room's retained log (the replay
+/// path; large responses exercise RMA delivery).
+pub const OP_HISTORY: u8 = 2;
+/// ACK op class: return byte credit for this subscriber's fan-out window.
+pub const OP_ACK: u8 = 3;
+
+/// Histogram / SLO-report labels in op-class order (class ≥ 3 folds into
+/// the last slot, mirroring the SLO-window convention).
+pub const CLASS_NAMES: [&str; 4] = ["publish", "subscribe", "history", "other"];
+
+/// Event flag: end-of-stream sentinel (publishers mark their final event).
+pub const FLAG_EOF: u8 = 1;
+/// Event flag: shed notice — the room dropped this subscriber for lagging
+/// past the bound; the stream is over and a gap would follow.
+pub const FLAG_SHED: u8 = 2;
+
+/// Encode a PUBLISH request / push-event payload: `room u32 | flags u8 |
+/// data`.
+pub fn enc_event(room: u32, flags: u8, data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + data.len());
+    out.extend_from_slice(&room.to_le_bytes());
+    out.push(flags);
+    out.extend_from_slice(data);
+    out
+}
+
+/// Decode a PUBLISH request / push-event payload.
+pub fn dec_event(buf: &[u8]) -> Option<(u32, u8, &[u8])> {
+    if buf.len() < 5 {
+        return None;
+    }
+    let room = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    Some((room, buf[4], &buf[5..]))
+}
+
+/// Encode a SUBSCRIBE request: `room u32 | from u64` (`u64::MAX` = tail).
+pub fn enc_subscribe(room: u32, from: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12);
+    out.extend_from_slice(&room.to_le_bytes());
+    out.extend_from_slice(&from.to_le_bytes());
+    out
+}
+
+/// Decode a SUBSCRIBE request.
+pub fn dec_subscribe(buf: &[u8]) -> Option<(u32, u64)> {
+    if buf.len() != 12 {
+        return None;
+    }
+    Some((le_u32(buf, 0), le_u64(buf, 4)))
+}
+
+/// Encode a HISTORY request: `room u32 | from u64 | max u32`.
+pub fn enc_history(room: u32, from: u64, max: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&room.to_le_bytes());
+    out.extend_from_slice(&from.to_le_bytes());
+    out.extend_from_slice(&max.to_le_bytes());
+    out
+}
+
+/// Decode a HISTORY request.
+pub fn dec_history(buf: &[u8]) -> Option<(u32, u64, u32)> {
+    if buf.len() != 16 {
+        return None;
+    }
+    Some((le_u32(buf, 0), le_u64(buf, 4), le_u32(buf, 12)))
+}
+
+/// Encode an ACK request: `room u32 | bytes u32` of returned credit.
+pub fn enc_ack(room: u32, bytes: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8);
+    out.extend_from_slice(&room.to_le_bytes());
+    out.extend_from_slice(&bytes.to_le_bytes());
+    out
+}
+
+/// Decode an ACK request.
+pub fn dec_ack(buf: &[u8]) -> Option<(u32, u32)> {
+    if buf.len() != 8 {
+        return None;
+    }
+    Some((le_u32(buf, 0), le_u32(buf, 4)))
+}
+
+/// Encode a sequence-number response (PUBLISH / SUBSCRIBE / ACK).
+pub fn enc_seq(seq: u64) -> Vec<u8> {
+    seq.to_le_bytes().to_vec()
+}
+
+/// Decode a sequence-number response.
+pub fn dec_seq(buf: &[u8]) -> Option<u64> {
+    if buf.len() != 8 {
+        return None;
+    }
+    Some(le_u64(buf, 0))
+}
+
+/// Encode a HISTORY response: `first_avail u64 | count u32 |
+/// [seq u64 | len u32 | bytes]*`.
+pub fn enc_history_resp(first_avail: u64, items: &[(u64, &[u8])]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + items.iter().map(|(_, d)| 12 + d.len()).sum::<usize>());
+    out.extend_from_slice(&first_avail.to_le_bytes());
+    out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+    for (seq, data) in items {
+        out.extend_from_slice(&seq.to_le_bytes());
+        out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        out.extend_from_slice(data);
+    }
+    out
+}
+
+/// Replayed `(seq, data)` entries from a HISTORY response.
+pub type HistoryItems = Vec<(u64, Vec<u8>)>;
+
+/// Decode a HISTORY response into `(first_avail, [(seq, data)])`.
+pub fn dec_history_resp(buf: &[u8]) -> Option<(u64, HistoryItems)> {
+    if buf.len() < 12 {
+        return None;
+    }
+    let first_avail = le_u64(buf, 0);
+    let count = le_u32(buf, 8) as usize;
+    let mut items = Vec::with_capacity(count);
+    let mut off = 12usize;
+    for _ in 0..count {
+        if buf.len() < off + 12 {
+            return None;
+        }
+        let seq = le_u64(buf, off);
+        let len = le_u32(buf, off + 8) as usize;
+        off += 12;
+        if buf.len() < off + len {
+            return None;
+        }
+        items.push((seq, buf[off..off + len].to_vec()));
+        off += len;
+    }
+    if off != buf.len() {
+        return None;
+    }
+    Some((first_avail, items))
+}
+
+fn le_u32(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]])
+}
+
+fn le_u64(buf: &[u8], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[off..off + 8]);
+    u64::from_le_bytes(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips() {
+        let wire = enc_event(7, FLAG_EOF, b"hello");
+        let (room, flags, data) = dec_event(&wire).unwrap();
+        assert_eq!((room, flags, data), (7, FLAG_EOF, &b"hello"[..]));
+        assert_eq!(
+            dec_subscribe(&enc_subscribe(3, u64::MAX)),
+            Some((3, u64::MAX))
+        );
+        assert_eq!(dec_history(&enc_history(3, 42, 16)), Some((3, 42, 16)));
+        assert_eq!(dec_ack(&enc_ack(9, 4096)), Some((9, 4096)));
+        assert_eq!(dec_seq(&enc_seq(1 << 40)), Some(1 << 40));
+        let items: Vec<(u64, &[u8])> = vec![(5, b"aa"), (6, b"bbb")];
+        let (first, got) = dec_history_resp(&enc_history_resp(5, &items)).unwrap();
+        assert_eq!(first, 5);
+        assert_eq!(got, vec![(5, b"aa".to_vec()), (6, b"bbb".to_vec())]);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(dec_event(&[1, 2]).is_none());
+        assert!(dec_subscribe(&[0; 11]).is_none());
+        assert!(dec_history(&[0; 15]).is_none());
+        assert!(dec_ack(&[0; 9]).is_none());
+        assert!(dec_seq(&[0; 7]).is_none());
+        let mut resp = enc_history_resp(0, &[(0, b"xy")]);
+        resp.pop();
+        assert!(dec_history_resp(&resp).is_none());
+    }
+}

@@ -5,7 +5,7 @@
 //! [`BclPort`] — the workload layer models thousands of simulated users
 //! with a few dozen client actors, each driving one of these.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -15,6 +15,7 @@ use suca_sim::mtrace::stage;
 use suca_sim::{ActorCtx, Counter, Gauge, SimDuration, SimTime, TraceEvent, TraceId, TraceLayer};
 
 use crate::frame::{RpcFrame, RpcKind, ARENA_CHANNEL};
+use crate::tenant::{Priority, TenantId};
 
 /// Client policy knobs.
 #[derive(Clone, Debug)]
@@ -30,6 +31,11 @@ pub struct RpcClientConfig {
     pub arena_slots: u32,
     /// Bytes per arena slot (= largest RMA response).
     pub slot_bytes: u64,
+    /// Tenant stamped on every request this client issues.
+    pub tenant: TenantId,
+    /// Advisory priority stamped on requests (servers with tenant
+    /// policies override it from the policy table).
+    pub priority: Priority,
 }
 
 impl Default for RpcClientConfig {
@@ -40,8 +46,23 @@ impl Default for RpcClientConfig {
             backoff: SimDuration::from_us(100),
             arena_slots: 64,
             slot_bytes: 16 * 1024,
+            tenant: TenantId::DEFAULT,
+            priority: Priority::High,
         }
     }
+}
+
+/// One server-initiated event (pub-sub fan-out) received by this client.
+#[derive(Clone, Debug)]
+pub struct PushEvent {
+    /// Tenant the event stream belongs to.
+    pub tenant: TenantId,
+    /// Application class of the stream.
+    pub op_class: u8,
+    /// 64-bit event sequence number.
+    pub seq: u64,
+    /// Event payload.
+    pub payload: Vec<u8>,
 }
 
 /// Final outcome of one logical request.
@@ -105,10 +126,12 @@ pub struct RpcClient {
     arena: VirtAddr,
     free_slots: Vec<u32>,
     pending: HashMap<u32, Pending>,
+    pushes: VecDeque<PushEvent>,
     next_req_id: u32,
     node: u32,
     inflight_probe: Arc<AtomicU64>,
     c_issued: Counter,
+    c_pushes: Counter,
     c_completed: Counter,
     c_shed: Counter,
     c_timeout: Counter,
@@ -143,10 +166,12 @@ impl RpcClient {
         Ok(RpcClient {
             free_slots: (0..cfg.arena_slots).rev().collect(),
             pending: HashMap::new(),
+            pushes: VecDeque::new(),
             next_req_id: 1,
             node,
             inflight_probe,
             c_issued: m.counter("rpc.cli_issued"),
+            c_pushes: m.counter("rpc.cli_pushes"),
             c_completed: m.counter("rpc.cli_completed"),
             c_shed: m.counter("rpc.cli_shed"),
             c_timeout: m.counter("rpc.cli_timeout"),
@@ -166,6 +191,18 @@ impl RpcClient {
     /// This client's port address.
     pub fn addr(&self) -> ProcAddr {
         self.port.addr()
+    }
+
+    /// Tenant this client issues for.
+    pub fn tenant(&self) -> TenantId {
+        self.cfg.tenant
+    }
+
+    /// Drain every push event received since the last call, in arrival
+    /// order. Pushes are diverted here by [`RpcClient::advance`] /
+    /// [`RpcClient::pump`]; subscribers poll this after pumping.
+    pub fn take_pushes(&mut self) -> Vec<PushEvent> {
+        self.pushes.drain(..).collect()
     }
 
     /// Requests currently in flight.
@@ -206,6 +243,8 @@ impl RpcClient {
             req_id,
             arena_off: slot * self.cfg.slot_bytes as u32,
             len: payload.len() as u32,
+            tenant: self.cfg.tenant,
+            prio: self.cfg.priority,
         };
         let wire = frame.encode(payload);
         let issued = ctx.now();
@@ -337,6 +376,18 @@ impl RpcClient {
             self.c_bad_frames.inc();
             return;
         };
+        if frame.kind == RpcKind::Push {
+            // Unsolicited fan-out event: not correlated with any pending
+            // request — queue it for `take_pushes`.
+            self.c_pushes.inc();
+            self.pushes.push_back(PushEvent {
+                tenant: frame.tenant,
+                op_class: frame.op_class,
+                seq: frame.push_seq(),
+                payload: inline[..frame.len as usize].to_vec(),
+            });
+            return;
+        }
         if !self.pending.contains_key(&frame.req_id) {
             // Duplicate response to a retried request, or a response that
             // lost the race with our own timeout.
@@ -371,7 +422,7 @@ impl RpcClient {
                     p.backoff_until = Some(ctx.now() + self.cfg.backoff * u64::from(p.attempts));
                 }
             }
-            RpcKind::Request => self.c_bad_frames.inc(),
+            RpcKind::Request | RpcKind::Push => self.c_bad_frames.inc(),
         }
     }
 
@@ -447,6 +498,7 @@ impl RpcClient {
         let now = ctx.now();
         // Feed the online SLO windows (no-op unless health is armed).
         ctx.sim().health().observe_rpc(
+            self.cfg.tenant.0,
             p.op_class,
             status == RpcStatus::Ok,
             now.since(p.issued).as_ns(),

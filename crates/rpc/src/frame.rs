@@ -1,9 +1,16 @@
-//! RPC framing: a fixed 16-byte header carried inside BCL payloads.
+//! RPC framing: a fixed 20-byte header carried inside BCL payloads.
 //!
 //! Requests and inline responses travel on the system channel (so they are
 //! bounded by the 4 KB pool buffer); large responses are RMA-written into
 //! the client's response arena and announced by an `RmaResponse` frame
-//! whose header names the arena offset and length.
+//! whose header names the arena offset and length. Every frame names its
+//! tenant and priority class so servers can enforce per-tenant admission
+//! without a second decode. `Push` frames carry server-initiated events
+//! (pub-sub fan-out): their 64-bit sequence number rides in the
+//! `req_id`/`arena_off` pair, which unsolicited frames do not otherwise
+//! use.
+
+use crate::tenant::{Priority, TenantId};
 
 /// Open-channel index every RPC client binds its response arena to. A
 /// fixed convention keeps the request frame small: servers only need the
@@ -11,11 +18,12 @@
 pub const ARENA_CHANNEL: u16 = 0;
 
 /// Encoded header length.
-pub const FRAME_BYTES: usize = 16;
+pub const FRAME_BYTES: usize = 20;
 
-/// Frame magic ("RC" + version 1). A decode failure is counted by the
-/// receiver, never panicked on — ports are a user-facing surface.
-pub const MAGIC: u16 = 0x52C1;
+/// Frame magic ("RC" + version 2 — version 1 was the 16-byte pre-tenancy
+/// header). A decode failure is counted by the receiver, never panicked
+/// on — ports are a user-facing surface.
+pub const MAGIC: u16 = 0x52C2;
 
 /// What a frame is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -28,8 +36,13 @@ pub enum RpcKind {
     /// client's arena at `arena_off` (`len` bytes); nothing follows.
     RmaResponse,
     /// Server → client: admission control rejected the request (bounded
-    /// queue full). No payload.
+    /// queue full, tenant over quota, or evicted by a higher-priority
+    /// arrival). No payload.
     Shed,
+    /// Server → client: an unsolicited event (pub-sub fan-out). The
+    /// `req_id`/`arena_off` pair carries the event's 64-bit sequence
+    /// number (low/high words); the payload follows inline.
+    Push,
 }
 
 impl RpcKind {
@@ -39,6 +52,7 @@ impl RpcKind {
             RpcKind::Response => 1,
             RpcKind::RmaResponse => 2,
             RpcKind::Shed => 3,
+            RpcKind::Push => 4,
         }
     }
 
@@ -48,6 +62,7 @@ impl RpcKind {
             1 => Some(RpcKind::Response),
             2 => Some(RpcKind::RmaResponse),
             3 => Some(RpcKind::Shed),
+            4 => Some(RpcKind::Push),
             _ => None,
         }
     }
@@ -56,7 +71,7 @@ impl RpcKind {
 /// One RPC frame header.
 ///
 /// Layout (little-endian): `magic u16 | kind u8 | op_class u8 | req_id u32
-/// | arena_off u32 | len u32`.
+/// | arena_off u32 | len u32 | tenant u8 | prio u8 | reserved u16`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RpcFrame {
     /// Frame type.
@@ -64,17 +79,41 @@ pub struct RpcFrame {
     /// Application operation class (dispatched by the server handler; also
     /// the latency-histogram bucket).
     pub op_class: u8,
-    /// Client-port-unique request id; responses echo it.
+    /// Client-port-unique request id; responses echo it. For `Push`
+    /// frames: the low 32 bits of the event sequence number.
     pub req_id: u32,
     /// Byte offset of this request's slot in the client's response arena
-    /// (requests name it, responses echo it).
+    /// (requests name it, responses echo it). For `Push` frames: the high
+    /// 32 bits of the event sequence number.
     pub arena_off: u32,
     /// Payload length: inline bytes following the header for `Request` /
-    /// `Response`, arena bytes for `RmaResponse`, 0 for `Shed`.
+    /// `Response` / `Push`, arena bytes for `RmaResponse`, 0 for `Shed`.
     pub len: u32,
+    /// Tenant the request belongs to (echoed on replies and pushes).
+    pub tenant: TenantId,
+    /// Advisory priority class; servers with tenant policies override it.
+    pub prio: Priority,
 }
 
 impl RpcFrame {
+    /// Build a `Push` frame header for event `seq` of `tenant`.
+    pub fn push(tenant: TenantId, op_class: u8, seq: u64, len: u32) -> RpcFrame {
+        RpcFrame {
+            kind: RpcKind::Push,
+            op_class,
+            req_id: seq as u32,
+            arena_off: (seq >> 32) as u32,
+            len,
+            tenant,
+            prio: Priority::Low,
+        }
+    }
+
+    /// The 64-bit push sequence number carried in `req_id`/`arena_off`.
+    pub fn push_seq(&self) -> u64 {
+        (u64::from(self.arena_off) << 32) | u64::from(self.req_id)
+    }
+
     /// Encode the header followed by `payload` (which must match
     /// `self.len` for inline kinds).
     pub fn encode(&self, payload: &[u8]) -> Vec<u8> {
@@ -85,12 +124,15 @@ impl RpcFrame {
         out.extend_from_slice(&self.req_id.to_le_bytes());
         out.extend_from_slice(&self.arena_off.to_le_bytes());
         out.extend_from_slice(&self.len.to_le_bytes());
+        out.push(self.tenant.0);
+        out.push(self.prio.to_wire());
+        out.extend_from_slice(&[0u8, 0u8]);
         out.extend_from_slice(payload);
         out
     }
 
     /// Decode a header and return it with the inline payload that follows.
-    /// `None` on short buffers, bad magic, or unknown kinds.
+    /// `None` on short buffers, bad magic, or unknown kinds/priorities.
     pub fn decode(buf: &[u8]) -> Option<(RpcFrame, &[u8])> {
         if buf.len() < FRAME_BYTES {
             return None;
@@ -99,12 +141,15 @@ impl RpcFrame {
             return None;
         }
         let kind = RpcKind::from_wire(buf[2])?;
+        let prio = Priority::from_wire(buf[17])?;
         let frame = RpcFrame {
             kind,
             op_class: buf[3],
             req_id: u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]),
             arena_off: u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]),
             len: u32::from_le_bytes([buf[12], buf[13], buf[14], buf[15]]),
+            tenant: TenantId(buf[16]),
+            prio,
         };
         Some((frame, &buf[FRAME_BYTES..]))
     }
@@ -121,6 +166,7 @@ mod tests {
             RpcKind::Response,
             RpcKind::RmaResponse,
             RpcKind::Shed,
+            RpcKind::Push,
         ] {
             let f = RpcFrame {
                 kind,
@@ -128,6 +174,8 @@ mod tests {
                 req_id: 0xDEAD_BEEF,
                 arena_off: 8192,
                 len: 3,
+                tenant: TenantId(3),
+                prio: Priority::Low,
             };
             let wire = f.encode(b"abc");
             let (back, payload) = RpcFrame::decode(&wire).expect("decodes");
@@ -137,27 +185,34 @@ mod tests {
     }
 
     #[test]
+    fn push_seq_spans_both_words() {
+        let seq = 0x1234_5678_9ABC_DEF0u64;
+        let f = RpcFrame::push(TenantId(1), 0, seq, 0);
+        assert_eq!(f.push_seq(), seq);
+        let (back, _) = RpcFrame::decode(&f.encode(&[])).expect("decodes");
+        assert_eq!(back.push_seq(), seq);
+    }
+
+    #[test]
     fn rejects_garbage() {
         assert!(RpcFrame::decode(b"short").is_none());
-        let mut wire = RpcFrame {
+        let base = RpcFrame {
             kind: RpcKind::Request,
             op_class: 0,
             req_id: 1,
             arena_off: 0,
             len: 0,
-        }
-        .encode(b"");
+            tenant: TenantId::DEFAULT,
+            prio: Priority::High,
+        };
+        let mut wire = base.encode(b"");
         wire[0] ^= 0xFF; // bad magic
         assert!(RpcFrame::decode(&wire).is_none());
-        let mut wire2 = RpcFrame {
-            kind: RpcKind::Request,
-            op_class: 0,
-            req_id: 1,
-            arena_off: 0,
-            len: 0,
-        }
-        .encode(b"");
+        let mut wire2 = base.encode(b"");
         wire2[2] = 9; // unknown kind
         assert!(RpcFrame::decode(&wire2).is_none());
+        let mut wire3 = base.encode(b"");
+        wire3[17] = 7; // unknown priority
+        assert!(RpcFrame::decode(&wire3).is_none());
     }
 }

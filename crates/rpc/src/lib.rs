@@ -19,6 +19,15 @@
 //!   `Shed` reply instead of being left to wedge go-back-N behind a
 //!   stalled receiver. Clients back off and retry a bounded number of
 //!   times, so overload degrades into counted sheds rather than livelock.
+//! * **Tenancy** ([`tenant`]) — every frame names its [`TenantId`] and
+//!   [`Priority`]; servers configured with [`TenantPolicy`] rows enforce
+//!   per-tenant bounded quotas and two priority classes (high admitted
+//!   and served first, low shed first under overload), so three distinct
+//!   workloads can share one cluster under separate SLOs.
+//! * **Push events** — servers may return [`RpcPush`] fan-out events from
+//!   a handler ([`RpcServer::serve_tenants_until_idle`]); clients divert
+//!   them to [`RpcClient::take_pushes`] without touching the request-id
+//!   matcher (the pub-sub subscriber path).
 //! * **RMA responses** — replies too large for the system channel are
 //!   one-sided-written into a per-request slot of the client's response
 //!   arena (an open channel), then announced with a small completion
@@ -35,7 +44,9 @@
 pub mod client;
 pub mod frame;
 pub mod server;
+pub mod tenant;
 
-pub use client::{RpcClient, RpcClientConfig, RpcCompletion, RpcStatus};
+pub use client::{PushEvent, RpcClient, RpcClientConfig, RpcCompletion, RpcStatus};
 pub use frame::{RpcFrame, RpcKind, ARENA_CHANNEL, FRAME_BYTES};
-pub use server::{RpcServer, RpcServerConfig};
+pub use server::{RpcPush, RpcReply, RpcRequest, RpcServer, RpcServerConfig};
+pub use tenant::{Priority, TenantId, TenantPolicy};

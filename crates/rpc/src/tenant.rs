@@ -1,0 +1,114 @@
+//! Tenant identity, priority classes, and per-tenant admission policy.
+//!
+//! The semi-user-level split makes multi-tenancy cheap: protection and
+//! admission live at the service layer (one decode + table lookup per
+//! arrival), while each tenant's data path stays user-level. Every RPC
+//! frame carries a [`TenantId`] and a [`Priority`]; servers configured
+//! with [`TenantPolicy`] rows enforce per-tenant bounded quotas and
+//! dequeue high-priority work first, shedding low-priority work first
+//! under overload.
+
+use std::fmt;
+
+/// Which workload a request belongs to. Tenant ids are small integers
+/// assigned by the harness (`0` = the default single-tenant world every
+/// pre-tenancy caller lives in). SLO windows fold ids ≥ 3 into one
+/// bucket, mirroring the op-class convention.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u8);
+
+impl TenantId {
+    /// The implicit tenant of every caller that predates the tenancy
+    /// layer: single-tenant runs are tenant 0 throughout.
+    pub const DEFAULT: TenantId = TenantId(0);
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Two-level priority class. The server admits and serves `High` ahead of
+/// `Low`, and under a full queue a `High` arrival evicts the newest
+/// queued `Low` request (low sheds first) instead of being shed itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Latency-sensitive traffic: admitted and served first.
+    High,
+    /// Throughput traffic: first to shed under overload.
+    Low,
+}
+
+impl Priority {
+    /// Wire encoding (one byte in the frame header).
+    pub fn to_wire(self) -> u8 {
+        match self {
+            Priority::High => 0,
+            Priority::Low => 1,
+        }
+    }
+
+    /// Decode; unknown values are `None` (counted by the receiver as a
+    /// bad frame, never panicked on).
+    pub fn from_wire(b: u8) -> Option<Priority> {
+        match b {
+            0 => Some(Priority::High),
+            1 => Some(Priority::Low),
+            _ => None,
+        }
+    }
+
+    /// Report label (`high` / `low`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Low => "low",
+        }
+    }
+}
+
+/// One tenant's admission contract at a server. Policies are the server's
+/// source of truth: the priority in the frame is advisory, the policy's
+/// priority is what admission uses, so a misbehaving client cannot
+/// promote itself.
+#[derive(Clone, Copy, Debug)]
+pub struct TenantPolicy {
+    /// Tenant this row governs.
+    pub tenant: TenantId,
+    /// Most requests this tenant may hold queued at once; arrivals beyond
+    /// it are shed (counted per tenant) regardless of total queue space.
+    pub quota: usize,
+    /// Priority class all of this tenant's requests are served at.
+    pub priority: Priority,
+}
+
+impl TenantPolicy {
+    /// Convenience constructor.
+    pub fn new(tenant: u8, quota: usize, priority: Priority) -> Self {
+        TenantPolicy {
+            tenant: TenantId(tenant),
+            quota: quota.max(1),
+            priority,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_wire_roundtrip() {
+        for p in [Priority::High, Priority::Low] {
+            assert_eq!(Priority::from_wire(p.to_wire()), Some(p));
+        }
+        assert_eq!(Priority::from_wire(7), None);
+    }
+
+    #[test]
+    fn tenant_display_and_policy_floor() {
+        assert_eq!(TenantId(3).to_string(), "t3");
+        assert_eq!(TenantPolicy::new(1, 0, Priority::Low).quota, 1);
+    }
+}
